@@ -1,0 +1,63 @@
+// Figure 5: execution time of the kernel benchmark programs under Native,
+// SenSmart with memory protection only, SenSmart with full task
+// scheduling, and the t-kernel (steady state, warm-up excluded — start-up
+// cost shows up in Figure 6 instead).
+#include <iostream>
+
+#include "apps/benchmarks.hpp"
+#include "baselines/native_runner.hpp"
+#include "rewriter/tkernel.hpp"
+#include "sim/harness.hpp"
+
+using namespace sensmart;
+
+int main() {
+  std::cout << "Figure 5: EXECUTION TIME OF KERNEL BENCHMARK PROGRAMS "
+               "(seconds)\n\n";
+  sim::Table t({"Program", "Native", "SenS.MemProt", "SenS.TaskSched",
+                "t-kernel", "SenS/Nat", "t-k/Nat"});
+
+  for (const auto& name : apps::benchmark_names()) {
+    const auto img = apps::build_benchmark(name);
+
+    const auto native = base::run_native(img);
+
+    sim::RunSpec mp;
+    mp.rewrite.patch_branches = false;  // memory protection only
+    const auto r_mp = sim::run_system({img}, mp);
+
+    const auto r_ts = sim::run_system({img});  // + task scheduling
+
+    sim::RunSpec tk;
+    tk.kernel = kern::tkernel_config();
+    tk.kernel.warmup_cycles = 0;  // steady state for this figure
+    tk.rewrite = rw::tkernel_rewrite_options();
+    tk.merge_trampolines = rw::kTKernelMerging;
+    const auto r_tk = sim::run_system({img}, tk);
+
+    if (native.stop != emu::StopReason::Halted ||
+        r_mp.completed() != 1 || r_ts.completed() != 1 ||
+        r_tk.completed() != 1) {
+      std::cerr << name << ": a configuration failed to complete\n";
+      return 1;
+    }
+    // Correctness first: all four executions must produce the same bytes.
+    if (r_mp.tasks[0].host_out != native.host_out ||
+        r_ts.tasks[0].host_out != native.host_out ||
+        r_tk.tasks[0].host_out != native.host_out) {
+      std::cerr << name << ": output mismatch between configurations\n";
+      return 1;
+    }
+
+    t.row({name, sim::Table::num(native.seconds()),
+           sim::Table::num(r_mp.seconds()), sim::Table::num(r_ts.seconds()),
+           sim::Table::num(r_tk.seconds()),
+           sim::Table::num(r_ts.seconds() / native.seconds()),
+           sim::Table::num(r_tk.seconds() / native.seconds())});
+  }
+  t.print();
+  std::cout << "\nExpected shape (paper): Native < t-kernel < SenSmart, "
+               "with SenSmart's extra cost buying concurrent tasks with "
+               "independent time slices and memory regions.\n";
+  return 0;
+}

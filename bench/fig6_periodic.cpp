@@ -1,0 +1,70 @@
+// Figure 6: the PeriodicTask program — execution time of 300 task
+// activations and CPU utilization versus computation size, for Native,
+// t-kernel (including its ~1 s on-node rewriting warm-up), SenSmart, and
+// the Maté-style VM (Fig. 6c, interpretation-based execution).
+#include <iostream>
+
+#include "apps/periodic_task.hpp"
+#include "baselines/native_runner.hpp"
+#include "rewriter/tkernel.hpp"
+#include "sim/harness.hpp"
+#include "vm/vm.hpp"
+
+using namespace sensmart;
+
+int main(int argc, char** argv) {
+  apps::PeriodicTaskParams base;
+  base.period_ticks = 1172;  // ~40.7 ms
+  base.activations = 300;
+  if (argc > 1) base.activations = static_cast<uint16_t>(std::atoi(argv[1]));
+
+  std::cout << "Figure 6: PeriodicTask, " << base.activations
+            << " activations, period " << base.period_ticks
+            << " ticks (~40.7 ms)\n\n";
+  sim::Table t({"Size(instr)", "Nat(s)", "t-k(s)", "SenS(s)", "Nat util",
+                "SenS util", "Mate(s)"},
+               11);
+
+  for (uint32_t size = 10'000; size <= 100'000; size += 10'000) {
+    apps::PeriodicTaskParams p = base;
+    p.instructions = size;
+    const auto img = apps::periodic_task_program(p);
+
+    const auto native = base::run_native(img, 3'000'000'000ULL);
+
+    sim::RunSpec ss;
+    ss.max_cycles = 3'000'000'000ULL;
+    const auto sens = sim::run_system({img}, ss);
+
+    sim::RunSpec tk;
+    tk.kernel = kern::tkernel_config();  // includes the 1 s warm-up
+    tk.rewrite = rw::tkernel_rewrite_options();
+    tk.merge_trampolines = rw::kTKernelMerging;
+    tk.max_cycles = 3'000'000'000ULL;
+    const auto tker = sim::run_system({img}, tk);
+
+    vm::MateVm mate(vm::periodic_task_bytecode(
+        p.period_ticks, p.activations, p.instructions));
+    const auto mr = mate.run(60'000'000'000ULL);
+
+    if (native.stop != emu::StopReason::Halted || sens.completed() != 1 ||
+        tker.completed() != 1 || !mr.halted) {
+      std::cerr << "size " << size << ": a configuration did not finish\n";
+      return 1;
+    }
+    t.row({sim::Table::num(uint64_t(size)), sim::Table::num(native.seconds()),
+           sim::Table::num(tker.seconds()), sim::Table::num(sens.seconds()),
+           sim::Table::num(native.utilization()),
+           sim::Table::num(sens.utilization()),
+           sim::Table::num(double(mr.cycles) / emu::kClockHz)});
+  }
+  t.print();
+  std::cout
+      << "\nExpected shape (paper Fig. 6): below the saturation knee the\n"
+         "execution time is period-bound and SenSmart tracks Native while\n"
+         "t-kernel pays its ~1 s warm-up; past the knee SenSmart's time\n"
+         "rises sharply as its CPU utilization saturates first. Mate's\n"
+         "interpretation is an order of magnitude slower throughout "
+         "(Fig. 6c is log-scale).\n";
+  return 0;
+}

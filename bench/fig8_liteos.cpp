@@ -1,0 +1,85 @@
+// Figure 8: SenSmart vs LiteOS — number of schedulable search tasks under
+// the same memory budget. LiteOS's advanced services keep >2000 B of
+// static data and its manual memory management must reserve each thread's
+// worst-case stack; SenSmart is limited to the same overall space (two
+// binary trees per task, as in the paper) and adapts stack allocations at
+// run time instead.
+#include <iostream>
+
+#include "apps/treesearch.hpp"
+#include "baselines/liteos_model.hpp"
+#include "baselines/native_runner.hpp"
+#include "sim/harness.hpp"
+
+using namespace sensmart;
+
+namespace {
+
+apps::TreeSearchParams params(uint16_t nodes, int i) {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = nodes;
+  p.trees = 2;
+  p.searches = 32;
+  p.seed = static_cast<uint16_t>(0x5A17 + 0x0C31 * i);
+  return p;
+}
+
+sim::SystemRun run_sensmart(uint16_t nodes, int n) {
+  std::vector<assembler::Image> images;
+  for (int i = 0; i < n; ++i)
+    images.push_back(apps::tree_search_program(params(nodes, i)));
+  sim::RunSpec spec;
+  // Same overall space as LiteOS: its >2000 B of static kernel data come
+  // out of the 4 KB SRAM, so SenSmart's kernel reservation is set equal.
+  spec.kernel.kernel_ram = 2000;
+  spec.kernel.initial_stack = 80;
+  spec.max_cycles = 2'000'000'000ULL;
+  return sim::run_system(images, spec);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 8: COMPARISON OF SENSMART AND LITEOS\n"
+               "(search tasks with two binary trees each, equal memory "
+               "budget)\n\n";
+  sim::Table t({"Nodes/tree", "SenSmart tasks", "LiteOS tasks",
+                "Relocations", "AvgStack(B)", "LiteOS decl(B)"},
+               16);
+
+  base::LiteOsModel liteos;
+  for (uint16_t nodes = 8; nodes <= 32; nodes += 4) {
+    // LiteOS: the programmer must declare the worst-case stack, known from
+    // profiling the deepest recursion.
+    const auto nat =
+        base::run_native(apps::tree_search_program(params(nodes, 0)));
+    const int max_depth = nat.host_out.size() == 2 ? nat.host_out[1] : 0;
+    const uint16_t declared = static_cast<uint16_t>(max_depth * 15 + 48);
+    const uint16_t heap =
+        static_cast<uint16_t>(2 * nodes * 6 + 2 * 2 + 2);
+    const int liteos_tasks = liteos.max_schedulable_tasks(heap, declared);
+
+    int sens_tasks = 0;
+    sim::SystemRun best;
+    for (int n = 1; n <= 40; ++n) {
+      auto r = run_sensmart(nodes, n);
+      if (r.admitted != size_t(n) || r.stop != emu::StopReason::Halted ||
+          r.completed() != size_t(n) || r.killed() != 0)
+        break;
+      sens_tasks = n;
+      best = std::move(r);
+    }
+
+    t.row({sim::Table::num(uint64_t(nodes)),
+           sim::Table::num(uint64_t(sens_tasks)),
+           sim::Table::num(uint64_t(liteos_tasks)),
+           sim::Table::num(uint64_t(best.kernel_stats.relocations)),
+           sens_tasks ? sim::Table::num(best.avg_stack_alloc, 1) : "-",
+           sim::Table::num(uint64_t(declared))});
+  }
+  t.print();
+  std::cout << "\nExpected shape (paper Fig. 8): versatile stack management\n"
+               "lets SenSmart schedule more concurrent tasks than LiteOS's\n"
+               "static worst-case allocation at every tree size.\n";
+  return 0;
+}

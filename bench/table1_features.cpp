@@ -1,0 +1,12 @@
+// Table I: comparison of typical systems — feature matrix.
+#include <iostream>
+
+#include "baselines/features.hpp"
+
+int main() {
+  std::cout << "Table I: COMPARISON OF TYPICAL SYSTEMS\n"
+            << "(entries for other systems from their publications; the\n"
+            << " SenSmart column is what this reproduction implements)\n\n";
+  sensmart::base::print_table1(std::cout);
+  return 0;
+}

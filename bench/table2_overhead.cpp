@@ -1,0 +1,319 @@
+// Table II: overhead of key operations, measured in emulated CPU cycles.
+//
+// Method (same as the paper's: count cycles in a simulator): for each
+// operation we build two straight-line programs differing only in K extra
+// copies of the operation, run both under SenSmart, and divide the cycle
+// difference by K. Context-switch costs are measured by invoking the
+// scheduler directly; relocation cost is measured differentially between a
+// run that relocates and one that does not.
+//
+// The binary also registers google-benchmark timers for the host-side
+// throughput of the emulator and the rewriter.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+
+#include "apps/benchmarks.hpp"
+#include "apps/treesearch.hpp"
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+#include "sim/harness.hpp"
+
+namespace sensmart::kern {
+// Test/bench peer with access to the kernel's scheduling internals.
+struct KernelTestPeer {
+  static void force_switch(Kernel& k) { k.context_switch(k.m_.pc(), false); }
+};
+}  // namespace sensmart::kern
+
+namespace {
+
+using namespace sensmart;
+using assembler::Assembler;
+
+using EmitFn = std::function<void(Assembler&, int)>;  // (asm, copies)
+
+// Run a straight-line program with `copies` repetitions of the target op
+// under SenSmart and return total cycles at halt.
+uint64_t run_copies(const EmitFn& emit, int copies, bool grouped_opt = true) {
+  Assembler a("micro");
+  a.var("pad", 16);  // a little heap for direct/indirect heap tests
+  emit(a, copies);
+  a.halt(0);
+  sim::RunSpec spec;
+  spec.rewrite.grouped_access = grouped_opt;
+  const auto r = sim::run_system({a.finish()}, spec);
+  if (r.stop != emu::StopReason::Halted || r.completed() != 1) {
+    std::cerr << "micro benchmark did not complete cleanly\n";
+    std::exit(1);
+  }
+  return r.cycles;
+}
+
+double per_op(const EmitFn& emit, int k = 64, bool grouped_opt = true) {
+  const uint64_t c1 = run_copies(emit, k, grouped_opt);
+  const uint64_t c0 = run_copies(emit, 0, grouped_opt);
+  return double(c1 - c0) / k;
+}
+
+double measure_init() {
+  Assembler a("init");
+  a.halt(0);
+  rw::Linker linker;
+  linker.add(a.finish());
+  const auto sys = linker.link();
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  (void)k.admit(0);
+  const uint64_t before = m.cycles();
+  (void)k.start();
+  return double(m.cycles() - before);
+}
+
+struct SwitchCosts {
+  double full = 0;
+};
+
+SwitchCosts measure_context_switch() {
+  Assembler a("spin");
+  a.label("fwd");
+  a.nop();
+  a.rjmp("fwd2");
+  a.label("fwd2");
+  a.rjmp("fwd");
+  auto img = a.finish();
+  rw::Linker linker;
+  linker.add(img);
+  linker.add(img);
+  const auto sys = linker.link();
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  k.admit_all();
+  k.start();
+  m.run(20000);  // let task 0 get going
+  SwitchCosts c;
+  const int reps = 32;
+  const uint64_t before = m.cycles();
+  for (int i = 0; i < reps; ++i) kern::KernelTestPeer::force_switch(k);
+  c.full = double(m.cycles() - before) / reps;
+  return c;
+}
+
+double measure_relocation() {
+  auto scenario = [](uint16_t initial_stack) {
+    std::vector<assembler::Image> imgs;
+    for (int i = 0; i < 2; ++i) {
+      apps::TreeSearchParams p;
+      p.nodes_per_tree = 16;
+      p.trees = 2;
+      p.searches = 16;
+      p.seed = static_cast<uint16_t>(0x2222 * (i + 1));
+      imgs.push_back(apps::tree_search_program(p));
+    }
+    sim::RunSpec spec;
+    spec.kernel.initial_stack = initial_stack;
+    return sim::run_system(imgs, spec);
+  };
+  const auto tight = scenario(40);  // forces relocations
+  if (tight.kernel_stats.relocations == 0) return 0;
+  return double(tight.kernel_stats.reloc_cycles) /
+         tight.kernel_stats.relocations;
+}
+
+void print_table() {
+  sim::Table t({"Operation", "Measured", "Paper"});
+
+  t.row({"System initialization", sim::Table::num(measure_init()),
+         "5738"});
+
+  // Direct access, I/O area (left unpatched).
+  t.row({"Direct, I/O area",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+           for (int i = 0; i < k; ++i) a.lds(16, emu::kPortB);
+         })),
+         "2"});
+
+  // Direct access, heap.
+  t.row({"Direct, others (heap)",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+           for (int i = 0; i < k; ++i) a.lds(16, emu::kSramBase);
+         })),
+         "28"});
+
+  // Indirect access landing in the I/O area.
+  t.row({"Indirect, I/O area",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+           a.ldi16(26, emu::kPortB);
+           for (int i = 0; i < k; ++i) a.ld_x(16);
+         })),
+         "54"});
+
+  // Indirect heap access (ungrouped).
+  t.row({"Indirect, heap",
+         sim::Table::num(per_op(
+             [](Assembler& a, int k) {
+               a.ldi16(26, emu::kSramBase);
+               for (int i = 0; i < k; ++i) a.ld_x(16);
+             },
+             64)),
+         "60"});
+
+  // Indirect stack-frame access (LDD through Y at the stack top), with the
+  // grouped-access optimization disabled so every access translates.
+  t.row({"Indirect, stack frame",
+         sim::Table::num(per_op(
+             [](Assembler& a, int k) {
+               a.push(16);
+               a.push(16);
+               a.push(16);
+               a.push(16);
+               a.in(28, emu::kSpl);
+               a.in(29, emu::kSph);
+               for (int i = 0; i < k; ++i) a.ldd_y(16, 2);
+             },
+             64, /*grouped_opt=*/false)),
+         "47"});
+
+  // Grouped follower: NOP-separated (leader, follower) pairs so groups
+  // stay pairs; follower = pair - leader (the NOP cancels out).
+  {
+    const double pair = per_op(
+        [](Assembler& a, int k) {
+          a.push(16);
+          a.push(16);
+          a.push(16);
+          a.push(16);
+          a.in(28, emu::kSpl);
+          a.in(29, emu::kSph);
+          for (int i = 0; i < k; ++i) {
+            a.ldd_y(16, 1);
+            a.ldd_y(17, 2);
+            a.nop();
+          }
+        },
+        48);
+    const double leader = per_op(
+        [](Assembler& a, int k) {
+          a.push(16);
+          a.push(16);
+          a.push(16);
+          a.push(16);
+          a.in(28, emu::kSpl);
+          a.in(29, emu::kSph);
+          for (int i = 0; i < k; ++i) {
+            a.ldd_y(16, 2);
+            a.nop();
+          }
+        },
+        48, /*grouped_opt=*/false);
+    t.row({"Indirect, grouped follower", sim::Table::num(pair - leader),
+           "(18)"});
+  }
+
+  // PUSH/POP with stack checking (balanced pairs; half a pair each).
+  t.row({"Stack operation, push/pop",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+                           for (int i = 0; i < k; ++i) {
+                             a.push(16);
+                             a.pop(16);
+                           }
+                         }) /
+                         2),
+         "57"});
+
+  // CALL/RET (half a pair each).
+  t.row({"Stack operation, call/ret",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+                           a.rjmp("main");
+                           a.label("f");
+                           a.ret();
+                           a.label("main");
+                           for (int i = 0; i < k; ++i) a.rcall("f");
+                         }) /
+                         2),
+         "77"});
+
+  // Program-memory address translation (LPM through the shift table).
+  t.row({"Program memory (LPM)",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+           a.rjmp("code");
+           const uint16_t words[2] = {0x1234, 0x5678};
+           a.dw("konst", words);
+           a.label("code");
+           a.ldi_label(30, "konst");
+           a.add(30, 30);  // word -> byte address
+           a.adc(31, 31);
+           for (int i = 0; i < k; ++i) a.lpm(16);
+         })),
+         "376"});
+
+  // Get/set stack pointer (each is an IN/OUT pair).
+  t.row({"Get stack pointer",
+         sim::Table::num(per_op([](Assembler& a, int k) {
+           for (int i = 0; i < k; ++i) {
+             a.in(16, emu::kSpl);
+             a.in(17, emu::kSph);
+           }
+         })),
+         "45"});
+  {
+    const double get_pair = per_op([](Assembler& a, int k) {
+      for (int i = 0; i < k; ++i) {
+        a.in(16, emu::kSpl);
+        a.in(17, emu::kSph);
+      }
+    });
+    const double both = per_op([](Assembler& a, int k) {
+      for (int i = 0; i < k; ++i) {
+        a.in(16, emu::kSpl);
+        a.in(17, emu::kSph);
+        a.out(emu::kSpl, 16);
+        a.out(emu::kSph, 17);
+      }
+    });
+    t.row({"Set stack pointer", sim::Table::num(both - get_pair), "94"});
+  }
+
+  t.row({"Stack relocation (avg)", sim::Table::num(measure_relocation()),
+         "2326"});
+  t.row({"Context switching, full", sim::Table::num(measure_context_switch().full),
+         "2298"});
+
+  std::cout << "\nTable II: OVERHEAD OF KEY OPERATIONS (cycles)\n\n";
+  t.print();
+}
+
+// --- google-benchmark timers for host-side component throughput -------------
+
+void BM_EmulatorLfsr(benchmark::State& state) {
+  const auto img = apps::lfsr_program(2000);
+  for (auto _ : state) {
+    emu::Machine m;
+    m.load_flash(img.code);
+    m.reset(img.entry);
+    benchmark::DoNotOptimize(m.run(10'000'000));
+  }
+}
+BENCHMARK(BM_EmulatorLfsr);
+
+void BM_RewriteAndLink(benchmark::State& state) {
+  const auto img = apps::crc_program(1);
+  for (auto _ : state) {
+    rw::Linker linker;
+    linker.add(img);
+    benchmark::DoNotOptimize(linker.link());
+  }
+}
+BENCHMARK(BM_RewriteAndLink);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

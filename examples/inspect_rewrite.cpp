@@ -1,0 +1,106 @@
+// Inspect the binary rewriting: disassemble a small program before and
+// after naturalization, print the shift table and the trampoline pool —
+// a view of exactly what the base-station rewriter of §IV-A does.
+#include <iomanip>
+#include <iostream>
+
+#include "sensmart/sensmart.hpp"
+
+using namespace sensmart;
+
+namespace {
+
+void disassemble(std::span<const uint16_t> code, uint32_t base,
+                 const assembler::Image* img) {
+  for (uint32_t pc = 0; pc < code.size();) {
+    bool data = false;
+    if (img)
+      for (auto [lo, hi] : img->data_ranges)
+        if (pc >= lo && pc < hi) {
+          std::cout << "  " << std::setw(4) << (base + pc) << ":  .dw 0x"
+                    << std::hex << code[pc] << std::dec << "\n";
+          ++pc;
+          data = true;
+          break;
+        }
+    if (data) continue;
+    const auto ins = isa::decode(code, pc);
+    std::cout << "  " << std::setw(4) << (base + pc) << ":  "
+              << isa::to_string(ins) << "\n";
+    pc += isa::size_words(ins.op);
+  }
+}
+
+const char* kind_name(rw::ServiceKind k) {
+  using enum rw::ServiceKind;
+  switch (k) {
+    case MemIndirect: return "mem-indirect";
+    case MemIndirectGrouped: return "mem-grouped";
+    case MemDirect: return "mem-direct";
+    case ReservedDirect: return "reserved-port";
+    case PushPop: return "push/pop";
+    case CallEnter: return "call-enter";
+    case Return: return "return";
+    case IndirectJump: return "indirect-jump";
+    case BackwardBranch: return "backward-branch";
+    case ForwardBranch: return "forward-branch";
+    case SpRead: return "sp-read";
+    case SpWrite: return "sp-write";
+    case Lpm: return "lpm";
+    case SleepOp: return "sleep";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  // A tiny program exercising several patch classes.
+  assembler::Assembler a("demo");
+  const uint16_t v = a.var("v", 2);
+  a.ldi(16, 5);
+  a.label("loop");
+  a.push(16);
+  a.pop(17);
+  a.sts(v, 17);        // heap direct
+  a.lds(18, emu::kPortB);  // plain I/O: stays native
+  a.dec(16);
+  a.brne("loop");      // backward branch
+  a.halt(0);
+  const auto img = a.finish();
+
+  std::cout << "=== original (" << img.code_bytes() << " bytes) ===\n";
+  disassemble(img.code, 0, &img);
+
+  rw::Linker linker;
+  linker.add(img);
+  const auto sys = linker.link();
+  const auto& p = sys.programs[0];
+
+  std::cout << "\n=== naturalized (" << p.rewritten_bytes
+            << " bytes at base " << p.base << ") ===\n";
+  disassemble(std::span(sys.flash).subspan(p.base, p.nat_words), p.base,
+              nullptr);
+
+  std::cout << "\n=== shift table (" << p.map.entries()
+            << " inflated sites) ===\n  original word addresses:";
+  for (uint32_t site : p.map.inflated_sites()) std::cout << " " << site;
+  std::cout << "\n  e.g. original " << 0 << " -> naturalized "
+            << p.map.to_naturalized(0) << "; original 4 -> "
+            << p.map.to_naturalized(4) << "\n";
+
+  std::cout << "\n=== trampoline pool (" << sys.services.size()
+            << " merged from " << sys.service_requests << " sites) ===\n";
+  for (size_t i = 0; i < sys.services.size(); ++i) {
+    const auto& s = sys.services[i];
+    std::cout << "  @" << sys.service_addr[i] << "  " << kind_name(s.kind)
+              << "  [" << isa::to_string(s.original) << "]\n";
+  }
+
+  std::cout << "\ninflation: " << sim::Table::num(p.inflation())
+            << "x (code " << p.rewritten_bytes << " + shift "
+            << p.shift_table_bytes << " + trampolines "
+            << p.trampoline_bytes << " over native " << p.native_bytes
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,489 @@
+#include "apps/benchmarks.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::apps {
+
+using assembler::Assembler;
+using assembler::Image;
+using namespace emu;
+
+// ---------------------------------------------------------------------------
+// am: assemble packets in a heap buffer, checksum them, transmit over the
+// radio and wait for send-completion (active-message style send path).
+// ---------------------------------------------------------------------------
+Image am_program(uint16_t packets) {
+  Assembler a("am");
+  const uint16_t pkt = a.var("pkt", 24);
+  constexpr uint8_t kPayload = 20;
+
+  a.ldi16(20, packets);  // r20:r21 = packet counter
+  a.ldi(16, 1);          // payload generator state lives in r15
+  a.mov(15, 16);
+
+  a.label("next_packet");
+  // Fill the payload and compute an 8-bit checksum (r18).
+  a.ldi16(26, pkt);  // X = &pkt
+  a.ldi(18, 0);
+  a.ldi(17, kPayload);
+  a.label("fill");
+  a.mov(16, 15);
+  a.st_x_inc(16);  // heap store, X post-increment
+  a.add(18, 16);
+  a.ldi(16, 7);
+  a.add(15, 16);  // generator: s += 7
+  a.dec(17);
+  a.brne("fill");
+  a.st_x(18);  // trailing checksum byte
+
+  // Stream the buffer to the radio.
+  a.ldi16(26, pkt);
+  a.ldi(17, kPayload + 1);
+  a.label("tx_byte");
+  a.ld_x_inc(16);
+  a.sts(kRadioData, 16);
+  a.dec(17);
+  a.brne("tx_byte");
+  a.ldi(16, 1);
+  a.sts(kRadioCtrl, 16);  // start transmission
+
+  // Wait for send completion (busy bit clears).
+  a.label("tx_wait");
+  a.lds(16, kRadioStatus);
+  a.andi(16, 1);
+  a.brne("tx_wait");
+
+  a.dec16(20);
+  a.brne("next_packet");
+
+  a.sts(kHostOut, 18);  // last checksum
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// amplitude: generate sample windows with an in-register LFSR, track
+// min/max per window in a heap record via a subroutine, and report the last
+// amplitude (max - min). Exercises call/ret, push/pop and grouped accesses.
+// ---------------------------------------------------------------------------
+Image amplitude_program(uint16_t rounds) {
+  Assembler a("amplitude");
+  const uint16_t rec = a.var("rec", 4);  // [0]=min [1]=max [2]=amp
+
+  a.ldi16(20, rounds);
+  a.ldi(16, 0xEF);  // r8:r9 LFSR state (LDI needs r16+, then move down)
+  a.mov(8, 16);
+  a.ldi(16, 0xBE);
+  a.mov(9, 16);
+  a.rjmp("round");
+
+  // lfsr_step: advances r8:r9, returns low byte in r16.
+  a.label("lfsr_step");
+  a.push(17);
+  a.mov(16, 8);
+  a.mov(17, 9);
+  a.lsr(17);
+  a.ror(16);  // r17:r16 = s >> 1, carry = old bit 0
+  a.brcc("no_tap");
+  a.ldi(18, 0xB4);
+  a.eor(17, 18);  // Galois taps in the high byte (r18 is scratch here)
+  a.label("no_tap");
+  a.mov(8, 16);
+  a.mov(9, 17);
+  a.pop(17);
+  a.ret();
+
+  a.label("round");
+  // Reset window record: min = 0xFF, max = 0.
+  a.ldi16(28, rec);  // Y = &rec
+  a.ldi(16, 0xFF);
+  a.std_y(0, 16);
+  a.ldi(16, 0);
+  a.std_y(1, 16);
+
+  a.ldi(19, 16);  // 16 samples per window
+  a.label("sample");
+  // Inlined LFSR step (hot path; the subroutine form is kept for the
+  // once-per-window bookkeeping below).
+  a.mov(16, 8);
+  a.mov(17, 9);
+  a.lsr(17);
+  a.ror(16);
+  a.brcc("inl_no_tap");
+  a.ldi(18, 0xB4);
+  a.eor(17, 18);
+  a.label("inl_no_tap");
+  a.mov(8, 16);
+  a.mov(9, 17);
+  a.ldi16(28, rec);
+  a.ldd_y(17, 0);  // min \ grouped access: one translation
+  a.ldd_y(18, 1);  // max /
+  a.cp(16, 17);
+  a.brcc("not_min");
+  a.std_y(0, 16);
+  a.label("not_min");
+  a.cp(18, 16);
+  a.brcc("not_max");
+  a.std_y(1, 16);
+  a.label("not_max");
+  a.dec(19);
+  a.brne("sample");
+
+  // amp = max - min.
+  a.ldd_y(17, 0);
+  a.ldd_y(18, 1);
+  a.sub(18, 17);
+  a.std_y(2, 18);
+  a.rcall("lfsr_step");  // decorrelate windows (keeps a call per window)
+
+  a.dec16(20);
+  a.brne("round");
+
+  a.lds(16, static_cast<uint16_t>(rec + 2));
+  a.sts(kHostOut, 16);
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// crc: CRC16-CCITT over a 32-byte heap buffer, computed twice per pass —
+// bit-serial and nibble-table-driven (flash table read with LPM) — and
+// cross-checked. CPU-bound with deep inner loops, calls and flash data.
+// ---------------------------------------------------------------------------
+namespace {
+// CCITT nibble table: crc16 of (nibble << 12) with polynomial 0x1021.
+std::array<uint16_t, 16> ccitt_nibble_table() {
+  std::array<uint16_t, 16> t{};
+  for (uint16_t n = 0; n < 16; ++n) {
+    uint16_t crc = static_cast<uint16_t>(n << 12);
+    for (int b = 0; b < 4; ++b)
+      crc = static_cast<uint16_t>((crc & 0x8000) ? (crc << 1) ^ 0x1021
+                                                 : (crc << 1));
+    t[n] = crc;
+  }
+  return t;
+}
+}  // namespace
+
+Image crc_program(uint16_t rounds) {
+  Assembler a("crc");
+  const uint16_t buf = a.var("buf", 32);
+  constexpr uint8_t kLen = 32;
+
+  a.rjmp("start");
+  const auto table = ccitt_nibble_table();
+  a.dw("crc_table", table);
+
+  // crc_byte: r16 = data byte, r24:r25 = crc (lo:hi), updated in place.
+  a.label("crc_byte");
+  a.push(17);
+  a.push(18);
+  a.eor(25, 16);  // crc ^= byte << 8
+  a.ldi(18, 8);
+  a.label("bitloop");
+  a.add(24, 24);  // crc <<= 1, carry = old bit 15
+  a.adc(25, 25);
+  a.brcc("no_xor");
+  a.ldi(17, 0x21);
+  a.eor(24, 17);
+  a.ldi(17, 0x10);
+  a.eor(25, 17);
+  a.label("no_xor");
+  a.dec(18);
+  a.brne("bitloop");
+  a.pop(18);
+  a.pop(17);
+  a.ret();
+
+  // crc_nib: fold one nibble (r17, low 4 bits) into the table-driven crc
+  // in r22:r23 using the flash nibble table. r2 must hold zero.
+  a.label("crc_nib");
+  a.push(18);
+  a.push(19);
+  a.mov(18, 23);
+  a.swap(18);
+  a.andi(18, 0x0F);
+  a.eor(18, 17);
+  a.andi(18, 0x0F);  // idx = (crc >> 12) ^ nibble
+  a.swap(23);        // crc <<= 4
+  a.andi(23, 0xF0);
+  a.mov(19, 22);
+  a.swap(19);
+  a.andi(19, 0x0F);
+  a.or_(23, 19);
+  a.swap(22);
+  a.andi(22, 0xF0);
+  a.ldi_label(30, "crc_table");  // Z = byte address of table[idx]
+  a.add(30, 18);
+  a.adc(31, 2);
+  a.add(30, 30);
+  a.adc(31, 31);
+  a.lpm_inc(19);
+  a.eor(22, 19);
+  a.lpm(19);
+  a.eor(23, 19);
+  a.pop(19);
+  a.pop(18);
+  a.ret();
+
+  // crc_byte_tbl: fold byte r16 into r22:r23 via two nibble steps.
+  a.label("crc_byte_tbl");
+  a.push(17);
+  a.mov(17, 16);
+  a.swap(17);
+  a.andi(17, 0x0F);
+  a.rcall("crc_nib");
+  a.mov(17, 16);
+  a.andi(17, 0x0F);
+  a.rcall("crc_nib");
+  a.pop(17);
+  a.ret();
+
+  a.label("start");
+  a.ldi(16, 0);
+  a.mov(2, 16);  // r2 = zero register
+  a.mov(6, 16);  // r6 = cross-check error count
+  // Fill the buffer with a deterministic pattern.
+  a.ldi16(26, buf);
+  a.ldi(17, kLen);
+  a.ldi(16, 0x55);
+  a.label("fill");
+  a.st_x_inc(16);
+  a.subi(16, 0xD3);  // s -= 0xD3 (mod 256)
+  a.dec(17);
+  a.brne("fill");
+
+  // One verification pass: the table-driven implementation (flash lookups
+  // via LPM) must agree with the bit-serial one.
+  a.ldi16(24, 0xFFFF);
+  a.ldi16(22, 0xFFFF);
+  a.ldi16(26, buf);
+  a.ldi(19, kLen);
+  a.label("vbyteloop");
+  a.ld_x_inc(16);
+  a.rcall("crc_byte");
+  a.rcall("crc_byte_tbl");
+  a.dec(19);
+  a.brne("vbyteloop");
+  a.cp(24, 22);
+  a.cpc(25, 23);
+  a.breq("crc_ok");
+  a.inc(6);
+  a.label("crc_ok");
+
+  // Steady-state passes: bit-serial only (the hot path of a real sender).
+  a.ldi16(20, rounds);
+  a.label("pass");
+  a.ldi16(24, 0xFFFF);
+  a.ldi16(26, buf);
+  a.ldi(19, kLen);
+  a.label("byteloop");
+  a.ld_x_inc(16);
+  a.rcall("crc_byte");
+  a.dec(19);
+  a.brne("byteloop");
+  a.dec16(20);
+  a.brne("pass");
+
+  a.sts(kHostOut, 24);
+  a.sts(kHostOut, 25);
+  a.sts(kHostOut, 6);  // 0 if every pass agreed
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// eventchain: event-driven dispatch through a flash function-pointer table.
+// Each handler does a little work and names the next event; the main loop
+// looks the handler up with LPM and invokes it with ICALL (run-time program
+// address translation on both).
+// ---------------------------------------------------------------------------
+Image eventchain_program(uint16_t rounds) {
+  Assembler a("eventchain");
+  a.var("state", 2);
+
+  a.rjmp("start");
+
+  // Handlers: each does a bounded amount of event-processing work
+  // (register arithmetic, as a real handler body would), accumulates into
+  // r6, and names the next event in r24.
+  auto handler_work = [&a](const char* loop_label) {
+    a.ldi(18, 48);
+    a.label(loop_label);
+    a.add(6, 18);
+    a.swap(6);
+    a.dec(18);
+    a.brne(loop_label);
+  };
+  a.label("h0");
+  handler_work("h0w");
+  a.inc(6);
+  a.ldi(24, 1);
+  a.ret();
+  a.label("h1");
+  handler_work("h1w");
+  a.add(6, 24);
+  a.ldi(24, 2);
+  a.ret();
+  a.label("h2");
+  a.push(16);
+  handler_work("h2w");
+  a.ldi(16, 3);
+  a.eor(6, 16);
+  a.pop(16);
+  a.ldi(24, 3);
+  a.ret();
+  a.label("h3");
+  handler_work("h3w");
+  a.dec(6);
+  a.ldi(24, 0);
+  a.ret();
+
+  const std::array<std::string, 4> handlers = {"h0", "h1", "h2", "h3"};
+  a.dw_labels("table", handlers);
+
+  a.label("start");
+  a.ldi16(20, rounds);
+  a.ldi(24, 0);  // event id
+  a.label("loop");
+  // Z = byte address of table[id]; fetch the handler's word address.
+  a.ldi_label(30, "table");
+  a.ldi(16, 0);
+  a.add(30, 24);
+  a.adc(31, 16);
+  a.add(30, 30);  // word -> byte address
+  a.adc(31, 31);
+  a.lpm_inc(16);
+  a.lpm(17);
+  a.movw(30, 16);
+  a.icall();
+  a.dec16(20);
+  a.brne("loop");
+
+  a.sts(kHostOut, 6);
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// lfsr: pure CPU-bound 16-bit LFSR iteration.
+// ---------------------------------------------------------------------------
+Image lfsr_program(uint16_t iters) {
+  Assembler a("lfsr");
+  a.ldi16(24, 0xACE1);  // state
+  a.ldi16(20, iters);
+  a.label("loop");
+  a.mov(16, 24);
+  a.mov(17, 24);
+  a.lsr(17);
+  a.lsr(17);
+  a.eor(16, 17);  // s ^ s>>2
+  a.lsr(17);
+  a.eor(16, 17);  // ^ s>>3
+  a.lsr(17);
+  a.lsr(17);
+  a.eor(16, 17);  // ^ s>>5
+  a.andi(16, 1);  // feedback bit
+  a.lsr(25);
+  a.ror(24);  // s >>= 1
+  a.cpi(16, 0);
+  a.breq("no_set");
+  a.ori(25, 0x80);  // s |= bit << 15
+  a.label("no_set");
+  a.dec16(20);
+  a.brne("loop");
+  a.sts(kHostOut, 24);
+  a.sts(kHostOut, 25);
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// readadc: start conversions, poll for completion, accumulate the samples.
+// ---------------------------------------------------------------------------
+Image readadc_program(uint16_t samples) {
+  Assembler a("readadc");
+  const uint16_t sum = a.var("sum", 3);
+
+  a.ldi16(20, samples);
+  a.ldi(16, 0);  // r12:r13:r14 = 24-bit sum
+  a.mov(12, 16);
+  a.mov(13, 16);
+  a.mov(14, 16);
+
+  a.label("next");
+  a.ldi(16, 0x80);
+  a.sts(kAdcsra, 16);  // start conversion
+  a.label("poll");
+  a.lds(16, kAdcsra);
+  a.andi(16, 0x10);  // done bit
+  a.breq("poll");
+  a.lds(16, kAdcL);
+  a.lds(17, kAdcH);
+  a.add(12, 16);
+  a.adc(13, 17);
+  a.ldi(16, 0);
+  a.adc(14, 16);
+  a.dec16(20);
+  a.brne("next");
+
+  a.sts(sum, 12);
+  a.sts(static_cast<uint16_t>(sum + 1), 13);
+  a.sts(static_cast<uint16_t>(sum + 2), 14);
+  a.sts(kHostOut, 12);
+  a.sts(kHostOut, 13);
+  a.sts(kHostOut, 14);
+  a.halt(0);
+  return a.finish();
+}
+
+// ---------------------------------------------------------------------------
+// timer: program Timer0, poll the overflow flag, count rounds.
+// ---------------------------------------------------------------------------
+Image timer_program(uint16_t rounds) {
+  Assembler a("timer");
+  a.ldi16(20, rounds);
+  a.ldi(18, 0);  // completed rounds (mod 256)
+
+  a.ldi(16, 2);  // prescaler /8: one overflow every 2048 cycles
+  a.sts(kTccr0, 16);
+
+  a.label("round");
+  a.ldi(16, 0);
+  a.sts(kTcnt0, 16);  // restart the counter
+  a.ldi(16, 1);
+  a.sts(kTifr, 16);  // clear the overflow flag (write-1-to-clear)
+  a.label("wait");
+  a.lds(16, kTifr);
+  a.andi(16, 1);
+  a.breq("wait");
+  a.inc(18);
+  a.dec16(20);
+  a.brne("round");
+
+  a.sts(kHostOut, 18);
+  a.halt(0);
+  return a.finish();
+}
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "am", "amplitude", "crc", "eventchain", "lfsr", "readadc", "timer"};
+  return names;
+}
+
+Image build_benchmark(const std::string& name) {
+  if (name == "am") return am_program();
+  if (name == "amplitude") return amplitude_program();
+  if (name == "crc") return crc_program();
+  if (name == "eventchain") return eventchain_program();
+  if (name == "lfsr") return lfsr_program();
+  if (name == "readadc") return readadc_program();
+  if (name == "timer") return timer_program();
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+}  // namespace sensmart::apps

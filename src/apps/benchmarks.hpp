@@ -1,0 +1,35 @@
+// The seven kernel-benchmark programs used in the t-kernel and SenSmart
+// evaluations (§V-C): am, amplitude, crc, eventchain, lfsr, readadc, timer.
+// They cover the typical operations of sensornet applications: radio I/O,
+// sensor sampling, CPU-bound bit twiddling, event dispatch through function
+// pointers, and timer polling.
+//
+// Each program is self-contained, deterministic, writes its result bytes to
+// the host output port and exits through the host halt port, so native and
+// naturalized executions can be compared bit-for-bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+
+namespace sensmart::apps {
+
+// Build one benchmark by name; throws on unknown names.
+assembler::Image build_benchmark(const std::string& name);
+
+// The benchmark names in the order the paper's figures list them.
+const std::vector<std::string>& benchmark_names();
+
+// Individual builders (iteration counts chosen so native execution takes
+// on the order of 0.1-1 s of emulated time at 7.3728 MHz).
+assembler::Image am_program(uint16_t packets = 24);
+assembler::Image amplitude_program(uint16_t rounds = 900);
+assembler::Image crc_program(uint16_t rounds = 220);
+assembler::Image eventchain_program(uint16_t rounds = 3200);
+assembler::Image lfsr_program(uint16_t iters = 50000);
+assembler::Image readadc_program(uint16_t samples = 2600);
+assembler::Image timer_program(uint16_t rounds = 420);
+
+}  // namespace sensmart::apps

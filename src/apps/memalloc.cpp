@@ -1,0 +1,71 @@
+#include "apps/memalloc.hpp"
+
+#include <stdexcept>
+
+namespace sensmart::apps {
+
+PoolAllocator emit_pool_allocator(assembler::Assembler& a,
+                                  const std::string& prefix,
+                                  uint8_t n_blocks, uint8_t block_size) {
+  if (block_size < 2 || block_size > 63)
+    throw std::invalid_argument("pool block size must be in [2, 63]");
+  if (n_blocks == 0) throw std::invalid_argument("empty pool");
+
+  PoolAllocator p;
+  p.block_size = block_size;
+  p.n_blocks = n_blocks;
+  p.pool_addr =
+      a.var(prefix + "_pool", static_cast<uint16_t>(n_blocks * block_size));
+  p.head_addr = a.var(prefix + "_head", 2);
+
+  // <prefix>_init: thread the free list through the blocks.
+  a.label(prefix + "_init");
+  a.ldi16(26, p.pool_addr);
+  a.sts(p.head_addr, 26);
+  a.sts(static_cast<uint16_t>(p.head_addr + 1), 27);
+  if (n_blocks > 1) {
+    a.ldi(16, static_cast<uint8_t>(n_blocks - 1));
+    a.label(prefix + "_init_loop");
+    a.movw(30, 26);            // Z = current block
+    a.adiw(26, block_size);    // X = next block
+    a.std_z(0, 26);            // current->next = X
+    a.std_z(1, 27);
+    a.dec(16);
+    a.brne(prefix + "_init_loop");
+  }
+  a.movw(30, 26);  // last block: ->next = null
+  a.ldi(16, 0);
+  a.std_z(0, 16);
+  a.std_z(1, 16);
+  a.ret();
+
+  // <prefix>_alloc: X := head; head = head->next (X = 0 when exhausted).
+  a.label(prefix + "_alloc");
+  a.lds(26, p.head_addr);
+  a.lds(27, static_cast<uint16_t>(p.head_addr + 1));
+  a.mov(16, 26);
+  a.or_(16, 27);
+  a.breq(prefix + "_alloc_done");
+  a.movw(30, 26);
+  a.ldd_z(16, 0);
+  a.ldd_z(17, 1);
+  a.sts(p.head_addr, 16);
+  a.sts(static_cast<uint16_t>(p.head_addr + 1), 17);
+  a.label(prefix + "_alloc_done");
+  a.ret();
+
+  // <prefix>_free: X->next = head; head = X.
+  a.label(prefix + "_free");
+  a.lds(16, p.head_addr);
+  a.lds(17, static_cast<uint16_t>(p.head_addr + 1));
+  a.movw(30, 26);
+  a.std_z(0, 16);
+  a.std_z(1, 17);
+  a.sts(p.head_addr, 26);
+  a.sts(static_cast<uint16_t>(p.head_addr + 1), 27);
+  a.ret();
+
+  return p;
+}
+
+}  // namespace sensmart::apps

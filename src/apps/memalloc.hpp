@@ -1,0 +1,36 @@
+// The dynamic-memory allocation module of §III-A: SenSmart assumes
+// applications do not use dynamic allocation, but the paper notes that
+// "it is not difficult to add a specific allocation module, which claims
+// a chunk of memory and re-allocates parts of it upon requests, to
+// emulate the dynamic memory function. Some versions of TinyOS already
+// contain such a module." This is that module: a fixed-block pool
+// allocator emitted as an assembler library, fully compatible with the
+// rewriter (it only uses heap addresses, so logical addressing and stack
+// relocation apply transparently).
+#pragma once
+
+#include <string>
+
+#include "assembler/assembler.hpp"
+
+namespace sensmart::apps {
+
+struct PoolAllocator {
+  uint16_t pool_addr = 0;       // logical address of the managed chunk
+  uint16_t head_addr = 0;       // logical address of the free-list head
+  uint8_t block_size = 0;       // bytes per block (>= 2, <= 63)
+  uint8_t n_blocks = 0;
+};
+
+// Emit the allocator's data (a pool of n_blocks * block_size bytes plus a
+// 2-byte free-list head) and three routines into the program:
+//   <prefix>_init  — build the free list; call once before use.
+//   <prefix>_alloc — X (r26:r27) := a free block, or 0 if exhausted.
+//   <prefix>_free  — return block X to the pool.
+// All routines clobber r16, r17 and Z and must be invoked with RCALL/CALL.
+// Free blocks store the next-free pointer in their first two bytes.
+PoolAllocator emit_pool_allocator(assembler::Assembler& a,
+                                  const std::string& prefix,
+                                  uint8_t n_blocks, uint8_t block_size);
+
+}  // namespace sensmart::apps

@@ -1,0 +1,90 @@
+#include "apps/periodic_task.hpp"
+
+#include <stdexcept>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::apps {
+
+using assembler::Assembler;
+using assembler::Image;
+using namespace emu;
+
+Image periodic_task_program(const PeriodicTaskParams& p) {
+  if (p.instructions / 2 > 0xFFFF)
+    throw std::invalid_argument("computation size exceeds the busy-loop range");
+  const uint16_t iters = static_cast<uint16_t>(p.instructions / 2);
+
+  Assembler a("periodic");
+  const uint16_t done = a.var("done", 2);  // completed activations
+
+  // r24:r25 = next deadline (ticks), r20:r21 = remaining activations.
+  a.lds(24, kTcnt3L);  // read the global clock (reads L latches H)
+  a.lds(25, kTcnt3H);
+  if (p.phase_ticks != 0) {
+    a.ldi16(16, p.phase_ticks);
+    a.add(24, 16);
+    a.adc(25, 17);
+  }
+  a.ldi16(20, p.activations);
+  a.ldi(16, 0);
+  a.sts(done, 16);
+  a.sts(static_cast<uint16_t>(done + 1), 16);
+
+  a.label("period");
+  // deadline += period
+  a.ldi16(16, p.period_ticks);
+  a.add(24, 16);
+  a.adc(25, 17);
+
+  // If the deadline is still in the future, sleep until it; otherwise we
+  // overran the period: start the next activation immediately and
+  // resynchronize the deadline to now (otherwise the 16-bit deadline would
+  // lag ever further behind and eventually wrap into the future).
+  a.lds(16, kTcnt3L);
+  a.lds(17, kTcnt3H);
+  a.mov(18, 24);
+  a.mov(19, 25);
+  a.sub(18, 16);  // delta = deadline - now (mod 2^16)
+  a.sbc(19, 17);
+  a.mov(14, 18);
+  a.or_(14, 19);
+  a.breq("overrun");     // delta == 0
+  a.sbrc(19, 7);         // delta < 0 (bit 15 set): skip the sleep
+  a.rjmp("overrun");
+  a.sts(kSleepTargetL, 24);
+  a.sts(kSleepTargetH, 25);  // arms the timed sleep
+  a.sleep();
+  a.rjmp("run_task");
+  a.label("overrun");
+  a.mov(24, 16);  // deadline = now
+  a.mov(25, 17);
+  a.label("run_task");
+
+  // The computational task: a calibrated busy loop (2 instructions per
+  // iteration; SBIW r26 costs 2 cycles, BRNE 2 when taken).
+  if (iters > 0) {
+    a.ldi16(26, iters);
+    a.label("busy");
+    a.sbiw(26, 1);
+    a.brne("busy");
+  }
+
+  // done++ (heap bookkeeping, as a real data-processing task would do).
+  a.lds(16, done);
+  a.lds(17, static_cast<uint16_t>(done + 1));
+  a.subi(16, 0xFF);  // +1
+  a.sbci(17, 0xFF);
+  a.sts(done, 16);
+  a.sts(static_cast<uint16_t>(done + 1), 17);
+
+  a.dec16(20);
+  a.brne("period");
+
+  a.sts(kHostOut, 16);  // low byte of completed count
+  a.sts(kHostOut, 17);
+  a.halt(0);
+  return a.finish();
+}
+
+}  // namespace sensmart::apps

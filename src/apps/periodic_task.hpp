@@ -1,0 +1,23 @@
+// The PeriodicTask program of §V-C: periodic events trigger computational
+// tasks of a configurable size. The program reads the global clock
+// (Timer3, virtualized by the kernel), arms a timed sleep for the next
+// period boundary, sleeps, and on wake runs a busy loop of a configurable
+// number of instructions. If an activation overruns its period the next
+// one starts immediately (no sleep), which is what makes the execution
+// time curve rise sharply once the CPU saturates (Fig. 6a).
+#pragma once
+
+#include "assembler/assembler.hpp"
+
+namespace sensmart::apps {
+
+struct PeriodicTaskParams {
+  uint16_t period_ticks = 1172;  // Timer3 ticks (256 cycles each): ~40.7 ms
+  uint16_t activations = 300;    // "300 tasks"
+  uint32_t instructions = 20000; // computation size per activation
+  uint16_t phase_ticks = 0;      // initial offset (stagger concurrent tasks)
+};
+
+assembler::Image periodic_task_program(const PeriodicTaskParams& p);
+
+}  // namespace sensmart::apps

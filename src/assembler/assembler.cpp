@@ -1,0 +1,264 @@
+#include "assembler/assembler.hpp"
+
+#include <stdexcept>
+
+namespace sensmart::assembler {
+
+using isa::Instruction;
+using isa::Op;
+
+Assembler::Assembler(std::string program_name) : name_(std::move(program_name)) {}
+
+void Assembler::label(const std::string& name) {
+  if (labels_.contains(name))
+    throw std::runtime_error("duplicate label: " + name);
+  labels_[name] = here();
+}
+
+uint16_t Assembler::var(const std::string& name, uint16_t size) {
+  const uint16_t addr = heap_cursor_;
+  if (heap_cursor_ + size > emu::kDataEnd)
+    throw std::runtime_error("static data overflows SRAM: " + name);
+  heap_cursor_ = static_cast<uint16_t>(heap_cursor_ + size);
+  symbols_.push_back({name, addr, size});
+  return addr;
+}
+
+void Assembler::emit(const Instruction& ins) { isa::encode_to(ins, code_); }
+
+void Assembler::dw(const std::string& name, std::span<const uint16_t> words) {
+  label(name);
+  data_ranges_.emplace_back(here(), here() + uint32_t(words.size()));
+  code_.insert(code_.end(), words.begin(), words.end());
+}
+
+void Assembler::dw_labels(const std::string& name,
+                          std::span<const std::string> targets) {
+  label(name);
+  data_ranges_.emplace_back(here(), here() + uint32_t(targets.size()));
+  for (const std::string& t : targets) {
+    fixups_.push_back({code_.size(), t, isa::Op::Invalid, 0, false});
+    code_.push_back(0);
+  }
+}
+
+void Assembler::emit_branch(Op op, const std::string& target, uint8_t flag) {
+  Instruction ins;
+  ins.op = op;
+  ins.b = flag;
+  ins.k = 0;
+  fixups_.push_back({code_.size(), target, op, flag, false});
+  emit(ins);
+}
+
+void Assembler::emit_call_jmp(Op op, const std::string& target) {
+  Instruction ins;
+  ins.op = op;
+  ins.k = 0;
+  fixups_.push_back({code_.size(), target, op, 0, false});
+  emit(ins);
+}
+
+// --- convenience emitters ----------------------------------------------------
+namespace {
+Instruction rr_ins(Op op, uint8_t rd, uint8_t rr) {
+  Instruction i; i.op = op; i.rd = rd; i.rr = rr; return i;
+}
+Instruction rk_ins(Op op, uint8_t rd, int32_t k) {
+  Instruction i; i.op = op; i.rd = rd; i.k = k; return i;
+}
+Instruction r_ins(Op op, uint8_t rd) {
+  Instruction i; i.op = op; i.rd = rd; return i;
+}
+}  // namespace
+
+void Assembler::ldi(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Ldi, rd, k)); }
+void Assembler::mov(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Mov, rd, rr)); }
+void Assembler::movw(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Movw, rd, rr)); }
+void Assembler::add(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Add, rd, rr)); }
+void Assembler::adc(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Adc, rd, rr)); }
+void Assembler::sub(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Sub, rd, rr)); }
+void Assembler::sbc(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Sbc, rd, rr)); }
+void Assembler::subi(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Subi, rd, k)); }
+void Assembler::sbci(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Sbci, rd, k)); }
+void Assembler::andi(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Andi, rd, k)); }
+void Assembler::ori(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Ori, rd, k)); }
+void Assembler::and_(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::And, rd, rr)); }
+void Assembler::or_(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Or, rd, rr)); }
+void Assembler::eor(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Eor, rd, rr)); }
+void Assembler::com(uint8_t rd) { emit(r_ins(Op::Com, rd)); }
+void Assembler::neg(uint8_t rd) { emit(r_ins(Op::Neg, rd)); }
+void Assembler::inc(uint8_t rd) { emit(r_ins(Op::Inc, rd)); }
+void Assembler::dec(uint8_t rd) { emit(r_ins(Op::Dec, rd)); }
+void Assembler::lsr(uint8_t rd) { emit(r_ins(Op::Lsr, rd)); }
+void Assembler::asr(uint8_t rd) { emit(r_ins(Op::Asr, rd)); }
+void Assembler::ror(uint8_t rd) { emit(r_ins(Op::Ror, rd)); }
+void Assembler::swap(uint8_t rd) { emit(r_ins(Op::Swap, rd)); }
+void Assembler::mul(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Mul, rd, rr)); }
+void Assembler::cp(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Cp, rd, rr)); }
+void Assembler::cpc(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Cpc, rd, rr)); }
+void Assembler::cpi(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Cpi, rd, k)); }
+void Assembler::cpse(uint8_t rd, uint8_t rr) { emit(rr_ins(Op::Cpse, rd, rr)); }
+void Assembler::adiw(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Adiw, rd, k)); }
+void Assembler::sbiw(uint8_t rd, uint8_t k) { emit(rk_ins(Op::Sbiw, rd, k)); }
+
+void Assembler::lds(uint8_t rd, uint16_t addr) { emit(rk_ins(Op::Lds, rd, addr)); }
+void Assembler::sts(uint16_t addr, uint8_t rr) { emit(rk_ins(Op::Sts, rr, addr)); }
+void Assembler::ld_x(uint8_t rd) { emit(r_ins(Op::LdX, rd)); }
+void Assembler::ld_x_inc(uint8_t rd) { emit(r_ins(Op::LdXInc, rd)); }
+void Assembler::ld_y_inc(uint8_t rd) { emit(r_ins(Op::LdYInc, rd)); }
+void Assembler::ld_z_inc(uint8_t rd) { emit(r_ins(Op::LdZInc, rd)); }
+void Assembler::st_x(uint8_t rr) { emit(r_ins(Op::StX, rr)); }
+void Assembler::st_x_inc(uint8_t rr) { emit(r_ins(Op::StXInc, rr)); }
+void Assembler::st_y_inc(uint8_t rr) { emit(r_ins(Op::StYInc, rr)); }
+void Assembler::st_z_inc(uint8_t rr) { emit(r_ins(Op::StZInc, rr)); }
+
+void Assembler::ldd_y(uint8_t rd, uint8_t q) {
+  Instruction i; i.op = Op::Ldd; i.rd = rd; i.q = q; i.ptr = isa::Ptr::Y;
+  emit(i);
+}
+void Assembler::ldd_z(uint8_t rd, uint8_t q) {
+  Instruction i; i.op = Op::Ldd; i.rd = rd; i.q = q; i.ptr = isa::Ptr::Z;
+  emit(i);
+}
+void Assembler::std_y(uint8_t q, uint8_t rr) {
+  Instruction i; i.op = Op::Std; i.rd = rr; i.q = q; i.ptr = isa::Ptr::Y;
+  emit(i);
+}
+void Assembler::std_z(uint8_t q, uint8_t rr) {
+  Instruction i; i.op = Op::Std; i.rd = rr; i.q = q; i.ptr = isa::Ptr::Z;
+  emit(i);
+}
+
+void Assembler::push(uint8_t rd) { emit(r_ins(Op::Push, rd)); }
+void Assembler::pop(uint8_t rd) { emit(r_ins(Op::Pop, rd)); }
+
+void Assembler::in(uint8_t rd, uint16_t data_addr) {
+  Instruction i; i.op = Op::In; i.rd = rd;
+  i.a = static_cast<uint8_t>(data_addr - emu::kIoBase);
+  emit(i);
+}
+void Assembler::out(uint16_t data_addr, uint8_t rr) {
+  Instruction i; i.op = Op::Out; i.rd = rr;
+  i.a = static_cast<uint8_t>(data_addr - emu::kIoBase);
+  emit(i);
+}
+void Assembler::lpm(uint8_t rd) { emit(r_ins(Op::Lpm, rd)); }
+void Assembler::lpm_inc(uint8_t rd) { emit(r_ins(Op::LpmInc, rd)); }
+
+void Assembler::rjmp(const std::string& t) { emit_branch(Op::Rjmp, t); }
+void Assembler::rcall(const std::string& t) { emit_branch(Op::Rcall, t); }
+void Assembler::jmp(const std::string& t) { emit_call_jmp(Op::Jmp, t); }
+void Assembler::call(const std::string& t) { emit_call_jmp(Op::Call, t); }
+void Assembler::ijmp() { Instruction i; i.op = Op::Ijmp; emit(i); }
+void Assembler::icall() { Instruction i; i.op = Op::Icall; emit(i); }
+void Assembler::ret() { Instruction i; i.op = Op::Ret; emit(i); }
+void Assembler::reti() { Instruction i; i.op = Op::Reti; emit(i); }
+
+void Assembler::breq(const std::string& t) { emit_branch(Op::Brbs, t, isa::kFlagZ); }
+void Assembler::brne(const std::string& t) { emit_branch(Op::Brbc, t, isa::kFlagZ); }
+void Assembler::brcs(const std::string& t) { emit_branch(Op::Brbs, t, isa::kFlagC); }
+void Assembler::brcc(const std::string& t) { emit_branch(Op::Brbc, t, isa::kFlagC); }
+void Assembler::brlt(const std::string& t) { emit_branch(Op::Brbs, t, isa::kFlagS); }
+void Assembler::brge(const std::string& t) { emit_branch(Op::Brbc, t, isa::kFlagS); }
+void Assembler::brmi(const std::string& t) { emit_branch(Op::Brbs, t, isa::kFlagN); }
+void Assembler::brpl(const std::string& t) { emit_branch(Op::Brbc, t, isa::kFlagN); }
+
+void Assembler::sbrc(uint8_t rr, uint8_t bit) {
+  Instruction i; i.op = Op::Sbrc; i.rr = rr; i.b = bit; emit(i);
+}
+void Assembler::sbrs(uint8_t rr, uint8_t bit) {
+  Instruction i; i.op = Op::Sbrs; i.rr = rr; i.b = bit; emit(i);
+}
+void Assembler::sei() { Instruction i; i.op = Op::Bset; i.b = isa::kFlagI; emit(i); }
+void Assembler::cli() { Instruction i; i.op = Op::Bclr; i.b = isa::kFlagI; emit(i); }
+void Assembler::nop() { emit(Instruction{.op = Op::Nop}); }
+void Assembler::sleep() { emit(Instruction{.op = Op::Sleep}); }
+void Assembler::break_() { emit(Instruction{.op = Op::Break}); }
+
+void Assembler::dec16(uint8_t rd) {
+  subi(rd, 1);
+  sbci(static_cast<uint8_t>(rd + 1), 0);
+}
+
+void Assembler::ldi16(uint8_t rd, uint16_t value) {
+  ldi(rd, static_cast<uint8_t>(value & 0xFF));
+  ldi(static_cast<uint8_t>(rd + 1), static_cast<uint8_t>(value >> 8));
+}
+
+void Assembler::ldi_label(uint8_t rd_pair, const std::string& target) {
+  fixups_.push_back({code_.size(), target, Op::Ldi, 0, true});
+  ldi(rd_pair, 0);
+  ldi(static_cast<uint8_t>(rd_pair + 1), 0);
+}
+
+void Assembler::halt(uint8_t code) {
+  ldi(16, code);
+  sts(emu::kHostHalt, 16);
+}
+
+Image Assembler::finish(uint32_t entry) {
+  if (finished_) throw std::runtime_error("finish() called twice");
+  finished_ = true;
+
+  for (const Fixup& fx : fixups_) {
+    auto it = labels_.find(fx.target);
+    if (it == labels_.end())
+      throw std::runtime_error("undefined label: " + fx.target);
+    const int64_t target = it->second;
+
+    if (fx.imm_pair) {
+      // Patch the K fields of two consecutive LDIs (low, high byte of the
+      // label's word address).
+      auto patch_k = [&](size_t idx, uint8_t k) {
+        code_[idx] = static_cast<uint16_t>((code_[idx] & 0xF0F0u) |
+                                           ((k & 0xF0u) << 4) | (k & 0x0Fu));
+      };
+      patch_k(fx.word_index, static_cast<uint8_t>(target & 0xFF));
+      patch_k(fx.word_index + 1, static_cast<uint8_t>(target >> 8));
+      continue;
+    }
+
+    switch (fx.op) {
+      case Op::Rjmp:
+      case Op::Rcall: {
+        const int64_t off = target - int64_t(fx.word_index) - 1;
+        if (off < -2048 || off > 2047)
+          throw std::runtime_error("rjmp/rcall target out of range: " + fx.target);
+        code_[fx.word_index] = static_cast<uint16_t>(
+            (code_[fx.word_index] & 0xF000u) | (off & 0x0FFF));
+        break;
+      }
+      case Op::Brbs:
+      case Op::Brbc: {
+        const int64_t off = target - int64_t(fx.word_index) - 1;
+        if (off < -64 || off > 63)
+          throw std::runtime_error("branch target out of range: " + fx.target);
+        code_[fx.word_index] = static_cast<uint16_t>(
+            (code_[fx.word_index] & 0xFC07u) | ((off & 0x7F) << 3));
+        break;
+      }
+      case Op::Jmp:
+      case Op::Call:
+        code_[fx.word_index + 1] = static_cast<uint16_t>(target);
+        break;
+      case Op::Invalid:  // raw data word (dw_labels)
+        code_[fx.word_index] = static_cast<uint16_t>(target);
+        break;
+      default:
+        throw std::runtime_error("unsupported fixup");
+    }
+  }
+
+  Image img;
+  img.name = name_;
+  img.code = std::move(code_);
+  img.entry = entry;
+  img.heap_base = emu::kSramBase;
+  img.heap_size = static_cast<uint16_t>(heap_cursor_ - emu::kSramBase);
+  img.symbols = std::move(symbols_);
+  img.data_ranges = std::move(data_ranges_);
+  return img;
+}
+
+}  // namespace sensmart::assembler

@@ -1,0 +1,172 @@
+// A small two-pass AVR assembler with string labels and a symbol list.
+//
+// Sensor-net programs in this reproduction are written directly against
+// this API (the environment has no avr-gcc); the produced Image carries
+// exactly what Figure 1 of the paper says the rewriter consumes: the binary
+// code plus the symbol list describing static data (heap) usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "emu/io_map.hpp"
+#include "isa/codec.hpp"
+
+namespace sensmart::assembler {
+
+struct DataSymbol {
+  std::string name;
+  uint16_t addr = 0;  // logical data address
+  uint16_t size = 0;  // bytes
+};
+
+// A compiled program: binary code + the memory-usage information the
+// base-station rewriter needs.
+struct Image {
+  std::string name;
+  std::vector<uint16_t> code;  // flash words, entry at word `entry`
+  uint32_t entry = 0;
+  uint16_t heap_base = emu::kSramBase;  // logical heap base (0x0100)
+  uint16_t heap_size = 0;               // static data bytes
+  std::vector<DataSymbol> symbols;
+  // Word ranges [first, last) inside `code` that hold constant data (read
+  // via LPM), not instructions; the rewriter copies them verbatim.
+  std::vector<std::pair<uint32_t, uint32_t>> data_ranges;
+
+  uint32_t code_words() const { return static_cast<uint32_t>(code.size()); }
+  uint32_t code_bytes() const { return code_words() * 2; }
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::string program_name);
+
+  // ---- labels and data ----------------------------------------------------
+  void label(const std::string& name);
+  // Allocate `size` bytes of static data; returns its logical address.
+  uint16_t var(const std::string& name, uint16_t size);
+  // Emit constant flash data at the current position under `name`.
+  void dw(const std::string& name, std::span<const uint16_t> words);
+  // Emit a flash table of label word-addresses (function-pointer table);
+  // each word is patched at finish time.
+  void dw_labels(const std::string& name, std::span<const std::string> targets);
+  uint32_t here() const { return static_cast<uint32_t>(code_.size()); }
+
+  // ---- raw emission ---------------------------------------------------------
+  void emit(const isa::Instruction& ins);
+  void emit_branch(isa::Op op, const std::string& target, uint8_t flag = 0);
+  void emit_call_jmp(isa::Op op, const std::string& target);
+
+  // ---- convenience emitters -------------------------------------------------
+  void ldi(uint8_t rd, uint8_t k);
+  void mov(uint8_t rd, uint8_t rr);
+  void movw(uint8_t rd, uint8_t rr);
+  void add(uint8_t rd, uint8_t rr);
+  void adc(uint8_t rd, uint8_t rr);
+  void sub(uint8_t rd, uint8_t rr);
+  void sbc(uint8_t rd, uint8_t rr);
+  void subi(uint8_t rd, uint8_t k);
+  void sbci(uint8_t rd, uint8_t k);
+  void andi(uint8_t rd, uint8_t k);
+  void ori(uint8_t rd, uint8_t k);
+  void and_(uint8_t rd, uint8_t rr);
+  void or_(uint8_t rd, uint8_t rr);
+  void eor(uint8_t rd, uint8_t rr);
+  void com(uint8_t rd);
+  void neg(uint8_t rd);
+  void inc(uint8_t rd);
+  void dec(uint8_t rd);
+  void lsr(uint8_t rd);
+  void asr(uint8_t rd);
+  void ror(uint8_t rd);
+  void swap(uint8_t rd);
+  void mul(uint8_t rd, uint8_t rr);
+  void cp(uint8_t rd, uint8_t rr);
+  void cpc(uint8_t rd, uint8_t rr);
+  void cpi(uint8_t rd, uint8_t k);
+  void cpse(uint8_t rd, uint8_t rr);
+  void adiw(uint8_t rd, uint8_t k);
+  void sbiw(uint8_t rd, uint8_t k);
+
+  void lds(uint8_t rd, uint16_t addr);
+  void sts(uint16_t addr, uint8_t rr);
+  void ld_x(uint8_t rd);
+  void ld_x_inc(uint8_t rd);
+  void ld_y_inc(uint8_t rd);
+  void ld_z_inc(uint8_t rd);
+  void st_x(uint8_t rr);
+  void st_x_inc(uint8_t rr);
+  void st_y_inc(uint8_t rr);
+  void st_z_inc(uint8_t rr);
+  void ldd_y(uint8_t rd, uint8_t q);
+  void ldd_z(uint8_t rd, uint8_t q);
+  void std_y(uint8_t q, uint8_t rr);
+  void std_z(uint8_t q, uint8_t rr);
+  void push(uint8_t rd);
+  void pop(uint8_t rd);
+  void in(uint8_t rd, uint16_t data_addr);   // takes a data address >= 0x20
+  void out(uint16_t data_addr, uint8_t rr);
+  void lpm(uint8_t rd);
+  void lpm_inc(uint8_t rd);
+
+  void rjmp(const std::string& target);
+  void rcall(const std::string& target);
+  void jmp(const std::string& target);
+  void call(const std::string& target);
+  void ijmp();
+  void icall();
+  void ret();
+  void reti();
+  void breq(const std::string& target);
+  void brne(const std::string& target);
+  void brcs(const std::string& target);
+  void brcc(const std::string& target);
+  void brlt(const std::string& target);
+  void brge(const std::string& target);
+  void brmi(const std::string& target);
+  void brpl(const std::string& target);
+  void sbrc(uint8_t rr, uint8_t bit);
+  void sbrs(uint8_t rr, uint8_t bit);
+  void sei();
+  void cli();
+  void nop();
+  void sleep();
+  void break_();
+
+  // Load a 16-bit immediate into a register pair (rd, rd+1).
+  void ldi16(uint8_t rd, uint16_t value);
+  // Decrement a 16-bit counter in (rd, rd+1), rd >= 16; leaves Z set iff
+  // the whole counter reached zero (SUBI/SBCI pair).
+  void dec16(uint8_t rd);
+  // Load the address of a label into a register pair at finish time.
+  void ldi_label(uint8_t rd_pair, const std::string& target);
+  // Exit the program with `code` (writes the host halt port; clobbers r16).
+  void halt(uint8_t code = 0);
+
+  // ---- finish ----------------------------------------------------------------
+  // Resolve all fixups. Throws std::runtime_error on undefined labels or
+  // out-of-range branch offsets.
+  Image finish(uint32_t entry = 0);
+
+ private:
+  struct Fixup {
+    size_t word_index;   // first word of the instruction to patch
+    std::string target;
+    isa::Op op;          // Op::Invalid = raw data word holding the address
+    uint8_t flag;        // for Brbs/Brbc
+    bool imm_pair;       // ldi_label: patch two LDI immediates
+  };
+
+  std::string name_;
+  std::vector<uint16_t> code_;
+  std::map<std::string, uint32_t> labels_;
+  std::vector<Fixup> fixups_;
+  std::vector<DataSymbol> symbols_;
+  std::vector<std::pair<uint32_t, uint32_t>> data_ranges_;
+  uint16_t heap_cursor_ = emu::kSramBase;
+  bool finished_ = false;
+};
+
+}  // namespace sensmart::assembler

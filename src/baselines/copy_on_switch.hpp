@@ -1,0 +1,41 @@
+// The copy-on-switch strawman of §I: "A simple copy-on-switch scheme
+// appears to solve the problem by swapping one task's stack out to the
+// external storage (FLASH on motes) and swapping it in when the task is
+// activated again. However, writing the external FLASH takes more than 10
+// milliseconds on a MICA2 mote." This model quantifies that rejection
+// with the MICA2's AT45DB041 dataflash timings so the argument can be
+// reproduced as a table (bench/ablation_design).
+#pragma once
+
+#include <cstdint>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::base {
+
+struct CopyOnSwitchModel {
+  // AT45DB041-class serial dataflash on the MICA2.
+  uint32_t page_bytes = 264;
+  double page_program_ms = 14.0;  // typical page erase+program time
+  double spi_byte_us = 16.0;      // ~500 kHz SPI transfer per byte
+
+  // Milliseconds to switch away from a task with `stack_bytes` of live
+  // stack: stream the bytes out over SPI, then program the page(s);
+  // switching *in* pays the read+restore path (reads are cheap, dominated
+  // by SPI).
+  double switch_out_ms(uint32_t stack_bytes) const {
+    const uint32_t pages = (stack_bytes + page_bytes - 1) / page_bytes;
+    return stack_bytes * spi_byte_us / 1000.0 + pages * page_program_ms;
+  }
+  double switch_in_ms(uint32_t stack_bytes) const {
+    return stack_bytes * spi_byte_us / 1000.0;
+  }
+  double full_switch_ms(uint32_t stack_bytes) const {
+    return switch_out_ms(stack_bytes) + switch_in_ms(stack_bytes);
+  }
+  uint64_t full_switch_cycles(uint32_t stack_bytes) const {
+    return uint64_t(full_switch_ms(stack_bytes) / 1000.0 * emu::kClockHz);
+  }
+};
+
+}  // namespace sensmart::base

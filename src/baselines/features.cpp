@@ -1,0 +1,42 @@
+#include "baselines/features.hpp"
+
+#include <iomanip>
+
+namespace sensmart::base {
+
+const FeatureMatrix& table1() {
+  static const FeatureMatrix m = {
+      {"TinyOS/TinyThread", "Mate", "MANTIS OS", "t-kernel", "RETOS",
+       "LiteOS", "SenSmart"},
+      {"TinyOS Compatible", "Preemptive Multitasking",
+       "Concurrent Applications", "Interrupt-free Preemption",
+       "Memory Protection", "Logical Memory Address",
+       "Physical Mem Management", "Stack Relocation"},
+      {
+          {"N/A", "No", "No", "Yes", "No", "No", "Yes"},
+          {"Yes", "No", "Yes", "Partial", "Yes", "Yes", "Yes"},
+          {"No", "N/A", "No", "No", "No", "No", "Yes"},
+          {"Yes", "N/A", "No", "Yes", "No", "No", "Yes"},
+          {"No", "Yes", "No", "Partial", "Yes", "No", "Yes"},
+          {"No", "N/A", "No", "No", "No", "No", "Yes"},
+          {"Automatic", "Automatic", "Automatic", "Automatic", "Automatic",
+           "Manual", "Automatic"},
+          {"No", "No", "No", "No", "No", "No", "Yes"},
+      },
+  };
+  return m;
+}
+
+void print_table1(std::ostream& os) {
+  const FeatureMatrix& m = table1();
+  os << std::left << std::setw(28) << "Feature";
+  for (const auto& s : m.systems) os << std::setw(19) << s;
+  os << "\n";
+  for (size_t f = 0; f < m.features.size(); ++f) {
+    os << std::left << std::setw(28) << m.features[f];
+    for (const auto& v : m.values[f]) os << std::setw(19) << v;
+    os << "\n";
+  }
+}
+
+}  // namespace sensmart::base

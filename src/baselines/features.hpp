@@ -1,0 +1,26 @@
+// Table I of the paper: feature comparison of typical sensor-network
+// operating systems. The entries for the other systems are taken from
+// their respective publications (TinyOS/TinyThread, Maté, MANTIS OS,
+// t-kernel, RETOS, LiteOS); the SenSmart column is what this reproduction
+// implements.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sensmart::base {
+
+struct FeatureMatrix {
+  std::vector<std::string> systems;
+  std::vector<std::string> features;
+  // values[feature][system]
+  std::vector<std::vector<std::string>> values;
+};
+
+const FeatureMatrix& table1();
+
+// Render in the paper's layout (features as rows, systems as columns).
+void print_table1(std::ostream& os);
+
+}  // namespace sensmart::base

@@ -1,0 +1,40 @@
+// LiteOS allocation model (Cao et al., IPSN'08) for the Figure 8
+// comparison. LiteOS is a well-designed multithreaded sensornet OS with
+// Unix-like abstractions, but its physical memory management is *manual*:
+// every thread is created with a programmer-declared, fixed stack area, and
+// the kernel's advanced services keep more than 2000 bytes of static data
+// in RAM. Under memory pressure this static worst-case sizing is what
+// limits how many threads can be scheduled.
+#pragma once
+
+#include <cstdint>
+
+namespace sensmart::base {
+
+struct LiteOsModel {
+  uint16_t data_memory = 4096;        // MICA2-class SRAM
+  uint16_t static_kernel_data = 2000; // "more than 2000 bytes" (§V-D)
+
+  // RAM left for application heaps + stacks.
+  uint16_t app_space() const {
+    return static_cast<uint16_t>(data_memory - static_kernel_data);
+  }
+
+  // Stack budget once `n` tasks' heaps are laid out.
+  int stack_budget(int n, uint16_t heap_per_task) const {
+    return int(app_space()) - n * int(heap_per_task);
+  }
+
+  // Maximum schedulable threads when each declares `declared_stack` bytes
+  // of stack (the worst-case need — LiteOS cannot adapt at run time).
+  int max_schedulable_tasks(uint16_t heap_per_task,
+                            uint16_t declared_stack) const {
+    int n = 0;
+    while (stack_budget(n + 1, heap_per_task) >=
+           (n + 1) * int(declared_stack))
+      ++n;
+    return n;
+  }
+};
+
+}  // namespace sensmart::base

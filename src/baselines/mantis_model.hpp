@@ -1,0 +1,27 @@
+// MANTIS OS allocation model (Bhatti et al., MONET'05) for stack-capacity
+// comparisons. MANTIS is a classic multithreaded kernel with clock-driven
+// preemption: each thread receives a fixed stack area sized at creation
+// time (worst case), and scheduling relies on timer interrupts — which
+// application code can disable, so preemption is not interrupt-free.
+#pragma once
+
+#include <cstdint>
+
+namespace sensmart::base {
+
+struct MantisModel {
+  uint16_t data_memory = 4096;
+  uint16_t static_kernel_data = 500;  // kernel + thread table
+
+  uint16_t app_space() const {
+    return static_cast<uint16_t>(data_memory - static_kernel_data);
+  }
+
+  int max_schedulable_tasks(uint16_t heap_per_task,
+                            uint16_t declared_stack) const {
+    const int per_task = int(heap_per_task) + int(declared_stack);
+    return per_task > 0 ? int(app_space()) / per_task : 0;
+  }
+};
+
+}  // namespace sensmart::base

@@ -1,0 +1,18 @@
+#include "baselines/native_runner.hpp"
+
+namespace sensmart::base {
+
+NativeResult run_native(const assembler::Image& img, uint64_t max_cycles) {
+  emu::Machine m;
+  m.load_flash(img.code);
+  m.reset(img.entry);
+  NativeResult r;
+  r.stop = m.run(max_cycles);
+  r.cycles = m.cycles();
+  r.active_cycles = m.stats().active_cycles;
+  r.idle_cycles = m.stats().idle_cycles;
+  r.host_out = m.dev().host_out();
+  return r;
+}
+
+}  // namespace sensmart::base

@@ -1,0 +1,29 @@
+// Run an application image directly on the emulated mote with no operating
+// system — the "Native" series of Figures 5 and 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+
+namespace sensmart::base {
+
+struct NativeResult {
+  emu::StopReason stop = emu::StopReason::Running;
+  uint64_t cycles = 0;
+  uint64_t active_cycles = 0;
+  uint64_t idle_cycles = 0;
+  std::vector<uint8_t> host_out;
+
+  double seconds() const { return double(cycles) / emu::kClockHz; }
+  double utilization() const {
+    return cycles ? double(active_cycles) / double(cycles) : 0.0;
+  }
+};
+
+NativeResult run_native(const assembler::Image& img,
+                        uint64_t max_cycles = 4'000'000'000ULL);
+
+}  // namespace sensmart::base

@@ -1,0 +1,249 @@
+#include "emu/devices.hpp"
+
+#include <algorithm>
+
+namespace sensmart::emu {
+
+namespace {
+// TIFR/TIMSK bit assignment.
+constexpr uint8_t kT0OvfBit = 0x01;
+constexpr uint8_t kT0CompBit = 0x02;
+// ADCSRA bits.
+constexpr uint8_t kAdcStartBit = 0x80;
+constexpr uint8_t kAdcDoneBit = 0x10;
+constexpr uint8_t kAdcIeBit = 0x08;
+}  // namespace
+
+uint32_t DeviceHub::timer0_prescale() const {
+  switch (mem_.raw(kTccr0) & 0x07) {
+    case 1: return 1;
+    case 2: return 8;
+    case 3: return 64;
+    case 4: return 256;
+    case 5: return 1024;
+    default: return 0;  // stopped
+  }
+}
+
+uint16_t DeviceHub::lfsr_next() {
+  // 16-bit Fibonacci LFSR, taps 16,14,13,11 — deterministic "sensor noise".
+  const uint16_t bit =
+      ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
+  lfsr_ = static_cast<uint16_t>((lfsr_ >> 1) | (bit << 15));
+  return lfsr_;
+}
+
+void DeviceHub::sync(uint64_t now) {
+  now_ = now;
+
+  // Timer0 flags. The counter position is normalized into [0,255] after
+  // each sync so an overflow or compare match raises its flag exactly once
+  // per crossing (not continuously).
+  const uint32_t ps = timer0_prescale();
+  if (ps != 0) {
+    const uint64_t ticks = (now - t0_epoch_) / ps;
+    const uint64_t count = t0_start_ + ticks;
+    uint8_t tifr = mem_.raw(kTifr);
+    if (count > 0xFF) tifr |= kT0OvfBit;
+    const uint8_t ocr = mem_.raw(kOcr0);
+    if (count >= ocr && t0_start_ < ocr) tifr |= kT0CompBit;
+    mem_.set_raw(kTifr, tifr);
+    mem_.set_raw(kTcnt0, static_cast<uint8_t>(count & 0xFF));
+    // Re-anchor the epoch at the current (sub-tick-aligned) position.
+    t0_epoch_ = now - ((now - t0_epoch_) % ps);
+    t0_start_ = static_cast<uint8_t>(count & 0xFF);
+  }
+
+  // ADC completion.
+  if (adc_done_at_ && now >= *adc_done_at_) {
+    adc_done_at_.reset();
+    const uint16_t sample = lfsr_next() & 0x03FF;  // 10-bit ADC
+    mem_.set_raw(kAdcL, static_cast<uint8_t>(sample & 0xFF));
+    mem_.set_raw(kAdcH, static_cast<uint8_t>(sample >> 8));
+    uint8_t sra = mem_.raw(kAdcsra);
+    sra = static_cast<uint8_t>((sra & ~kAdcStartBit) | kAdcDoneBit);
+    mem_.set_raw(kAdcsra, sra);
+  }
+
+  // Radio receive: move bytes whose on-air time has elapsed into the
+  // readable buffer.
+  while (!rx_pending_.empty() && rx_pending_.front().first <= now) {
+    rx_avail_.push_back(rx_pending_.front().second);
+    rx_pending_.pop_front();
+    radio_irq_flag_ = true;
+  }
+
+  // Radio completion.
+  if (radio_done_at_ && now >= *radio_done_at_) {
+    radio_done_at_.reset();
+    radio_sent_.push_back(std::move(radio_buf_));
+    radio_buf_.clear();
+    mem_.set_raw(kRadioStatus, 0);
+    radio_irq_flag_ = true;
+  }
+}
+
+void DeviceHub::io_access(uint16_t addr, uint8_t& value, bool write) {
+  sync(now_);
+  // Reads observe the device-maintained register contents after the sync;
+  // special ports override below.
+  if (!write) value = mem_.raw(addr);
+  switch (addr) {
+    case kTcnt0:
+      if (write) {
+        t0_epoch_ = now_;
+        t0_start_ = value;
+      }
+      break;
+    case kTccr0:
+      if (write) {
+        t0_epoch_ = now_;
+        t0_start_ = mem_.raw(kTcnt0);
+      }
+      break;
+    case kTifr:
+      // Writing 1 to a flag clears it (AVR convention).
+      if (write) value = static_cast<uint8_t>(mem_.raw(kTifr) & ~value);
+      break;
+    case kAdcsra:
+      if (write && (value & kAdcStartBit)) {
+        adc_done_at_ = now_ + kAdcLatency;
+        value = static_cast<uint8_t>(value & ~kAdcDoneBit);
+      }
+      break;
+    case kRadioData:
+      if (write) radio_buf_.push_back(value);
+      break;
+    case kRadioRxData:
+      if (!write) {
+        value = rx_avail_.empty() ? 0 : rx_avail_.front();
+        if (!rx_avail_.empty()) rx_avail_.pop_front();
+      }
+      break;
+    case kRadioRxAvail:
+      if (!write)
+        value = static_cast<uint8_t>(std::min<size_t>(rx_avail_.size(), 255));
+      break;
+    case kRadioCtrl:
+      if (write && value == 1 && !radio_buf_.empty() && !radio_done_at_) {
+        radio_done_at_ =
+            now_ + uint64_t(kCyclesPerRadioByte) * radio_buf_.size();
+        mem_.set_raw(kRadioStatus, 1);
+      }
+      break;
+    case kHostOut:
+      if (write) host_out_.push_back(value);
+      break;
+    case kHostHalt:
+      if (write) {
+        halted_ = true;
+        halt_code_ = value;
+      }
+      break;
+    case kHostRandL:
+      if (!write) value = static_cast<uint8_t>(lfsr_next() & 0xFF);
+      break;
+    case kHostRandH:
+      if (!write) value = static_cast<uint8_t>(lfsr_ >> 8);
+      break;
+    case kSleepTargetL:
+      if (write) sleep_target_l_ = value;
+      break;
+    case kSleepTargetH:
+      if (write) {
+        // Arm a timed sleep: wake when Timer3 reaches the 16-bit target,
+        // interpreted modulo 2^16 relative to the current tick. The wake
+        // cycle is anchored to the *absolute* tick count so it stays
+        // correct after the 16-bit counter wraps.
+        const uint16_t target =
+            static_cast<uint16_t>(sleep_target_l_ | (value << 8));
+        const uint64_t abs_ticks = now_ / kTimer3Prescale;
+        const uint16_t delta =
+            static_cast<uint16_t>(target - static_cast<uint16_t>(abs_ticks));
+        sleep_wake_cycle_ =
+            (abs_ticks + delta) * kTimer3Prescale + kTimer3Prescale - 1;
+        if (sleep_wake_cycle_ < now_) sleep_wake_cycle_ = now_;
+        sleep_armed_ = true;
+      }
+      break;
+    case kTcnt3L:
+      if (!write) {
+        const uint16_t t = timer3_ticks(now_);
+        tcnt3_latched_h_ = static_cast<uint8_t>(t >> 8);
+        value = static_cast<uint8_t>(t & 0xFF);
+      }
+      break;
+    case kTcnt3H:
+      if (!write) value = tcnt3_latched_h_;
+      break;
+    default:
+      break;
+  }
+}
+
+void DeviceHub::inject_rx(std::span<const uint8_t> bytes, uint64_t at_cycle) {
+  for (size_t i = 0; i < bytes.size(); ++i)
+    rx_pending_.emplace_back(at_cycle + (i + 1) * kCyclesPerRadioByte,
+                             bytes[i]);
+}
+
+std::optional<Irq> DeviceHub::pending_irq() const {
+  const uint8_t timsk = mem_.raw(kTimsk);
+  const uint8_t tifr = mem_.raw(kTifr);
+  if ((timsk & tifr & kT0OvfBit) != 0) return Irq::Timer0Ovf;
+  if ((timsk & tifr & kT0CompBit) != 0) return Irq::Timer0Comp;
+  const uint8_t sra = mem_.raw(kAdcsra);
+  if ((sra & kAdcIeBit) && (sra & kAdcDoneBit)) return Irq::Adc;
+  if (radio_irq_flag_) return Irq::Radio;
+  return std::nullopt;
+}
+
+void DeviceHub::acknowledge(Irq irq) {
+  switch (irq) {
+    case Irq::Timer0Ovf:
+      mem_.set_raw(kTifr, mem_.raw(kTifr) & ~kT0OvfBit);
+      break;
+    case Irq::Timer0Comp:
+      mem_.set_raw(kTifr, mem_.raw(kTifr) & ~kT0CompBit);
+      break;
+    case Irq::Adc:
+      mem_.set_raw(kAdcsra, mem_.raw(kAdcsra) & ~kAdcDoneBit);
+      break;
+    case Irq::Radio:
+      radio_irq_flag_ = false;
+      break;
+  }
+}
+
+std::optional<uint64_t> DeviceHub::next_event_after(uint64_t now) const {
+  std::optional<uint64_t> next;
+  auto consider = [&next, now](uint64_t t) {
+    if (t < now) t = now;
+    if (!next || t < *next) next = t;
+  };
+
+  if (adc_done_at_) consider(*adc_done_at_);
+  if (radio_done_at_) consider(*radio_done_at_);
+  if (!rx_pending_.empty()) consider(rx_pending_.front().first);
+  if (sleep_armed_) consider(sleep_wake_cycle_);
+
+  // Timer0 overflow/compare, only when the interrupt is unmasked (a masked
+  // timer cannot wake SLEEP).
+  const uint32_t ps = timer0_prescale();
+  const uint8_t timsk = mem_.raw(kTimsk);
+  if (ps != 0 && (timsk & (kT0OvfBit | kT0CompBit)) != 0) {
+    const uint64_t ticks = (now - t0_epoch_) / ps;
+    const uint64_t count = t0_start_ + ticks;
+    if (timsk & kT0OvfBit) {
+      const uint64_t to_ovf = 0x100 > count ? 0x100 - count : 0;
+      consider(t0_epoch_ + (ticks + to_ovf + (to_ovf ? 0 : 1)) * ps);
+    }
+    if (timsk & kT0CompBit) {
+      const uint8_t ocr = mem_.raw(kOcr0);
+      if (count < ocr) consider(t0_epoch_ + (ocr - t0_start_) * uint64_t(ps));
+    }
+  }
+  return next;
+}
+
+}  // namespace sensmart::emu

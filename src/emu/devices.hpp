@@ -1,0 +1,109 @@
+// Peripheral models: Timer0 (8-bit, app-visible), Timer3 (16-bit global
+// clock, kernel-reserved), an ADC with fixed conversion latency, a
+// byte-oriented radio with CC1000-class transmit timing, LEDs, and the host
+// simulation ports (log byte stream, program exit, deterministic random,
+// timed sleep).
+//
+// Devices are driven lazily from the machine cycle counter: counters are
+// computed on read, and a small event model answers "when does the next
+// interesting thing happen" so SLEEP can fast-forward the clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "emu/io_map.hpp"
+#include "emu/memory.hpp"
+
+namespace sensmart::emu {
+
+class DeviceHub {
+ public:
+  explicit DeviceHub(DataMemory& mem) : mem_(mem) {}
+
+  // I/O window interception (wired into DataMemory by Machine).
+  void io_access(uint16_t addr, uint8_t& value, bool write);
+
+  // Advance device state to `now` (cycle count) and latch interrupt flags.
+  void sync(uint64_t now);
+
+  // Pending-interrupt query: highest-priority enabled+flagged line, if any.
+  std::optional<Irq> pending_irq() const;
+  // Acknowledge (clear the flag of) a dispatched line.
+  void acknowledge(Irq irq);
+
+  // Next cycle at which a device event (interrupt flag or sleep target)
+  // will occur, for SLEEP fast-forwarding. nullopt = nothing scheduled.
+  std::optional<uint64_t> next_event_after(uint64_t now) const;
+
+  // Timed sleep: armed by writing kSleepTargetH; consumed by SLEEP.
+  bool sleep_armed() const { return sleep_armed_; }
+  void consume_sleep() { sleep_armed_ = false; }
+  uint64_t sleep_wake_cycle() const { return sleep_wake_cycle_; }
+
+  // Host-visible outputs.
+  const std::vector<uint8_t>& host_out() const { return host_out_; }
+  bool halted() const { return halted_; }
+  void clear_halt() { halted_ = false; }
+  uint8_t halt_code() const { return halt_code_; }
+  const std::vector<std::vector<uint8_t>>& radio_packets() const {
+    return radio_sent_;
+  }
+
+  // Deliver an incoming packet over the air: byte i becomes readable at
+  // kRadioRxData after (i+1) on-air byte times from `at_cycle` (defaults
+  // to the current device time).
+  void inject_rx(std::span<const uint8_t> bytes, uint64_t at_cycle);
+  void inject_rx(std::span<const uint8_t> bytes) { inject_rx(bytes, now_); }
+  size_t rx_buffered() const { return rx_avail_.size(); }
+
+  uint16_t timer3_ticks(uint64_t now) const {
+    return static_cast<uint16_t>(now / kTimer3Prescale);
+  }
+
+  void set_adc_seed(uint16_t seed) { lfsr_ = seed ? seed : 0xACE1; }
+
+ private:
+  uint16_t lfsr_next();
+  uint32_t timer0_prescale() const;
+
+  DataMemory& mem_;
+  uint64_t now_ = 0;
+
+  // Timer0: counts cycles/prescale from t0_epoch_, 8-bit with overflow and
+  // compare flags in TIFR.
+  uint64_t t0_epoch_ = 0;
+  uint8_t t0_start_ = 0;
+
+  // ADC: a conversion started at adc_start_ completes kAdcLatency later.
+  static constexpr uint32_t kAdcLatency = 200;
+  std::optional<uint64_t> adc_done_at_;
+
+  // Radio: ~3072 cycles per byte on air (19.2 kbit/s at 7.37 MHz).
+  static constexpr uint32_t kCyclesPerRadioByte = 3072;
+  std::vector<uint8_t> radio_buf_;
+  std::optional<uint64_t> radio_done_at_;
+  bool radio_irq_flag_ = false;
+  std::vector<std::vector<uint8_t>> radio_sent_;
+  // Receive path: bytes in flight (arrival cycle, value) and arrived bytes.
+  std::deque<std::pair<uint64_t, uint8_t>> rx_pending_;
+  std::deque<uint8_t> rx_avail_;
+
+  // Host ports.
+  std::vector<uint8_t> host_out_;
+  bool halted_ = false;
+  uint8_t halt_code_ = 0;
+  uint16_t lfsr_ = 0xACE1;
+  uint8_t sleep_target_l_ = 0;
+  bool sleep_armed_ = false;
+  uint64_t sleep_wake_cycle_ = 0;
+
+  // Timer3 latch for the 16-bit read protocol (read L latches H).
+  uint8_t tcnt3_latched_h_ = 0;
+};
+
+}  // namespace sensmart::emu

@@ -1,0 +1,71 @@
+// Data-memory layout and I/O register assignment of the emulated mote.
+//
+// The map mirrors an ATmega128-based MICA2 mote closely enough for the
+// paper's experiments: 32 mapped registers, a 64-byte I/O window reachable
+// by IN/OUT, an extended I/O window (memory-mapped only), and 4 KB of SRAM.
+//
+//   0x0000..0x001F  r0..r31 (memory-mapped register file)
+//   0x0020..0x005F  I/O space (IN/OUT address A maps to 0x20 + A)
+//   0x0060..0x00FF  extended I/O (timers 3, radio, host simulation ports)
+//   0x0100..0x10FF  SRAM (the "application area" + kernel area of Fig. 2)
+#pragma once
+
+#include <cstdint>
+
+namespace sensmart::emu {
+
+inline constexpr uint16_t kRegFileBase = 0x0000;
+inline constexpr uint16_t kIoBase = 0x0020;
+inline constexpr uint16_t kExtIoBase = 0x0060;
+inline constexpr uint16_t kSramBase = 0x0100;
+inline constexpr uint16_t kDataEnd = 0x1100;  // M in the paper: 4352
+inline constexpr uint16_t kSramSize = kDataEnd - kSramBase;  // 4096
+
+// --- I/O space registers (given as data addresses; IN/OUT use addr-0x20).
+inline constexpr uint16_t kAdcL = 0x24;     // ADC result, low byte
+inline constexpr uint16_t kAdcH = 0x25;     // ADC result, high byte
+inline constexpr uint16_t kAdcsra = 0x26;   // bit7 = start, bit4 = done
+inline constexpr uint16_t kAdmux = 0x27;    // channel select
+inline constexpr uint16_t kPortB = 0x38;    // LEDs
+inline constexpr uint16_t kOcr0 = 0x51;     // Timer0 compare value
+inline constexpr uint16_t kTcnt0 = 0x52;    // Timer0 counter
+inline constexpr uint16_t kTccr0 = 0x53;    // Timer0 control (prescaler sel)
+inline constexpr uint16_t kTifr = 0x56;     // bit0 = T0 OVF, bit1 = T0 COMP
+inline constexpr uint16_t kTimsk = 0x57;    // interrupt masks, same bits
+inline constexpr uint16_t kSpl = 0x5D;
+inline constexpr uint16_t kSph = 0x5E;
+inline constexpr uint16_t kSreg = 0x5F;
+
+// --- Extended I/O: radio (simplified CC1000-class byte radio).
+inline constexpr uint16_t kRadioData = 0x60;    // write: enqueue TX byte
+inline constexpr uint16_t kRadioCtrl = 0x61;    // write 1: send buffer
+inline constexpr uint16_t kRadioStatus = 0x62;  // bit0 = TX busy
+inline constexpr uint16_t kRadioRxData = 0x63;  // read: pop next RX byte
+inline constexpr uint16_t kRadioRxAvail = 0x64; // read: buffered RX bytes
+// --- Extended I/O: host/simulation ports (the moral equivalent of the
+// debug ports sensor-net simulators expose for instrumentation).
+inline constexpr uint16_t kHostOut = 0x78;      // write: append to host log
+inline constexpr uint16_t kHostHalt = 0x79;     // write: program exit
+inline constexpr uint16_t kHostRandL = 0x7A;    // read: LFSR random, low
+inline constexpr uint16_t kHostRandH = 0x7B;    // read: LFSR random, high
+inline constexpr uint16_t kSleepTargetL = 0x70; // timed-sleep tick target
+inline constexpr uint16_t kSleepTargetH = 0x71; // (write H arms the sleep)
+// --- Extended I/O: Timer3 (reserved by the SenSmart kernel as the global
+// clock; applications read it through kernel interception).
+inline constexpr uint16_t kTcnt3L = 0x88;
+inline constexpr uint16_t kTcnt3H = 0x89;
+inline constexpr uint16_t kTccr3 = 0x8A;
+
+// Interrupt request lines. Vector for line i is flash word 2 + 2*i
+// (word 0 is the reset vector).
+enum class Irq : uint8_t { Timer0Ovf = 0, Timer0Comp = 1, Adc = 2, Radio = 3 };
+inline constexpr int kNumIrqs = 4;
+inline constexpr uint32_t kResetVector = 0;
+inline uint32_t vector_of(Irq irq) { return 2 + 2 * uint32_t(irq); }
+
+// MICA2 clock.
+inline constexpr uint32_t kClockHz = 7'372'800;
+// Timer3 prescaler: global tick = cycles / 256 (28 800 ticks/s).
+inline constexpr uint32_t kTimer3Prescale = 256;
+
+}  // namespace sensmart::emu

@@ -1,0 +1,504 @@
+#include "emu/machine.hpp"
+
+#include <stdexcept>
+
+namespace sensmart::emu {
+
+using isa::Instruction;
+using isa::Op;
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::Running: return "running";
+    case StopReason::Halted: return "halted";
+    case StopReason::CycleLimit: return "cycle-limit";
+    case StopReason::InvalidInstruction: return "invalid-instruction";
+    case StopReason::Breakpoint: return "breakpoint";
+    case StopReason::Deadlock: return "deadlock";
+    case StopReason::ServiceFault: return "service-fault";
+  }
+  return "?";
+}
+
+Machine::Machine()
+    : flash_(kFlashWords, 0xFFFF),
+      dcache_(kFlashWords),
+      dcache_valid_(kFlashWords, 0) {
+  mem_.set_io_hook([this](uint16_t addr, uint8_t& v, bool write) {
+    dev_.sync(cycles_);
+    dev_.io_access(addr, v, write);
+    next_irq_probe_ = 0;  // device state changed; re-evaluate IRQs
+  });
+  reset();
+}
+
+void Machine::load_flash(std::span<const uint16_t> words, uint32_t base) {
+  if (base + words.size() > kFlashWords)
+    throw std::out_of_range("flash image too large");
+  for (size_t i = 0; i < words.size(); ++i) flash_[base + i] = words[i];
+  std::fill(dcache_valid_.begin() + base,
+            dcache_valid_.begin() + base + words.size(), 0);
+  flash_used_ = std::max<uint32_t>(flash_used_, base + uint32_t(words.size()));
+}
+
+void Machine::reset(uint32_t entry_word) {
+  pc_ = entry_word % kFlashWords;
+  mem_.set_sp(kDataEnd - 1);
+  mem_.set_sreg(0);
+  stop_ = StopReason::Running;
+}
+
+const Instruction& Machine::decoded(uint32_t word_addr) {
+  word_addr %= kFlashWords;
+  if (!dcache_valid_[word_addr]) {
+    dcache_[word_addr] = isa::decode(flash_, word_addr);
+    dcache_valid_[word_addr] = 1;
+  }
+  return dcache_[word_addr];
+}
+
+void Machine::push16(uint16_t v) {
+  uint16_t sp = mem_.sp();
+  mem_.set_raw(sp, static_cast<uint8_t>(v & 0xFF));
+  mem_.set_raw(static_cast<uint16_t>(sp - 1), static_cast<uint8_t>(v >> 8));
+  mem_.set_sp(static_cast<uint16_t>(sp - 2));
+}
+
+uint16_t Machine::pop16() {
+  uint16_t sp = mem_.sp();
+  const uint8_t hi = mem_.raw(static_cast<uint16_t>(sp + 1));
+  const uint8_t lo = mem_.raw(static_cast<uint16_t>(sp + 2));
+  mem_.set_sp(static_cast<uint16_t>(sp + 2));
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+void Machine::dispatch_irq(Irq irq) {
+  push16(static_cast<uint16_t>(pc_));
+  mem_.set_sreg(mem_.sreg() & ~(1u << isa::kFlagI));
+  dev_.acknowledge(irq);
+  pc_ = vector_of(irq);
+  charge(4);
+}
+
+bool Machine::maybe_take_irq() {
+  if ((mem_.sreg() & (1u << isa::kFlagI)) == 0) return false;
+  if (cycles_ < next_irq_probe_) return false;
+  dev_.sync(cycles_);
+  if (auto irq = dev_.pending_irq()) {
+    dispatch_irq(*irq);
+    return true;
+  }
+  if (auto next = dev_.next_event_after(cycles_)) {
+    next_irq_probe_ = *next;
+  } else {
+    next_irq_probe_ = cycles_ + 64;
+  }
+  return false;
+}
+
+StopReason Machine::do_sleep() {
+  dev_.sync(cycles_);
+  if (dev_.sleep_armed()) {
+    const uint64_t wake = dev_.sleep_wake_cycle();
+    if (wake > cycles_) charge_idle(wake - cycles_);
+    dev_.consume_sleep();
+    dev_.sync(cycles_);
+    return StopReason::Running;
+  }
+  // Untimed sleep: wait for the next device event that can raise an
+  // enabled interrupt; with nothing armed the node would sleep forever.
+  if (auto next = dev_.next_event_after(cycles_)) {
+    if (*next > cycles_) charge_idle(*next - cycles_);
+    dev_.sync(cycles_);
+    next_irq_probe_ = 0;
+    return StopReason::Running;
+  }
+  return StopReason::Deadlock;
+}
+
+StopReason Machine::step() {
+  if (stop_ != StopReason::Running) return stop_;
+  if (maybe_take_irq()) return StopReason::Running;
+  stop_ = execute_one();
+  if (stop_ == StopReason::Running && dev_.halted()) stop_ = StopReason::Halted;
+  return stop_;
+}
+
+StopReason Machine::run(uint64_t max_cycles) {
+  const uint64_t limit = cycles_ + max_cycles;
+  while (stop_ == StopReason::Running) {
+    if (cycles_ >= limit) return StopReason::CycleLimit;
+    step();
+  }
+  return stop_;
+}
+
+// ---------------------------------------------------------------------------
+// Instruction semantics.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Flags {
+  uint8_t sreg;
+  void set(int bit, bool v) {
+    sreg = static_cast<uint8_t>(v ? (sreg | (1u << bit)) : (sreg & ~(1u << bit)));
+  }
+  bool get(int bit) const { return (sreg >> bit) & 1u; }
+};
+
+void nz_s(Flags& f, uint8_t r) {
+  f.set(isa::kFlagN, r & 0x80);
+  f.set(isa::kFlagZ, r == 0);
+  f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+}
+
+uint8_t do_add(Flags& f, uint8_t d, uint8_t r, bool carry_in) {
+  const uint8_t c = carry_in && f.get(isa::kFlagC) ? 1 : 0;
+  const uint8_t res = static_cast<uint8_t>(d + r + c);
+  const uint8_t carries =
+      static_cast<uint8_t>((d & r) | (r & ~res) | (~res & d));
+  f.set(isa::kFlagH, carries & 0x08);
+  f.set(isa::kFlagC, carries & 0x80);
+  f.set(isa::kFlagV, ((d & r & ~res) | (~d & ~r & res)) & 0x80);
+  nz_s(f, res);
+  return res;
+}
+
+uint8_t do_sub(Flags& f, uint8_t d, uint8_t r, bool carry_in, bool keep_z) {
+  const uint8_t c = carry_in && f.get(isa::kFlagC) ? 1 : 0;
+  const uint8_t res = static_cast<uint8_t>(d - r - c);
+  const uint8_t borrows =
+      static_cast<uint8_t>((~d & r) | (r & res) | (res & ~d));
+  f.set(isa::kFlagH, borrows & 0x08);
+  f.set(isa::kFlagC, borrows & 0x80);
+  f.set(isa::kFlagV, ((d & ~r & ~res) | (~d & r & res)) & 0x80);
+  const bool old_z = f.get(isa::kFlagZ);
+  nz_s(f, res);
+  if (keep_z) f.set(isa::kFlagZ, (res == 0) && old_z);
+  f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+  return res;
+}
+
+void logic_flags(Flags& f, uint8_t res) {
+  f.set(isa::kFlagV, false);
+  nz_s(f, res);
+}
+
+}  // namespace
+
+StopReason Machine::execute_one() {
+  const Instruction& ins = decoded(pc_);
+  const uint32_t pc0 = pc_;
+  const int size = isa::size_words(ins.op);
+  uint32_t next_pc = pc_ + size;
+  int cyc = isa::base_cycles(ins.op);
+
+  Flags f{mem_.sreg()};
+  auto reg = [this](uint8_t r) { return mem_.reg(r); };
+  auto set_reg = [this](uint8_t r, uint8_t v) { mem_.set_reg(r, v); };
+
+  auto pointer_addr = [this](isa::Ptr p) -> uint16_t {
+    switch (p) {
+      case isa::Ptr::X: return mem_.reg_pair(26);
+      case isa::Ptr::Y: return mem_.reg_pair(28);
+      default: return mem_.reg_pair(30);
+    }
+  };
+  auto set_pointer = [this](isa::Ptr p, uint16_t v) {
+    switch (p) {
+      case isa::Ptr::X: mem_.set_reg_pair(26, v); break;
+      case isa::Ptr::Y: mem_.set_reg_pair(28, v); break;
+      default: mem_.set_reg_pair(30, v); break;
+    }
+  };
+  // Shared body for all LD/ST addressing modes. A store to the SREG data
+  // address must survive the flag write-back at the end of this function,
+  // hence the refresh of the local flag copy.
+  auto mem_indirect = [&](bool store, isa::Ptr p, int pre, int post,
+                          uint8_t disp) {
+    uint16_t a = pointer_addr(p);
+    a = static_cast<uint16_t>(a + pre);
+    const uint16_t ea = static_cast<uint16_t>(a + disp);
+    if (store) {
+      mem_.write(ea, reg(ins.rd));
+      if (ea == kSreg) f.sreg = mem_.sreg();
+    } else {
+      set_reg(ins.rd, mem_.read(ea));
+    }
+    a = static_cast<uint16_t>(a + post);
+    if (pre != 0 || post != 0) set_pointer(p, a);
+  };
+  auto skip_next = [&] {
+    const Instruction& nxt = decoded(next_pc);
+    const int nsize = isa::size_words(nxt.op);
+    next_pc += nsize;
+    cyc += nsize;  // +1 for 1-word skip, +2 for 2-word skip
+  };
+  auto rel_branch = [&](bool taken) {
+    if (taken) {
+      next_pc = static_cast<uint32_t>(int64_t(pc0) + 1 + ins.k);
+      cyc += 1;
+    }
+  };
+
+  using enum Op;
+  switch (ins.op) {
+    case Add: set_reg(ins.rd, do_add(f, reg(ins.rd), reg(ins.rr), false)); break;
+    case Adc: set_reg(ins.rd, do_add(f, reg(ins.rd), reg(ins.rr), true)); break;
+    case Sub: set_reg(ins.rd, do_sub(f, reg(ins.rd), reg(ins.rr), false, false)); break;
+    case Sbc: set_reg(ins.rd, do_sub(f, reg(ins.rd), reg(ins.rr), true, true)); break;
+    case And: { uint8_t r = reg(ins.rd) & reg(ins.rr); set_reg(ins.rd, r); logic_flags(f, r); break; }
+    case Or: { uint8_t r = reg(ins.rd) | reg(ins.rr); set_reg(ins.rd, r); logic_flags(f, r); break; }
+    case Eor: { uint8_t r = reg(ins.rd) ^ reg(ins.rr); set_reg(ins.rd, r); logic_flags(f, r); break; }
+    case Mov: set_reg(ins.rd, reg(ins.rr)); break;
+    case Cp: do_sub(f, reg(ins.rd), reg(ins.rr), false, false); break;
+    case Cpc: do_sub(f, reg(ins.rd), reg(ins.rr), true, true); break;
+    case Cpse: if (reg(ins.rd) == reg(ins.rr)) skip_next(); break;
+    case Mul: {
+      const uint16_t r = uint16_t(reg(ins.rd)) * uint16_t(reg(ins.rr));
+      mem_.set_reg_pair(0, r);
+      f.set(isa::kFlagC, r & 0x8000);
+      f.set(isa::kFlagZ, r == 0);
+      break;
+    }
+
+    case Subi: set_reg(ins.rd, do_sub(f, reg(ins.rd), uint8_t(ins.k), false, false)); break;
+    case Sbci: set_reg(ins.rd, do_sub(f, reg(ins.rd), uint8_t(ins.k), true, true)); break;
+    case Andi: { uint8_t r = reg(ins.rd) & uint8_t(ins.k); set_reg(ins.rd, r); logic_flags(f, r); break; }
+    case Ori: { uint8_t r = reg(ins.rd) | uint8_t(ins.k); set_reg(ins.rd, r); logic_flags(f, r); break; }
+    case Cpi: do_sub(f, reg(ins.rd), uint8_t(ins.k), false, false); break;
+    case Ldi: set_reg(ins.rd, uint8_t(ins.k)); break;
+
+    case Com: {
+      const uint8_t r = static_cast<uint8_t>(~reg(ins.rd));
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagC, true);
+      f.set(isa::kFlagV, false);
+      nz_s(f, r);
+      break;
+    }
+    case Neg: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r = static_cast<uint8_t>(0 - d);
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagH, (r | d) & 0x08);
+      f.set(isa::kFlagC, r != 0);
+      f.set(isa::kFlagV, r == 0x80);
+      nz_s(f, r);
+      break;
+    }
+    case Swap: {
+      const uint8_t d = reg(ins.rd);
+      set_reg(ins.rd, static_cast<uint8_t>((d << 4) | (d >> 4)));
+      break;
+    }
+    case Inc: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r = static_cast<uint8_t>(d + 1);
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagV, d == 0x7F);
+      nz_s(f, r);
+      break;
+    }
+    case Dec: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r = static_cast<uint8_t>(d - 1);
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagV, d == 0x80);
+      nz_s(f, r);
+      break;
+    }
+    case Asr: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r = static_cast<uint8_t>((d >> 1) | (d & 0x80));
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagC, d & 1);
+      f.set(isa::kFlagN, r & 0x80);
+      f.set(isa::kFlagV, f.get(isa::kFlagN) ^ f.get(isa::kFlagC));
+      f.set(isa::kFlagZ, r == 0);
+      f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+      break;
+    }
+    case Lsr: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r = static_cast<uint8_t>(d >> 1);
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagC, d & 1);
+      f.set(isa::kFlagN, false);
+      f.set(isa::kFlagV, f.get(isa::kFlagC));
+      f.set(isa::kFlagZ, r == 0);
+      f.set(isa::kFlagS, f.get(isa::kFlagV));
+      break;
+    }
+    case Ror: {
+      const uint8_t d = reg(ins.rd);
+      const uint8_t r =
+          static_cast<uint8_t>((d >> 1) | (f.get(isa::kFlagC) ? 0x80 : 0));
+      set_reg(ins.rd, r);
+      f.set(isa::kFlagC, d & 1);
+      f.set(isa::kFlagN, r & 0x80);
+      f.set(isa::kFlagV, f.get(isa::kFlagN) ^ f.get(isa::kFlagC));
+      f.set(isa::kFlagZ, r == 0);
+      f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+      break;
+    }
+
+    case Adiw: {
+      const uint16_t d = mem_.reg_pair(ins.rd);
+      const uint16_t r = static_cast<uint16_t>(d + ins.k);
+      mem_.set_reg_pair(ins.rd, r);
+      f.set(isa::kFlagV, (~d & r) & 0x8000);
+      f.set(isa::kFlagC, (~r & d) & 0x8000);
+      f.set(isa::kFlagN, r & 0x8000);
+      f.set(isa::kFlagZ, r == 0);
+      f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+      break;
+    }
+    case Sbiw: {
+      const uint16_t d = mem_.reg_pair(ins.rd);
+      const uint16_t r = static_cast<uint16_t>(d - ins.k);
+      mem_.set_reg_pair(ins.rd, r);
+      f.set(isa::kFlagV, (d & ~r) & 0x8000);
+      f.set(isa::kFlagC, (r & ~d) & 0x8000);
+      f.set(isa::kFlagN, r & 0x8000);
+      f.set(isa::kFlagZ, r == 0);
+      f.set(isa::kFlagS, f.get(isa::kFlagN) ^ f.get(isa::kFlagV));
+      break;
+    }
+    case Movw: mem_.set_reg_pair(ins.rd, mem_.reg_pair(ins.rr)); break;
+
+    case Lds: set_reg(ins.rd, mem_.read(static_cast<uint16_t>(ins.k))); break;
+    case Sts:
+      mem_.write(static_cast<uint16_t>(ins.k), reg(ins.rd));
+      if (ins.k == kSreg) f.sreg = mem_.sreg();
+      break;
+
+    case LdX: mem_indirect(false, isa::Ptr::X, 0, 0, 0); break;
+    case LdXInc: mem_indirect(false, isa::Ptr::X, 0, 1, 0); break;
+    case LdXDec: mem_indirect(false, isa::Ptr::X, -1, 0, 0); break;
+    case LdYInc: mem_indirect(false, isa::Ptr::Y, 0, 1, 0); break;
+    case LdYDec: mem_indirect(false, isa::Ptr::Y, -1, 0, 0); break;
+    case LdZInc: mem_indirect(false, isa::Ptr::Z, 0, 1, 0); break;
+    case LdZDec: mem_indirect(false, isa::Ptr::Z, -1, 0, 0); break;
+    case Ldd: mem_indirect(false, ins.ptr, 0, 0, ins.q); break;
+    case StX: mem_indirect(true, isa::Ptr::X, 0, 0, 0); break;
+    case StXInc: mem_indirect(true, isa::Ptr::X, 0, 1, 0); break;
+    case StXDec: mem_indirect(true, isa::Ptr::X, -1, 0, 0); break;
+    case StYInc: mem_indirect(true, isa::Ptr::Y, 0, 1, 0); break;
+    case StYDec: mem_indirect(true, isa::Ptr::Y, -1, 0, 0); break;
+    case StZInc: mem_indirect(true, isa::Ptr::Z, 0, 1, 0); break;
+    case StZDec: mem_indirect(true, isa::Ptr::Z, -1, 0, 0); break;
+    case Std: mem_indirect(true, ins.ptr, 0, 0, ins.q); break;
+
+    case Push: {
+      const uint16_t sp = mem_.sp();
+      mem_.write(sp, reg(ins.rd));
+      mem_.set_sp(static_cast<uint16_t>(sp - 1));
+      break;
+    }
+    case Pop: {
+      const uint16_t sp = static_cast<uint16_t>(mem_.sp() + 1);
+      set_reg(ins.rd, mem_.read(sp));
+      mem_.set_sp(sp);
+      break;
+    }
+
+    case In: set_reg(ins.rd, mem_.read(static_cast<uint16_t>(kIoBase + ins.a))); break;
+    case Out:
+      mem_.write(static_cast<uint16_t>(kIoBase + ins.a), reg(ins.rd));
+      // OUT to SREG replaces the local flag copy.
+      if (kIoBase + ins.a == kSreg) f.sreg = mem_.sreg();
+      break;
+    case Sbi: {
+      const uint16_t a = static_cast<uint16_t>(kIoBase + ins.a);
+      mem_.write(a, static_cast<uint8_t>(mem_.read(a) | (1u << ins.b)));
+      break;
+    }
+    case Cbi: {
+      const uint16_t a = static_cast<uint16_t>(kIoBase + ins.a);
+      mem_.write(a, static_cast<uint8_t>(mem_.read(a) & ~(1u << ins.b)));
+      break;
+    }
+    case Sbic:
+      if ((mem_.read(static_cast<uint16_t>(kIoBase + ins.a)) & (1u << ins.b)) == 0)
+        skip_next();
+      break;
+    case Sbis:
+      if ((mem_.read(static_cast<uint16_t>(kIoBase + ins.a)) & (1u << ins.b)) != 0)
+        skip_next();
+      break;
+
+    case LpmR0: set_reg(0, flash_byte(mem_.reg_pair(30))); break;
+    case Lpm: set_reg(ins.rd, flash_byte(mem_.reg_pair(30))); break;
+    case LpmInc: {
+      const uint16_t z = mem_.reg_pair(30);
+      set_reg(ins.rd, flash_byte(z));
+      mem_.set_reg_pair(30, static_cast<uint16_t>(z + 1));
+      break;
+    }
+
+    case Rjmp: next_pc = static_cast<uint32_t>(int64_t(pc0) + 1 + ins.k); break;
+    case Rcall:
+      push16(static_cast<uint16_t>(pc0 + 1));
+      next_pc = static_cast<uint32_t>(int64_t(pc0) + 1 + ins.k);
+      break;
+    case Jmp: next_pc = static_cast<uint32_t>(ins.k); break;
+    case Call:
+      push16(static_cast<uint16_t>(pc0 + 2));
+      next_pc = static_cast<uint32_t>(ins.k);
+      break;
+    case Ijmp: next_pc = mem_.reg_pair(30); break;
+    case Icall:
+      push16(static_cast<uint16_t>(pc0 + 1));
+      next_pc = mem_.reg_pair(30);
+      break;
+    case Ret: next_pc = pop16(); break;
+    case Reti:
+      next_pc = pop16();
+      f.set(isa::kFlagI, true);
+      break;
+
+    case Brbs: rel_branch(f.get(ins.b)); break;
+    case Brbc: rel_branch(!f.get(ins.b)); break;
+    case Sbrc: if ((reg(ins.rr) & (1u << ins.b)) == 0) skip_next(); break;
+    case Sbrs: if ((reg(ins.rr) & (1u << ins.b)) != 0) skip_next(); break;
+
+    case Bset: f.set(ins.b, true); break;
+    case Bclr: f.set(ins.b, false); break;
+
+    case Nop:
+    case Wdr:
+      break;
+
+    case Sleep: {
+      mem_.set_sreg(f.sreg);
+      charge(cyc);
+      ++stats_.instructions;
+      pc_ = next_pc;
+      return do_sleep();
+    }
+
+    case Break: {
+      if (service_hook_ && pc0 >= service_floor_) {
+        mem_.set_sreg(f.sreg);
+        ++stats_.instructions;
+        // The hook performs the service: sets PC, charges cycles. It may
+        // also stop the machine (e.g. when the last task exits).
+        if (!service_hook_(*this)) return StopReason::ServiceFault;
+        return stop_;
+      }
+      return StopReason::Breakpoint;
+    }
+
+    case Invalid:
+      return StopReason::InvalidInstruction;
+  }
+
+  mem_.set_sreg(f.sreg);
+  charge(cyc);
+  ++stats_.instructions;
+  pc_ = next_pc % kFlashWords;
+  return StopReason::Running;
+}
+
+}  // namespace sensmart::emu

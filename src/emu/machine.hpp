@@ -1,0 +1,128 @@
+// The emulated mote: flash, data memory, devices and the AVR CPU core,
+// glued to a cycle clock. This is the substrate every experiment runs on —
+// both "native" executions and SenSmart/t-kernel executions (where the
+// loaded image is a rewritten one and kernel services are reached through
+// the service hook).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "emu/devices.hpp"
+#include "emu/memory.hpp"
+#include "isa/codec.hpp"
+
+namespace sensmart::emu {
+
+enum class StopReason {
+  Running,
+  Halted,              // program wrote kHostHalt
+  CycleLimit,          // run() budget exhausted
+  InvalidInstruction,  // undecodable opcode reached
+  Breakpoint,          // Break outside the service region / no hook
+  Deadlock,            // SLEEP with no wake source armed
+  ServiceFault,        // service hook reported a fault
+};
+
+const char* to_string(StopReason r);
+
+struct RunStats {
+  uint64_t instructions = 0;
+  uint64_t active_cycles = 0;  // cycles spent executing
+  uint64_t idle_cycles = 0;    // cycles fast-forwarded through SLEEP
+};
+
+class Machine {
+ public:
+  static constexpr uint32_t kFlashWords = 0x10000;  // 128 KB
+
+  Machine();
+
+  // Load `words` at flash word address `base` and reset decode caches.
+  void load_flash(std::span<const uint16_t> words, uint32_t base = 0);
+  uint16_t flash_word(uint32_t word_addr) const {
+    return flash_[word_addr % kFlashWords];
+  }
+  uint8_t flash_byte(uint32_t byte_addr) const {
+    const uint16_t w = flash_word(byte_addr >> 1);
+    return static_cast<uint8_t>((byte_addr & 1) ? (w >> 8) : (w & 0xFF));
+  }
+  uint32_t flash_used_words() const { return flash_used_; }
+
+  // Reset CPU state; SP starts at the top of SRAM.
+  void reset(uint32_t entry_word = kResetVector);
+
+  StopReason step();
+  StopReason run(uint64_t max_cycles);
+
+  // --- Kernel/service integration -----------------------------------------
+  // A Break executed at word address >= `floor` invokes `hook`; the hook
+  // must set the PC and charge cycles itself. Returning false faults.
+  using ServiceHook = std::function<bool(Machine&)>;
+  void set_service_hook(uint32_t floor, ServiceHook hook) {
+    service_floor_ = floor;
+    service_hook_ = std::move(hook);
+  }
+
+  // --- State access ---------------------------------------------------------
+  DataMemory& mem() { return mem_; }
+  const DataMemory& mem() const { return mem_; }
+  DeviceHub& dev() { return dev_; }
+  const DeviceHub& dev() const { return dev_; }
+
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc % kFlashWords; }
+
+  uint64_t cycles() const { return cycles_; }
+  // Charge active cycles (used by the CPU core and by kernel handlers to
+  // account for the cost of trampoline/service bodies).
+  void charge(uint64_t n) {
+    cycles_ += n;
+    stats_.active_cycles += n;
+  }
+  // Fast-forward the clock without executing (SLEEP / kernel idle).
+  void charge_idle(uint64_t n) {
+    cycles_ += n;
+    stats_.idle_cycles += n;
+  }
+
+  const RunStats& stats() const { return stats_; }
+  StopReason stop_reason() const { return stop_; }
+
+  // Push/pop on the *physical* stack (used by CALL/RET and kernel services).
+  void push16(uint16_t v);
+  uint16_t pop16();
+
+  // Force a stop from inside a service hook (e.g. task fault in native run).
+  void stop(StopReason r) { stop_ = r; }
+
+  // The decoded instruction at `word_addr` (decode-cache backed).
+  const isa::Instruction& decoded(uint32_t word_addr);
+
+ private:
+  StopReason execute_one();
+  void dispatch_irq(Irq irq);
+  bool maybe_take_irq();
+  StopReason do_sleep();
+
+  std::vector<uint16_t> flash_;
+  std::vector<isa::Instruction> dcache_;
+  std::vector<uint8_t> dcache_valid_;
+  uint32_t flash_used_ = 0;
+
+  DataMemory mem_;
+  DeviceHub dev_{mem_};
+
+  uint32_t pc_ = 0;
+  uint64_t cycles_ = 0;
+  uint64_t next_irq_probe_ = 0;
+  RunStats stats_;
+  StopReason stop_ = StopReason::Running;
+
+  uint32_t service_floor_ = kFlashWords;
+  ServiceHook service_hook_;
+};
+
+}  // namespace sensmart::emu

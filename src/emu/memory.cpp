@@ -1,0 +1,2 @@
+// DataMemory is header-only; this TU anchors the target.
+#include "emu/memory.hpp"

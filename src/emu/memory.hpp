@@ -1,0 +1,73 @@
+// Data-memory model: one flat byte array covering registers, I/O and SRAM,
+// with an interception hook for the I/O windows so devices can implement
+// side effects. The register file is memory-mapped at 0x00..0x1F exactly as
+// on a real AVR.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::emu {
+
+class DataMemory {
+ public:
+  using IoHook = std::function<void(uint16_t addr, uint8_t& value, bool write)>;
+
+  DataMemory() { ram_.fill(0); }
+
+  // Raw access, no device side effects (used by the kernel to move regions
+  // and by tests to inspect state).
+  uint8_t raw(uint16_t addr) const { return ram_[addr % kDataEnd]; }
+  void set_raw(uint16_t addr, uint8_t v) { ram_[addr % kDataEnd] = v; }
+
+  // CPU-visible access: I/O window reads/writes are routed through the hook.
+  uint8_t read(uint16_t addr) {
+    addr %= kDataEnd;
+    if (addr >= kIoBase && addr < kSramBase && io_hook_) {
+      uint8_t v = ram_[addr];
+      io_hook_(addr, v, /*write=*/false);
+      ram_[addr] = v;
+      return v;
+    }
+    return ram_[addr];
+  }
+  void write(uint16_t addr, uint8_t v) {
+    addr %= kDataEnd;
+    if (addr >= kIoBase && addr < kSramBase && io_hook_) {
+      io_hook_(addr, v, /*write=*/true);
+    }
+    ram_[addr] = v;
+  }
+
+  void set_io_hook(IoHook hook) { io_hook_ = std::move(hook); }
+
+  // 16-bit helpers for SP (little-endian in the SPL/SPH pair).
+  uint16_t sp() const {
+    return static_cast<uint16_t>(ram_[kSpl] | (ram_[kSph] << 8));
+  }
+  void set_sp(uint16_t sp) {
+    ram_[kSpl] = static_cast<uint8_t>(sp & 0xFF);
+    ram_[kSph] = static_cast<uint8_t>(sp >> 8);
+  }
+  uint8_t sreg() const { return ram_[kSreg]; }
+  void set_sreg(uint8_t v) { ram_[kSreg] = v; }
+
+  uint8_t reg(uint8_t r) const { return ram_[r & 0x1F]; }
+  void set_reg(uint8_t r, uint8_t v) { ram_[r & 0x1F] = v; }
+  uint16_t reg_pair(uint8_t r) const {
+    return static_cast<uint16_t>(reg(r) | (reg(r + 1) << 8));
+  }
+  void set_reg_pair(uint8_t r, uint16_t v) {
+    set_reg(r, static_cast<uint8_t>(v & 0xFF));
+    set_reg(r + 1, static_cast<uint8_t>(v >> 8));
+  }
+
+ private:
+  std::array<uint8_t, kDataEnd> ram_;
+  IoHook io_hook_;
+};
+
+}  // namespace sensmart::emu

@@ -1,0 +1,32 @@
+// Binary encoder/decoder for the AVR instruction subset.
+//
+// Encodings follow the Atmel AVR instruction set manual; the flash image is
+// a sequence of little-endian 16-bit words. Relative branch offsets are
+// stored in `Instruction::k` as signed word offsets relative to PC+1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace sensmart::isa {
+
+// Encode one instruction into 1 or 2 flash words. Throws std::invalid_argument
+// on out-of-range operands (bad register index, offset overflow, ...).
+std::vector<uint16_t> encode(const Instruction& ins);
+
+// Append the encoding of `ins` to `out`.
+void encode_to(const Instruction& ins, std::vector<uint16_t>& out);
+
+// Decode the instruction whose first word is `code[pc]`. A second word is
+// consumed for 32-bit instructions. Unknown encodings yield Op::Invalid.
+Instruction decode(std::span<const uint16_t> code, uint32_t pc);
+
+// Decode a single raw word pair without bounds context.
+Instruction decode_words(uint16_t w0, uint16_t w1);
+
+std::string to_string(const Instruction& ins);
+
+}  // namespace sensmart::isa

@@ -1,0 +1,231 @@
+#include "isa/codec.hpp"
+
+namespace sensmart::isa {
+namespace {
+
+int32_t sign_extend(uint32_t v, int bits) {
+  const uint32_t m = 1u << (bits - 1);
+  return static_cast<int32_t>((v ^ m) - m);
+}
+
+Instruction two_reg(Op op, uint16_t w) {
+  Instruction ins;
+  ins.op = op;
+  ins.rd = static_cast<uint8_t>((w >> 4) & 0x1F);
+  ins.rr = static_cast<uint8_t>(((w >> 5) & 0x10) | (w & 0x0F));
+  return ins;
+}
+
+Instruction imm_op(Op op, uint16_t w) {
+  Instruction ins;
+  ins.op = op;
+  ins.rd = static_cast<uint8_t>(16 + ((w >> 4) & 0x0F));
+  ins.k = static_cast<int32_t>(((w >> 4) & 0xF0) | (w & 0x0F));
+  return ins;
+}
+
+Instruction reg_only(Op op, uint16_t w) {
+  Instruction ins;
+  ins.op = op;
+  ins.rd = static_cast<uint8_t>((w >> 4) & 0x1F);
+  return ins;
+}
+
+Instruction io_bit(Op op, uint16_t w) {
+  Instruction ins;
+  ins.op = op;
+  ins.a = static_cast<uint8_t>((w >> 3) & 0x1F);
+  ins.b = static_cast<uint8_t>(w & 0x07);
+  return ins;
+}
+
+}  // namespace
+
+Instruction decode_words(uint16_t w, uint16_t w1) {
+  Instruction ins;
+
+  // Fixed encodings first (they overlap the generic 0x94xx/0x95xx space).
+  switch (w) {
+    case 0x0000: ins.op = Op::Nop; return ins;
+    case 0x9409: ins.op = Op::Ijmp; return ins;
+    case 0x9509: ins.op = Op::Icall; return ins;
+    case 0x9508: ins.op = Op::Ret; return ins;
+    case 0x9518: ins.op = Op::Reti; return ins;
+    case 0x9588: ins.op = Op::Sleep; return ins;
+    case 0x95A8: ins.op = Op::Wdr; return ins;
+    case 0x9598: ins.op = Op::Break; return ins;
+    case 0x95C8: ins.op = Op::LpmR0; return ins;
+    default: break;
+  }
+
+  if ((w & 0xFF00) == 0x0100) {
+    ins.op = Op::Movw;
+    ins.rd = static_cast<uint8_t>(((w >> 4) & 0x0F) * 2);
+    ins.rr = static_cast<uint8_t>((w & 0x0F) * 2);
+    return ins;
+  }
+
+  switch (w & 0xFC00) {
+    case 0x0400: return two_reg(Op::Cpc, w);
+    case 0x0800: return two_reg(Op::Sbc, w);
+    case 0x0C00: return two_reg(Op::Add, w);
+    case 0x1000: return two_reg(Op::Cpse, w);
+    case 0x1400: return two_reg(Op::Cp, w);
+    case 0x1800: return two_reg(Op::Sub, w);
+    case 0x1C00: return two_reg(Op::Adc, w);
+    case 0x2000: return two_reg(Op::And, w);
+    case 0x2400: return two_reg(Op::Eor, w);
+    case 0x2800: return two_reg(Op::Or, w);
+    case 0x2C00: return two_reg(Op::Mov, w);
+    case 0x9C00: return two_reg(Op::Mul, w);
+    default: break;
+  }
+
+  switch (w & 0xF000) {
+    case 0x3000: return imm_op(Op::Cpi, w);
+    case 0x4000: return imm_op(Op::Sbci, w);
+    case 0x5000: return imm_op(Op::Subi, w);
+    case 0x6000: return imm_op(Op::Ori, w);
+    case 0x7000: return imm_op(Op::Andi, w);
+    case 0xE000: return imm_op(Op::Ldi, w);
+    case 0xC000:
+      ins.op = Op::Rjmp;
+      ins.k = sign_extend(w & 0x0FFF, 12);
+      return ins;
+    case 0xD000:
+      ins.op = Op::Rcall;
+      ins.k = sign_extend(w & 0x0FFF, 12);
+      return ins;
+    default: break;
+  }
+
+  // Ldd/Std (covers LD/ST through Y/Z with displacement, incl. q = 0).
+  if ((w & 0xD000) == 0x8000) {
+    ins.op = (w & 0x0200) ? Op::Std : Op::Ldd;
+    ins.rd = static_cast<uint8_t>((w >> 4) & 0x1F);
+    ins.ptr = (w & 0x0008) ? Ptr::Y : Ptr::Z;
+    ins.q = static_cast<uint8_t>(((w >> 8) & 0x20) | ((w >> 7) & 0x18) |
+                                 (w & 0x07));
+    return ins;
+  }
+
+  if ((w & 0xFE00) == 0x9000) {  // load family
+    Instruction r = reg_only(Op::Invalid, w);
+    switch (w & 0x000F) {
+      case 0x0: r.op = Op::Lds; r.k = w1; break;
+      case 0x1: r.op = Op::LdZInc; break;
+      case 0x2: r.op = Op::LdZDec; break;
+      case 0x4: r.op = Op::Lpm; break;
+      case 0x5: r.op = Op::LpmInc; break;
+      case 0x9: r.op = Op::LdYInc; break;
+      case 0xA: r.op = Op::LdYDec; break;
+      case 0xC: r.op = Op::LdX; break;
+      case 0xD: r.op = Op::LdXInc; break;
+      case 0xE: r.op = Op::LdXDec; break;
+      case 0xF: r.op = Op::Pop; break;
+      default: break;
+    }
+    return r;
+  }
+
+  if ((w & 0xFE00) == 0x9200) {  // store family
+    Instruction r = reg_only(Op::Invalid, w);
+    switch (w & 0x000F) {
+      case 0x0: r.op = Op::Sts; r.k = w1; break;
+      case 0x1: r.op = Op::StZInc; break;
+      case 0x2: r.op = Op::StZDec; break;
+      case 0x9: r.op = Op::StYInc; break;
+      case 0xA: r.op = Op::StYDec; break;
+      case 0xC: r.op = Op::StX; break;
+      case 0xD: r.op = Op::StXInc; break;
+      case 0xE: r.op = Op::StXDec; break;
+      case 0xF: r.op = Op::Push; break;
+      default: break;
+    }
+    return r;
+  }
+
+  if ((w & 0xFF8F) == 0x9408) {
+    ins.op = Op::Bset;
+    ins.b = static_cast<uint8_t>((w >> 4) & 0x07);
+    return ins;
+  }
+  if ((w & 0xFF8F) == 0x9488) {
+    ins.op = Op::Bclr;
+    ins.b = static_cast<uint8_t>((w >> 4) & 0x07);
+    return ins;
+  }
+  // JMP/CALL: only the zero-high-address forms exist on a 128 KB part.
+  if (w == 0x940C) {
+    ins.op = Op::Jmp;
+    ins.k = w1;
+    return ins;
+  }
+  if (w == 0x940E) {
+    ins.op = Op::Call;
+    ins.k = w1;
+    return ins;
+  }
+
+  if ((w & 0xFE00) == 0x9400) {  // one-register ALU
+    Instruction r = reg_only(Op::Invalid, w);
+    switch (w & 0x000F) {
+      case 0x0: r.op = Op::Com; break;
+      case 0x1: r.op = Op::Neg; break;
+      case 0x2: r.op = Op::Swap; break;
+      case 0x3: r.op = Op::Inc; break;
+      case 0x5: r.op = Op::Asr; break;
+      case 0x6: r.op = Op::Lsr; break;
+      case 0x7: r.op = Op::Ror; break;
+      case 0xA: r.op = Op::Dec; break;
+      default: break;
+    }
+    return r;
+  }
+
+  switch (w & 0xFF00) {
+    case 0x9600:
+    case 0x9700:
+      ins.op = (w & 0x0100) ? Op::Sbiw : Op::Adiw;
+      ins.rd = static_cast<uint8_t>(24 + ((w >> 4) & 0x03) * 2);
+      ins.k = static_cast<int32_t>(((w >> 2) & 0x30) | (w & 0x0F));
+      return ins;
+    case 0x9800: return io_bit(Op::Cbi, w);
+    case 0x9900: return io_bit(Op::Sbic, w);
+    case 0x9A00: return io_bit(Op::Sbi, w);
+    case 0x9B00: return io_bit(Op::Sbis, w);
+    default: break;
+  }
+
+  if ((w & 0xF800) == 0xB000 || (w & 0xF800) == 0xB800) {
+    ins.op = (w & 0x0800) ? Op::Out : Op::In;
+    ins.rd = static_cast<uint8_t>((w >> 4) & 0x1F);
+    ins.a = static_cast<uint8_t>(((w >> 5) & 0x30) | (w & 0x0F));
+    return ins;
+  }
+
+  if ((w & 0xFC00) == 0xF000 || (w & 0xFC00) == 0xF400) {
+    ins.op = (w & 0x0400) ? Op::Brbc : Op::Brbs;
+    ins.b = static_cast<uint8_t>(w & 0x07);
+    ins.k = sign_extend((w >> 3) & 0x7F, 7);
+    return ins;
+  }
+
+  if ((w & 0xFE08) == 0xFC00 || (w & 0xFE08) == 0xFE00) {
+    ins.op = (w & 0x0200) ? Op::Sbrs : Op::Sbrc;
+    ins.rr = static_cast<uint8_t>((w >> 4) & 0x1F);
+    ins.b = static_cast<uint8_t>(w & 0x07);
+    return ins;
+  }
+
+  return ins;  // Invalid
+}
+
+Instruction decode(std::span<const uint16_t> code, uint32_t pc) {
+  if (pc >= code.size()) return Instruction{};
+  const uint16_t w0 = code[pc];
+  const uint16_t w1 = (pc + 1 < code.size()) ? code[pc + 1] : 0;
+  return decode_words(w0, w1);
+}
+
+}  // namespace sensmart::isa

@@ -1,0 +1,75 @@
+#include <sstream>
+
+#include "isa/codec.hpp"
+
+namespace sensmart::isa {
+
+std::string to_string(const Instruction& ins) {
+  std::ostringstream os;
+  os << mnemonic(ins.op);
+  using enum Op;
+  switch (ins.op) {
+    case Add: case Adc: case Sub: case Sbc: case And: case Or: case Eor:
+    case Mov: case Cp: case Cpc: case Cpse: case Mul: case Movw:
+      os << " r" << int(ins.rd) << ", r" << int(ins.rr);
+      break;
+    case Subi: case Sbci: case Andi: case Ori: case Cpi: case Ldi:
+      os << " r" << int(ins.rd) << ", " << ins.k;
+      break;
+    case Com: case Neg: case Swap: case Inc: case Dec: case Asr: case Lsr:
+    case Ror: case Push: case Pop: case Lpm: case LpmInc:
+    case LdX: case LdXInc: case LdXDec: case LdYInc: case LdYDec:
+    case LdZInc: case LdZDec: case StX: case StXInc: case StXDec:
+    case StYInc: case StYDec: case StZInc: case StZDec:
+      os << " r" << int(ins.rd);
+      break;
+    case Adiw: case Sbiw:
+      os << " r" << int(ins.rd) << ", " << ins.k;
+      break;
+    case Lds:
+      os << " r" << int(ins.rd) << ", 0x" << std::hex << ins.k;
+      break;
+    case Sts:
+      os << " 0x" << std::hex << ins.k << std::dec << ", r" << int(ins.rd);
+      break;
+    case Ldd:
+      os << " r" << int(ins.rd) << ", " << (ins.ptr == Ptr::Y ? "Y" : "Z")
+         << "+" << int(ins.q);
+      break;
+    case Std:
+      os << " " << (ins.ptr == Ptr::Y ? "Y" : "Z") << "+" << int(ins.q)
+         << ", r" << int(ins.rd);
+      break;
+    case In:
+      os << " r" << int(ins.rd) << ", 0x" << std::hex << int(ins.a);
+      break;
+    case Out:
+      os << " 0x" << std::hex << int(ins.a) << std::dec << ", r"
+         << int(ins.rd);
+      break;
+    case Sbi: case Cbi: case Sbic: case Sbis:
+      os << " 0x" << std::hex << int(ins.a) << std::dec << ", "
+         << int(ins.b);
+      break;
+    case Rjmp: case Rcall:
+      os << " ." << (ins.k >= 0 ? "+" : "") << ins.k;
+      break;
+    case Jmp: case Call:
+      os << " 0x" << std::hex << ins.k;
+      break;
+    case Brbs: case Brbc:
+      os << " " << int(ins.b) << ", ." << (ins.k >= 0 ? "+" : "") << ins.k;
+      break;
+    case Sbrc: case Sbrs:
+      os << " r" << int(ins.rr) << ", " << int(ins.b);
+      break;
+    case Bset: case Bclr:
+      os << " " << int(ins.b);
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sensmart::isa

@@ -1,0 +1,237 @@
+#include <stdexcept>
+
+#include "isa/codec.hpp"
+
+namespace sensmart::isa {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+// Two-register ALU: base | r4<<9 | d<<4 | r3..0.
+uint16_t two_reg(uint16_t base, uint8_t rd, uint8_t rr) {
+  require(rd < 32 && rr < 32, "two_reg: register out of range");
+  return static_cast<uint16_t>(base | ((rr & 0x10u) << 5) | (rd << 4) |
+                               (rr & 0x0Fu));
+}
+
+// Register-immediate ALU: base | K7..4<<8 | (d-16)<<4 | K3..0.
+uint16_t imm_op(uint16_t base, uint8_t rd, int32_t k) {
+  require(rd >= 16 && rd < 32, "imm_op: register must be r16..r31");
+  require(k >= 0 && k <= 0xFF, "imm_op: immediate out of range");
+  return static_cast<uint16_t>(base | ((k & 0xF0u) << 4) |
+                               ((rd - 16) << 4) | (k & 0x0Fu));
+}
+
+// One-register ALU: 0x9400 | d<<4 | ext.
+uint16_t one_reg(uint8_t rd, uint16_t ext) {
+  require(rd < 32, "one_reg: register out of range");
+  return static_cast<uint16_t>(0x9400u | (rd << 4) | ext);
+}
+
+uint16_t adiw_like(uint16_t base, uint8_t rd, int32_t k) {
+  require(rd == 24 || rd == 26 || rd == 28 || rd == 30,
+          "adiw/sbiw: register pair must be r24/26/28/30");
+  require(k >= 0 && k <= 63, "adiw/sbiw: immediate out of range");
+  const uint16_t pair = static_cast<uint16_t>((rd - 24) / 2);
+  return static_cast<uint16_t>(base | ((k & 0x30u) << 2) | (pair << 4) |
+                               (k & 0x0Fu));
+}
+
+uint16_t io_op(uint16_t base, uint8_t rd, uint8_t a) {
+  require(rd < 32, "in/out: register out of range");
+  require(a < 64, "in/out: I/O address out of range");
+  return static_cast<uint16_t>(base | ((a & 0x30u) << 5) | (rd << 4) |
+                               (a & 0x0Fu));
+}
+
+uint16_t io_bit(uint16_t base, uint8_t a, uint8_t b) {
+  require(a < 32, "sbi/cbi/sbic/sbis: I/O address out of range");
+  require(b < 8, "bit out of range");
+  return static_cast<uint16_t>(base | (a << 3) | b);
+}
+
+// Ldd/Std displacement bits: q5 -> bit13, q4..q3 -> bits11..10, q2..q0 -> 2..0
+uint16_t disp_bits(uint8_t q) {
+  require(q < 64, "ldd/std: displacement out of range");
+  return static_cast<uint16_t>(((q & 0x20u) << 8) | ((q & 0x18u) << 7) |
+                               (q & 0x07u));
+}
+
+uint16_t ld_st(uint16_t base, uint8_t rd, uint16_t ext) {
+  require(rd < 32, "ld/st: register out of range");
+  return static_cast<uint16_t>(base | (rd << 4) | ext);
+}
+
+}  // namespace
+
+void encode_to(const Instruction& ins, std::vector<uint16_t>& out) {
+  using enum Op;
+  switch (ins.op) {
+    case Add: out.push_back(two_reg(0x0C00, ins.rd, ins.rr)); return;
+    case Adc: out.push_back(two_reg(0x1C00, ins.rd, ins.rr)); return;
+    case Sub: out.push_back(two_reg(0x1800, ins.rd, ins.rr)); return;
+    case Sbc: out.push_back(two_reg(0x0800, ins.rd, ins.rr)); return;
+    case And: out.push_back(two_reg(0x2000, ins.rd, ins.rr)); return;
+    case Or: out.push_back(two_reg(0x2800, ins.rd, ins.rr)); return;
+    case Eor: out.push_back(two_reg(0x2400, ins.rd, ins.rr)); return;
+    case Mov: out.push_back(two_reg(0x2C00, ins.rd, ins.rr)); return;
+    case Cp: out.push_back(two_reg(0x1400, ins.rd, ins.rr)); return;
+    case Cpc: out.push_back(two_reg(0x0400, ins.rd, ins.rr)); return;
+    case Cpse: out.push_back(two_reg(0x1000, ins.rd, ins.rr)); return;
+    case Mul: out.push_back(two_reg(0x9C00, ins.rd, ins.rr)); return;
+
+    case Subi: out.push_back(imm_op(0x5000, ins.rd, ins.k)); return;
+    case Sbci: out.push_back(imm_op(0x4000, ins.rd, ins.k)); return;
+    case Andi: out.push_back(imm_op(0x7000, ins.rd, ins.k)); return;
+    case Ori: out.push_back(imm_op(0x6000, ins.rd, ins.k)); return;
+    case Cpi: out.push_back(imm_op(0x3000, ins.rd, ins.k)); return;
+    case Ldi: out.push_back(imm_op(0xE000, ins.rd, ins.k)); return;
+
+    case Com: out.push_back(one_reg(ins.rd, 0x0)); return;
+    case Neg: out.push_back(one_reg(ins.rd, 0x1)); return;
+    case Swap: out.push_back(one_reg(ins.rd, 0x2)); return;
+    case Inc: out.push_back(one_reg(ins.rd, 0x3)); return;
+    case Asr: out.push_back(one_reg(ins.rd, 0x5)); return;
+    case Lsr: out.push_back(one_reg(ins.rd, 0x6)); return;
+    case Ror: out.push_back(one_reg(ins.rd, 0x7)); return;
+    case Dec: out.push_back(one_reg(ins.rd, 0xA)); return;
+
+    case Adiw: out.push_back(adiw_like(0x9600, ins.rd, ins.k)); return;
+    case Sbiw: out.push_back(adiw_like(0x9700, ins.rd, ins.k)); return;
+
+    case Movw:
+      require(ins.rd % 2 == 0 && ins.rr % 2 == 0 && ins.rd < 32 && ins.rr < 32,
+              "movw: registers must be even");
+      out.push_back(static_cast<uint16_t>(0x0100u | ((ins.rd / 2) << 4) |
+                                          (ins.rr / 2)));
+      return;
+
+    case Lds:
+      require(ins.k >= 0 && ins.k <= 0xFFFF, "lds: address out of range");
+      out.push_back(ld_st(0x9000, ins.rd, 0x0));
+      out.push_back(static_cast<uint16_t>(ins.k));
+      return;
+    case Sts:
+      require(ins.k >= 0 && ins.k <= 0xFFFF, "sts: address out of range");
+      out.push_back(ld_st(0x9200, ins.rd, 0x0));
+      out.push_back(static_cast<uint16_t>(ins.k));
+      return;
+
+    case LdX: out.push_back(ld_st(0x9000, ins.rd, 0xC)); return;
+    case LdXInc: out.push_back(ld_st(0x9000, ins.rd, 0xD)); return;
+    case LdXDec: out.push_back(ld_st(0x9000, ins.rd, 0xE)); return;
+    case LdYInc: out.push_back(ld_st(0x9000, ins.rd, 0x9)); return;
+    case LdYDec: out.push_back(ld_st(0x9000, ins.rd, 0xA)); return;
+    case LdZInc: out.push_back(ld_st(0x9000, ins.rd, 0x1)); return;
+    case LdZDec: out.push_back(ld_st(0x9000, ins.rd, 0x2)); return;
+    case StX: out.push_back(ld_st(0x9200, ins.rd, 0xC)); return;
+    case StXInc: out.push_back(ld_st(0x9200, ins.rd, 0xD)); return;
+    case StXDec: out.push_back(ld_st(0x9200, ins.rd, 0xE)); return;
+    case StYInc: out.push_back(ld_st(0x9200, ins.rd, 0x9)); return;
+    case StYDec: out.push_back(ld_st(0x9200, ins.rd, 0xA)); return;
+    case StZInc: out.push_back(ld_st(0x9200, ins.rd, 0x1)); return;
+    case StZDec: out.push_back(ld_st(0x9200, ins.rd, 0x2)); return;
+
+    case Ldd: {
+      require(ins.ptr != Ptr::X, "ldd: displacement mode needs Y or Z");
+      require(ins.rd < 32, "ldd: register out of range");
+      const uint16_t ybit = ins.ptr == Ptr::Y ? 0x8u : 0x0u;
+      out.push_back(static_cast<uint16_t>(0x8000u | disp_bits(ins.q) |
+                                          (ins.rd << 4) | ybit));
+      return;
+    }
+    case Std: {
+      require(ins.ptr != Ptr::X, "std: displacement mode needs Y or Z");
+      require(ins.rd < 32, "std: register out of range");
+      const uint16_t ybit = ins.ptr == Ptr::Y ? 0x8u : 0x0u;
+      out.push_back(static_cast<uint16_t>(0x8200u | disp_bits(ins.q) |
+                                          (ins.rd << 4) | ybit));
+      return;
+    }
+
+    case Push: out.push_back(ld_st(0x9200, ins.rd, 0xF)); return;
+    case Pop: out.push_back(ld_st(0x9000, ins.rd, 0xF)); return;
+
+    case In: out.push_back(io_op(0xB000, ins.rd, ins.a)); return;
+    case Out: out.push_back(io_op(0xB800, ins.rd, ins.a)); return;
+    case Sbi: out.push_back(io_bit(0x9A00, ins.a, ins.b)); return;
+    case Cbi: out.push_back(io_bit(0x9800, ins.a, ins.b)); return;
+    case Sbic: out.push_back(io_bit(0x9900, ins.a, ins.b)); return;
+    case Sbis: out.push_back(io_bit(0x9B00, ins.a, ins.b)); return;
+
+    case LpmR0: out.push_back(0x95C8); return;
+    case Lpm: out.push_back(ld_st(0x9000, ins.rd, 0x4)); return;
+    case LpmInc: out.push_back(ld_st(0x9000, ins.rd, 0x5)); return;
+
+    case Rjmp:
+      require(ins.k >= -2048 && ins.k <= 2047, "rjmp: offset out of range");
+      out.push_back(static_cast<uint16_t>(0xC000u | (ins.k & 0x0FFF)));
+      return;
+    case Rcall:
+      require(ins.k >= -2048 && ins.k <= 2047, "rcall: offset out of range");
+      out.push_back(static_cast<uint16_t>(0xD000u | (ins.k & 0x0FFF)));
+      return;
+    case Jmp:
+      require(ins.k >= 0 && ins.k <= 0xFFFF, "jmp: address out of range");
+      out.push_back(0x940C);
+      out.push_back(static_cast<uint16_t>(ins.k));
+      return;
+    case Call:
+      require(ins.k >= 0 && ins.k <= 0xFFFF, "call: address out of range");
+      out.push_back(0x940E);
+      out.push_back(static_cast<uint16_t>(ins.k));
+      return;
+    case Ijmp: out.push_back(0x9409); return;
+    case Icall: out.push_back(0x9509); return;
+    case Ret: out.push_back(0x9508); return;
+    case Reti: out.push_back(0x9518); return;
+
+    case Brbs:
+      require(ins.k >= -64 && ins.k <= 63, "brbs: offset out of range");
+      require(ins.b < 8, "brbs: flag out of range");
+      out.push_back(static_cast<uint16_t>(0xF000u | ((ins.k & 0x7F) << 3) |
+                                          ins.b));
+      return;
+    case Brbc:
+      require(ins.k >= -64 && ins.k <= 63, "brbc: offset out of range");
+      require(ins.b < 8, "brbc: flag out of range");
+      out.push_back(static_cast<uint16_t>(0xF400u | ((ins.k & 0x7F) << 3) |
+                                          ins.b));
+      return;
+    case Sbrc:
+      require(ins.rr < 32 && ins.b < 8, "sbrc: operand out of range");
+      out.push_back(static_cast<uint16_t>(0xFC00u | (ins.rr << 4) | ins.b));
+      return;
+    case Sbrs:
+      require(ins.rr < 32 && ins.b < 8, "sbrs: operand out of range");
+      out.push_back(static_cast<uint16_t>(0xFE00u | (ins.rr << 4) | ins.b));
+      return;
+
+    case Bset:
+      require(ins.b < 8, "bset: flag out of range");
+      out.push_back(static_cast<uint16_t>(0x9408u | (ins.b << 4)));
+      return;
+    case Bclr:
+      require(ins.b < 8, "bclr: flag out of range");
+      out.push_back(static_cast<uint16_t>(0x9488u | (ins.b << 4)));
+      return;
+
+    case Nop: out.push_back(0x0000); return;
+    case Sleep: out.push_back(0x9588); return;
+    case Wdr: out.push_back(0x95A8); return;
+    case Break: out.push_back(0x9598); return;
+
+    case Invalid: throw std::invalid_argument("cannot encode Invalid");
+  }
+  throw std::invalid_argument("unhandled opcode");
+}
+
+std::vector<uint16_t> encode(const Instruction& ins) {
+  std::vector<uint16_t> out;
+  encode_to(ins, out);
+  return out;
+}
+
+}  // namespace sensmart::isa

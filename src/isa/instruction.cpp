@@ -1,0 +1,282 @@
+#include "isa/instruction.hpp"
+
+namespace sensmart::isa {
+
+int size_words(Op op) {
+  switch (op) {
+    case Op::Lds:
+    case Op::Sts:
+    case Op::Jmp:
+    case Op::Call:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+int base_cycles(Op op) {
+  switch (op) {
+    case Op::Adiw:
+    case Op::Sbiw:
+    case Op::Mul:
+      return 2;
+    case Op::Lds:
+    case Op::Sts:
+    case Op::LdX:
+    case Op::LdXInc:
+    case Op::LdXDec:
+    case Op::LdYInc:
+    case Op::LdYDec:
+    case Op::LdZInc:
+    case Op::LdZDec:
+    case Op::Ldd:
+    case Op::StX:
+    case Op::StXInc:
+    case Op::StXDec:
+    case Op::StYInc:
+    case Op::StYDec:
+    case Op::StZInc:
+    case Op::StZDec:
+    case Op::Std:
+    case Op::Push:
+    case Op::Pop:
+    case Op::Sbi:
+    case Op::Cbi:
+      return 2;
+    case Op::LpmR0:
+    case Op::Lpm:
+    case Op::LpmInc:
+      return 3;
+    case Op::Rjmp:
+    case Op::Ijmp:
+      return 2;
+    case Op::Rcall:
+    case Op::Icall:
+    case Op::Jmp:
+      return 3;
+    case Op::Call:
+    case Op::Ret:
+    case Op::Reti:
+      return 4;
+    default:
+      return 1;  // ALU, branches (not taken), IN/OUT, flag ops, NOP, SLEEP
+  }
+}
+
+bool is_conditional_branch(Op op) {
+  switch (op) {
+    case Op::Brbs:
+    case Op::Brbc:
+    case Op::Sbrc:
+    case Op::Sbrs:
+    case Op::Sbic:
+    case Op::Sbis:
+    case Op::Cpse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_relative_branch(Op op) {
+  switch (op) {
+    case Op::Rjmp:
+    case Op::Rcall:
+    case Op::Brbs:
+    case Op::Brbc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_call(Op op) { return op == Op::Rcall || op == Op::Call || op == Op::Icall; }
+bool is_return(Op op) { return op == Op::Ret || op == Op::Reti; }
+bool is_indirect_jump(Op op) { return op == Op::Ijmp || op == Op::Icall; }
+
+bool is_mem_indirect(Op op) {
+  switch (op) {
+    case Op::LdX:
+    case Op::LdXInc:
+    case Op::LdXDec:
+    case Op::LdYInc:
+    case Op::LdYDec:
+    case Op::LdZInc:
+    case Op::LdZDec:
+    case Op::Ldd:
+    case Op::StX:
+    case Op::StXInc:
+    case Op::StXDec:
+    case Op::StYInc:
+    case Op::StYDec:
+    case Op::StZInc:
+    case Op::StZDec:
+    case Op::Std:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mem_direct(Op op) { return op == Op::Lds || op == Op::Sts; }
+
+bool is_store(Op op) {
+  switch (op) {
+    case Op::StX:
+    case Op::StXInc:
+    case Op::StXDec:
+    case Op::StYInc:
+    case Op::StYDec:
+    case Op::StZInc:
+    case Op::StZDec:
+    case Op::Std:
+    case Op::Sts:
+    case Op::Push:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_stack_op(Op op) { return op == Op::Push || op == Op::Pop; }
+
+// SPL/SPH live at I/O addresses 0x3D/0x3E (data addresses 0x5D/0x5E).
+bool writes_sp(Op op, uint8_t io_addr) {
+  return op == Op::Out && (io_addr == 0x3D || io_addr == 0x3E);
+}
+bool reads_sp(Op op, uint8_t io_addr) {
+  return op == Op::In && (io_addr == 0x3D || io_addr == 0x3E);
+}
+
+Ptr pointer_of(const Instruction& ins) {
+  switch (ins.op) {
+    case Op::LdX:
+    case Op::LdXInc:
+    case Op::LdXDec:
+    case Op::StX:
+    case Op::StXInc:
+    case Op::StXDec:
+      return Ptr::X;
+    case Op::LdYInc:
+    case Op::LdYDec:
+    case Op::StYInc:
+    case Op::StYDec:
+      return Ptr::Y;
+    case Op::LdZInc:
+    case Op::LdZDec:
+    case Op::StZInc:
+    case Op::StZDec:
+      return Ptr::Z;
+    case Op::Ldd:
+    case Op::Std:
+      return ins.ptr;
+    default:
+      return Ptr::Z;
+  }
+}
+
+bool mutates_pointer(Op op) {
+  switch (op) {
+    case Op::LdXInc:
+    case Op::LdXDec:
+    case Op::LdYInc:
+    case Op::LdYDec:
+    case Op::LdZInc:
+    case Op::LdZDec:
+    case Op::StXInc:
+    case Op::StXDec:
+    case Op::StYInc:
+    case Op::StYDec:
+    case Op::StZInc:
+    case Op::StZDec:
+    case Op::LpmInc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::Add: return "add";
+    case Op::Adc: return "adc";
+    case Op::Sub: return "sub";
+    case Op::Sbc: return "sbc";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Eor: return "eor";
+    case Op::Mov: return "mov";
+    case Op::Cp: return "cp";
+    case Op::Cpc: return "cpc";
+    case Op::Cpse: return "cpse";
+    case Op::Mul: return "mul";
+    case Op::Subi: return "subi";
+    case Op::Sbci: return "sbci";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Cpi: return "cpi";
+    case Op::Ldi: return "ldi";
+    case Op::Com: return "com";
+    case Op::Neg: return "neg";
+    case Op::Swap: return "swap";
+    case Op::Inc: return "inc";
+    case Op::Dec: return "dec";
+    case Op::Asr: return "asr";
+    case Op::Lsr: return "lsr";
+    case Op::Ror: return "ror";
+    case Op::Adiw: return "adiw";
+    case Op::Sbiw: return "sbiw";
+    case Op::Movw: return "movw";
+    case Op::Lds: return "lds";
+    case Op::Sts: return "sts";
+    case Op::LdX: return "ld_x";
+    case Op::LdXInc: return "ld_x+";
+    case Op::LdXDec: return "ld_-x";
+    case Op::LdYInc: return "ld_y+";
+    case Op::LdYDec: return "ld_-y";
+    case Op::LdZInc: return "ld_z+";
+    case Op::LdZDec: return "ld_-z";
+    case Op::Ldd: return "ldd";
+    case Op::StX: return "st_x";
+    case Op::StXInc: return "st_x+";
+    case Op::StXDec: return "st_-x";
+    case Op::StYInc: return "st_y+";
+    case Op::StYDec: return "st_-y";
+    case Op::StZInc: return "st_z+";
+    case Op::StZDec: return "st_-z";
+    case Op::Std: return "std";
+    case Op::Push: return "push";
+    case Op::Pop: return "pop";
+    case Op::In: return "in";
+    case Op::Out: return "out";
+    case Op::Sbi: return "sbi";
+    case Op::Cbi: return "cbi";
+    case Op::Sbic: return "sbic";
+    case Op::Sbis: return "sbis";
+    case Op::LpmR0: return "lpm_r0";
+    case Op::Lpm: return "lpm";
+    case Op::LpmInc: return "lpm_z+";
+    case Op::Rjmp: return "rjmp";
+    case Op::Rcall: return "rcall";
+    case Op::Jmp: return "jmp";
+    case Op::Call: return "call";
+    case Op::Ijmp: return "ijmp";
+    case Op::Icall: return "icall";
+    case Op::Ret: return "ret";
+    case Op::Reti: return "reti";
+    case Op::Brbs: return "brbs";
+    case Op::Brbc: return "brbc";
+    case Op::Sbrc: return "sbrc";
+    case Op::Sbrs: return "sbrs";
+    case Op::Bset: return "bset";
+    case Op::Bclr: return "bclr";
+    case Op::Nop: return "nop";
+    case Op::Sleep: return "sleep";
+    case Op::Wdr: return "wdr";
+    case Op::Break: return "break";
+    case Op::Invalid: return "<invalid>";
+  }
+  return "<?>";
+}
+
+}  // namespace sensmart::isa

@@ -1,0 +1,97 @@
+// AVR (ATmega128 subset) instruction representation.
+//
+// The subset covers everything emitted by the in-library assembler and
+// everything the SenSmart rewriter must recognize: the full two-operand and
+// immediate ALU groups, the one-operand group, all load/store addressing
+// modes, stack operations, the control-flow group, bit/flag operations and
+// the MCU-control group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sensmart::isa {
+
+enum class Op : uint8_t {
+  // Two-register ALU (word = base | r-bit9 | d<<4 | r-low).
+  Add, Adc, Sub, Sbc, And, Or, Eor, Mov, Cp, Cpc, Cpse, Mul,
+  // Register-immediate ALU (d in 16..31, 8-bit K).
+  Subi, Sbci, Andi, Ori, Cpi, Ldi,
+  // One-register ALU.
+  Com, Neg, Swap, Inc, Dec, Asr, Lsr, Ror,
+  // Word immediate on register pairs (r24/26/28/30, 6-bit K).
+  Adiw, Sbiw,
+  // Register-pair move.
+  Movw,
+  // Direct data memory.
+  Lds, Sts,
+  // Indirect data memory through X/Y/Z with pre-decrement/post-increment,
+  // and Y/Z with 6-bit displacement.
+  LdX, LdXInc, LdXDec, LdYInc, LdYDec, LdZInc, LdZDec, Ldd /*Y or Z + q*/,
+  StX, StXInc, StXDec, StYInc, StYDec, StZInc, StZDec, Std,
+  // Stack.
+  Push, Pop,
+  // I/O space.
+  In, Out, Sbi, Cbi, Sbic, Sbis,
+  // Program memory data access.
+  LpmR0, Lpm, LpmInc,
+  // Control flow.
+  Rjmp, Rcall, Jmp, Call, Ijmp, Icall, Ret, Reti,
+  Brbs, Brbc, Sbrc, Sbrs,
+  // Flag and MCU control.
+  Bset, Bclr, Nop, Sleep, Wdr, Break,
+  Invalid,
+};
+
+// Index registers used by Ldd/Std (and handy for describing LD/ST variants).
+enum class Ptr : uint8_t { X, Y, Z };
+
+// SREG bit indices.
+inline constexpr int kFlagC = 0, kFlagZ = 1, kFlagN = 2, kFlagV = 3,
+                     kFlagS = 4, kFlagH = 5, kFlagT = 6, kFlagI = 7;
+
+// One decoded (or to-be-encoded) instruction. Fields that an opcode does
+// not use are zero. `k` carries immediates, branch offsets (signed, in
+// words) and 16-bit direct addresses; `q` carries the Ldd/Std displacement;
+// `a` carries I/O addresses; `b` carries bit numbers / SREG bit selectors.
+struct Instruction {
+  Op op = Op::Invalid;
+  uint8_t rd = 0;   // destination register (0..31) or register pair base
+  uint8_t rr = 0;   // source register
+  int32_t k = 0;    // immediate / address / signed word offset
+  uint8_t a = 0;    // I/O address (0..63)
+  uint8_t b = 0;    // bit number (0..7) or SREG flag index
+  uint8_t q = 0;    // displacement (0..63)
+  Ptr ptr = Ptr::Z; // index register for Ldd/Std
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// Size of an instruction in 16-bit flash words (1 or 2).
+int size_words(Op op);
+
+// Base cycle cost on an AVR core (branch-taken/skip extra cycles are added
+// by the CPU at execution time).
+int base_cycles(Op op);
+
+// Classification helpers used by the rewriter.
+bool is_conditional_branch(Op op);  // Brbs/Brbc/Sbrc/Sbrs/Cpse
+bool is_relative_branch(Op op);     // Rjmp/Rcall/Brbs/Brbc
+bool is_call(Op op);                // Rcall/Call/Icall
+bool is_return(Op op);              // Ret/Reti
+bool is_indirect_jump(Op op);       // Ijmp/Icall
+bool is_mem_indirect(Op op);        // LD/ST through X/Y/Z (incl. Ldd/Std)
+bool is_mem_direct(Op op);          // Lds/Sts
+bool is_store(Op op);               // any ST variant / Sts / Push
+bool is_stack_op(Op op);            // Push/Pop
+bool writes_sp(Op op, uint8_t io_addr);   // Out to SPL/SPH
+bool reads_sp(Op op, uint8_t io_addr);    // In from SPL/SPH
+
+// The index register an indirect memory op dereferences.
+Ptr pointer_of(const Instruction& ins);
+// True if the op mutates its index register (pre-dec / post-inc forms).
+bool mutates_pointer(Op op);
+
+const char* mnemonic(Op op);
+
+}  // namespace sensmart::isa

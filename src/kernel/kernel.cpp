@@ -1,0 +1,565 @@
+// Kernel construction, task admission and the trampoline service
+// dispatcher with all handlers.
+#include "kernel/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sensmart::kern {
+
+using emu::kDataEnd;
+using emu::kSramBase;
+using isa::Op;
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::Ready: return "ready";
+    case TaskState::Running: return "running";
+    case TaskState::Blocked: return "blocked";
+    case TaskState::Done: return "done";
+    case TaskState::Killed: return "killed";
+  }
+  return "?";
+}
+
+const char* to_string(KillReason r) {
+  switch (r) {
+    case KillReason::None: return "none";
+    case KillReason::InvalidAccess: return "invalid-access";
+    case KillReason::OutOfStackMemory: return "out-of-stack-memory";
+    case KillReason::BadJump: return "bad-jump";
+  }
+  return "?";
+}
+
+Kernel::Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
+               KernelConfig cfg)
+    : m_(machine), sys_(&sys), cfg_(cfg) {
+  // Trampoline CALLs transiently push 2 bytes on the task stack before the
+  // handler pops them, so the red zone can never be thinner than 4 bytes.
+  cfg_.stack_margin = std::max<uint16_t>(cfg_.stack_margin, 4);
+  m_.load_flash(sys.flash);
+  m_.set_service_hook(0, [this](emu::Machine& mm) { return on_service(mm); });
+}
+
+std::optional<uint8_t> Kernel::admit(size_t program_index) {
+  if (started_) throw std::logic_error("admit() after start()");
+  if (program_index >= sys_->programs.size())
+    throw std::out_of_range("program index");
+
+  // Feasibility: every task needs its heap plus the minimum stack.
+  const uint32_t app_space =
+      uint32_t(kDataEnd - cfg_.kernel_ram) - kSramBase;
+  uint32_t needed = sys_->programs[program_index].heap_size + cfg_.min_stack;
+  for (const Task& t : tasks_)
+    needed += prog_of(t).heap_size + cfg_.min_stack;
+  if (needed > app_space) return std::nullopt;
+
+  Task t;
+  t.id = static_cast<uint8_t>(tasks_.size());
+  t.program = program_index;
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+size_t Kernel::admit_all() {
+  size_t n = 0;
+  for (size_t i = 0; i < sys_->programs.size(); ++i)
+    if (admit(i)) ++n;
+  return n;
+}
+
+bool Kernel::start() {
+  if (started_) throw std::logic_error("start() called twice");
+  if (!layout_regions()) return false;
+  started_ = true;
+
+  m_.charge(cfg_.costs.init);
+  if (cfg_.warmup_cycles > 0) m_.charge(cfg_.warmup_cycles);
+
+  current_ = 0;
+  Task& t = tasks_[0];
+  t.state = TaskState::Running;
+  for (uint8_t r = 0; r < 32; ++r) m_.mem().set_reg(r, t.regs[r]);
+  m_.mem().set_sreg(t.sreg);
+  m_.mem().set_sp(t.sp);
+  m_.set_pc(t.pc);
+  slice_start_ = m_.cycles();
+  account_mark_ = m_.cycles();
+  start_cycle_ = m_.cycles();
+  alloc_mark_ = m_.cycles();
+  emit(EventKind::Start, uint16_t(tasks_.size()));
+  return true;
+}
+
+emu::StopReason Kernel::run(uint64_t max_cycles) {
+  if (!started_) throw std::logic_error("run() before start()");
+  return m_.run(max_cycles);
+}
+
+bool Kernel::all_stopped() const {
+  for (const Task& t : tasks_)
+    if (t.live()) return false;
+  return true;
+}
+
+size_t Kernel::live_count() const {
+  size_t n = 0;
+  for (const Task& t : tasks_)
+    if (t.live()) ++n;
+  return n;
+}
+
+void Kernel::note_stack_depth(Task& t) {
+  const uint16_t depth =
+      static_cast<uint16_t>(t.p_u - 1 - m_.mem().sp());
+  t.peak_stack_used = std::max(t.peak_stack_used, depth);
+}
+
+void Kernel::charge_op(uint32_t total) {
+  // The trampoline CALL itself already cost 4 cycles.
+  m_.charge(total > 4 ? total - 4 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// Service dispatch
+// ---------------------------------------------------------------------------
+
+bool Kernel::on_service(emu::Machine& m) {
+  const uint32_t idx = m.flash_word(m.pc() + 1);
+  if (idx >= sys_->services.size()) return false;
+  const rw::Service& svc = sys_->services[idx];
+  ++stats_.service_calls;
+
+  // Pop the address the trampoline CALL pushed: the naturalized address of
+  // the instruction following the patched site.
+  const uint16_t ret = m.pop16();
+
+  switch (svc.kind) {
+    case rw::ServiceKind::MemIndirect:
+      svc_mem_indirect(svc, ret, /*grouped=*/false);
+      break;
+    case rw::ServiceKind::MemIndirectGrouped:
+      svc_mem_indirect(svc, ret, /*grouped=*/true);
+      break;
+    case rw::ServiceKind::MemDirect:
+      svc_mem_direct(svc, ret);
+      break;
+    case rw::ServiceKind::ReservedDirect:
+      svc_reserved_direct(svc, ret);
+      break;
+    case rw::ServiceKind::PushPop:
+      svc_push_pop(svc, ret);
+      break;
+    case rw::ServiceKind::CallEnter:
+      svc_call_enter(svc, ret);
+      break;
+    case rw::ServiceKind::Return:
+      svc_return(svc, ret);
+      break;
+    case rw::ServiceKind::IndirectJump:
+      svc_indirect_jump(svc, ret);
+      break;
+    case rw::ServiceKind::BackwardBranch:
+      svc_branch(svc, ret, /*backward=*/true);
+      break;
+    case rw::ServiceKind::ForwardBranch:
+      svc_branch(svc, ret, /*backward=*/false);
+      break;
+    case rw::ServiceKind::SpRead:
+      svc_sp_read(svc, ret);
+      break;
+    case rw::ServiceKind::SpWrite:
+      svc_sp_write(svc, ret);
+      break;
+    case rw::ServiceKind::Lpm:
+      svc_lpm(svc, ret);
+      break;
+    case rw::ServiceKind::SleepOp:
+      svc_sleep(ret);
+      break;
+  }
+  return true;
+}
+
+namespace {
+// Pre/post pointer adjustment of an indirect memory op.
+struct PtrMode {
+  int pre = 0;
+  int post = 0;
+};
+PtrMode ptr_mode(Op op) {
+  switch (op) {
+    case Op::LdXInc:
+    case Op::LdYInc:
+    case Op::LdZInc:
+    case Op::StXInc:
+    case Op::StYInc:
+    case Op::StZInc:
+      return {0, 1};
+    case Op::LdXDec:
+    case Op::LdYDec:
+    case Op::LdZDec:
+    case Op::StXDec:
+    case Op::StYDec:
+    case Op::StZDec:
+      return {-1, 0};
+    default:
+      return {0, 0};
+  }
+}
+uint8_t ptr_reg(isa::Ptr p) {
+  switch (p) {
+    case isa::Ptr::X: return 26;
+    case isa::Ptr::Y: return 28;
+    default: return 30;
+  }
+}
+}  // namespace
+
+void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
+                              bool grouped) {
+  Task& t = current();
+  const isa::Instruction& ins = svc.original;
+  const uint8_t pr = ptr_reg(isa::pointer_of(ins));
+  const PtrMode pm = ptr_mode(ins.op);
+  const uint16_t p0 = m_.mem().reg_pair(pr);
+  const uint16_t base = static_cast<uint16_t>(p0 + pm.pre);
+  const uint16_t logical = static_cast<uint16_t>(base + ins.q);
+
+  m_.set_pc(ret);
+  ++stats_.mem_translations;
+
+  // Group leaders validate the whole group's displacement window once.
+  if (!grouped && svc.group_span > 0 &&
+      !check_window(t, static_cast<uint16_t>(base + svc.group_min),
+                    svc.group_span)) {
+    kill_task(t, KillReason::InvalidAccess);
+    context_switch(ret, false);
+    return;
+  }
+
+  const Xlate x = translate(t, logical);
+  if (x.area == Xlate::Area::Invalid) {
+    kill_task(t, KillReason::InvalidAccess);
+    context_switch(ret, false);
+    return;
+  }
+
+  const bool store = isa::is_store(ins.op);
+  if (x.area == Xlate::Area::Io) {
+    uint8_t v = store ? m_.mem().reg(ins.rd) : 0;
+    if (reserved_port_access(x.phys, v, store, ret)) {
+      if (!store) m_.mem().set_reg(ins.rd, v);
+    } else if (store) {
+      m_.mem().write(x.phys, m_.mem().reg(ins.rd));
+    } else {
+      m_.mem().set_reg(ins.rd, m_.mem().read(x.phys));
+    }
+    charge_op(cfg_.costs.ind_io);
+  } else {
+    if (store)
+      m_.mem().set_raw(x.phys, m_.mem().reg(ins.rd));
+    else
+      m_.mem().set_reg(ins.rd, m_.mem().raw(x.phys));
+    if (grouped)
+      charge_op(cfg_.costs.ind_grouped);
+    else
+      charge_op(x.area == Xlate::Area::Heap ? cfg_.costs.ind_heap
+                                            : cfg_.costs.ind_stack);
+  }
+
+  if (pm.pre != 0 || pm.post != 0)
+    m_.mem().set_reg_pair(pr, static_cast<uint16_t>(base + pm.post));
+}
+
+void Kernel::svc_mem_direct(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const isa::Instruction& ins = svc.original;
+  m_.set_pc(ret);
+  ++stats_.mem_translations;
+
+  const Xlate x = translate(t, static_cast<uint16_t>(ins.k));
+  if (x.area == Xlate::Area::Invalid) {
+    kill_task(t, KillReason::InvalidAccess);
+    context_switch(ret, false);
+    return;
+  }
+  if (ins.op == Op::Sts)
+    m_.mem().set_raw(x.phys, m_.mem().reg(ins.rd));
+  else
+    m_.mem().set_reg(ins.rd, m_.mem().raw(x.phys));
+  charge_op(cfg_.costs.direct_other);
+}
+
+void Kernel::svc_reserved_direct(const rw::Service& svc, uint16_t ret) {
+  const isa::Instruction& ins = svc.original;
+  const auto addr = static_cast<uint16_t>(ins.k);
+  m_.set_pc(ret);
+  const bool write = ins.op == Op::Sts;
+  uint8_t v = write ? m_.mem().reg(ins.rd) : 0;
+  reserved_port_access(addr, v, write, ret);
+  if (!write) m_.mem().set_reg(ins.rd, v);
+  charge_op(cfg_.costs.reserved_io);
+}
+
+bool Kernel::reserved_port_access(uint16_t addr, uint8_t& value, bool write,
+                                  uint16_t resume_pc) {
+  if (!rw::is_reserved_port(addr)) return false;
+  Task& t = current();
+  switch (addr) {
+    case emu::kTcnt3L:
+      if (!write) {
+        const uint16_t ticks = m_.dev().timer3_ticks(m_.cycles());
+        t.tcnt3_latch = static_cast<uint8_t>(ticks >> 8);
+        value = static_cast<uint8_t>(ticks & 0xFF);
+      }
+      break;
+    case emu::kTcnt3H:
+      if (!write) value = t.tcnt3_latch;
+      break;
+    case emu::kTccr3:
+      if (!write) value = 0;  // reserved by the kernel; writes are ignored
+      break;
+    case emu::kHostOut:
+      if (write) t.host_out.push_back(value);
+      break;
+    case emu::kHostHalt:
+      if (write) {
+        finish_task(t, value);
+        context_switch(resume_pc, false);
+      }
+      break;
+    case emu::kSleepTargetL:
+      if (write) t.sleep_target_l = value;
+      break;
+    case emu::kSleepTargetH:
+      if (write) {
+        // Anchor the wake cycle to the absolute tick count (the 16-bit
+        // target is interpreted modulo 2^16), as the device model does.
+        const uint16_t target =
+            static_cast<uint16_t>(t.sleep_target_l | (value << 8));
+        const uint64_t abs_ticks = m_.cycles() / emu::kTimer3Prescale;
+        const uint16_t delta =
+            static_cast<uint16_t>(target - static_cast<uint16_t>(abs_ticks));
+        t.sleep_wake_cycle = (abs_ticks + delta) * emu::kTimer3Prescale +
+                             emu::kTimer3Prescale - 1;
+        if (t.sleep_wake_cycle < m_.cycles()) t.sleep_wake_cycle = m_.cycles();
+        t.sleep_armed = true;
+      }
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+void Kernel::svc_push_pop(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const isa::Instruction& ins = svc.original;
+  m_.set_pc(ret);
+
+  if (ins.op == Op::Push) {
+    if (!ensure_stack(1)) {
+      context_switch(ret, false);
+      return;
+    }
+    const uint16_t sp = m_.mem().sp();
+    m_.mem().set_raw(sp, m_.mem().reg(ins.rd));
+    m_.mem().set_sp(static_cast<uint16_t>(sp - 1));
+    note_stack_depth(t);
+  } else {  // Pop
+    const uint16_t sp = m_.mem().sp();
+    if (sp + 1 >= current().p_u) {
+      kill_task(t, KillReason::InvalidAccess);  // stack underflow
+      context_switch(ret, false);
+      return;
+    }
+    m_.mem().set_reg(ins.rd, m_.mem().raw(static_cast<uint16_t>(sp + 1)));
+    m_.mem().set_sp(static_cast<uint16_t>(sp + 1));
+  }
+  charge_op(cfg_.costs.stack_pushpop);
+}
+
+void Kernel::svc_call_enter(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const isa::Instruction& ins = svc.original;
+  const rw::ProgramInfo& prog = prog_of(t);
+
+  if (!ensure_stack(2)) {
+    context_switch(ret, false);
+    return;
+  }
+
+  uint32_t target_nat = 0;
+  if (ins.op == Op::Call) {
+    target_nat = prog.map.to_naturalized(static_cast<uint32_t>(ins.k));
+  } else if (ins.op == Op::Rcall) {
+    const uint32_t orig_next = prog.map.to_original(ret);
+    target_nat =
+        prog.map.to_naturalized(static_cast<uint32_t>(orig_next + ins.k));
+  } else {  // Icall: the task computed an *original* program address
+    const uint16_t z = m_.mem().reg_pair(30);
+    if (z >= prog.map.to_original(prog.base + prog.nat_words)) {
+      m_.set_pc(ret);
+      kill_task(t, KillReason::BadJump);
+      context_switch(ret, false);
+      return;
+    }
+    target_nat = prog.map.to_naturalized(z);
+    m_.charge(cfg_.costs.prog_mem);
+  }
+
+  m_.push16(ret);  // the naturalized return address
+  note_stack_depth(t);
+  m_.set_pc(target_nat);
+  charge_op(cfg_.costs.stack_callret);
+}
+
+void Kernel::svc_return(const rw::Service&, uint16_t ret) {
+  Task& t = current();
+  const rw::ProgramInfo& prog = prog_of(t);
+
+  if (m_.mem().sp() + 2 >= t.p_u) {
+    m_.set_pc(ret);
+    kill_task(t, KillReason::InvalidAccess);  // no return address on stack
+    context_switch(ret, false);
+    return;
+  }
+  const uint16_t target = m_.pop16();
+  if (target < prog.base || target >= prog.base + prog.nat_words) {
+    kill_task(t, KillReason::BadJump);  // smashed stack
+    context_switch(ret, false);
+    return;
+  }
+  m_.set_pc(target);
+  charge_op(cfg_.costs.stack_callret);
+}
+
+void Kernel::svc_indirect_jump(const rw::Service&, uint16_t ret) {
+  Task& t = current();
+  const rw::ProgramInfo& prog = prog_of(t);
+  const uint16_t z = m_.mem().reg_pair(30);
+  if (z >= prog.map.to_original(prog.base + prog.nat_words)) {
+    m_.set_pc(ret);
+    kill_task(t, KillReason::BadJump);
+    context_switch(ret, false);
+    return;
+  }
+  const uint32_t target = prog.map.to_naturalized(z);
+  m_.set_pc(target);
+  charge_op(cfg_.costs.prog_mem);
+  trap_tick(target);  // an indirect jump may close a loop
+}
+
+void Kernel::svc_branch(const rw::Service& svc, uint16_t ret, bool backward) {
+  Task& t = current();
+  const isa::Instruction& ins = svc.original;
+  const rw::ProgramInfo& prog = prog_of(t);
+
+  bool taken = true;
+  if (ins.op == Op::Brbs)
+    taken = (m_.mem().sreg() >> ins.b) & 1;
+  else if (ins.op == Op::Brbc)
+    taken = !((m_.mem().sreg() >> ins.b) & 1);
+
+  uint32_t pc = ret;
+  if (taken) {
+    const uint32_t orig_next = prog.map.to_original(ret);
+    pc = prog.map.to_naturalized(static_cast<uint32_t>(orig_next + ins.k));
+  }
+  m_.set_pc(pc);
+  charge_op(backward ? cfg_.costs.trap_fast : cfg_.costs.fwd_branch);
+  if (backward) trap_tick(pc);
+}
+
+void Kernel::svc_sp_read(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const uint16_t logical =
+      static_cast<uint16_t>(m_.mem().sp() + logical_sp_offset(t));
+  const bool low = emu::kIoBase + svc.original.a == emu::kSpl;
+  m_.mem().set_reg(svc.original.rd,
+                   low ? static_cast<uint8_t>(logical & 0xFF)
+                       : static_cast<uint8_t>(logical >> 8));
+  m_.set_pc(ret);
+  // The IN pair totals get_sp cycles: 23 for the low read, 22 for the high.
+  charge_op(low ? (cfg_.costs.get_sp + 1) / 2 : cfg_.costs.get_sp / 2);
+}
+
+void Kernel::svc_sp_write(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const uint8_t v = m_.mem().reg(svc.original.rd);
+  const bool low = emu::kIoBase + svc.original.a == emu::kSpl;
+  const uint16_t cur_logical =
+      static_cast<uint16_t>(m_.mem().sp() + logical_sp_offset(t));
+  const uint16_t new_logical =
+      low ? static_cast<uint16_t>((cur_logical & 0xFF00) | v)
+          : static_cast<uint16_t>((cur_logical & 0x00FF) | (v << 8));
+
+  m_.set_pc(ret);
+  if (new_logical >= emu::kDataEnd) {
+    kill_task(t, KillReason::InvalidAccess);
+    context_switch(ret, false);
+    return;
+  }
+
+  // The requested stack depth is invariant under relocation; grow the
+  // region until the new SP fits with the red-zone margin.
+  const uint32_t needed_alloc =
+      uint32_t(emu::kDataEnd - new_logical) + cfg_.stack_margin;
+  if (needed_alloc > uint32_t(kernel_base_ - kSramBase)) {
+    kill_task(t, KillReason::InvalidAccess);
+    context_switch(ret, false);
+    return;
+  }
+  while (t.stack_alloc() < needed_alloc) {
+    if (!grow_step(static_cast<uint16_t>(needed_alloc - t.stack_alloc()))) {
+      context_switch(ret, false);
+      return;
+    }
+  }
+  const uint16_t new_phys =
+      static_cast<uint16_t>(new_logical - logical_sp_offset(t));
+  m_.mem().set_sp(new_phys);
+  note_stack_depth(t);
+  charge_op(cfg_.costs.set_sp / 2);
+}
+
+void Kernel::svc_lpm(const rw::Service& svc, uint16_t ret) {
+  Task& t = current();
+  const rw::ProgramInfo& prog = prog_of(t);
+  const isa::Instruction& ins = svc.original;
+  const uint16_t z = m_.mem().reg_pair(30);  // original flash *byte* address
+  const uint32_t orig_word = z >> 1;
+
+  m_.set_pc(ret);
+  if (orig_word >= prog.map.to_original(prog.base + prog.nat_words)) {
+    kill_task(t, KillReason::BadJump);
+    context_switch(ret, false);
+    return;
+  }
+  const uint32_t nat_word = prog.map.to_naturalized(orig_word);
+  const uint8_t byte = m_.flash_byte(nat_word * 2 + (z & 1));
+  m_.mem().set_reg(ins.op == Op::LpmR0 ? 0 : ins.rd, byte);
+  if (ins.op == Op::LpmInc)
+    m_.mem().set_reg_pair(30, static_cast<uint16_t>(z + 1));
+  charge_op(cfg_.costs.prog_mem);
+}
+
+void Kernel::svc_sleep(uint16_t ret) {
+  Task& t = current();
+  m_.set_pc(ret);
+  charge_op(cfg_.costs.sleep_svc);
+  if (t.sleep_armed) {
+    t.sleep_armed = false;
+    t.wake_cycle = t.sleep_wake_cycle;
+    emit(EventKind::Block, t.id);
+    context_switch(ret, /*block_current=*/true);
+  } else {
+    // Terminal idle: the task sleeps with no wake source armed.
+    finish_task(t, 0);
+    context_switch(ret, false);
+  }
+}
+
+}  // namespace sensmart::kern

@@ -1,0 +1,269 @@
+// The SenSmart kernel runtime (§IV): preemptive round-robin scheduling via
+// software traps, logical addressing with per-task memory regions, and
+// versatile stack management with run-time stack relocation.
+//
+// The kernel executes natively, entered through the trampoline service hook
+// of the emulated machine. Every handler charges the emulated cycle cost of
+// the equivalent AVR trampoline/kernel sequence; the cost model defaults
+// are calibrated against Table II of the paper and are measured back out by
+// bench/table2_overhead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emu/machine.hpp"
+#include "kernel/trace.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart::kern {
+
+// Cycle charges for kernel operations (Table II). Values are totals per
+// operation as observed by the running program; handlers subtract the 4
+// cycles the trampoline CALL itself consumed.
+struct CostModel {
+  uint32_t init = 5738;          // system initialization
+  uint32_t direct_other = 28;    // direct (LDS/STS) heap access
+  uint32_t ind_io = 54;          // indirect access landing in the I/O area
+  uint32_t ind_heap = 60;        // indirect heap access (group leader/full)
+  uint32_t ind_stack = 47;       // indirect stack-frame access
+  uint32_t ind_grouped = 18;     // grouped-access follower
+  uint32_t stack_pushpop = 57;   // checked PUSH/POP
+  uint32_t stack_callret = 77;   // checked CALL/RET
+  uint32_t prog_mem = 376;       // program-memory address translation
+  uint32_t get_sp = 45;          // IN pair from SPL/SPH (total)
+  uint32_t set_sp = 94;          // OUT pair to SPL/SPH (total)
+  uint32_t reloc_base = 326;     // stack relocation, fixed part
+  uint32_t reloc_per_byte = 8;   // stack relocation, per byte moved
+  uint32_t ctx_save = 932;
+  uint32_t ctx_restore = 976;
+  uint32_t ctx_sched = 390;      // scheduler bookkeeping (full switch 2298)
+  uint32_t trap_fast = 8;        // backward-branch trampoline, common path
+  uint32_t trap_check = 60;      // 1/256 counter wrap: slice check
+  uint32_t reserved_io = 40;     // kernel-virtualized port access
+  uint32_t fwd_branch = 6;       // relayed forward branch
+  uint32_t sleep_svc = 120;      // blocking sleep service
+};
+
+struct KernelConfig {
+  uint16_t kernel_ram = 416;     // ~10% of data memory, reserved at the top
+  uint16_t initial_stack = 128;  // predefined initial stack size (§IV-C3)
+  uint16_t min_stack = 24;       // admission minimum per task
+  uint16_t stack_margin = 8;     // red zone below which relocation triggers
+  uint32_t slice_cycles = 7373;  // round-robin time slice (~1 ms)
+  uint16_t trap_interval = 256;  // kernel entry on 1-out-of-N backward branches
+  uint64_t warmup_cycles = 0;    // one-time start-up charge (t-kernel mode)
+  bool protect_app_regions = true;  // false: t-kernel-style asymmetric
+                                    // protection, identity addressing
+  CostModel costs;
+};
+
+enum class TaskState : uint8_t { Ready, Running, Blocked, Done, Killed };
+enum class KillReason : uint8_t {
+  None,
+  InvalidAccess,     // out-of-region memory access / stack underflow
+  OutOfStackMemory,  // no donor could provide stack space
+  BadJump,           // indirect jump outside the program
+};
+
+const char* to_string(TaskState s);
+const char* to_string(KillReason r);
+
+struct Task {
+  uint8_t id = 0;
+  size_t program = 0;  // index into LinkedSystem::programs
+  TaskState state = TaskState::Ready;
+  KillReason kill_reason = KillReason::None;
+  uint8_t exit_code = 0;
+
+  // Region pointers (physical): heap [p_l, p_h), stack grows down from p_u.
+  uint16_t p_l = 0, p_h = 0, p_u = 0;
+
+  // Saved context (valid while not Running).
+  std::array<uint8_t, 32> regs{};
+  uint8_t sreg = 0;
+  uint16_t sp = 0;
+  uint32_t pc = 0;
+
+  // Blocking state.
+  uint64_t wake_cycle = 0;
+
+  // Virtualized reserved ports.
+  uint8_t sleep_target_l = 0;
+  bool sleep_armed = false;
+  uint64_t sleep_wake_cycle = 0;
+  uint8_t tcnt3_latch = 0;
+  std::vector<uint8_t> host_out;
+
+  // Statistics.
+  uint64_t cpu_cycles = 0;
+  uint16_t final_stack_alloc = 0;  // allocation at exit (region is
+                                   // released afterwards)
+  uint16_t peak_stack_used = 0;    // deepest stack use, in bytes below the
+                                   // logical stack bottom (relocation-safe)
+
+  uint16_t region_size() const { return static_cast<uint16_t>(p_u - p_l); }
+  uint16_t stack_alloc() const { return static_cast<uint16_t>(p_u - p_h); }
+  bool live() const {
+    return state != TaskState::Done && state != TaskState::Killed;
+  }
+};
+
+struct KernelStats {
+  uint64_t service_calls = 0;
+  uint64_t traps = 0;          // backward-branch trampoline entries
+  uint64_t trap_checks = 0;    // 1/N counter wraps (kernel slice checks)
+  uint64_t context_switches = 0;
+  uint64_t mem_translations = 0;
+  uint32_t relocations = 0;
+  uint64_t reloc_bytes_moved = 0;
+  uint64_t reloc_cycles = 0;
+  uint32_t kills = 0;
+  uint64_t idle_cycles = 0;
+  // Preemption delay: cycles by which preemption lagged the slice end
+  // (software traps are aperiodic, §IV-B).
+  uint64_t preempt_delay_max = 0;
+  uint64_t preempt_delay_sum = 0;
+  uint64_t preemptions = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
+         KernelConfig cfg = {});
+
+  // Create a task running program `program_index`. Fails (returns nullopt)
+  // if admission would leave some task below the minimum stack. Must be
+  // called before start().
+  std::optional<uint8_t> admit(size_t program_index);
+  // Admit one task per linked program; returns the number admitted.
+  size_t admit_all();
+
+  // Lay out memory regions, charge system-initialization cost, and make the
+  // first task runnable. Returns false if no task was admitted.
+  bool start();
+
+  // Run until every task is Done/Killed or `max_cycles` elapse.
+  emu::StopReason run(uint64_t max_cycles);
+
+  // --- Introspection ---------------------------------------------------------
+  const std::vector<Task>& tasks() const { return tasks_; }
+  const KernelStats& stats() const { return stats_; }
+  const KernelConfig& config() const { return cfg_; }
+  bool all_stopped() const;
+  size_t live_count() const;
+  // Time-averaged stack allocation per live task (bytes), integrated over
+  // the whole run — the "average stack allocation" metric of Fig. 7.
+  double avg_stack_alloc() const;
+  uint16_t app_area_end() const { return kernel_base_; }
+
+  // Verify region invariants (contiguous tiling, pointer ordering); used by
+  // tests and property checks. Returns an error description or empty.
+  std::string check_invariants() const;
+
+  // Attach an event trace (not owned); nullptr detaches. Zero emulated
+  // cycle cost.
+  void set_trace(KernelTrace* trace) { trace_ = trace; }
+
+ private:
+  friend struct KernelTestPeer;
+
+  // --- Service dispatch (kernel.cpp) ----------------------------------------
+  bool on_service(emu::Machine& m);
+  void svc_mem_indirect(const rw::Service& svc, uint16_t ret, bool grouped);
+  void svc_mem_direct(const rw::Service& svc, uint16_t ret);
+  void svc_reserved_direct(const rw::Service& svc, uint16_t ret);
+  void svc_push_pop(const rw::Service& svc, uint16_t ret);
+  void svc_call_enter(const rw::Service& svc, uint16_t ret);
+  void svc_return(const rw::Service& svc, uint16_t ret);
+  void svc_indirect_jump(const rw::Service& svc, uint16_t ret);
+  void svc_branch(const rw::Service& svc, uint16_t ret, bool backward);
+  void svc_sp_read(const rw::Service& svc, uint16_t ret);
+  void svc_sp_write(const rw::Service& svc, uint16_t ret);
+  void svc_lpm(const rw::Service& svc, uint16_t ret);
+  void svc_sleep(uint16_t ret);
+
+  // Reserved-port virtualization shared by direct and indirect paths.
+  // Returns true if `addr` is handled (reserved); `value` is in/out.
+  bool reserved_port_access(uint16_t addr, uint8_t& value, bool write,
+                            uint16_t resume_pc);
+
+  // --- Memory management (memmgr.cpp) ----------------------------------------
+  struct Xlate {
+    uint16_t phys = 0;
+    enum class Area : uint8_t { Io, Heap, Stack, Invalid } area = Area::Invalid;
+  };
+  Xlate translate(const Task& t, uint16_t logical) const;
+  // Check a whole window [logical, logical+span] (grouped leader).
+  bool check_window(const Task& t, uint16_t logical, uint8_t span) const;
+
+  bool layout_regions();
+  // Ensure the current task can grow its stack by `needed` bytes while
+  // keeping the red-zone margin; relocates or kills. Returns false if the
+  // task was killed.
+  bool ensure_stack(uint16_t needed);
+  // One relocation step toward `shortfall` more free bytes for the current
+  // task; kills the current task (returning false) if no donor exists.
+  bool grow_step(uint16_t shortfall);
+  // Transfer `delta` bytes of stack space from `donor` to `to` by sliding
+  // the regions between them (Figure 3).
+  void move_regions(Task& donor, Task& to, uint16_t delta);
+  void release_region(Task& dead);
+
+  uint16_t sp_of(const Task& t) const;
+  void set_sp_of(Task& t, uint16_t sp);
+  uint16_t free_stack(const Task& t) const;
+  uint16_t logical_sp_offset(const Task& t) const {
+    return static_cast<uint16_t>(emu::kDataEnd - t.p_u);
+  }
+
+  void kill_task(Task& t, KillReason why);
+  // Update the task's peak logical stack depth from the live SP.
+  void note_stack_depth(Task& t);
+  void finish_task(Task& t, uint8_t code);
+  // Integrate the per-live-task stack allocation up to now; call before
+  // any region mutation.
+  void sample_alloc();
+
+  // --- Scheduling (scheduler.cpp) --------------------------------------------
+  void trap_tick(uint32_t resume_pc);
+  void context_switch(uint32_t resume_pc, bool block_current);
+  void save_context(Task& t, uint32_t pc);
+  void restore_context(Task& t);
+  std::optional<size_t> pick_next(size_t after);
+  void wake_due_tasks();
+  void idle_until_wake();
+  void account_current();
+
+  Task& current() { return tasks_[current_]; }
+  void emit(EventKind kind, uint16_t a, uint16_t b = 0) {
+    if (trace_ != nullptr) trace_->record(m_.cycles(), kind, a, b);
+  }
+  const rw::ProgramInfo& prog_of(const Task& t) const {
+    return sys_->programs[t.program];
+  }
+  void charge_op(uint32_t total);
+
+  emu::Machine& m_;
+  const rw::LinkedSystem* sys_;
+  KernelConfig cfg_;
+  std::vector<Task> tasks_;
+  size_t current_ = 0;
+  bool started_ = false;
+  uint16_t kernel_base_ = 0;  // first byte of the kernel data area
+  uint16_t trap_counter_ = 0;
+  uint64_t slice_start_ = 0;
+  uint64_t account_mark_ = 0;
+  uint64_t start_cycle_ = 0;
+  uint64_t alloc_mark_ = 0;
+  uint64_t alloc_integral_ = 0;  // byte-cycles
+  bool alloc_frozen_ = false;    // stop integrating once a task exits, so
+                                 // the average reflects full concurrency
+  KernelTrace* trace_ = nullptr;
+  KernelStats stats_;
+};
+
+}  // namespace sensmart::kern

@@ -1,0 +1,342 @@
+// Memory management: region layout, logical addressing (§IV-C2) and stack
+// relocation (§IV-C3).
+#include <algorithm>
+#include <sstream>
+
+#include "kernel/kernel.hpp"
+
+namespace sensmart::kern {
+
+using emu::kDataEnd;
+using emu::kSramBase;
+
+uint16_t Kernel::sp_of(const Task& t) const {
+  if (started_ && t.id == tasks_[current_].id &&
+      tasks_[current_].state == TaskState::Running)
+    return m_.mem().sp();
+  return t.sp;
+}
+
+void Kernel::set_sp_of(Task& t, uint16_t sp) {
+  if (started_ && t.id == tasks_[current_].id &&
+      tasks_[current_].state == TaskState::Running)
+    m_.mem().set_sp(sp);
+  else
+    t.sp = sp;
+}
+
+uint16_t Kernel::free_stack(const Task& t) const {
+  const uint16_t sp = sp_of(t);
+  return sp >= t.p_h ? static_cast<uint16_t>(sp - t.p_h + 1) : 0;
+}
+
+Kernel::Xlate Kernel::translate(const Task& t, uint16_t logical) const {
+  Xlate x;
+  if (!cfg_.protect_app_regions) {
+    // t-kernel-style asymmetric protection: identity addressing, only the
+    // kernel area is guarded.
+    if (logical >= kernel_base_) return x;
+    x.phys = logical;
+    x.area = logical < kSramBase ? Xlate::Area::Io
+             : logical < t.p_h   ? Xlate::Area::Heap
+                                 : Xlate::Area::Stack;
+    return x;
+  }
+
+  if (logical < kSramBase) {
+    x.phys = logical;
+    x.area = Xlate::Area::Io;
+    return x;
+  }
+  const auto& prog = prog_of(t);
+  if (logical < kSramBase + prog.heap_size) {
+    x.phys = static_cast<uint16_t>(logical - kSramBase + t.p_l);
+    x.area = Xlate::Area::Heap;
+    return x;
+  }
+  // Stack window: displacement p_u - M (§IV-C2).
+  const int32_t phys = int32_t(logical) - int32_t(logical_sp_offset(t));
+  if (phys >= int32_t(t.p_h) && phys < int32_t(t.p_u)) {
+    x.phys = static_cast<uint16_t>(phys);
+    x.area = Xlate::Area::Stack;
+  }
+  return x;
+}
+
+bool Kernel::check_window(const Task& t, uint16_t logical, uint8_t span) const {
+  const Xlate lo = translate(t, logical);
+  if (lo.area == Xlate::Area::Invalid) return false;
+  if (span == 0) return true;
+  const Xlate hi = translate(t, static_cast<uint16_t>(logical + span));
+  return hi.area == lo.area;
+}
+
+bool Kernel::layout_regions() {
+  kernel_base_ = static_cast<uint16_t>(kDataEnd - cfg_.kernel_ram);
+  const uint32_t app_space = kernel_base_ - kSramBase;
+
+  uint32_t heaps = 0;
+  for (const Task& t : tasks_) heaps += prog_of(t).heap_size;
+  if (tasks_.empty() || heaps + tasks_.size() * cfg_.min_stack > app_space)
+    return false;
+
+  const uint32_t stack_avail = app_space - heaps;
+  const uint16_t per_stack = static_cast<uint16_t>(std::min<uint32_t>(
+      cfg_.initial_stack, stack_avail / tasks_.size()));
+  if (per_stack < cfg_.min_stack) return false;
+
+  uint16_t cursor = kSramBase;
+  for (Task& t : tasks_) {
+    t.p_l = cursor;
+    t.p_h = static_cast<uint16_t>(t.p_l + prog_of(t).heap_size);
+    t.p_u = static_cast<uint16_t>(t.p_h + per_stack);
+    cursor = t.p_u;
+    t.sp = static_cast<uint16_t>(t.p_u - 1);
+    t.pc = prog_of(t).entry_nat;
+    t.regs.fill(0);
+    t.sreg = 0;
+    t.state = TaskState::Ready;
+  }
+  // Hand the leftover to the last region; it becomes the first donor.
+  tasks_.back().p_u = kernel_base_;
+  tasks_.back().sp = static_cast<uint16_t>(kernel_base_ - 1);
+  return true;
+}
+
+bool Kernel::grow_step(uint16_t shortfall) {
+  Task& t = current();
+  // Pick the live task with the largest stack surplus (§IV-C3).
+  Task* donor = nullptr;
+  uint16_t best = 0;
+  for (Task& d : tasks_) {
+    if (!d.live() || d.id == t.id) continue;
+    const uint16_t fs = free_stack(d);
+    const uint16_t surplus =
+        fs > cfg_.stack_margin ? static_cast<uint16_t>(fs - cfg_.stack_margin)
+                               : 0;
+    if (surplus > best) {
+      best = surplus;
+      donor = &d;
+    }
+  }
+  if (donor == nullptr || best == 0) {
+    kill_task(t, KillReason::OutOfStackMemory);
+    return false;
+  }
+  // The donor provides half of its surplus, or the shortfall if half is
+  // not enough (capped at the full surplus).
+  uint16_t delta = std::max<uint16_t>(best / 2, shortfall);
+  delta = std::min(delta, best);
+  move_regions(*donor, t, delta);
+  return true;
+}
+
+bool Kernel::ensure_stack(uint16_t needed) {
+  Task& t = current();
+  const uint32_t required = uint32_t(needed) + cfg_.stack_margin;
+  while (free_stack(t) < required) {
+    if (!grow_step(static_cast<uint16_t>(required - free_stack(t)))) return false;
+  }
+  return true;
+}
+
+void Kernel::sample_alloc() {
+  if (alloc_frozen_) return;
+  const uint64_t now = m_.cycles();
+  uint64_t total = 0;
+  uint64_t n = 0;
+  for (const Task& t : tasks_) {
+    if (!t.live()) continue;
+    total += t.stack_alloc();
+    ++n;
+  }
+  if (n > 0 && now > alloc_mark_)
+    alloc_integral_ += (now - alloc_mark_) * (total / n);
+  alloc_mark_ = now;
+}
+
+double Kernel::avg_stack_alloc() const {
+  return alloc_mark_ > start_cycle_
+             ? double(alloc_integral_) / double(alloc_mark_ - start_cycle_)
+             : 0.0;
+}
+
+void Kernel::move_regions(Task& donor, Task& to, uint16_t delta) {
+  sample_alloc();
+  auto& mem = m_.mem();
+  uint64_t bytes_moved = 0;
+
+  if (donor.p_l > to.p_l) {
+    // Donor sits above: slide [to.sp+1, donor.p_h) upward by delta.
+    const uint16_t lo = static_cast<uint16_t>(sp_of(to) + 1);
+    const uint16_t hi = donor.p_h;  // exclusive
+    for (uint16_t a = hi; a-- > lo;)
+      mem.set_raw(static_cast<uint16_t>(a + delta), mem.raw(a));
+    bytes_moved = hi - lo;
+
+    for (Task& q : tasks_) {
+      if (!q.live() || q.id == to.id || q.id == donor.id) continue;
+      if (q.p_l > to.p_l && q.p_l < donor.p_l) {
+        q.p_l = static_cast<uint16_t>(q.p_l + delta);
+        q.p_h = static_cast<uint16_t>(q.p_h + delta);
+        q.p_u = static_cast<uint16_t>(q.p_u + delta);
+        set_sp_of(q, static_cast<uint16_t>(sp_of(q) + delta));
+      }
+    }
+    to.p_u = static_cast<uint16_t>(to.p_u + delta);
+    set_sp_of(to, static_cast<uint16_t>(sp_of(to) + delta));
+    donor.p_l = static_cast<uint16_t>(donor.p_l + delta);
+    donor.p_h = static_cast<uint16_t>(donor.p_h + delta);
+  } else {
+    // Donor sits below: slide [donor.sp+1, to.p_h) downward by delta.
+    const uint16_t lo = static_cast<uint16_t>(sp_of(donor) + 1);
+    const uint16_t hi = to.p_h;  // exclusive
+    for (uint16_t a = lo; a < hi; ++a)
+      mem.set_raw(static_cast<uint16_t>(a - delta), mem.raw(a));
+    bytes_moved = hi - lo;
+
+    for (Task& q : tasks_) {
+      if (!q.live() || q.id == to.id || q.id == donor.id) continue;
+      if (q.p_l > donor.p_l && q.p_l < to.p_l) {
+        q.p_l = static_cast<uint16_t>(q.p_l - delta);
+        q.p_h = static_cast<uint16_t>(q.p_h - delta);
+        q.p_u = static_cast<uint16_t>(q.p_u - delta);
+        set_sp_of(q, static_cast<uint16_t>(sp_of(q) - delta));
+      }
+    }
+    donor.p_u = static_cast<uint16_t>(donor.p_u - delta);
+    set_sp_of(donor, static_cast<uint16_t>(sp_of(donor) - delta));
+    to.p_l = static_cast<uint16_t>(to.p_l - delta);
+    to.p_h = static_cast<uint16_t>(to.p_h - delta);
+  }
+
+  ++stats_.relocations;
+  stats_.reloc_bytes_moved += bytes_moved;
+  const uint32_t cost = cfg_.costs.reloc_base +
+                        cfg_.costs.reloc_per_byte * uint32_t(bytes_moved);
+  stats_.reloc_cycles += cost;
+  m_.charge(cost);
+  emit(EventKind::Relocation, donor.id,
+       uint16_t(std::min<uint64_t>(bytes_moved, 0xFFFF)));
+}
+
+void Kernel::release_region(Task& dead) {
+  sample_alloc();
+  // Keep live regions tiling the application area: merge the dead region
+  // into a neighbour, moving that neighbour's variable-position part.
+  Task* below = nullptr;
+  Task* above = nullptr;
+  for (Task& q : tasks_) {
+    if (!q.live()) continue;
+    if (q.p_u == dead.p_l && (!below || q.p_l > below->p_l)) below = &q;
+    if (q.p_l == dead.p_u && (!above || q.p_l < above->p_l)) above = &q;
+  }
+  uint64_t moved = 0;
+  if (below != nullptr) {
+    // Extend the lower neighbour upward; its stack bytes move to the new top.
+    const uint16_t delta = static_cast<uint16_t>(dead.p_u - below->p_u);
+    const uint16_t lo = static_cast<uint16_t>(sp_of(*below) + 1);
+    const uint16_t hi = below->p_u;
+    for (uint16_t a = hi; a-- > lo;)
+      m_.mem().set_raw(static_cast<uint16_t>(a + delta), m_.mem().raw(a));
+    moved = hi - lo;
+    below->p_u = dead.p_u;
+    set_sp_of(*below, static_cast<uint16_t>(sp_of(*below) + delta));
+  } else if (above != nullptr) {
+    // Extend the upper neighbour downward; its heap moves down.
+    const uint16_t delta = static_cast<uint16_t>(above->p_l - dead.p_l);
+    for (uint16_t a = above->p_l; a < above->p_h; ++a)
+      m_.mem().set_raw(static_cast<uint16_t>(a - delta), m_.mem().raw(a));
+    moved = above->p_h - above->p_l;
+    above->p_l = static_cast<uint16_t>(above->p_l - delta);
+    above->p_h = static_cast<uint16_t>(above->p_h - delta);
+  }
+  if (below || above) {
+    ++stats_.relocations;
+    stats_.reloc_bytes_moved += moved;
+    const uint32_t cost =
+        cfg_.costs.reloc_base + cfg_.costs.reloc_per_byte * uint32_t(moved);
+    stats_.reloc_cycles += cost;
+    m_.charge(cost);
+    emit(EventKind::Relocation, below ? below->id : above->id,
+         uint16_t(std::min<uint64_t>(moved, 0xFFFF)));
+  }
+  dead.p_h = dead.p_l;
+  dead.p_u = dead.p_l;
+  emit(EventKind::RegionRelease, dead.id);
+}
+
+namespace {
+void snapshot_exit_stats(Task& t, uint16_t sp_now) {
+  t.final_stack_alloc = t.stack_alloc();
+  if (sp_now < t.p_u)
+    t.peak_stack_used = std::max(
+        t.peak_stack_used, static_cast<uint16_t>(t.p_u - 1 - sp_now));
+}
+}  // namespace
+
+void Kernel::kill_task(Task& t, KillReason why) {
+  account_current();
+  sample_alloc();
+  alloc_frozen_ = true;
+  const uint16_t sp_now = sp_of(t);  // read while the task still runs
+  t.state = TaskState::Killed;
+  t.kill_reason = why;
+  snapshot_exit_stats(t, sp_now);
+  ++stats_.kills;
+  emit(EventKind::TaskKilled, t.id, uint16_t(why));
+  release_region(t);
+}
+
+void Kernel::finish_task(Task& t, uint8_t code) {
+  account_current();
+  sample_alloc();
+  alloc_frozen_ = true;
+  const uint16_t sp_now = sp_of(t);
+  t.state = TaskState::Done;
+  t.exit_code = code;
+  snapshot_exit_stats(t, sp_now);
+  emit(EventKind::TaskDone, t.id, code);
+  release_region(t);
+}
+
+std::string Kernel::check_invariants() const {
+  std::vector<const Task*> live;
+  for (const Task& t : tasks_)
+    if (t.live()) live.push_back(&t);
+  std::sort(live.begin(), live.end(),
+            [](const Task* a, const Task* b) { return a->p_l < b->p_l; });
+
+  std::ostringstream err;
+  uint16_t cursor = kSramBase;
+  for (const Task* t : live) {
+    if (t->p_l != cursor) {
+      err << "task " << int(t->id) << ": region gap (p_l=" << t->p_l
+          << " expected " << cursor << ")";
+      return err.str();
+    }
+    if (!(t->p_l <= t->p_h && t->p_h < t->p_u)) {
+      err << "task " << int(t->id) << ": pointer order violated";
+      return err.str();
+    }
+    if (t->p_h != t->p_l + prog_of(*t).heap_size) {
+      err << "task " << int(t->id) << ": heap size drifted";
+      return err.str();
+    }
+    const uint16_t sp = sp_of(*t);
+    if (sp < t->p_h - 1 || sp > t->p_u - 1) {
+      err << "task " << int(t->id) << ": SP " << sp << " outside region ["
+          << t->p_h << "," << t->p_u << ")";
+      return err.str();
+    }
+    cursor = t->p_u;
+  }
+  if (!live.empty() && cursor != kernel_base_) {
+    err << "regions do not tile the application area (end=" << cursor
+        << " kernel_base=" << kernel_base_ << ")";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace sensmart::kern

@@ -1,0 +1,66 @@
+#include "kernel/trace.hpp"
+
+#include <iomanip>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::kern {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Start: return "start";
+    case EventKind::ContextSwitch: return "switch";
+    case EventKind::Preempt: return "preempt";
+    case EventKind::Block: return "block";
+    case EventKind::Wake: return "wake";
+    case EventKind::Relocation: return "relocate";
+    case EventKind::RegionRelease: return "release";
+    case EventKind::TaskDone: return "done";
+    case EventKind::TaskKilled: return "killed";
+    case EventKind::Idle: return "idle";
+  }
+  return "?";
+}
+
+void KernelTrace::dump(std::ostream& os, size_t limit) const {
+  const size_t n =
+      limit == 0 ? events_.size() : std::min(limit, events_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[i];
+    os << std::fixed << std::setprecision(3) << std::setw(10)
+       << (double(e.cycle) * 1000.0 / emu::kClockHz) << " ms  "
+       << std::left << std::setw(9) << to_string(e.kind) << std::right;
+    switch (e.kind) {
+      case EventKind::Start:
+        os << " tasks=" << e.a;
+        break;
+      case EventKind::ContextSwitch:
+        os << " task " << e.a << " -> " << e.b;
+        break;
+      case EventKind::Preempt:
+        os << " task " << e.a << " (delay " << e.b << " cy)";
+        break;
+      case EventKind::Relocation:
+        os << " donor " << e.a << ", " << e.b << " B moved";
+        break;
+      case EventKind::TaskDone:
+        os << " task " << e.a << " exit " << e.b;
+        break;
+      case EventKind::TaskKilled:
+        os << " task " << e.a << " reason " << e.b;
+        break;
+      case EventKind::Idle:
+        os << " " << (uint32_t(e.b) << 16 | e.a) << " cy";
+        break;
+      default:
+        os << " task " << e.a;
+        break;
+    }
+    os << "\n";
+  }
+  if (events_.size() > n)
+    os << "  ... " << (events_.size() - n) << " more events\n";
+  if (dropped_ > 0) os << "  (" << dropped_ << " events dropped at cap)\n";
+}
+
+}  // namespace sensmart::kern

@@ -1,0 +1,66 @@
+// Kernel event trace: a bounded, cycle-stamped log of scheduling and
+// memory-management events, for debugging and for understanding runs
+// (examples/sense_and_send prints one). Tracing is off unless a trace
+// object is attached; the emulated cycle cost is zero by design (a real
+// deployment would stream this over UART; we model the observer only).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sensmart::kern {
+
+enum class EventKind : uint8_t {
+  Start,          // kernel started; a = number of tasks
+  ContextSwitch,  // a = from task, b = to task
+  Preempt,        // a = task, b = delay beyond the slice (cycles, capped)
+  Block,          // a = task (timed sleep)
+  Wake,           // a = task
+  Relocation,     // a = donor task, b = bytes moved
+  RegionRelease,  // a = task whose region was merged away
+  TaskDone,       // a = task, b = exit code
+  TaskKilled,     // a = task, b = KillReason
+  Idle,           // a/b = idle cycles (lo/hi 16 bits, capped)
+};
+
+const char* to_string(EventKind k);
+
+struct TraceEvent {
+  uint64_t cycle = 0;
+  EventKind kind = EventKind::Start;
+  uint16_t a = 0;
+  uint16_t b = 0;
+};
+
+class KernelTrace {
+ public:
+  explicit KernelTrace(size_t capacity = 4096) : cap_(capacity) {}
+
+  void record(uint64_t cycle, EventKind kind, uint16_t a, uint16_t b) {
+    if (events_.size() < cap_)
+      events_.push_back({cycle, kind, a, b});
+    else
+      ++dropped_;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+  size_t count(EventKind k) const {
+    size_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == k) ++n;
+    return n;
+  }
+
+  // Human-readable dump of up to `limit` events (0 = all).
+  void dump(std::ostream& os, size_t limit = 0) const;
+
+ private:
+  size_t cap_;
+  size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sensmart::kern

@@ -1,0 +1,52 @@
+// The shift table of §IV-C2: a sorted array recording which original
+// instructions were inflated from one flash word to two by the rewriting.
+// Together with the program's load base it maps original program addresses
+// to naturalized ones (and back), preserving the "approximate linearity"
+// the paper relies on: naturalized(a) = base + a + |{e in table : e < a}|.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sensmart::rw {
+
+class AddressMap {
+ public:
+  AddressMap() = default;
+  AddressMap(uint32_t base, std::vector<uint32_t> inflated_sites)
+      : base_(base), orig_inflated_(std::move(inflated_sites)) {
+    std::sort(orig_inflated_.begin(), orig_inflated_.end());
+    nat_inflated_.reserve(orig_inflated_.size());
+    for (size_t i = 0; i < orig_inflated_.size(); ++i)
+      nat_inflated_.push_back(base_ + orig_inflated_[i] + uint32_t(i));
+  }
+
+  uint32_t base() const { return base_; }
+  size_t entries() const { return orig_inflated_.size(); }
+  const std::vector<uint32_t>& inflated_sites() const { return orig_inflated_; }
+  // Flash bytes the table itself occupies (16-bit address per entry).
+  uint32_t table_bytes() const { return uint32_t(entries()) * 2; }
+
+  // Original word address -> naturalized word address.
+  uint32_t to_naturalized(uint32_t orig) const {
+    const auto it = std::lower_bound(orig_inflated_.begin(),
+                                     orig_inflated_.end(), orig);
+    return base_ + orig + uint32_t(it - orig_inflated_.begin());
+  }
+
+  // Naturalized word address -> original word address (exact inverse on
+  // instruction boundaries).
+  uint32_t to_original(uint32_t nat) const {
+    const auto it =
+        std::lower_bound(nat_inflated_.begin(), nat_inflated_.end(), nat);
+    return nat - base_ - uint32_t(it - nat_inflated_.begin());
+  }
+
+ private:
+  uint32_t base_ = 0;
+  std::vector<uint32_t> orig_inflated_;  // original addresses, sorted
+  std::vector<uint32_t> nat_inflated_;   // their naturalized addresses
+};
+
+}  // namespace sensmart::rw

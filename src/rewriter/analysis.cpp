@@ -1,0 +1,135 @@
+#include "rewriter/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sensmart::rw {
+
+using isa::Instruction;
+using isa::Op;
+
+namespace {
+
+bool is_control_transfer(Op op) {
+  switch (op) {
+    case Op::Rjmp:
+    case Op::Rcall:
+    case Op::Jmp:
+    case Op::Call:
+    case Op::Ijmp:
+    case Op::Icall:
+    case Op::Ret:
+    case Op::Reti:
+    case Op::Brbs:
+    case Op::Brbc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_skip(Op op) {
+  return op == Op::Cpse || op == Op::Sbrc || op == Op::Sbrs ||
+         op == Op::Sbic || op == Op::Sbis;
+}
+
+// Groupable access: LDD/STD through Y or Z (plain LD Y/Z decode as q = 0).
+bool groupable(const Instruction& ins) {
+  return ins.op == Op::Ldd || ins.op == Op::Std;
+}
+
+}  // namespace
+
+std::vector<DecodedSite> analyze(const assembler::Image& img, bool grouping) {
+  std::vector<DecodedSite> sites;
+  std::map<uint32_t, size_t> by_addr;
+
+  auto data_range_at = [&img](uint32_t pc) -> const std::pair<uint32_t, uint32_t>* {
+    for (const auto& r : img.data_ranges)
+      if (pc >= r.first && pc < r.second) return &r;
+    return nullptr;
+  };
+
+  for (uint32_t pc = 0; pc < img.code.size();) {
+    DecodedSite s;
+    s.addr = pc;
+    if (const auto* r = data_range_at(pc)) {
+      s.is_data = true;
+      s.size = static_cast<int>(r->second - pc);
+      by_addr[pc] = sites.size();
+      sites.push_back(s);
+      pc = r->second;
+      continue;
+    }
+    s.ins = isa::decode(img.code, pc);
+    s.size = isa::size_words(s.ins.op);
+    by_addr[pc] = sites.size();
+    sites.push_back(s);
+    pc += s.size;
+  }
+
+  auto mark_leader = [&](int64_t addr) {
+    auto it = by_addr.find(static_cast<uint32_t>(addr));
+    if (it != by_addr.end()) sites[it->second].block_leader = true;
+  };
+
+  mark_leader(img.entry);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    const DecodedSite& s = sites[i];
+    const Op op = s.ins.op;
+    if (isa::is_relative_branch(op))
+      mark_leader(int64_t(s.addr) + 1 + s.ins.k);
+    if (op == Op::Jmp || op == Op::Call) mark_leader(s.ins.k);
+    if (is_control_transfer(op) && i + 1 < sites.size())
+      sites[i + 1].block_leader = true;
+    if (is_skip(op)) {
+      // Both the skipped instruction's successor and the fall-through are
+      // jump targets of the skip.
+      if (i + 1 < sites.size()) sites[i + 1].block_leader = true;
+      if (i + 2 < sites.size()) sites[i + 2].block_leader = true;
+    }
+  }
+
+  if (grouping) {
+    size_t i = 0;
+    while (i < sites.size()) {
+      if (!groupable(sites[i].ins)) {
+        ++i;
+        continue;
+      }
+      // Extend the group over adjacent groupable accesses through the same
+      // index register, stopping at basic-block boundaries. Cap at 4
+      // members (word/double-word accesses per the paper).
+      size_t j = i + 1;
+      while (j < sites.size() && j - i < 4 && groupable(sites[j].ins) &&
+             !sites[j].block_leader &&
+             isa::pointer_of(sites[j].ins) == isa::pointer_of(sites[i].ins)) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        uint8_t qmin = sites[i].ins.q, qmax = sites[i].ins.q;
+        for (size_t k = i; k < j; ++k) {
+          qmin = std::min(qmin, sites[k].ins.q);
+          qmax = std::max(qmax, sites[k].ins.q);
+        }
+        sites[i].group = GroupRole::Leader;
+        sites[i].group_min_q = qmin;
+        sites[i].group_span = static_cast<uint8_t>(qmax - qmin);
+        for (size_t k = i + 1; k < j; ++k)
+          sites[k].group = GroupRole::Follower;
+      }
+      i = j;
+    }
+  }
+
+  return sites;
+}
+
+size_t count_followers(const std::vector<DecodedSite>& sites) {
+  return static_cast<size_t>(
+      std::count_if(sites.begin(), sites.end(), [](const DecodedSite& s) {
+        return s.group == GroupRole::Follower;
+      }));
+}
+
+}  // namespace sensmart::rw

@@ -1,0 +1,36 @@
+// Binary analysis performed by the base-station rewriter before patching:
+// linear decode, basic-block discovery, and grouped-memory-access detection
+// (§IV-C2: adjacent LDD/STD through the same unmodified index register are
+// translated once; the paper observes 2- and 4-instruction groups for word
+// and double-word data).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "isa/codec.hpp"
+
+namespace sensmart::rw {
+
+enum class GroupRole : uint8_t { None, Leader, Follower };
+
+struct DecodedSite {
+  uint32_t addr = 0;  // original word address
+  isa::Instruction ins;
+  int size = 1;  // words
+  bool is_data = false;  // constant flash data: copied verbatim
+  bool block_leader = false;
+  GroupRole group = GroupRole::None;
+  uint8_t group_min_q = 0;   // leader: smallest displacement in the group
+  uint8_t group_span = 0;    // leader: max displacement minus min
+};
+
+// Decode the whole image and annotate basic-block leaders and access groups.
+// `grouping` disables the grouped-access optimization when false (ablation).
+std::vector<DecodedSite> analyze(const assembler::Image& img, bool grouping);
+
+// Count of sites whose role is Follower (used by inflation stats/tests).
+size_t count_followers(const std::vector<DecodedSite>& sites);
+
+}  // namespace sensmart::rw

@@ -1,0 +1,102 @@
+#include "rewriter/linker.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sensmart::rw {
+
+uint32_t scaled_body_words(ServiceKind kind, double scale) {
+  return static_cast<uint32_t>(std::lround(std::ceil(body_words(kind) * scale)));
+}
+
+Linker::Linker(RewriteOptions opts, bool merge_trampolines)
+    : opts_(opts) {
+  pool_.set_merging(merge_trampolines);
+}
+
+size_t Linker::add(const assembler::Image& img) {
+  if (linked_) throw std::logic_error("Linker::add after link()");
+  NaturalizedProgram p = rewrite(img, cursor_, pool_, opts_);
+  // Program layout: [naturalized code][shift table]. The map base is the
+  // code base; the shift table is flash data consulted by the kernel.
+  cursor_ += uint32_t(p.code.size()) + p.shift_entries;
+  progs_.push_back(std::move(p));
+  images_.push_back(img);
+  return progs_.size() - 1;
+}
+
+LinkedSystem Linker::link() {
+  if (linked_) throw std::logic_error("link() called twice");
+  linked_ = true;
+
+  LinkedSystem sys;
+  sys.options = opts_;
+  sys.tramp_base = cursor_;
+  sys.services = pool_.services();
+  sys.service_requests = pool_.requests();
+
+  // Place trampolines.
+  uint32_t a = sys.tramp_base;
+  for (const Service& s : sys.services) {
+    sys.service_addr.push_back(a);
+    a += scaled_body_words(s.kind, opts_.body_scale);
+  }
+  sys.tramp_words = a - sys.tramp_base;
+
+  if (a > 0x10000)
+    throw std::runtime_error("linked image exceeds 128 KB program memory");
+
+  sys.flash.assign(a, 0xFFFF);
+
+  for (size_t pi = 0; pi < progs_.size(); ++pi) {
+    NaturalizedProgram& p = progs_[pi];
+
+    // Resolve trampoline callsites.
+    for (const auto& cs : p.callsites)
+      p.code[cs.code_index + 1] =
+          static_cast<uint16_t>(sys.service_addr[cs.service]);
+
+    // Copy code and shift table into flash.
+    std::copy(p.code.begin(), p.code.end(), sys.flash.begin() + p.base);
+    const uint32_t table_base = p.base + uint32_t(p.code.size());
+    {
+      // The shift table is stored as the sorted original word addresses.
+      uint32_t w = table_base;
+      for (uint32_t orig : p.map.inflated_sites())
+        sys.flash[w++] = static_cast<uint16_t>(orig);
+    }
+
+    ProgramInfo info;
+    info.name = p.name;
+    info.base = p.base;
+    info.nat_words = uint32_t(p.code.size());
+    info.table_base = table_base;
+    info.map = p.map;
+    info.heap_size = p.heap_size;
+    info.entry_nat = p.entry_naturalized();
+    info.native_bytes = p.orig_words * 2;
+    info.rewritten_bytes = uint32_t(p.code.size()) * 2;
+    info.shift_table_bytes = p.shift_entries * 2;
+    info.patched_sites = p.patched_sites;
+
+    std::set<uint32_t> used;
+    for (const auto& cs : p.callsites) used.insert(cs.service);
+    uint32_t tw = 0;
+    for (uint32_t svc : used)
+      tw += scaled_body_words(sys.services[svc].kind, opts_.body_scale);
+    info.trampoline_bytes = tw * 2;
+
+    sys.programs.push_back(std::move(info));
+  }
+
+  // Trampoline markers: Break + service index.
+  for (size_t i = 0; i < sys.services.size(); ++i) {
+    sys.flash[sys.service_addr[i]] = 0x9598;  // BREAK
+    sys.flash[sys.service_addr[i] + 1] = static_cast<uint16_t>(i);
+  }
+
+  return sys;
+}
+
+}  // namespace sensmart::rw

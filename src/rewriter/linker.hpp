@@ -1,0 +1,71 @@
+// Links naturalized application programs with the trampoline region into
+// one flash image (Figure 1's "linker" step). Trampolines are shared and
+// merged across programs; each program additionally carries its shift
+// table in flash. Words 0..15 are reserved for the kernel vector area.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rewriter/rewriter.hpp"
+
+namespace sensmart::rw {
+
+inline constexpr uint32_t kAppBase = 16;
+
+struct ProgramInfo {
+  std::string name;
+  uint32_t base = 0;        // first word of the naturalized code
+  uint32_t nat_words = 0;   // naturalized code size (words)
+  uint32_t table_base = 0;  // flash placement of the shift table
+  AddressMap map;
+  uint16_t heap_size = 0;
+  uint32_t entry_nat = 0;
+
+  // Inflation accounting (Fig. 4), all in bytes.
+  uint32_t native_bytes = 0;
+  uint32_t rewritten_bytes = 0;   // naturalized code
+  uint32_t shift_table_bytes = 0;
+  uint32_t trampoline_bytes = 0;  // distinct trampolines this program uses
+  uint32_t patched_sites = 0;
+
+  double inflation() const {
+    return double(rewritten_bytes + shift_table_bytes + trampoline_bytes) /
+           double(native_bytes);
+  }
+};
+
+struct LinkedSystem {
+  std::vector<uint16_t> flash;
+  std::vector<ProgramInfo> programs;
+  std::vector<Service> services;
+  std::vector<uint32_t> service_addr;  // flash word address per service
+  uint32_t tramp_base = 0;
+  uint32_t tramp_words = 0;
+  uint32_t service_requests = 0;  // before merging
+  RewriteOptions options;
+};
+
+class Linker {
+ public:
+  explicit Linker(RewriteOptions opts = {}, bool merge_trampolines = true);
+
+  // Rewrite and add one application program. Returns its index.
+  size_t add(const assembler::Image& img);
+
+  LinkedSystem link();
+
+ private:
+  RewriteOptions opts_;
+  ServicePool pool_;
+  std::vector<NaturalizedProgram> progs_;
+  std::vector<assembler::Image> images_;  // kept for entry/heap info
+  uint32_t cursor_ = kAppBase;
+  bool linked_ = false;
+};
+
+// body_words() scaled by the rewrite option's body_scale.
+uint32_t scaled_body_words(ServiceKind kind, double scale);
+
+}  // namespace sensmart::rw

@@ -1,0 +1,83 @@
+// The base-station binary rewriter (§IV-A): translates a compiled
+// application image into a "naturalized" program that cooperates with the
+// kernel runtime.
+//
+// Patching rules, following the paper:
+//  * control flow: every backward branch is redirected through a trampoline
+//    that performs software-trap counting (1/256) for interrupt-free
+//    preemption; forward relative branches are retargeted in place and only
+//    trampolined when inflation pushes their target out of encoding range;
+//    absolute JMP/CALL are retargeted; IJMP/ICALL/LPM get run-time
+//    program-address translation via the shift table; RET is checked.
+//  * memory: indirect loads/stores get run-time logical->physical
+//    translation with bounds checks (grouped accesses translate once per
+//    group); direct accesses to the heap get a static displacement
+//    trampoline; direct accesses to the I/O area stay native, except for
+//    kernel-reserved ports (Timer3, host ports) which are virtualized.
+//  * stack: PUSH/POP/CALL/RET are checked against the task's region, and
+//    stack-pointer reads/writes are translated between the logical and
+//    physical stack locations.
+//
+// Every patched instruction becomes exactly one CALL (or JMP) instruction,
+// so the naturalized program has the same instruction count as the original
+// ("approximate linearity"); 16-bit instructions that became 32-bit CALLs
+// are recorded in the shift table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "rewriter/address_map.hpp"
+#include "rewriter/analysis.hpp"
+#include "rewriter/service.hpp"
+
+namespace sensmart::rw {
+
+struct RewriteOptions {
+  // Patch backward branches for software-trap preemption. Disabled for the
+  // "memory protection only" configuration of Fig. 5.
+  bool patch_branches = true;
+  // Grouped-access optimization (§IV-C2); ablatable.
+  bool grouped_access = true;
+  // Scale factor on trampoline body sizes. 1.0 models SenSmart's shared,
+  // base-station-optimized bodies; the t-kernel mode uses a larger factor
+  // together with disabled merging to model inline on-node rewriting.
+  double body_scale = 1.0;
+};
+
+struct NaturalizedProgram {
+  std::string name;
+  uint32_t base = 0;              // load base (flash word address)
+  std::vector<uint16_t> code;     // naturalized body (no trampolines)
+  AddressMap map;                 // original -> naturalized addresses
+  uint16_t heap_size = 0;
+  uint32_t entry_orig = 0;
+
+  // CALL/JMP placeholders that must be pointed at the trampoline region
+  // once the linker has placed it: code[index+1] = address_of(service).
+  struct Callsite {
+    uint32_t code_index;
+    uint32_t service;
+  };
+  std::vector<Callsite> callsites;
+
+  // Inflation statistics (Fig. 4).
+  uint32_t orig_words = 0;
+  uint32_t shift_entries = 0;
+  uint32_t patched_sites = 0;
+
+  uint32_t entry_naturalized() const { return map.to_naturalized(entry_orig); }
+};
+
+// Rewrite one program to be loaded at `base`, interning trampolines into
+// the shared pool.
+NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
+                           ServicePool& pool, const RewriteOptions& opts);
+
+// True if the rewriter virtualizes direct accesses to this data address
+// (kernel-reserved ports, §IV-A bullet 3).
+bool is_reserved_port(uint16_t data_addr);
+
+}  // namespace sensmart::rw

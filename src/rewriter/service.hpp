@@ -1,0 +1,86 @@
+// Kernel service descriptors — the "trampolines" of §IV-A.
+//
+// The rewriter replaces each patched instruction with a CALL into a
+// trampoline appended after the application code. A trampoline's *body* is
+// represented by a Service descriptor: the emulator executes the Break
+// marker at the trampoline head and dispatches to the native kernel handler
+// for the descriptor, which performs the operation and charges the cycle
+// cost the equivalent AVR sequence would take (the cost model is calibrated
+// against Table II of the paper). The flash footprint of each trampoline is
+// the size a real AVR body of that kind would occupy, so code-inflation
+// numbers (Fig. 4) are measured from real flash layout.
+//
+// Identical descriptors are merged — one trampoline serves every site with
+// the same instruction bits, across application programs (§IV-A). This is
+// possible because every trampoline is entered by CALL: the return address
+// pushed by the CPU identifies the site, and relative-branch targets are
+// recomputed from it at run time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace sensmart::rw {
+
+enum class ServiceKind : uint8_t {
+  MemIndirect,      // LD/ST/LDD/STD: logical->physical translation + check
+  MemIndirectGrouped,  // follower of a grouped access: pre-translated path
+  MemDirect,        // LDS/STS into the heap: static displacement + check
+  ReservedDirect,   // LDS/STS to a kernel-virtualized port (Timer3, host)
+  PushPop,          // PUSH/POP: stack bounds check + operation
+  CallEnter,        // RCALL/CALL/ICALL: stack check, push, (translated) jump
+  Return,           // RET/RETI: underflow check + jump
+  IndirectJump,     // IJMP: program-memory address translation (shift table)
+  BackwardBranch,   // backward RJMP/BRxx: software-trap counting + branch
+  ForwardBranch,    // forward BRxx whose offset no longer fits after rewrite
+  SpRead,           // IN from SPL/SPH: physical->logical SP translation
+  SpWrite,          // OUT to SPL/SPH: logical->physical SP translation
+  Lpm,              // LPM: program-memory data address translation
+  SleepOp,          // SLEEP: block the task until its armed wake target
+};
+
+// Flash words a real trampoline body of this kind would occupy (Break
+// marker + handler sequence). Derived from hand-written AVR sequences for
+// each operation; see DESIGN.md.
+int body_words(ServiceKind kind);
+
+struct Service {
+  ServiceKind kind;
+  isa::Instruction original;  // the instruction this trampoline stands for
+  // Grouped-access metadata: a leader's bounds check covers the window
+  // [ptr + group_min, ptr + group_min + group_span].
+  uint8_t group_min = 0;
+  uint8_t group_span = 0;
+
+  // Merging key: services with identical behaviour share one trampoline.
+  auto key() const {
+    return std::tuple(kind, original.op, original.rd, original.rr,
+                      original.k, original.a, original.b, original.q,
+                      original.ptr, group_min, group_span);
+  }
+};
+
+// The pool of merged trampolines shared by all programs linked together.
+class ServicePool {
+ public:
+  // Return the index for `svc`, creating it if new. When merging is
+  // disabled (ablation / t-kernel mode) every request creates a new entry.
+  uint32_t intern(const Service& svc);
+
+  void set_merging(bool on) { merging_ = on; }
+
+  const std::vector<Service>& services() const { return services_; }
+  uint32_t total_body_words() const;
+  uint32_t requests() const { return requests_; }  // pre-merge count
+
+ private:
+  std::vector<Service> services_;
+  std::map<decltype(std::declval<Service>().key()), uint32_t> index_;
+  bool merging_ = true;
+  uint32_t requests_ = 0;
+};
+
+}  // namespace sensmart::rw

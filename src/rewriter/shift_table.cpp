@@ -1,0 +1,2 @@
+// AddressMap (the shift table) is header-only; this TU anchors the target.
+#include "rewriter/address_map.hpp"

@@ -1,0 +1,38 @@
+#include "rewriter/tkernel.hpp"
+
+namespace sensmart::rw {
+
+RewriteOptions tkernel_rewrite_options() {
+  RewriteOptions o;
+  o.patch_branches = true;   // the t-kernel also traps backward branches
+  o.grouped_access = false;  // page-local rewriting: no basic-block analysis
+  // Inline bodies replicated at every site instead of shared trampolines
+  // (modest per-body size, but no merging makes the total much larger).
+  o.body_scale = 1.6;
+  return o;
+}
+
+}  // namespace sensmart::rw
+
+namespace sensmart::kern {
+
+KernelConfig tkernel_config() {
+  KernelConfig c;
+  c.protect_app_regions = false;  // asymmetric: kernel memory only
+  c.warmup_cycles = 7'372'800;    // ~1 s on-node rewriting at start-up
+  // Lighter checks: no per-task region translation, only a kernel bound.
+  c.costs.ind_heap = 22;
+  c.costs.ind_stack = 18;
+  c.costs.ind_io = 20;
+  c.costs.ind_grouped = 18;
+  c.costs.direct_other = 10;
+  c.costs.stack_pushpop = 24;
+  c.costs.stack_callret = 34;
+  c.costs.get_sp = 10;
+  c.costs.set_sp = 16;
+  c.costs.reserved_io = 24;
+  c.costs.prog_mem = 410;  // on-node lookup structures are slower
+  return c;
+}
+
+}  // namespace sensmart::kern

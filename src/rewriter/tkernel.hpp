@@ -1,0 +1,30 @@
+// t-kernel comparison mode (Gu & Stankovic, SenSys'06), modelled as a
+// configuration of the same rewriting/runtime machinery:
+//   * on-node, page-at-a-time rewriting: inline trampoline bodies, no
+//     cross-site merging, larger code inflation, plus a one-time warm-up
+//     rewriting charge of ~1 second at start-up;
+//   * asymmetric protection: only the kernel area is guarded, addressing is
+//     identity (no per-task logical regions), so memory checks are cheaper;
+//   * single application, no time-sliced concurrency between applications.
+#pragma once
+
+#include "kernel/kernel.hpp"
+#include "rewriter/rewriter.hpp"
+
+namespace sensmart::rw {
+
+// Rewrite options modelling the t-kernel's inline, unmerged rewriting.
+RewriteOptions tkernel_rewrite_options();
+
+// Pass to Linker's merge_trampolines parameter.
+inline constexpr bool kTKernelMerging = false;
+
+}  // namespace sensmart::rw
+
+namespace sensmart::kern {
+
+// Kernel configuration modelling the t-kernel runtime: cheaper checks,
+// kernel-only protection, ~1 s warm-up.
+KernelConfig tkernel_config();
+
+}  // namespace sensmart::kern

@@ -1,0 +1,27 @@
+// SenSmart reproduction — public API umbrella header.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sensmart::assembler::Assembler a("app");
+//   ... emit the program ...
+//   sensmart::rw::Linker linker;
+//   linker.add(a.finish());             // base-station rewriting
+//   auto sys = linker.link();           // trampolines + shift tables
+//   sensmart::emu::Machine machine;     // the MICA2-class mote
+//   sensmart::kern::Kernel kernel(machine, sys);
+//   kernel.admit_all();
+//   kernel.start();
+//   kernel.run(budget);
+#pragma once
+
+#include "assembler/assembler.hpp"
+#include "baselines/features.hpp"
+#include "baselines/liteos_model.hpp"
+#include "baselines/mantis_model.hpp"
+#include "baselines/native_runner.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+#include "rewriter/tkernel.hpp"
+#include "sim/harness.hpp"
+#include "vm/vm.hpp"

@@ -1,0 +1,82 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "rewriter/tkernel.hpp"
+
+namespace sensmart::sim {
+
+SystemRun run_system(const std::vector<assembler::Image>& images,
+                     const RunSpec& spec) {
+  rw::Linker linker(spec.rewrite, spec.merge_trampolines);
+  for (const auto& img : images) linker.add(img);
+  rw::LinkedSystem sys = linker.link();
+
+  emu::Machine m;
+  kern::Kernel k(m, sys, spec.kernel);
+  if (spec.trace != nullptr) k.set_trace(spec.trace);
+  SystemRun r;
+  r.admitted = k.admit_all();
+  r.programs = sys.programs;
+  if (r.admitted == 0 || !k.start()) {
+    r.stop = emu::StopReason::Halted;
+    r.tasks = k.tasks();
+    return r;
+  }
+  r.stop = k.run(spec.max_cycles);
+  r.cycles = m.cycles();
+  r.active_cycles = m.stats().active_cycles;
+  r.idle_cycles = m.stats().idle_cycles;
+  r.kernel_stats = k.stats();
+  r.avg_stack_alloc = k.avg_stack_alloc();
+  r.tasks = k.tasks();
+  return r;
+}
+
+SystemRun run_tkernel(const assembler::Image& image, uint64_t max_cycles) {
+  RunSpec spec;
+  spec.kernel = kern::tkernel_config();
+  spec.rewrite = rw::tkernel_rewrite_options();
+  spec.merge_trampolines = rw::kTKernelMerging;
+  spec.max_cycles = max_cycles;
+  return run_system({image}, spec);
+}
+
+// --- Table --------------------------------------------------------------------
+
+Table::Table(std::vector<std::string> headers, int col_width)
+    : headers_(std::move(headers)), w_(col_width) {}
+
+void Table::row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+void Table::print(std::ostream& os) const {
+  // The first column is wide enough for the longest label.
+  size_t first = headers_.empty() ? 0 : headers_[0].size();
+  for (const auto& r : rows_)
+    if (!r.empty()) first = std::max(first, r[0].size());
+  first += 2;
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i)
+      os << std::left << std::setw(int(i == 0 ? first : size_t(w_)))
+         << cells[i];
+    os << "\n";
+  };
+  line(headers_);
+  os << std::string(first + (headers_.empty() ? 0 : headers_.size() - 1) * w_,
+                    '-')
+     << "\n";
+  for (const auto& r : rows_) line(r);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(uint64_t v) { return std::to_string(v); }
+
+}  // namespace sensmart::sim

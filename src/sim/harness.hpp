@@ -1,0 +1,81 @@
+// Experiment harness shared by the bench binaries: one-call SenSmart and
+// t-kernel runs over a set of application images, and a fixed-width table
+// printer for paper-style output.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart::sim {
+
+struct SystemRun {
+  emu::StopReason stop = emu::StopReason::Running;
+  uint64_t cycles = 0;
+  uint64_t active_cycles = 0;
+  uint64_t idle_cycles = 0;
+  kern::KernelStats kernel_stats;
+  double avg_stack_alloc = 0;  // time-averaged bytes per live task
+  std::vector<kern::Task> tasks;               // final task states
+  std::vector<rw::ProgramInfo> programs;       // inflation accounting
+  size_t admitted = 0;
+
+  double seconds() const { return double(cycles) / emu::kClockHz; }
+  double utilization() const {
+    return cycles ? double(active_cycles) / double(cycles) : 0.0;
+  }
+  size_t completed() const {
+    size_t n = 0;
+    for (const auto& t : tasks)
+      if (t.state == kern::TaskState::Done) ++n;
+    return n;
+  }
+  size_t killed() const {
+    size_t n = 0;
+    for (const auto& t : tasks)
+      if (t.state == kern::TaskState::Killed) ++n;
+    return n;
+  }
+};
+
+struct RunSpec {
+  kern::KernelConfig kernel;
+  rw::RewriteOptions rewrite;
+  bool merge_trampolines = true;
+  uint64_t max_cycles = 4'000'000'000ULL;
+  kern::KernelTrace* trace = nullptr;  // optional event trace (not owned)
+};
+
+// Rewrite+link `images`, admit one task per image, run to completion or
+// the cycle budget.
+SystemRun run_system(const std::vector<assembler::Image>& images,
+                     const RunSpec& spec = {});
+
+// Convenience: the t-kernel configuration of the same harness.
+SystemRun run_tkernel(const assembler::Image& image,
+                      uint64_t max_cycles = 4'000'000'000ULL);
+
+// ---------------------------------------------------------------------------
+// Fixed-width table printer for the bench binaries.
+// ---------------------------------------------------------------------------
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14);
+  void row(const std::vector<std::string>& cells);
+  void print(std::ostream& os = std::cout) const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int w_;
+};
+
+}  // namespace sensmart::sim

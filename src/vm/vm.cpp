@@ -1,0 +1,228 @@
+#include "vm/vm.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::vm {
+
+MateVm::MateVm(std::vector<uint8_t> code, VmCosts costs)
+    : code_(std::move(code)), costs_(costs) {}
+
+VmResult MateVm::run(uint64_t max_cycles) {
+  VmResult r;
+  std::vector<uint16_t> stack;
+  std::array<uint16_t, 8> vars{};
+  size_t pc = 0;
+
+  auto pop = [&](uint16_t& v) {
+    if (stack.empty()) return false;
+    v = stack.back();
+    stack.pop_back();
+    return true;
+  };
+  auto fetch8 = [&]() -> uint8_t { return pc < code_.size() ? code_[pc++] : 0; };
+
+  while (r.cycles < max_cycles) {
+    if (pc >= code_.size()) {
+      r.error = "pc out of range";
+      return r;
+    }
+    const Bc op = static_cast<Bc>(code_[pc++]);
+    ++r.ops_executed;
+    uint32_t cost = costs_.dispatch;
+    uint16_t a = 0, b = 0;
+
+    switch (op) {
+      case Bc::Halt:
+        r.active_cycles += cost;
+        r.cycles += cost;
+        r.halted = true;
+        return r;
+      case Bc::PushC8:
+        stack.push_back(fetch8());
+        cost += costs_.op_simple;
+        break;
+      case Bc::PushC16: {
+        const uint8_t lo = fetch8(), hi = fetch8();
+        stack.push_back(static_cast<uint16_t>(lo | (hi << 8)));
+        cost += costs_.op_simple;
+        break;
+      }
+      case Bc::Drop:
+        if (!pop(a)) { r.error = "underflow"; return r; }
+        cost += costs_.op_simple;
+        break;
+      case Bc::Dup:
+        if (stack.empty()) { r.error = "underflow"; return r; }
+        stack.push_back(stack.back());
+        cost += costs_.op_simple;
+        break;
+      case Bc::Add:
+        if (!pop(b) || !pop(a)) { r.error = "underflow"; return r; }
+        stack.push_back(static_cast<uint16_t>(a + b));
+        cost += costs_.op_simple;
+        break;
+      case Bc::Sub:
+        if (!pop(b) || !pop(a)) { r.error = "underflow"; return r; }
+        stack.push_back(static_cast<uint16_t>(a - b));
+        cost += costs_.op_simple;
+        break;
+      case Bc::Sub1:
+        if (stack.empty()) { r.error = "underflow"; return r; }
+        stack.back() = static_cast<uint16_t>(stack.back() - 1);
+        cost += costs_.op_simple;
+        break;
+      case Bc::Jnz: {
+        const int8_t rel = static_cast<int8_t>(fetch8());
+        if (!pop(a)) { r.error = "underflow"; return r; }
+        if (a != 0) pc = static_cast<size_t>(int64_t(pc) + rel);
+        cost += costs_.op_control;
+        break;
+      }
+      case Bc::Jmp: {
+        const int8_t rel = static_cast<int8_t>(fetch8());
+        pc = static_cast<size_t>(int64_t(pc) + rel);
+        cost += costs_.op_control;
+        break;
+      }
+      case Bc::LoadV:
+        stack.push_back(vars[fetch8() % vars.size()]);
+        cost += costs_.op_memory;
+        break;
+      case Bc::StoreV: {
+        const uint8_t i = fetch8();
+        if (!pop(a)) { r.error = "underflow"; return r; }
+        vars[i % vars.size()] = a;
+        cost += costs_.op_memory;
+        break;
+      }
+      case Bc::GetClock:
+        stack.push_back(
+            static_cast<uint16_t>(r.cycles / emu::kTimer3Prescale));
+        cost += costs_.op_system;
+        break;
+      case Bc::SleepUntil: {
+        if (!pop(a)) { r.error = "underflow"; return r; }
+        const uint16_t now =
+            static_cast<uint16_t>(r.cycles / emu::kTimer3Prescale);
+        const int16_t delta = static_cast<int16_t>(a - now);
+        if (delta > 0) {
+          const uint64_t idle = uint64_t(delta) * emu::kTimer3Prescale;
+          r.idle_cycles += idle;
+          r.cycles += idle;
+        }
+        cost += costs_.op_system;
+        break;
+      }
+      case Bc::Out:
+        if (!pop(a)) { r.error = "underflow"; return r; }
+        r.out.push_back(static_cast<uint8_t>(a & 0xFF));
+        cost += costs_.op_system;
+        break;
+      default:
+        r.error = "bad opcode";
+        return r;
+    }
+    r.active_cycles += cost;
+    r.cycles += cost;
+  }
+  return r;  // cycle budget exhausted
+}
+
+// --- VmAssembler -------------------------------------------------------------
+
+void VmAssembler::op(Bc b) { code_.push_back(static_cast<uint8_t>(b)); }
+void VmAssembler::push8(uint8_t v) {
+  op(Bc::PushC8);
+  code_.push_back(v);
+}
+void VmAssembler::push16(uint16_t v) {
+  op(Bc::PushC16);
+  code_.push_back(static_cast<uint8_t>(v & 0xFF));
+  code_.push_back(static_cast<uint8_t>(v >> 8));
+}
+void VmAssembler::load(uint8_t var) {
+  op(Bc::LoadV);
+  code_.push_back(var);
+}
+void VmAssembler::store(uint8_t var) {
+  op(Bc::StoreV);
+  code_.push_back(var);
+}
+void VmAssembler::jnz(const std::string& label) {
+  op(Bc::Jnz);
+  fixes_.push_back({code_.size(), label});
+  code_.push_back(0);
+}
+void VmAssembler::jmp(const std::string& label) {
+  op(Bc::Jmp);
+  fixes_.push_back({code_.size(), label});
+  code_.push_back(0);
+}
+void VmAssembler::label(const std::string& name) {
+  labels_.emplace_back(name, code_.size());
+}
+std::vector<uint8_t> VmAssembler::finish() {
+  for (const Fix& f : fixes_) {
+    bool found = false;
+    for (const auto& [name, at] : labels_) {
+      if (name != f.target) continue;
+      const int64_t rel = int64_t(at) - int64_t(f.at) - 1;
+      if (rel < -128 || rel > 127)
+        throw std::runtime_error("vm branch out of range: " + f.target);
+      code_[f.at] = static_cast<uint8_t>(rel);
+      found = true;
+      break;
+    }
+    if (!found) throw std::runtime_error("vm label not found: " + f.target);
+  }
+  return code_;
+}
+
+std::vector<uint8_t> periodic_task_bytecode(uint16_t period_ticks,
+                                            uint16_t activations,
+                                            uint32_t instructions) {
+  // The busy loop runs instructions/2 iterations of {Sub1, Dup, Jnz}; one
+  // native loop iteration (SBIW+BRNE) is two instructions, so the logical
+  // work matches the native PeriodicTask exactly.
+  const uint16_t iters = static_cast<uint16_t>(instructions / 2);
+
+  VmAssembler a;
+  // v0 = deadline, v1 = remaining activations.
+  a.op(Bc::GetClock);
+  a.store(0);
+  a.push16(activations);
+  a.store(1);
+
+  a.label("period");
+  a.load(0);
+  a.push16(period_ticks);
+  a.op(Bc::Add);
+  a.op(Bc::Dup);
+  a.store(0);
+  a.op(Bc::SleepUntil);  // no-op when the deadline already passed
+
+  if (iters > 0) {
+    a.push16(iters);
+    a.label("busy");
+    a.op(Bc::Sub1);
+    a.op(Bc::Dup);
+    a.jnz("busy");
+    a.op(Bc::Drop);
+  }
+
+  a.load(1);
+  a.op(Bc::Sub1);
+  a.op(Bc::Dup);
+  a.store(1);
+  a.jnz("period");
+
+  a.push16(activations);
+  a.op(Bc::Out);
+  a.op(Bc::Halt);
+  return a.finish();
+}
+
+}  // namespace sensmart::vm

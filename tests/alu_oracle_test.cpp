@@ -1,0 +1,264 @@
+// Exhaustive ALU verification: every two-operand ALU instruction is run
+// through the emulator for all 256x256 input pairs (x2 carry states where
+// it matters) and compared against an independent C++ oracle implementing
+// the AVR manual's flag equations. This is a different implementation of
+// the semantics than the CPU core's, so agreement is meaningful.
+#include <gtest/gtest.h>
+
+#include "emu/machine.hpp"
+#include "isa/codec.hpp"
+
+namespace sensmart::emu {
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+
+struct AluResult {
+  uint8_t value;
+  uint8_t sreg;  // C,Z,N,V,S,H bits only (T,I masked out)
+};
+constexpr uint8_t kFlagMask = 0x3F;
+
+// Independent oracle following the AVR instruction-set manual.
+AluResult oracle(Op op, uint8_t d, uint8_t r, uint8_t sreg_in) {
+  const bool cin = sreg_in & 1;
+  const bool zin = sreg_in & 2;
+  uint16_t wide = 0;
+  uint8_t res = 0;
+  bool c = cin, z = false, n = false, v = false, h = sreg_in & 0x20;
+  bool have_h = false;
+
+  auto add_like = [&](bool with_carry) {
+    const int ci = with_carry && cin ? 1 : 0;
+    wide = uint16_t(d) + uint16_t(r) + ci;
+    res = uint8_t(wide);
+    c = wide > 0xFF;
+    h = ((d & 0x0F) + (r & 0x0F) + ci) > 0x0F;
+    have_h = true;
+    v = (~(d ^ r) & (d ^ res) & 0x80) != 0;
+  };
+  auto sub_like = [&](bool with_carry, bool keep_z) {
+    const int ci = with_carry && cin ? 1 : 0;
+    const int full = int(d) - int(r) - ci;
+    res = uint8_t(full);
+    c = full < 0;
+    h = (int(d & 0x0F) - int(r & 0x0F) - ci) < 0;
+    have_h = true;
+    v = ((d ^ r) & (d ^ res) & 0x80) != 0;
+    z = (res == 0) && (!keep_z || zin);
+  };
+
+  switch (op) {
+    case Op::Add: add_like(false); z = res == 0; break;
+    case Op::Adc: add_like(true); z = res == 0; break;
+    case Op::Sub: case Op::Cp: sub_like(false, false); break;
+    case Op::Sbc: case Op::Cpc: sub_like(true, true); break;
+    case Op::And: res = d & r; v = false; z = res == 0; break;
+    case Op::Or: res = d | r; v = false; z = res == 0; break;
+    case Op::Eor: res = d ^ r; v = false; z = res == 0; break;
+    default: ADD_FAILURE() << "oracle: unsupported op"; break;
+  }
+  n = res & 0x80;
+  const bool s = n ^ v;
+  uint8_t sreg = 0;
+  sreg |= c ? 0x01 : 0;
+  sreg |= z ? 0x02 : 0;
+  sreg |= n ? 0x04 : 0;
+  sreg |= v ? 0x08 : 0;
+  sreg |= s ? 0x10 : 0;
+  if (have_h)
+    sreg |= h ? 0x20 : 0;
+  else
+    sreg |= sreg_in & 0x20;  // logic ops leave H unchanged
+  const uint8_t value = (op == Op::Cp || op == Op::Cpc) ? d : res;
+  return {value, sreg};
+}
+
+class AluSweep : public ::testing::TestWithParam<Op> {};
+
+TEST_P(AluSweep, MatchesOracleExhaustively) {
+  const Op op = GetParam();
+  Instruction ins;
+  ins.op = op;
+  ins.rd = 16;
+  ins.rr = 17;
+  const auto words = isa::encode(ins);
+
+  Machine m;
+  m.load_flash(words);
+
+  const bool carry_sensitive =
+      op == Op::Adc || op == Op::Sbc || op == Op::Cpc;
+  const int carry_states = carry_sensitive ? 2 : 1;
+
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      for (int cs = 0; cs < carry_states; ++cs) {
+        // Z must also vary for the keep-Z ops; fold it into the carry loop.
+        const uint8_t sreg_in = uint8_t(cs ? 0x03 : 0x00);
+        m.reset(0);
+        m.mem().set_reg(16, uint8_t(a));
+        m.mem().set_reg(17, uint8_t(b));
+        m.mem().set_sreg(sreg_in);
+        ASSERT_EQ(m.step(), StopReason::Running);
+        const AluResult want = oracle(op, uint8_t(a), uint8_t(b), sreg_in);
+        ASSERT_EQ(m.mem().reg(16), want.value)
+            << isa::mnemonic(op) << " " << a << "," << b << " c=" << cs;
+        ASSERT_EQ(m.mem().sreg() & kFlagMask, want.sreg & kFlagMask)
+            << isa::mnemonic(op) << " " << a << "," << b << " c=" << cs
+            << " got sreg=" << int(m.mem().sreg()) << " want "
+            << int(want.sreg);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoOperand, AluSweep,
+                         ::testing::Values(Op::Add, Op::Adc, Op::Sub,
+                                           Op::Sbc, Op::Cp, Op::Cpc,
+                                           Op::And, Op::Or, Op::Eor),
+                         [](const auto& info) {
+                           return std::string(isa::mnemonic(info.param));
+                         });
+
+// One-operand sweep: COM/NEG/INC/DEC/LSR/ASR/ROR/SWAP over all inputs and
+// both carry states, against a second oracle.
+struct OneOpCase {
+  Op op;
+};
+
+class OneOpSweep : public ::testing::TestWithParam<Op> {};
+
+AluResult oracle1(Op op, uint8_t d, uint8_t sreg_in) {
+  const bool cin = sreg_in & 1;
+  uint8_t res = 0;
+  bool c = cin, z = false, n = false, v = false;
+  bool h = sreg_in & 0x20;
+  switch (op) {
+    case Op::Com:
+      res = uint8_t(~d);
+      c = true;
+      v = false;
+      break;
+    case Op::Neg:
+      res = uint8_t(0 - d);
+      c = res != 0;
+      v = res == 0x80;
+      h = ((res | d) & 0x08) != 0;  // H = R3 | Rd3 (AVR manual)
+      break;
+    case Op::Inc:
+      res = uint8_t(d + 1);
+      v = d == 0x7F;
+      break;
+    case Op::Dec:
+      res = uint8_t(d - 1);
+      v = d == 0x80;
+      break;
+    case Op::Lsr:
+      res = uint8_t(d >> 1);
+      c = d & 1;
+      v = c;  // N=0, V = N ^ C = C
+      break;
+    case Op::Asr:
+      res = uint8_t((d >> 1) | (d & 0x80));
+      c = d & 1;
+      v = bool(res & 0x80) ^ bool(c);
+      break;
+    case Op::Ror:
+      res = uint8_t((d >> 1) | (cin ? 0x80 : 0));
+      c = d & 1;
+      v = bool(res & 0x80) ^ bool(c);
+      break;
+    case Op::Swap:
+      res = uint8_t((d << 4) | (d >> 4));
+      // SWAP sets no flags.
+      return {res, uint8_t(sreg_in & kFlagMask)};
+    default:
+      ADD_FAILURE() << "oracle1: unsupported";
+      break;
+  }
+  z = res == 0;
+  n = res & 0x80;
+  const bool s = n ^ v;
+  uint8_t sreg = uint8_t((c ? 1 : 0) | (z ? 2 : 0) | (n ? 4 : 0) |
+                         (v ? 8 : 0) | (s ? 16 : 0) | (h ? 32 : 0));
+  return {res, sreg};
+}
+
+TEST_P(OneOpSweep, MatchesOracleExhaustively) {
+  const Op op = GetParam();
+  Instruction ins;
+  ins.op = op;
+  ins.rd = 20;
+  const auto words = isa::encode(ins);
+  Machine m;
+  m.load_flash(words);
+  for (int d = 0; d < 256; ++d) {
+    for (int cs = 0; cs < 2; ++cs) {
+      const uint8_t sreg_in = uint8_t(cs);
+      m.reset(0);
+      m.mem().set_reg(20, uint8_t(d));
+      m.mem().set_sreg(sreg_in);
+      ASSERT_EQ(m.step(), StopReason::Running);
+      const AluResult want = oracle1(op, uint8_t(d), sreg_in);
+      ASSERT_EQ(m.mem().reg(20), want.value)
+          << isa::mnemonic(op) << " " << d << " c=" << cs;
+      ASSERT_EQ(m.mem().sreg() & kFlagMask, want.sreg & kFlagMask)
+          << isa::mnemonic(op) << " " << d << " c=" << cs;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OneOperand, OneOpSweep,
+                         ::testing::Values(Op::Com, Op::Neg, Op::Inc,
+                                           Op::Dec, Op::Lsr, Op::Asr,
+                                           Op::Ror, Op::Swap),
+                         [](const auto& info) {
+                           return std::string(isa::mnemonic(info.param));
+                         });
+
+// Immediate-operand ops agree with their register-register counterparts.
+TEST(ImmediateOps, AgreeWithRegisterForms) {
+  Machine m;
+  for (const auto& [imm_op, reg_op] :
+       {std::pair{Op::Subi, Op::Sub}, std::pair{Op::Sbci, Op::Sbc},
+        std::pair{Op::Andi, Op::And}, std::pair{Op::Ori, Op::Or},
+        std::pair{Op::Cpi, Op::Cp}}) {
+    for (int a = 0; a < 256; a += 7) {
+      for (int k = 0; k < 256; k += 5) {
+        for (int cs = 0; cs < 2; ++cs) {
+          Instruction ii;
+          ii.op = imm_op;
+          ii.rd = 16;
+          ii.k = k;
+          Instruction ri;
+          ri.op = reg_op;
+          ri.rd = 16;
+          ri.rr = 17;
+
+          m.load_flash(isa::encode(ii));
+          m.reset(0);
+          m.mem().set_reg(16, uint8_t(a));
+          m.mem().set_sreg(uint8_t(cs ? 3 : 0));
+          ASSERT_EQ(m.step(), StopReason::Running);
+          const uint8_t v1 = m.mem().reg(16);
+          const uint8_t s1 = m.mem().sreg();
+
+          m.load_flash(isa::encode(ri));
+          m.reset(0);
+          m.mem().set_reg(16, uint8_t(a));
+          m.mem().set_reg(17, uint8_t(k));
+          m.mem().set_sreg(uint8_t(cs ? 3 : 0));
+          ASSERT_EQ(m.step(), StopReason::Running);
+          ASSERT_EQ(v1, m.mem().reg(16)) << isa::mnemonic(imm_op);
+          ASSERT_EQ(s1 & kFlagMask, m.mem().sreg() & kFlagMask)
+              << isa::mnemonic(imm_op) << " a=" << a << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sensmart::emu

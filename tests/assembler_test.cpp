@@ -1,0 +1,143 @@
+// Assembler: label resolution, fixups of every kind, data directives,
+// symbol-list bookkeeping and error reporting.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+
+namespace sensmart::assembler {
+namespace {
+
+TEST(Asm, ForwardAndBackwardLabels) {
+  Assembler a("t");
+  a.rjmp("fwd");
+  a.label("back");
+  a.nop();
+  a.label("fwd");
+  a.rjmp("back");
+  const Image img = a.finish();
+  const auto j0 = isa::decode(img.code, 0);
+  EXPECT_EQ(j0.op, isa::Op::Rjmp);
+  EXPECT_EQ(j0.k, 1);  // 0 -> 2
+  const auto j2 = isa::decode(img.code, 2);
+  EXPECT_EQ(j2.k, -2);  // 2 -> 1
+}
+
+TEST(Asm, CallAndJmpAbsoluteFixups) {
+  Assembler a("t");
+  a.jmp("end");
+  a.call("end");
+  a.label("end");
+  a.ret();
+  const Image img = a.finish();
+  EXPECT_EQ(img.code[1], 4u);
+  EXPECT_EQ(img.code[3], 4u);
+}
+
+TEST(Asm, LdiLabelPatchesImmediatePair) {
+  Assembler a("t");
+  a.ldi_label(30, "target");
+  for (int i = 0; i < 5; ++i) a.nop();
+  a.label("target");
+  a.nop();
+  const Image img = a.finish();
+  const auto lo = isa::decode(img.code, 0);
+  const auto hi = isa::decode(img.code, 1);
+  EXPECT_EQ(lo.k, 7);
+  EXPECT_EQ(hi.k, 0);
+}
+
+TEST(Asm, DwLabelsBuildsJumpTable) {
+  Assembler a("t");
+  a.rjmp("code");
+  const std::array<std::string, 2> hs = {"h1", "h0"};
+  a.dw_labels("tbl", hs);
+  a.label("h0");
+  a.nop();
+  a.label("h1");
+  a.nop();
+  a.label("code");
+  a.nop();
+  const Image img = a.finish();
+  EXPECT_EQ(img.code[1], 4u);  // h1
+  EXPECT_EQ(img.code[2], 3u);  // h0
+  ASSERT_EQ(img.data_ranges.size(), 1u);
+  EXPECT_EQ(img.data_ranges[0], (std::pair<uint32_t, uint32_t>{1, 3}));
+}
+
+TEST(Asm, VarAllocatesSequentiallyWithSymbols) {
+  Assembler a("t");
+  const uint16_t x = a.var("x", 10);
+  const uint16_t y = a.var("y", 2);
+  a.nop();
+  const Image img = a.finish();
+  EXPECT_EQ(x, emu::kSramBase);
+  EXPECT_EQ(y, emu::kSramBase + 10);
+  EXPECT_EQ(img.heap_size, 12);
+  ASSERT_EQ(img.symbols.size(), 2u);
+  EXPECT_EQ(img.symbols[0].name, "x");
+  EXPECT_EQ(img.symbols[1].addr, y);
+}
+
+TEST(Asm, Errors) {
+  {
+    Assembler a("t");
+    a.label("x");
+    EXPECT_THROW(a.label("x"), std::runtime_error);  // duplicate
+  }
+  {
+    Assembler a("t");
+    a.rjmp("nowhere");
+    EXPECT_THROW(a.finish(), std::runtime_error);  // undefined
+  }
+  {
+    Assembler a("t");
+    a.breq("far");
+    for (int i = 0; i < 100; ++i) a.nop();
+    a.label("far");
+    EXPECT_THROW(a.finish(), std::runtime_error);  // out of range
+  }
+  {
+    Assembler a("t");
+    a.nop();
+    (void)a.finish();
+    EXPECT_THROW(a.finish(), std::runtime_error);  // finish twice
+  }
+  {
+    Assembler a("t");
+    EXPECT_THROW(a.var("big", 5000), std::runtime_error);  // heap overflow
+  }
+}
+
+TEST(Asm, Dec16SetsZOnlyAtZero) {
+  // Run it: count 0x0100 decrements to zero after 256 iterations.
+  Assembler a("t");
+  a.ldi16(20, 0x0100);
+  a.ldi(16, 0);
+  a.label("l");
+  a.inc(16);
+  a.dec16(20);
+  a.brne("l");
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  const Image img = a.finish();
+  emu::Machine m;
+  m.load_flash(img.code);
+  m.reset(img.entry);
+  ASSERT_EQ(m.run(100000), emu::StopReason::Halted);
+  EXPECT_EQ(m.dev().host_out()[0], 0x00);  // 256 wraps to 0 in one byte
+}
+
+TEST(Asm, HaltEmitsExitCode) {
+  Assembler a("t");
+  a.halt(42);
+  const Image img = a.finish();
+  emu::Machine m;
+  m.load_flash(img.code);
+  m.reset(img.entry);
+  EXPECT_EQ(m.run(100), emu::StopReason::Halted);
+  EXPECT_EQ(m.dev().halt_code(), 42);
+}
+
+}  // namespace
+}  // namespace sensmart::assembler

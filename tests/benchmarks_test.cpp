@@ -1,0 +1,53 @@
+// The seven kernel benchmarks must run to completion natively, and their
+// naturalized executions under SenSmart must produce bit-identical host
+// output (observational equivalence of the rewriting).
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart {
+namespace {
+
+class BenchmarkEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkEquivalence, NativeAndSenSmartAgree) {
+  const assembler::Image img = apps::build_benchmark(GetParam());
+
+  emu::Machine native;
+  native.load_flash(img.code);
+  native.reset(img.entry);
+  ASSERT_EQ(native.run(400'000'000), emu::StopReason::Halted)
+      << "native run did not finish";
+  const auto expected = native.dev().host_out();
+  ASSERT_FALSE(expected.empty());
+
+  rw::Linker linker;
+  linker.add(img);
+  rw::LinkedSystem sys = linker.link();
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  ASSERT_TRUE(k.admit(0).has_value());
+  ASSERT_TRUE(k.start());
+  ASSERT_EQ(k.run(2'000'000'000), emu::StopReason::Halted)
+      << "SenSmart run did not finish";
+  EXPECT_EQ(k.tasks()[0].state, kern::TaskState::Done);
+  EXPECT_EQ(k.tasks()[0].host_out, expected);
+  EXPECT_TRUE(k.check_invariants().empty()) << k.check_invariants();
+
+  // Code inflation stays within the paper's envelope (Fig. 4: <= 200%,
+  // i.e. naturalized total at most 3x native... the paper plots total size
+  // within 200% of native meaning <= 2x overhead).
+  const auto& pi = sys.programs[0];
+  EXPECT_LE(pi.inflation(), 3.0) << "inflation " << pi.inflation();
+  EXPECT_GE(pi.inflation(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkEquivalence,
+                         ::testing::ValuesIn(apps::benchmark_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace sensmart

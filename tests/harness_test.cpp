@@ -1,0 +1,97 @@
+// Experiment harness: table rendering, run_system edge cases, and the
+// relaxation fixpoint of the rewriter under cascading promotions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/benchmarks.hpp"
+#include "sim/harness.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Assembler;
+
+TEST(TableFmt, AlignsColumnsAndWidensFirst) {
+  sim::Table t({"Name", "A", "B"}, 6);
+  t.row({"a-really-long-label", "1", "2"});
+  t.row({"x", "3.5", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Header and both rows are present and columns align.
+  EXPECT_NE(s.find("a-really-long-label"), std::string::npos);
+  const auto header_a = s.find("A");
+  const auto row1_1 = s.find("1");
+  EXPECT_NE(header_a, std::string::npos);
+  EXPECT_NE(row1_1, std::string::npos);
+  EXPECT_EQ(sim::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(sim::Table::num(uint64_t(42)), "42");
+}
+
+TEST(RunSystem, ZeroImagesReportsNothingAdmitted) {
+  const auto r = sim::run_system({});
+  EXPECT_EQ(r.admitted, 0u);
+  EXPECT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_TRUE(r.tasks.empty());
+}
+
+TEST(RunSystem, OversizedHeapIsRefusedNotCrashed) {
+  Assembler a("huge");
+  a.var("blob", 3900);  // cannot fit with the kernel area
+  a.halt(0);
+  const auto r = sim::run_system({a.finish()});
+  EXPECT_EQ(r.admitted, 0u);
+}
+
+TEST(RunSystem, CycleBudgetStopsCleanly) {
+  Assembler a("spin");
+  a.label("x");
+  a.rjmp("x");
+  sim::RunSpec spec;
+  spec.max_cycles = 50'000;
+  const auto r = sim::run_system({a.finish()}, spec);
+  EXPECT_EQ(r.stop, emu::StopReason::CycleLimit);
+  EXPECT_GE(r.cycles, 50'000u);
+}
+
+TEST(Relaxation, CascadingPromotionsConverge) {
+  // A chain of branches, each barely in range before inflation; patching
+  // pushes them out of range one after another, and each promotion can
+  // push others out, so the fixpoint iteration must cascade. Verify that
+  // the result still executes correctly.
+  Assembler a("cascade");
+  a.ldi(16, 0);
+  for (int hop = 0; hop < 6; ++hop) {
+    a.inc(16);
+    // Each branch targets the next hop: ~52 words away originally (fits
+    // the 7-bit offset), ~104 after the pushes/pops inflate (needs a
+    // trampoline).
+    a.breq("hop" + std::to_string(hop));  // never taken at run time
+    for (int i = 0; i < 25; ++i) a.push(17);  // inflates 1 -> 2 words
+    for (int i = 0; i < 25; ++i) a.pop(17);
+    a.label("hop" + std::to_string(hop));
+  }
+  a.label("end");
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  const auto img = a.finish();
+
+  const auto r = sim::run_system({img});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.tasks[0].host_out.size(), 1u);
+  EXPECT_EQ(r.tasks[0].host_out[0], 6);
+}
+
+TEST(RunSystem, StatsAreInternallyConsistent) {
+  const auto img = apps::build_benchmark("crc");
+  const auto r = sim::run_system({img});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.cycles, r.active_cycles + r.idle_cycles);
+  EXPECT_GT(r.kernel_stats.service_calls, 0u);
+  EXPECT_GE(r.kernel_stats.traps, r.kernel_stats.trap_checks);
+  EXPECT_EQ(r.seconds(), double(r.cycles) / emu::kClockHz);
+}
+
+}  // namespace
+}  // namespace sensmart

@@ -1,0 +1,288 @@
+// ISA encoder/decoder: golden encodings against the AVR instruction-set
+// manual, exhaustive/randomized roundtrip properties, operand validation,
+// and classification helpers.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/codec.hpp"
+
+namespace sensmart::isa {
+namespace {
+
+Instruction rr(Op op, uint8_t rd, uint8_t r) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rr = r;
+  return i;
+}
+Instruction rk(Op op, uint8_t rd, int32_t k) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.k = k;
+  return i;
+}
+
+// --- Golden encodings (hand-assembled from the AVR manual) ------------------
+
+TEST(IsaGolden, KnownEncodings) {
+  EXPECT_EQ(encode(rr(Op::Add, 1, 2)), (std::vector<uint16_t>{0x0C12}));
+  EXPECT_EQ(encode(rr(Op::Add, 16, 31)), (std::vector<uint16_t>{0x0F0F}));
+  EXPECT_EQ(encode(rr(Op::Mov, 0, 0)), (std::vector<uint16_t>{0x2C00}));
+  EXPECT_EQ(encode(rk(Op::Ldi, 16, 0xFF)), (std::vector<uint16_t>{0xEF0F}));
+  EXPECT_EQ(encode(rk(Op::Ldi, 31, 0x00)), (std::vector<uint16_t>{0xE0F0}));
+  EXPECT_EQ(encode(rk(Op::Cpi, 17, 0x21)), (std::vector<uint16_t>{0x3211}));
+  EXPECT_EQ(encode(rk(Op::Subi, 20, 1)), (std::vector<uint16_t>{0x5041}));
+
+  Instruction nop; nop.op = Op::Nop;
+  EXPECT_EQ(encode(nop), (std::vector<uint16_t>{0x0000}));
+  Instruction ret; ret.op = Op::Ret;
+  EXPECT_EQ(encode(ret), (std::vector<uint16_t>{0x9508}));
+  Instruction reti; reti.op = Op::Reti;
+  EXPECT_EQ(encode(reti), (std::vector<uint16_t>{0x9518}));
+  Instruction ijmp; ijmp.op = Op::Ijmp;
+  EXPECT_EQ(encode(ijmp), (std::vector<uint16_t>{0x9409}));
+  Instruction sleep; sleep.op = Op::Sleep;
+  EXPECT_EQ(encode(sleep), (std::vector<uint16_t>{0x9588}));
+
+  // RJMP .-2 (k = -2): 0xCFFE; RJMP .0 (k = 0): 0xC000.
+  EXPECT_EQ(encode(rk(Op::Rjmp, 0, -2)), (std::vector<uint16_t>{0xCFFE}));
+  EXPECT_EQ(encode(rk(Op::Rjmp, 0, 0)), (std::vector<uint16_t>{0xC000}));
+  // BRNE .-5 => BRBC flag 1: 1111 01 1111011 001.
+  Instruction brne; brne.op = Op::Brbc; brne.b = 1; brne.k = -5;
+  EXPECT_EQ(encode(brne), (std::vector<uint16_t>{0xF7D9}));
+
+  // LDS r16, 0x0100 / STS 0x10FF, r1.
+  EXPECT_EQ(encode(rk(Op::Lds, 16, 0x0100)),
+            (std::vector<uint16_t>{0x9100, 0x0100}));
+  EXPECT_EQ(encode(rk(Op::Sts, 1, 0x10FF)),
+            (std::vector<uint16_t>{0x9210, 0x10FF}));
+
+  // JMP 0x1234 / CALL 0x0010.
+  EXPECT_EQ(encode(rk(Op::Jmp, 0, 0x1234)),
+            (std::vector<uint16_t>{0x940C, 0x1234}));
+  EXPECT_EQ(encode(rk(Op::Call, 0, 0x0010)),
+            (std::vector<uint16_t>{0x940E, 0x0010}));
+
+  // PUSH r31 / POP r0.
+  EXPECT_EQ(encode(rr(Op::Push, 31, 0)), (std::vector<uint16_t>{0x93FF}));
+  EXPECT_EQ(encode(rr(Op::Pop, 0, 0)), (std::vector<uint16_t>{0x900F}));
+
+  // IN r16, 0x3D (SPL) / OUT 0x3E, r17.
+  Instruction in; in.op = Op::In; in.rd = 16; in.a = 0x3D;
+  EXPECT_EQ(encode(in), (std::vector<uint16_t>{0xB70D}));
+  Instruction out; out.op = Op::Out; out.rd = 17; out.a = 0x3E;
+  EXPECT_EQ(encode(out), (std::vector<uint16_t>{0xBF1E}));
+
+  // LDD r24, Y+2 : 10q0 qq0d dddd 1qqq => 0x8182... compute: q=2.
+  Instruction ldd; ldd.op = Op::Ldd; ldd.rd = 24; ldd.q = 2; ldd.ptr = Ptr::Y;
+  EXPECT_EQ(encode(ldd), (std::vector<uint16_t>{0x818A}));
+  // STD Z+63, r0: q=63 -> q5 bit13, q4..3 bits11..10, q2..0.
+  Instruction stdz; stdz.op = Op::Std; stdz.rd = 0; stdz.q = 63; stdz.ptr = Ptr::Z;
+  EXPECT_EQ(encode(stdz), (std::vector<uint16_t>{0xAE07}));
+
+  // MOVW r24, r30 -> 0x01CF.
+  EXPECT_EQ(encode(rr(Op::Movw, 24, 30)), (std::vector<uint16_t>{0x01CF}));
+  // ADIW r26, 1 -> 1001 0110 0001 0001.
+  EXPECT_EQ(encode(rk(Op::Adiw, 26, 1)), (std::vector<uint16_t>{0x9611}));
+  EXPECT_EQ(encode(rk(Op::Sbiw, 24, 63)), (std::vector<uint16_t>{0x97CF}));
+
+  // SEI = BSET 7 -> 0x9478; CLI = BCLR 7 -> 0x94F8.
+  Instruction sei; sei.op = Op::Bset; sei.b = 7;
+  EXPECT_EQ(encode(sei), (std::vector<uint16_t>{0x9478}));
+  Instruction cli; cli.op = Op::Bclr; cli.b = 7;
+  EXPECT_EQ(encode(cli), (std::vector<uint16_t>{0x94F8}));
+}
+
+// --- Operand validation -------------------------------------------------------
+
+TEST(IsaValidation, RejectsOutOfRangeOperands) {
+  EXPECT_THROW(encode(rk(Op::Ldi, 15, 0)), std::invalid_argument);
+  EXPECT_THROW(encode(rk(Op::Ldi, 16, 256)), std::invalid_argument);
+  EXPECT_THROW(encode(rk(Op::Adiw, 25, 1)), std::invalid_argument);
+  EXPECT_THROW(encode(rk(Op::Adiw, 24, 64)), std::invalid_argument);
+  EXPECT_THROW(encode(rk(Op::Rjmp, 0, 2048)), std::invalid_argument);
+  EXPECT_THROW(encode(rk(Op::Rjmp, 0, -2049)), std::invalid_argument);
+  Instruction br; br.op = Op::Brbs; br.b = 0; br.k = 64;
+  EXPECT_THROW(encode(br), std::invalid_argument);
+  Instruction mw; mw.op = Op::Movw; mw.rd = 1; mw.rr = 2;
+  EXPECT_THROW(encode(mw), std::invalid_argument);
+  Instruction lddx; lddx.op = Op::Ldd; lddx.rd = 0; lddx.ptr = Ptr::X;
+  EXPECT_THROW(encode(lddx), std::invalid_argument);
+  Instruction io; io.op = Op::In; io.rd = 0; io.a = 64;
+  EXPECT_THROW(encode(io), std::invalid_argument);
+  Instruction sbi; sbi.op = Op::Sbi; sbi.a = 32; sbi.b = 0;
+  EXPECT_THROW(encode(sbi), std::invalid_argument);
+}
+
+// --- Roundtrip properties -------------------------------------------------------
+
+class Roundtrip : public ::testing::TestWithParam<Op> {};
+
+Instruction random_valid(Op op, std::mt19937& rng) {
+  auto u = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  Instruction i;
+  i.op = op;
+  switch (op) {
+    case Op::Add: case Op::Adc: case Op::Sub: case Op::Sbc: case Op::And:
+    case Op::Or: case Op::Eor: case Op::Mov: case Op::Cp: case Op::Cpc:
+    case Op::Cpse: case Op::Mul:
+      i.rd = uint8_t(u(0, 31));
+      i.rr = uint8_t(u(0, 31));
+      break;
+    case Op::Subi: case Op::Sbci: case Op::Andi: case Op::Ori: case Op::Cpi:
+    case Op::Ldi:
+      i.rd = uint8_t(u(16, 31));
+      i.k = u(0, 255);
+      break;
+    case Op::Com: case Op::Neg: case Op::Swap: case Op::Inc: case Op::Dec:
+    case Op::Asr: case Op::Lsr: case Op::Ror: case Op::Push: case Op::Pop:
+    case Op::Lpm: case Op::LpmInc:
+    case Op::LdX: case Op::LdXInc: case Op::LdXDec: case Op::LdYInc:
+    case Op::LdYDec: case Op::LdZInc: case Op::LdZDec:
+    case Op::StX: case Op::StXInc: case Op::StXDec: case Op::StYInc:
+    case Op::StYDec: case Op::StZInc: case Op::StZDec:
+      i.rd = uint8_t(u(0, 31));
+      break;
+    case Op::Adiw: case Op::Sbiw:
+      i.rd = uint8_t(24 + 2 * u(0, 3));
+      i.k = u(0, 63);
+      break;
+    case Op::Movw:
+      i.rd = uint8_t(2 * u(0, 15));
+      i.rr = uint8_t(2 * u(0, 15));
+      break;
+    case Op::Lds: case Op::Sts:
+      i.rd = uint8_t(u(0, 31));
+      i.k = u(0, 0xFFFF);
+      break;
+    case Op::Ldd: case Op::Std:
+      i.rd = uint8_t(u(0, 31));
+      i.q = uint8_t(u(0, 63));
+      i.ptr = u(0, 1) ? Ptr::Y : Ptr::Z;
+      break;
+    case Op::In: case Op::Out:
+      i.rd = uint8_t(u(0, 31));
+      i.a = uint8_t(u(0, 63));
+      break;
+    case Op::Sbi: case Op::Cbi: case Op::Sbic: case Op::Sbis:
+      i.a = uint8_t(u(0, 31));
+      i.b = uint8_t(u(0, 7));
+      break;
+    case Op::Rjmp: case Op::Rcall:
+      i.k = u(-2048, 2047);
+      break;
+    case Op::Jmp: case Op::Call:
+      i.k = u(0, 0xFFFF);
+      break;
+    case Op::Brbs: case Op::Brbc:
+      i.b = uint8_t(u(0, 7));
+      i.k = u(-64, 63);
+      break;
+    case Op::Sbrc: case Op::Sbrs:
+      i.rr = uint8_t(u(0, 31));
+      i.b = uint8_t(u(0, 7));
+      break;
+    case Op::Bset: case Op::Bclr:
+      i.b = uint8_t(u(0, 7));
+      break;
+    default:
+      break;  // fixed encodings: no operands
+  }
+  return i;
+}
+
+TEST_P(Roundtrip, EncodeDecodeIsIdentity) {
+  std::mt19937 rng(0xC0FFEE ^ uint32_t(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    const Instruction in = random_valid(GetParam(), rng);
+    const auto words = encode(in);
+    ASSERT_EQ(int(words.size()), size_words(in.op));
+    const Instruction out =
+        decode_words(words[0], words.size() > 1 ? words[1] : 0);
+    EXPECT_EQ(out, in) << to_string(in) << " vs " << to_string(out);
+  }
+}
+
+std::vector<Op> all_ops() {
+  std::vector<Op> ops;
+  for (int o = 0; o < int(Op::Invalid); ++o) ops.push_back(Op(o));
+  return ops;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, Roundtrip, ::testing::ValuesIn(all_ops()),
+                         [](const auto& info) {
+                           return std::string(mnemonic(info.param)) == "ld_x+"
+                                      ? std::string("ld_x_inc")
+                                      : [](std::string s) {
+                                          for (auto& c : s)
+                                            if (!isalnum(c)) c = '_';
+                                          return s;
+                                        }(mnemonic(info.param));
+                         });
+
+// Decoding arbitrary words never crashes and either yields Invalid or an
+// instruction that re-encodes to the same bits.
+TEST(IsaDecode, ArbitraryWordsDecodeSafely) {
+  std::mt19937 rng(1234);
+  int reencoded = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const uint16_t w0 = uint16_t(rng());
+    const uint16_t w1 = uint16_t(rng());
+    const Instruction ins = decode_words(w0, w1);
+    if (ins.op == Op::Invalid) continue;
+    std::vector<uint16_t> bits;
+    ASSERT_NO_THROW(bits = encode(ins)) << to_string(ins);
+    ASSERT_FALSE(bits.empty());
+    EXPECT_EQ(bits[0], w0) << to_string(ins);
+    if (bits.size() > 1) {
+      EXPECT_EQ(bits[1], w1);
+    }
+    ++reencoded;
+  }
+  EXPECT_GT(reencoded, 10000);  // most of the space is valid encodings
+}
+
+TEST(IsaHelpers, Classification) {
+  EXPECT_TRUE(is_conditional_branch(Op::Brbs));
+  EXPECT_TRUE(is_conditional_branch(Op::Cpse));
+  EXPECT_FALSE(is_conditional_branch(Op::Rjmp));
+  EXPECT_TRUE(is_relative_branch(Op::Rjmp));
+  EXPECT_FALSE(is_relative_branch(Op::Jmp));
+  EXPECT_TRUE(is_call(Op::Icall));
+  EXPECT_TRUE(is_return(Op::Reti));
+  EXPECT_TRUE(is_indirect_jump(Op::Ijmp));
+  EXPECT_TRUE(is_mem_indirect(Op::Ldd));
+  EXPECT_FALSE(is_mem_indirect(Op::Lds));
+  EXPECT_TRUE(is_mem_direct(Op::Sts));
+  EXPECT_TRUE(is_store(Op::StXInc));
+  EXPECT_FALSE(is_store(Op::LdXInc));
+  EXPECT_TRUE(is_stack_op(Op::Push));
+  EXPECT_TRUE(writes_sp(Op::Out, 0x3D));
+  EXPECT_TRUE(writes_sp(Op::Out, 0x3E));
+  EXPECT_FALSE(writes_sp(Op::Out, 0x3F));
+  EXPECT_TRUE(reads_sp(Op::In, 0x3E));
+  EXPECT_FALSE(reads_sp(Op::Out, 0x3E));
+
+  Instruction ldx; ldx.op = Op::LdXInc;
+  EXPECT_EQ(pointer_of(ldx), Ptr::X);
+  Instruction lddy; lddy.op = Op::Ldd; lddy.ptr = Ptr::Y;
+  EXPECT_EQ(pointer_of(lddy), Ptr::Y);
+  EXPECT_TRUE(mutates_pointer(Op::StYDec));
+  EXPECT_FALSE(mutates_pointer(Op::Std));
+
+  EXPECT_EQ(size_words(Op::Lds), 2);
+  EXPECT_EQ(size_words(Op::Call), 2);
+  EXPECT_EQ(size_words(Op::Rcall), 1);
+  EXPECT_EQ(base_cycles(Op::Call), 4);
+  EXPECT_EQ(base_cycles(Op::Add), 1);
+  EXPECT_EQ(base_cycles(Op::LdX), 2);
+  EXPECT_EQ(base_cycles(Op::Lpm), 3);
+}
+
+}  // namespace
+}  // namespace sensmart::isa

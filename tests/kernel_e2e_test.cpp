@@ -1,0 +1,157 @@
+// End-to-end tests: assemble -> rewrite -> link -> run under the SenSmart
+// kernel, checking multitasking semantics and memory isolation.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Assembler;
+using assembler::Image;
+
+// A program that sums 1..n in a loop (backward branch), stores the result
+// into a heap variable, reads it back, emits it on the host port and exits.
+Image sum_program(uint8_t n, uint8_t exit_code) {
+  Assembler a("sum");
+  const uint16_t result = a.var("result", 2);
+  a.ldi(16, 0);       // acc low
+  a.ldi(17, 0);       // acc high
+  a.ldi(18, n);       // counter
+  a.label("loop");
+  a.add(16, 18);
+  a.ldi(19, 0);
+  a.adc(17, 19);
+  a.dec(18);
+  a.brne("loop");     // backward branch -> software trap trampoline
+  a.sts(result, 16);  // heap store (direct)
+  a.sts(static_cast<uint16_t>(result + 1), 17);
+  a.lds(20, result);  // heap load
+  a.sts(emu::kHostOut, 20);
+  a.lds(20, static_cast<uint16_t>(result + 1));
+  a.sts(emu::kHostOut, 20);
+  a.halt(exit_code);
+  a.label("end");
+  a.rjmp("end");
+  return a.finish();
+}
+
+TEST(KernelE2E, SingleTaskMatchesNativeResult) {
+  // Native run.
+  Image img = sum_program(20, 7);
+  emu::Machine native;
+  native.load_flash(img.code);
+  native.reset(img.entry);
+  ASSERT_EQ(native.run(1'000'000), emu::StopReason::Halted);
+  const auto expected = native.dev().host_out();
+  ASSERT_EQ(expected.size(), 2u);
+  EXPECT_EQ(expected[0], 210);  // 20*21/2
+  EXPECT_EQ(expected[1], 0);
+
+  // Kernel run.
+  rw::Linker linker;
+  linker.add(img);
+  rw::LinkedSystem sys = linker.link();
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  ASSERT_TRUE(k.admit(0).has_value());
+  ASSERT_TRUE(k.start());
+  ASSERT_EQ(k.run(10'000'000), emu::StopReason::Halted);
+  ASSERT_EQ(k.tasks().size(), 1u);
+  EXPECT_EQ(k.tasks()[0].state, kern::TaskState::Done);
+  EXPECT_EQ(k.tasks()[0].exit_code, 7);
+  EXPECT_EQ(k.tasks()[0].host_out, expected);
+  EXPECT_TRUE(k.check_invariants().empty()) << k.check_invariants();
+}
+
+TEST(KernelE2E, TwoConcurrentTasksAreIsolated) {
+  Image a = sum_program(10, 1);
+  Image b = sum_program(200, 2);
+  rw::Linker linker;
+  linker.add(a);
+  linker.add(b);
+  rw::LinkedSystem sys = linker.link();
+
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  ASSERT_EQ(k.admit_all(), 2u);
+  ASSERT_TRUE(k.start());
+  ASSERT_EQ(k.run(50'000'000), emu::StopReason::Halted);
+
+  // 10*11/2 = 55; 200*201/2 = 20100 = 0x4E84.
+  ASSERT_EQ(k.tasks()[0].host_out.size(), 2u);
+  EXPECT_EQ(k.tasks()[0].host_out[0], 55);
+  EXPECT_EQ(k.tasks()[0].host_out[1], 0);
+  ASSERT_EQ(k.tasks()[1].host_out.size(), 2u);
+  EXPECT_EQ(k.tasks()[1].host_out[0], 0x84);
+  EXPECT_EQ(k.tasks()[1].host_out[1], 0x4E);
+  EXPECT_EQ(k.tasks()[0].exit_code, 1);
+  EXPECT_EQ(k.tasks()[1].exit_code, 2);
+  EXPECT_TRUE(k.check_invariants().empty()) << k.check_invariants();
+}
+
+TEST(KernelE2E, WildPointerIsContainedToOffendingTask) {
+  // Task A dereferences a wild pointer into another task's region; task B
+  // must finish untouched.
+  Assembler bad("bad");
+  bad.var("x", 2);
+  bad.ldi16(26, 0x0900);  // X = logical address far outside its region
+  bad.ldi(16, 0xAA);
+  bad.st_x(16);           // must be intercepted and treated as invalid
+  bad.halt(0);            // never reached
+  Image bimg = bad.finish();
+
+  Image good = sum_program(10, 3);
+
+  rw::Linker linker;
+  linker.add(bimg);
+  linker.add(good);
+  rw::LinkedSystem sys = linker.link();
+
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  ASSERT_EQ(k.admit_all(), 2u);
+  ASSERT_TRUE(k.start());
+  ASSERT_EQ(k.run(50'000'000), emu::StopReason::Halted);
+
+  EXPECT_EQ(k.tasks()[0].state, kern::TaskState::Killed);
+  EXPECT_EQ(k.tasks()[0].kill_reason, kern::KillReason::InvalidAccess);
+  EXPECT_EQ(k.tasks()[1].state, kern::TaskState::Done);
+  ASSERT_EQ(k.tasks()[1].host_out.size(), 2u);
+  EXPECT_EQ(k.tasks()[1].host_out[0], 55);
+}
+
+TEST(KernelE2E, PreemptionWorksWithInterruptsDisabled) {
+  // Task A spins forever with CLI; task B must still finish (interrupt-free
+  // preemption via software traps), after which A keeps running until the
+  // cycle budget expires.
+  Assembler spin("spin");
+  spin.cli();
+  spin.label("forever");
+  spin.rjmp("forever");
+  Image simg = spin.finish();
+
+  Image good = sum_program(10, 9);
+
+  rw::Linker linker;
+  linker.add(simg);
+  linker.add(good);
+  rw::LinkedSystem sys = linker.link();
+
+  emu::Machine m;
+  kern::Kernel k(m, sys);
+  ASSERT_EQ(k.admit_all(), 2u);
+  ASSERT_TRUE(k.start());
+  EXPECT_EQ(k.run(20'000'000), emu::StopReason::CycleLimit);
+
+  EXPECT_EQ(k.tasks()[1].state, kern::TaskState::Done);
+  EXPECT_EQ(k.tasks()[1].exit_code, 9);
+  EXPECT_GE(k.stats().context_switches, 2u);
+  EXPECT_GT(k.stats().traps, 100u);
+}
+
+}  // namespace
+}  // namespace sensmart

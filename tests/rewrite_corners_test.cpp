@@ -1,0 +1,147 @@
+// Adversarial corners of the rewriting: skip instructions interacting
+// with patched/inflated successors, determinism of whole runs, and a
+// many-task concurrency stress.
+#include <gtest/gtest.h>
+
+#include "apps/treesearch.hpp"
+#include "baselines/native_runner.hpp"
+#include "sim/harness.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Assembler;
+using assembler::Image;
+
+// SBRC/CPSE skip "one instruction". After rewriting, the skipped
+// instruction may have become a 2-word trampoline CALL (PUSH) or stayed a
+// retargeted 2-word instruction (STS): the skip must jump over the whole
+// replacement either way.
+Image skip_over_patched(bool take_skips) {
+  Assembler a("skips");
+  const uint16_t v = a.var("v", 2);
+  a.ldi(16, take_skips ? 0x00 : 0x01);  // bit 0 controls the skips
+  a.ldi(17, 0);
+  a.ldi(18, 0x5A);
+
+  a.sbrc(16, 0);   // skip if bit cleared
+  a.push(18);      // patched: 1 word -> 2-word CALL (inflates)
+  a.sbrc(16, 0);
+  a.pop(17);       // patched: matching pop keeps the stack balanced
+  a.sbrc(16, 0);
+  a.sts(v, 18);    // patched: 2-word STS -> 2-word CALL (no inflation)
+  a.cpse(16, 16);  // always-equal: always skips the next instruction
+  a.inc(17);       // never executes
+
+  a.lds(19, v);
+  a.sts(emu::kHostOut, 17);
+  a.sts(emu::kHostOut, 19);
+  a.halt(0);
+  return a.finish();
+}
+
+TEST(SkipCorners, SkipsClearPatchedInstructionsEntirely) {
+  for (const bool take : {false, true}) {
+    const Image img = skip_over_patched(take);
+    const auto native = base::run_native(img, 1'000'000);
+    ASSERT_EQ(native.stop, emu::StopReason::Halted) << take;
+    const auto sens = sim::run_system({img});
+    ASSERT_EQ(sens.stop, emu::StopReason::Halted) << take;
+    EXPECT_EQ(sens.tasks[0].state, kern::TaskState::Done) << take;
+    EXPECT_EQ(sens.tasks[0].host_out, native.host_out) << take;
+    if (take) {
+      // All three skips taken: v untouched, r17 stayed 0.
+      EXPECT_EQ(native.host_out, (std::vector<uint8_t>{0, 0}));
+    } else {
+      // Nothing skipped except the CPSE pair: push/pop ran, STS ran.
+      EXPECT_EQ(native.host_out, (std::vector<uint8_t>{0x5A, 0x5A}));
+    }
+  }
+}
+
+// A skip whose successor is a backward-branch trampoline: skipping it must
+// not enter the kernel at all.
+TEST(SkipCorners, SkippedBackwardBranchDoesNotTrap) {
+  Assembler a("skipbr");
+  a.ldi(16, 1);      // bit 0 set: SBRC does not skip... SBRC skips on clear
+  a.ldi(17, 3);
+  a.label("top");
+  a.dec(17);
+  a.sbrc(16, 0);     // bit set -> no skip -> fall into the branch? No:
+                     // SBRC skips when cleared; bit is set, so the branch
+                     // executes and the loop runs.
+  a.brne("top");     // backward branch (trampolined)
+  a.sts(emu::kHostOut, 17);
+  a.halt(0);
+  const Image img = a.finish();
+  const auto native = base::run_native(img, 1'000'000);
+  const auto sens = sim::run_system({img});
+  ASSERT_EQ(sens.stop, emu::StopReason::Halted);
+  EXPECT_EQ(sens.tasks[0].host_out, native.host_out);
+
+  // Now with the bit cleared, the branch is skipped every time: exactly
+  // one decrement happens.
+  Assembler b("skipbr2");
+  b.ldi(16, 0);
+  b.ldi(17, 3);
+  b.label("top");
+  b.dec(17);
+  b.sbrc(16, 0);
+  b.brne("top");     // skipped: never taken, never traps
+  b.sts(emu::kHostOut, 17);
+  b.halt(0);
+  const Image img2 = b.finish();
+  const auto n2 = base::run_native(img2, 1'000'000);
+  ASSERT_EQ(n2.host_out, (std::vector<uint8_t>{2}));
+  const auto s2 = sim::run_system({img2});
+  EXPECT_EQ(s2.tasks[0].host_out, n2.host_out);
+  EXPECT_EQ(s2.kernel_stats.traps, 0u);
+}
+
+TEST(Determinism, IdenticalRunsAreCycleIdentical) {
+  std::vector<assembler::Image> images;
+  images.push_back(apps::data_feed_program(6, 64));
+  for (int i = 0; i < 3; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = 20;
+    p.trees = 2;
+    p.searches = 40;
+    p.seed = uint16_t(0xD00D + i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  sim::RunSpec spec;
+  spec.kernel.initial_stack = 56;
+  const auto r1 = sim::run_system(images, spec);
+  const auto r2 = sim::run_system(images, spec);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.active_cycles, r2.active_cycles);
+  EXPECT_EQ(r1.kernel_stats.relocations, r2.kernel_stats.relocations);
+  EXPECT_EQ(r1.kernel_stats.context_switches,
+            r2.kernel_stats.context_switches);
+  for (size_t i = 0; i < r1.tasks.size(); ++i)
+    EXPECT_EQ(r1.tasks[i].host_out, r2.tasks[i].host_out) << i;
+}
+
+TEST(Stress, TwelveMixedTasksCompleteWithInvariantsIntact) {
+  std::vector<assembler::Image> images;
+  images.push_back(apps::data_feed_program(10, 80));
+  for (int i = 0; i < 11; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = uint16_t(8 + (i % 4) * 4);
+    p.trees = 1;
+    p.searches = uint16_t(16 + 8 * (i % 3));
+    p.seed = uint16_t(0xBEE5 + 0x101 * i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  sim::RunSpec spec;
+  spec.kernel.initial_stack = 40;
+  const auto r = sim::run_system(images, spec);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.completed(), images.size());
+  EXPECT_EQ(r.killed(), 0u);
+  EXPECT_GT(r.kernel_stats.relocations, 0u);
+  EXPECT_GT(r.kernel_stats.context_switches, 10u);
+}
+
+}  // namespace
+}  // namespace sensmart

@@ -1,0 +1,342 @@
+// Rewriter units: the shift table (AddressMap), binary analysis (leaders,
+// grouping), patch classification, relaxation, approximate linearity,
+// trampoline merging and linker layout.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "apps/benchmarks.hpp"
+#include "assembler/assembler.hpp"
+#include "rewriter/linker.hpp"
+#include "rewriter/tkernel.hpp"
+
+namespace sensmart::rw {
+namespace {
+
+using assembler::Assembler;
+using assembler::Image;
+
+// --- AddressMap ----------------------------------------------------------------
+
+TEST(AddressMap, IdentityWithoutInflation) {
+  AddressMap m(100, {});
+  EXPECT_EQ(m.to_naturalized(0), 100u);
+  EXPECT_EQ(m.to_naturalized(57), 157u);
+  EXPECT_EQ(m.to_original(157), 57u);
+}
+
+TEST(AddressMap, ShiftsAfterInflatedSites) {
+  AddressMap m(16, {4, 10, 11});
+  EXPECT_EQ(m.to_naturalized(0), 16u);
+  EXPECT_EQ(m.to_naturalized(4), 20u);   // the inflated site itself
+  EXPECT_EQ(m.to_naturalized(5), 22u);   // +1 word after site 4
+  EXPECT_EQ(m.to_naturalized(10), 27u);
+  EXPECT_EQ(m.to_naturalized(11), 29u);  // +2 now
+  EXPECT_EQ(m.to_naturalized(12), 31u);  // +3
+}
+
+TEST(AddressMap, InverseIsExactOnBoundaries) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::set<uint32_t> sites;
+    const int n = int(rng() % 60);
+    while (int(sites.size()) < n) sites.insert(rng() % 500);
+    AddressMap m(32, {sites.begin(), sites.end()});
+    for (uint32_t a = 0; a < 520; ++a)
+      EXPECT_EQ(m.to_original(m.to_naturalized(a)), a);
+  }
+}
+
+TEST(AddressMap, MonotoneStrictlyIncreasing) {
+  AddressMap m(0, {1, 2, 3, 4, 5});
+  for (uint32_t a = 0; a < 20; ++a)
+    EXPECT_LT(m.to_naturalized(a), m.to_naturalized(a + 1));
+}
+
+// --- Analysis --------------------------------------------------------------------
+
+TEST(Analysis, MarksBranchTargetsAsLeaders) {
+  Assembler a("t");
+  a.ldi(16, 0);          // 0
+  a.label("loop");       // 1
+  a.inc(16);             // 1
+  a.cpi(16, 3);          // 2
+  a.brne("loop");        // 3
+  a.halt(0);             // 4,5(2w)
+  auto sites = analyze(a.finish(), true);
+  ASSERT_GE(sites.size(), 5u);
+  EXPECT_TRUE(sites[1].block_leader);   // loop target
+  EXPECT_TRUE(sites[4].block_leader);   // fall-through after branch
+}
+
+TEST(Analysis, GroupsAdjacentLddSamePointer) {
+  Assembler a("t");
+  a.ldd_y(16, 0);
+  a.ldd_y(17, 1);
+  a.std_y(2, 16);
+  a.ldd_z(18, 0);  // different pointer: not in the group
+  auto sites = analyze(a.finish(), true);
+  EXPECT_EQ(sites[0].group, GroupRole::Leader);
+  EXPECT_EQ(sites[0].group_min_q, 0);
+  EXPECT_EQ(sites[0].group_span, 2);
+  EXPECT_EQ(sites[1].group, GroupRole::Follower);
+  EXPECT_EQ(sites[2].group, GroupRole::Follower);
+  EXPECT_EQ(sites[3].group, GroupRole::None);
+}
+
+TEST(Analysis, GroupSizeCappedAtFour) {
+  Assembler a("t");
+  for (uint8_t q = 0; q < 6; ++q) a.ldd_y(16, q);
+  auto sites = analyze(a.finish(), true);
+  EXPECT_EQ(sites[0].group, GroupRole::Leader);
+  EXPECT_EQ(sites[3].group, GroupRole::Follower);
+  EXPECT_EQ(sites[4].group, GroupRole::Leader);  // new group starts
+  EXPECT_EQ(sites[5].group, GroupRole::Follower);
+}
+
+TEST(Analysis, BlockBoundaryBreaksGroup) {
+  Assembler a("t");
+  a.label("top");
+  a.ldd_y(16, 0);
+  a.label("entry");  // a branch target between the two accesses
+  a.ldd_y(17, 1);
+  a.rjmp("entry");
+  auto sites = analyze(a.finish(), true);
+  EXPECT_EQ(sites[0].group, GroupRole::None);
+  EXPECT_EQ(sites[1].group, GroupRole::None);
+}
+
+TEST(Analysis, GroupingDisabledLeavesAllUngrouped) {
+  Assembler a("t");
+  a.ldd_y(16, 0);
+  a.ldd_y(17, 1);
+  auto sites = analyze(a.finish(), false);
+  EXPECT_EQ(sites[0].group, GroupRole::None);
+  EXPECT_EQ(count_followers(sites), 0u);
+}
+
+TEST(Analysis, DataRangesAreOpaque) {
+  Assembler a("t");
+  a.rjmp("code");
+  const uint16_t blob[3] = {0x9508 /* looks like RET */, 0xFFFF, 0x0000};
+  a.dw("blob", blob);
+  a.label("code");
+  a.halt(0);
+  auto sites = analyze(a.finish(), true);
+  ASSERT_GE(sites.size(), 2u);
+  EXPECT_TRUE(sites[1].is_data);
+  EXPECT_EQ(sites[1].size, 3);
+}
+
+// --- Rewriting -------------------------------------------------------------------
+
+NaturalizedProgram rewrite_simple(const Image& img,
+                                  RewriteOptions opts = {}) {
+  ServicePool pool;
+  return rewrite(img, kAppBase, pool, opts);
+}
+
+TEST(Rewrite, PreservesInstructionCount) {
+  // Approximate linearity (§IV-A): same instruction count, byte sizes may
+  // differ. Verify on every kernel benchmark.
+  for (const auto& name : apps::benchmark_names()) {
+    const Image img = apps::build_benchmark(name);
+    const auto sites = analyze(img, true);
+    size_t orig_instrs = 0;
+    for (const auto& s : sites)
+      if (!s.is_data) ++orig_instrs;
+
+    const auto nat = rewrite_simple(img);
+    // Count instructions in the naturalized body (data ranges shifted but
+    // contiguous; walk via the original sites and their naturalized sizes).
+    size_t nat_instrs = 0;
+    uint32_t pc = 0;
+    std::set<uint32_t> data_words;
+    for (const auto& s : sites)
+      if (s.is_data)
+        for (int w = 0; w < s.size; ++w)
+          data_words.insert(nat.map.to_naturalized(s.addr) - nat.base + w);
+    while (pc < nat.code.size()) {
+      if (data_words.count(pc)) {
+        ++pc;
+        continue;
+      }
+      const auto ins = isa::decode(nat.code, pc);
+      ASSERT_NE(ins.op, isa::Op::Invalid) << name << " @" << pc;
+      pc += isa::size_words(ins.op);
+      ++nat_instrs;
+    }
+    EXPECT_EQ(nat_instrs, orig_instrs) << name;
+  }
+}
+
+TEST(Rewrite, ShiftTableMatchesInflatedSites) {
+  const Image img = apps::crc_program(2);
+  const auto nat = rewrite_simple(img);
+  EXPECT_EQ(nat.shift_entries, nat.map.entries());
+  // Every inflated site adds exactly one word.
+  EXPECT_EQ(nat.code.size(), img.code.size() + nat.shift_entries);
+}
+
+TEST(Rewrite, DirectIoAccessLeftNative) {
+  Assembler a("t");
+  a.lds(16, emu::kPortB);   // plain I/O: untouched
+  a.sts(emu::kHostOut, 16); // reserved: patched
+  auto img = a.finish();
+  ServicePool pool;
+  const auto nat = rewrite(img, kAppBase, pool, {});
+  const auto first = isa::decode(nat.code, 0);
+  EXPECT_EQ(first.op, isa::Op::Lds);
+  EXPECT_EQ(first.k, emu::kPortB);
+  const auto second = isa::decode(nat.code, 2);
+  EXPECT_EQ(second.op, isa::Op::Call);  // trampoline call
+  ASSERT_EQ(pool.services().size(), 1u);
+  EXPECT_EQ(pool.services()[0].kind, ServiceKind::ReservedDirect);
+}
+
+TEST(Rewrite, BackwardBranchBecomesTrampolineOnlyWithScheduling) {
+  Assembler a("t");
+  a.label("top");
+  a.nop();
+  a.rjmp("top");
+  auto img = a.finish();
+
+  {
+    ServicePool pool;
+    RewriteOptions opts;
+    opts.patch_branches = true;
+    rewrite(img, kAppBase, pool, opts);
+    ASSERT_EQ(pool.services().size(), 1u);
+    EXPECT_EQ(pool.services()[0].kind, ServiceKind::BackwardBranch);
+  }
+  {
+    ServicePool pool;
+    RewriteOptions opts;
+    opts.patch_branches = false;
+    rewrite(img, kAppBase, pool, opts);
+    EXPECT_TRUE(pool.services().empty());
+  }
+}
+
+TEST(Rewrite, ForwardBranchRetargetedInPlace) {
+  Assembler a("t");
+  a.breq("skip");
+  a.push(16);  // patched -> inflates by 1 word
+  a.label("skip");
+  a.halt(0);
+  auto img = a.finish();
+  ServicePool pool;
+  const auto nat = rewrite(img, kAppBase, pool, {});
+  const auto br = isa::decode(nat.code, 0);
+  ASSERT_EQ(br.op, isa::Op::Brbs);
+  EXPECT_EQ(br.k, 2);  // over the 2-word trampoline CALL
+}
+
+TEST(Rewrite, LongForwardBranchPromotedToTrampoline) {
+  // A BRxx that fits in the original but whose target moves out of the
+  // 7-bit offset range after inflation must be relayed via a trampoline:
+  // 40 PUSHes (40 words) inflate to 40 CALLs (80 words) > 63.
+  Assembler a("t");
+  a.breq("far");
+  for (int i = 0; i < 40; ++i) a.push(16);
+  a.label("far");
+  a.halt(0);
+  auto img = a.finish();
+  ServicePool pool;
+  const auto nat = rewrite(img, kAppBase, pool, {});
+  const auto first = isa::decode(nat.code, 0);
+  EXPECT_EQ(first.op, isa::Op::Call);
+  bool has_fwd = false;
+  for (const auto& s : pool.services())
+    if (s.kind == ServiceKind::ForwardBranch) has_fwd = true;
+  EXPECT_TRUE(has_fwd);
+}
+
+TEST(Rewrite, MergingDeduplicatesIdenticalSites) {
+  Assembler a("t");
+  for (int i = 0; i < 10; ++i) a.push(16);
+  for (int i = 0; i < 10; ++i) a.push(17);
+  a.halt(0);
+  auto img = a.finish();
+
+  ServicePool merged;
+  rewrite(img, kAppBase, merged, {});
+  // push r16, push r17, sts HostHalt-pair services (halt emits ldi+sts).
+  EXPECT_EQ(merged.services().size(), 3u);
+  EXPECT_EQ(merged.requests(), 21u);
+
+  ServicePool unmerged;
+  unmerged.set_merging(false);
+  rewrite(img, kAppBase, unmerged, {});
+  EXPECT_EQ(unmerged.services().size(), 21u);
+}
+
+TEST(Rewrite, MergingWorksAcrossPrograms) {
+  Assembler a("p1");
+  a.push(16);
+  a.halt(0);
+  Assembler b("p2");
+  b.push(16);
+  b.halt(0);
+  Linker linker;
+  linker.add(a.finish());
+  linker.add(b.finish());
+  const auto sys = linker.link();
+  EXPECT_EQ(sys.services.size(), 2u);     // push(r16), sts(halt)
+  EXPECT_EQ(sys.service_requests, 4u);
+}
+
+// --- Linker ---------------------------------------------------------------------
+
+TEST(Linker, LayoutIsDisjointAndOrdered) {
+  Linker linker;
+  std::vector<size_t> idx;
+  for (const auto& name : apps::benchmark_names())
+    idx.push_back(linker.add(apps::build_benchmark(name)));
+  const auto sys = linker.link();
+
+  uint32_t prev_end = kAppBase;
+  for (const auto& p : sys.programs) {
+    EXPECT_GE(p.base, prev_end);
+    prev_end = p.table_base + p.shift_table_bytes / 2;
+    EXPECT_LE(prev_end, sys.tramp_base);
+  }
+  // Trampoline markers are in place.
+  for (size_t i = 0; i < sys.services.size(); ++i) {
+    EXPECT_EQ(sys.flash[sys.service_addr[i]], 0x9598u);  // BREAK
+    EXPECT_EQ(sys.flash[sys.service_addr[i] + 1], uint16_t(i));
+  }
+}
+
+TEST(Linker, ShiftTableStoredInFlash) {
+  Linker linker;
+  linker.add(apps::crc_program(1));
+  const auto sys = linker.link();
+  const auto& p = sys.programs[0];
+  const auto& sites = p.map.inflated_sites();
+  for (size_t i = 0; i < sites.size(); ++i)
+    EXPECT_EQ(sys.flash[p.table_base + i], uint16_t(sites[i]));
+}
+
+TEST(Linker, TKernelModeInflatesMore) {
+  const auto img = apps::crc_program(1);
+  Linker s({}, true);
+  s.add(img);
+  Linker t(tkernel_rewrite_options(), kTKernelMerging);
+  t.add(img);
+  const auto ssys = s.link();
+  const auto tsys = t.link();
+  EXPECT_GT(tsys.programs[0].inflation(), ssys.programs[0].inflation());
+}
+
+TEST(Linker, RejectsUseAfterLink) {
+  Linker linker;
+  linker.add(apps::lfsr_program(1));
+  (void)linker.link();
+  EXPECT_THROW(linker.add(apps::lfsr_program(1)), std::logic_error);
+  EXPECT_THROW(linker.link(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sensmart::rw

@@ -1,0 +1,20 @@
+#include <gtest/gtest.h>
+#include "emu/machine.hpp"
+#include "assembler/assembler.hpp"
+
+TEST(Smoke, RunsTinyProgram) {
+  sensmart::assembler::Assembler a("tiny");
+  a.ldi(16, 5);
+  a.ldi(17, 7);
+  a.add(16, 17);
+  a.sts(sensmart::emu::kHostOut, 16);
+  a.halt(0);
+  auto img = a.finish();
+  sensmart::emu::Machine m;
+  m.load_flash(img.code);
+  m.reset(img.entry);
+  auto r = m.run(10000);
+  EXPECT_EQ(r, sensmart::emu::StopReason::Halted);
+  ASSERT_EQ(m.dev().host_out().size(), 1u);
+  EXPECT_EQ(m.dev().host_out()[0], 12);
+}

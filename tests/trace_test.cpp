@@ -1,0 +1,135 @@
+// Kernel event trace: ordering, content and capacity behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/treesearch.hpp"
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart::kern {
+namespace {
+
+using assembler::Assembler;
+
+TEST(Trace, RecordsLifecycleInOrder) {
+  Assembler a("t");
+  a.halt(3);
+  Assembler b("spin");
+  b.label("x");
+  b.rjmp("x");
+
+  rw::Linker linker;
+  linker.add(a.finish());
+  linker.add(b.finish());
+  const auto sys = linker.link();
+
+  emu::Machine m;
+  Kernel k(m, sys);
+  KernelTrace trace;
+  k.set_trace(&trace);
+  k.admit_all();
+  ASSERT_TRUE(k.start());
+  k.run(1'000'000);
+
+  const auto& ev = trace.events();
+  ASSERT_GE(ev.size(), 3u);
+  EXPECT_EQ(ev[0].kind, EventKind::Start);
+  EXPECT_EQ(ev[0].a, 2);
+  // Cycle stamps are monotone.
+  for (size_t i = 1; i < ev.size(); ++i)
+    EXPECT_GE(ev[i].cycle, ev[i - 1].cycle);
+  // Task 0 finished with exit code 3.
+  EXPECT_EQ(trace.count(EventKind::TaskDone), 1u);
+  bool found = false;
+  for (const auto& e : ev)
+    if (e.kind == EventKind::TaskDone) {
+      EXPECT_EQ(e.a, 0);
+      EXPECT_EQ(e.b, 3);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+  EXPECT_GE(trace.count(EventKind::ContextSwitch), 1u);
+}
+
+TEST(Trace, RecordsRelocations) {
+  std::vector<assembler::Image> images;
+  for (int i = 0; i < 2; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = 16;
+    p.trees = 2;
+    p.searches = 16;
+    p.seed = uint16_t(0x9090 + i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  rw::Linker linker;
+  for (const auto& img : images) linker.add(img);
+  const auto sys = linker.link();
+
+  emu::Machine m;
+  KernelConfig cfg;
+  cfg.initial_stack = 40;
+  Kernel k(m, sys, cfg);
+  KernelTrace trace;
+  k.set_trace(&trace);
+  k.admit_all();
+  ASSERT_TRUE(k.start());
+  ASSERT_EQ(k.run(500'000'000), emu::StopReason::Halted);
+
+  EXPECT_EQ(trace.count(EventKind::Relocation), k.stats().relocations);
+  // Dump renders without crashing and mentions relocations.
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("relocate"), std::string::npos);
+}
+
+TEST(Trace, CapacityBoundsGrowth) {
+  Assembler spin("spin");
+  spin.label("x");
+  spin.rjmp("x");
+  const auto img = spin.finish();
+  rw::Linker linker;
+  linker.add(img);
+  linker.add(img);
+  const auto sys = linker.link();
+
+  emu::Machine m;
+  Kernel k(m, sys);
+  KernelTrace trace(8);  // tiny capacity
+  k.set_trace(&trace);
+  k.admit_all();
+  ASSERT_TRUE(k.start());
+  k.run(30'000'000);
+  EXPECT_EQ(trace.events().size(), 8u);
+  EXPECT_GT(trace.dropped(), 0u);
+}
+
+TEST(Trace, DetachedTraceCostsNothing) {
+  Assembler a("t");
+  a.ldi16(20, 2000);
+  a.label("l");
+  a.dec16(20);
+  a.brne("l");
+  a.halt(0);
+  const auto img = a.finish();
+
+  auto run_once = [&](bool traced) {
+    rw::Linker linker;
+    linker.add(img);
+    const auto sys = linker.link();
+    emu::Machine m;
+    Kernel k(m, sys);
+    KernelTrace trace;
+    if (traced) k.set_trace(&trace);
+    k.admit(0);
+    k.start();
+    k.run(10'000'000);
+    return m.cycles();
+  };
+  EXPECT_EQ(run_once(false), run_once(true));  // zero emulated cost
+}
+
+}  // namespace
+}  // namespace sensmart::kern

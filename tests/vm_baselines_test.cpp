@@ -1,0 +1,161 @@
+// Maté-style VM bytecode semantics and the baseline allocation models.
+#include <gtest/gtest.h>
+
+#include "baselines/features.hpp"
+#include "baselines/liteos_model.hpp"
+#include "baselines/mantis_model.hpp"
+#include "emu/io_map.hpp"
+#include "vm/vm.hpp"
+
+namespace sensmart {
+namespace {
+
+using vm::Bc;
+using vm::MateVm;
+using vm::VmAssembler;
+
+vm::VmResult run(VmAssembler& a, uint64_t budget = 1'000'000) {
+  MateVm v(a.finish());
+  return v.run(budget);
+}
+
+TEST(Vm, ArithmeticAndOutput) {
+  VmAssembler a;
+  a.push16(1000);
+  a.push16(234);
+  a.op(Bc::Add);
+  a.op(Bc::Out);  // 1234 & 0xFF = 0xD2
+  a.push8(10);
+  a.op(Bc::Sub1);
+  a.op(Bc::Out);
+  a.push16(500);
+  a.push16(100);
+  a.op(Bc::Sub);
+  a.op(Bc::Out);  // 400 & 0xFF = 0x90
+  a.op(Bc::Halt);
+  const auto r = run(a);
+  ASSERT_TRUE(r.halted) << r.error;
+  EXPECT_EQ(r.out, (std::vector<uint8_t>{0xD2, 9, 0x90}));
+}
+
+TEST(Vm, VariablesAndLoop) {
+  VmAssembler a;
+  a.push16(5);
+  a.store(0);
+  a.push8(0);
+  a.store(1);
+  a.label("top");
+  a.load(1);
+  a.push8(2);
+  a.op(Bc::Add);
+  a.store(1);
+  a.load(0);
+  a.op(Bc::Sub1);
+  a.op(Bc::Dup);
+  a.store(0);
+  a.jnz("top");
+  a.load(1);
+  a.op(Bc::Out);  // 5 iterations * 2 = 10
+  a.op(Bc::Halt);
+  const auto r = run(a);
+  ASSERT_TRUE(r.halted) << r.error;
+  EXPECT_EQ(r.out, std::vector<uint8_t>{10});
+}
+
+TEST(Vm, SleepUntilAdvancesIdleTime) {
+  VmAssembler a;
+  a.op(Bc::GetClock);
+  a.push16(100);
+  a.op(Bc::Add);
+  a.op(Bc::SleepUntil);
+  a.op(Bc::Halt);
+  const auto r = run(a);
+  ASSERT_TRUE(r.halted);
+  EXPECT_GE(r.idle_cycles, 90u * emu::kTimer3Prescale);
+}
+
+TEST(Vm, SleepUntilPastTargetIsNoOp) {
+  VmAssembler a;
+  a.push16(0);  // the clock is already past 0... (delta <= 0)
+  a.op(Bc::SleepUntil);
+  a.op(Bc::Halt);
+  const auto r = run(a);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.idle_cycles, 0u);
+}
+
+TEST(Vm, CostsAccumulatePerOpcode) {
+  VmAssembler a;
+  a.push8(1);   // dispatch + simple
+  a.op(Bc::Drop);
+  a.op(Bc::Halt);
+  vm::VmCosts costs;
+  MateVm v(a.finish(), costs);
+  const auto r = v.run(100000);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.ops_executed, 3u);
+  EXPECT_EQ(r.active_cycles, 3 * costs.dispatch + 2 * costs.op_simple);
+}
+
+TEST(Vm, BadOpcodeAndPcEscapeAreErrors) {
+  MateVm v(std::vector<uint8_t>{0xEE});
+  const auto r = v.run(1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.error, "bad opcode");
+
+  MateVm v2(std::vector<uint8_t>{uint8_t(Bc::PushC8), 1, uint8_t(Bc::Drop)});
+  const auto r2 = v2.run(1000);
+  EXPECT_FALSE(r2.halted);
+  EXPECT_EQ(r2.error, "pc out of range");
+}
+
+TEST(Vm, BudgetExhaustionStopsCleanly) {
+  VmAssembler a;
+  a.label("x");
+  a.jmp("x");
+  MateVm v(a.finish());
+  const auto r = v.run(5000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_GE(r.cycles, 5000u);
+}
+
+// --- Baseline models ------------------------------------------------------------
+
+TEST(Baselines, FeatureMatrixShape) {
+  const auto& m = base::table1();
+  EXPECT_EQ(m.systems.size(), 7u);
+  EXPECT_EQ(m.features.size(), 8u);
+  for (const auto& row : m.values) EXPECT_EQ(row.size(), m.systems.size());
+  // SenSmart is the only system with stack relocation.
+  const auto& reloc = m.values.back();
+  for (size_t s = 0; s + 1 < m.systems.size(); ++s)
+    EXPECT_EQ(reloc[s], "No");
+  EXPECT_EQ(reloc.back(), "Yes");
+}
+
+TEST(Baselines, LiteOsModelMath) {
+  base::LiteOsModel lo;
+  EXPECT_EQ(lo.app_space(), 2096);
+  // 100 B heap + 200 B declared stack per task: 2096 / 300 = 6 tasks.
+  EXPECT_EQ(lo.max_schedulable_tasks(100, 200), 6);
+  EXPECT_EQ(lo.max_schedulable_tasks(0, 2096), 1);
+  EXPECT_EQ(lo.max_schedulable_tasks(0, 2097), 0);
+}
+
+TEST(Baselines, MantisModelMath) {
+  base::MantisModel mo;
+  EXPECT_EQ(mo.app_space(), 3596);
+  EXPECT_EQ(mo.max_schedulable_tasks(100, 200), 11);
+}
+
+TEST(Baselines, LiteOsSchedulesFewerThanMantisForSameWorkload) {
+  // More static kernel data -> fewer tasks; part of the Fig. 8 setup.
+  base::LiteOsModel lo;
+  base::MantisModel mo;
+  EXPECT_LT(lo.max_schedulable_tasks(150, 180),
+            mo.max_schedulable_tasks(150, 180));
+}
+
+}  // namespace
+}  // namespace sensmart

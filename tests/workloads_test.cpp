@@ -1,0 +1,142 @@
+// Workload programs: PeriodicTask, tree search (stack-versatility mix) and
+// the Maté-style VM.
+#include <gtest/gtest.h>
+
+#include "apps/periodic_task.hpp"
+#include "apps/treesearch.hpp"
+#include "baselines/native_runner.hpp"
+#include "sim/harness.hpp"
+#include "vm/vm.hpp"
+
+namespace sensmart {
+namespace {
+
+TEST(PeriodicTask, NativeCompletesAllActivations) {
+  apps::PeriodicTaskParams p;
+  p.activations = 20;
+  p.instructions = 5000;
+  p.period_ticks = 300;  // ~10.4 ms
+  const auto img = apps::periodic_task_program(p);
+  const auto r = base::run_native(img, 200'000'000);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.host_out.size(), 2u);
+  EXPECT_EQ(r.host_out[0] | (r.host_out[1] << 8), 20);
+  // 20 periods of ~10.4 ms: total ~208 ms; mostly idle.
+  EXPECT_NEAR(r.seconds(), 0.208, 0.03);
+  EXPECT_LT(r.utilization(), 0.30);
+}
+
+TEST(PeriodicTask, SenSmartMatchesActivationCount) {
+  apps::PeriodicTaskParams p;
+  p.activations = 20;
+  p.instructions = 5000;
+  p.period_ticks = 300;
+  const auto img = apps::periodic_task_program(p);
+  const auto r = sim::run_system({img});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_EQ(r.tasks[0].state, kern::TaskState::Done);
+  ASSERT_EQ(r.tasks[0].host_out.size(), 2u);
+  EXPECT_EQ(r.tasks[0].host_out[0] | (r.tasks[0].host_out[1] << 8), 20);
+  // Still period-bound (the overhead hides in the idle time).
+  EXPECT_NEAR(r.seconds(), 0.208, 0.04);
+}
+
+TEST(PeriodicTask, OverrunExtendsExecutionTime) {
+  // Computation far beyond the period: the program must not wedge, and the
+  // execution time must grow past activations*period.
+  apps::PeriodicTaskParams p;
+  p.activations = 10;
+  p.instructions = 60000;  // ~16 ms of work
+  p.period_ticks = 150;    // ~5.2 ms period: always overrun
+  const auto img = apps::periodic_task_program(p);
+  const auto r = base::run_native(img, 400'000'000);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_GT(r.seconds(), 10 * 150 * 256.0 / emu::kClockHz);
+  EXPECT_GT(r.utilization(), 0.9);
+}
+
+TEST(TreeSearch, NativeHitsEveryReplayedKey) {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = 24;
+  p.trees = 2;
+  p.searches = 48;  // == total nodes: replayed keys must all hit
+  const auto img = apps::tree_search_program(p);
+  const auto r = base::run_native(img, 400'000'000);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.host_out.size(), 2u);
+  EXPECT_EQ(r.host_out[0], 48);          // hits
+  EXPECT_GE(r.host_out[1], 6);           // max recursion depth
+  EXPECT_LE(r.host_out[1], 24);
+}
+
+TEST(TreeSearch, SenSmartMatchesNativeOutput) {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = 20;
+  p.trees = 2;
+  p.searches = 40;
+  const auto img = apps::tree_search_program(p);
+  const auto native = base::run_native(img, 400'000'000);
+  ASSERT_EQ(native.stop, emu::StopReason::Halted);
+
+  const auto r = sim::run_system({img});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.tasks[0].state, kern::TaskState::Done);
+  EXPECT_EQ(r.tasks[0].host_out, native.host_out);
+}
+
+TEST(TreeSearch, ConcurrentSearchTasksTriggerRelocations) {
+  // Several search tasks plus a feeder under a small initial stack: deep
+  // recursion must force stack relocations, and everything must finish.
+  std::vector<assembler::Image> images;
+  images.push_back(apps::data_feed_program(8, 48));
+  for (int i = 0; i < 4; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = 20;
+    p.trees = 2;
+    p.searches = 40;
+    p.seed = static_cast<uint16_t>(0x1111 * (i + 1));
+    images.push_back(apps::tree_search_program(p));
+  }
+  sim::RunSpec spec;
+  spec.kernel.initial_stack = 48;  // far below the recursion's ~200 B need
+  const auto r = sim::run_system(images, spec);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.completed(), images.size());
+  EXPECT_EQ(r.killed(), 0u);
+  EXPECT_GT(r.kernel_stats.relocations, 0u);
+  for (const auto& t : r.tasks) {
+    if (t.program == 0) continue;  // feeder
+    EXPECT_EQ(t.host_out.size(), 2u);
+    EXPECT_EQ(t.host_out[0], 40);  // every replayed key hit
+  }
+}
+
+TEST(MateVm, PeriodicTaskRunsAndIsMuchSlowerThanNative) {
+  const auto code = vm::periodic_task_bytecode(300, 20, 5000);
+  vm::MateVm v(code);
+  const auto r = v.run(10'000'000'000ULL);
+  ASSERT_TRUE(r.halted) << r.error;
+  ASSERT_EQ(r.out.size(), 1u);
+
+  // Native equivalent for the active-time comparison.
+  apps::PeriodicTaskParams p;
+  p.activations = 20;
+  p.instructions = 5000;
+  p.period_ticks = 300;
+  const auto native = base::run_native(apps::periodic_task_program(p));
+  ASSERT_EQ(native.stop, emu::StopReason::Halted);
+  EXPECT_GT(double(r.active_cycles) / double(native.active_cycles), 10.0);
+}
+
+TEST(MateVm, UnderflowIsAnError) {
+  vm::VmAssembler a;
+  a.op(vm::Bc::Add);
+  vm::MateVm v(a.finish());
+  const auto r = v.run(1000);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.error, "underflow");
+}
+
+}  // namespace
+}  // namespace sensmart
