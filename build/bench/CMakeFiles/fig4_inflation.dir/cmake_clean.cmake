@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_inflation.dir/fig4_inflation.cpp.o"
+  "CMakeFiles/fig4_inflation.dir/fig4_inflation.cpp.o.d"
+  "fig4_inflation"
+  "fig4_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exectime.dir/fig5_exectime.cpp.o"
+  "CMakeFiles/fig5_exectime.dir/fig5_exectime.cpp.o.d"
+  "fig5_exectime"
+  "fig5_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_periodic.dir/fig6_periodic.cpp.o"
+  "CMakeFiles/fig6_periodic.dir/fig6_periodic.cpp.o.d"
+  "fig6_periodic"
+  "fig6_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_treesearch.dir/fig7_treesearch.cpp.o"
+  "CMakeFiles/fig7_treesearch.dir/fig7_treesearch.cpp.o.d"
+  "fig7_treesearch"
+  "fig7_treesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_treesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

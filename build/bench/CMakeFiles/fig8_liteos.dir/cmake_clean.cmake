@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_liteos.dir/fig8_liteos.cpp.o"
+  "CMakeFiles/fig8_liteos.dir/fig8_liteos.cpp.o.d"
+  "fig8_liteos"
+  "fig8_liteos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_liteos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_rewrite.dir/inspect_rewrite.cpp.o"
+  "CMakeFiles/inspect_rewrite.dir/inspect_rewrite.cpp.o.d"
+  "inspect_rewrite"
+  "inspect_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

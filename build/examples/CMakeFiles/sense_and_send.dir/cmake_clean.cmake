@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sense_and_send.dir/sense_and_send.cpp.o"
+  "CMakeFiles/sense_and_send.dir/sense_and_send.cpp.o.d"
+  "sense_and_send"
+  "sense_and_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sense_and_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_pressure.dir/stack_pressure.cpp.o"
+  "CMakeFiles/stack_pressure.dir/stack_pressure.cpp.o.d"
+  "stack_pressure"
+  "stack_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/benchmarks.cpp" "src/CMakeFiles/sensmart.dir/apps/benchmarks.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/apps/benchmarks.cpp.o.d"
+  "/root/repo/src/apps/memalloc.cpp" "src/CMakeFiles/sensmart.dir/apps/memalloc.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/apps/memalloc.cpp.o.d"
+  "/root/repo/src/apps/periodic_task.cpp" "src/CMakeFiles/sensmart.dir/apps/periodic_task.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/apps/periodic_task.cpp.o.d"
+  "/root/repo/src/apps/treesearch.cpp" "src/CMakeFiles/sensmart.dir/apps/treesearch.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/apps/treesearch.cpp.o.d"
+  "/root/repo/src/assembler/assembler.cpp" "src/CMakeFiles/sensmart.dir/assembler/assembler.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/assembler/assembler.cpp.o.d"
+  "/root/repo/src/baselines/features.cpp" "src/CMakeFiles/sensmart.dir/baselines/features.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/baselines/features.cpp.o.d"
+  "/root/repo/src/baselines/native_runner.cpp" "src/CMakeFiles/sensmart.dir/baselines/native_runner.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/baselines/native_runner.cpp.o.d"
+  "/root/repo/src/emu/devices.cpp" "src/CMakeFiles/sensmart.dir/emu/devices.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/emu/devices.cpp.o.d"
+  "/root/repo/src/emu/machine.cpp" "src/CMakeFiles/sensmart.dir/emu/machine.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/emu/machine.cpp.o.d"
+  "/root/repo/src/emu/memory.cpp" "src/CMakeFiles/sensmart.dir/emu/memory.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/emu/memory.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/sensmart.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/sensmart.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/CMakeFiles/sensmart.dir/isa/encode.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/isa/encode.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/sensmart.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/sensmart.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/memmgr.cpp" "src/CMakeFiles/sensmart.dir/kernel/memmgr.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/kernel/memmgr.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "src/CMakeFiles/sensmart.dir/kernel/scheduler.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/kernel/scheduler.cpp.o.d"
+  "/root/repo/src/kernel/trace.cpp" "src/CMakeFiles/sensmart.dir/kernel/trace.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/kernel/trace.cpp.o.d"
+  "/root/repo/src/rewriter/analysis.cpp" "src/CMakeFiles/sensmart.dir/rewriter/analysis.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/rewriter/analysis.cpp.o.d"
+  "/root/repo/src/rewriter/linker.cpp" "src/CMakeFiles/sensmart.dir/rewriter/linker.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/rewriter/linker.cpp.o.d"
+  "/root/repo/src/rewriter/rewriter.cpp" "src/CMakeFiles/sensmart.dir/rewriter/rewriter.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/rewriter/rewriter.cpp.o.d"
+  "/root/repo/src/rewriter/shift_table.cpp" "src/CMakeFiles/sensmart.dir/rewriter/shift_table.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/rewriter/shift_table.cpp.o.d"
+  "/root/repo/src/rewriter/tkernel.cpp" "src/CMakeFiles/sensmart.dir/rewriter/tkernel.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/rewriter/tkernel.cpp.o.d"
+  "/root/repo/src/sim/harness.cpp" "src/CMakeFiles/sensmart.dir/sim/harness.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/sim/harness.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/sensmart.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/sensmart.dir/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

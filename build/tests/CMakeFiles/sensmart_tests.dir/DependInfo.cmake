@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alu_oracle_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/alu_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/alu_oracle_test.cpp.o.d"
+  "/root/repo/tests/assembler_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/devices_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/devices_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/devices_test.cpp.o.d"
+  "/root/repo/tests/emu_cpu_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/emu_cpu_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/emu_cpu_test.cpp.o.d"
+  "/root/repo/tests/equivalence_property_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/equivalence_property_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/equivalence_property_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/isa_codec_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/isa_codec_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/isa_codec_test.cpp.o.d"
+  "/root/repo/tests/kernel_e2e_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/kernel_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/kernel_e2e_test.cpp.o.d"
+  "/root/repo/tests/kernel_unit_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/kernel_unit_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/kernel_unit_test.cpp.o.d"
+  "/root/repo/tests/memalloc_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/memalloc_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/memalloc_test.cpp.o.d"
+  "/root/repo/tests/radio_rx_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/radio_rx_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/radio_rx_test.cpp.o.d"
+  "/root/repo/tests/rewrite_corners_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/rewrite_corners_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/rewrite_corners_test.cpp.o.d"
+  "/root/repo/tests/rewriter_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/rewriter_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/rewriter_test.cpp.o.d"
+  "/root/repo/tests/smoke.cpp" "tests/CMakeFiles/sensmart_tests.dir/smoke.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/smoke.cpp.o.d"
+  "/root/repo/tests/tkernel_mode_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/tkernel_mode_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/tkernel_mode_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/vm_baselines_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/vm_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/vm_baselines_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/sensmart_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/sensmart_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sensmart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
