@@ -1,0 +1,6 @@
+// Chaos soak driver: sweeps seeded fault-injection runs (or replays one
+// with --chaos-seed N) and reports every invariant or data-integrity
+// violation. See src/chaos/chaos.hpp for the harness contract.
+#include "chaos/chaos.hpp"
+
+int main(int argc, char** argv) { return sensmart::chaos::soak_main(argc, argv); }

@@ -1,0 +1,106 @@
+#include "chaos/adversarial.hpp"
+
+#include <string>
+
+#include "chaos/prng.hpp"
+#include "emu/io_map.hpp"
+
+namespace sensmart::chaos {
+
+using assembler::Assembler;
+using assembler::Image;
+
+Image deep_recursion_program(uint16_t depth, uint8_t frame_pushes,
+                             uint16_t name_tag) {
+  Assembler a("rec" + std::to_string(name_tag));
+  a.ldi16(20, depth);
+  a.rcall("rec");
+  a.ldi(16, 0x01);
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+
+  a.label("rec");
+  a.dec16(20);
+  a.breq("base");
+  for (uint8_t i = 0; i < frame_pushes; ++i) a.push(static_cast<uint8_t>(2 + i));
+  a.rcall("rec");
+  for (uint8_t i = frame_pushes; i-- > 0;) a.pop(static_cast<uint8_t>(2 + i));
+  a.ret();
+  a.label("base");
+  a.ret();
+  return a.finish();
+}
+
+Image stack_storm_program(uint16_t bursts, uint16_t amplitude, uint16_t seed) {
+  Prng r(0x57F0A11ULL + seed);
+  Assembler a("storm" + std::to_string(seed));
+  for (uint16_t b = 0; b < bursts; ++b) {
+    const uint16_t n =
+        static_cast<uint16_t>(24 + r.below(amplitude ? amplitude : 1));
+    const std::string pu = "pu" + std::to_string(b);
+    const std::string po = "po" + std::to_string(b);
+    a.ldi16(24, n);
+    a.label(pu);
+    a.push(2);
+    a.dec16(24);
+    a.brne(pu);
+    a.ldi16(24, n);
+    a.label(po);
+    a.pop(2);
+    a.dec16(24);
+    a.brne(po);
+  }
+  a.ldi(16, 0x02);
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  return a.finish();
+}
+
+Image pattern_verifier_program(uint16_t heap_bytes, uint16_t sleep_ticks,
+                               uint8_t rounds, uint16_t seed) {
+  Assembler a("oracle" + std::to_string(seed));
+  const uint16_t pat = a.var("pat", heap_bytes);
+  const uint8_t start = static_cast<uint8_t>(0x11 + (seed & 0xEF));
+
+  a.ldi(22, rounds);
+  a.label("round");
+  // Fill the heap with the seeded rolling pattern.
+  a.ldi16(26, pat);
+  a.ldi16(24, heap_bytes);
+  a.ldi(16, start);
+  a.label("fill");
+  a.st_x_inc(16);
+  a.subi(16, 0x95);  // step the pattern (adds 0x6B mod 256)
+  a.dec16(24);
+  a.brne("fill");
+  // Sleep while the neighbours churn regions across this one.
+  a.lds(24, emu::kTcnt3L);
+  a.lds(25, emu::kTcnt3H);
+  a.ldi16(18, sleep_ticks);
+  a.add(24, 18);
+  a.adc(25, 19);
+  a.sts(emu::kSleepTargetL, 24);
+  a.sts(emu::kSleepTargetH, 25);
+  a.sleep();
+  // Verify every byte; r20 counts corruptions this round.
+  a.ldi(20, 0);
+  a.ldi16(26, pat);
+  a.ldi16(24, heap_bytes);
+  a.ldi(16, start);
+  a.label("chk");
+  a.ld_x_inc(18);
+  a.cp(18, 16);
+  a.breq("okb");
+  a.inc(20);
+  a.label("okb");
+  a.subi(16, 0x95);
+  a.dec16(24);
+  a.brne("chk");
+  a.sts(emu::kHostOut, 20);
+  a.dec(22);
+  a.brne("round");
+  a.halt(0);
+  return a.finish();
+}
+
+}  // namespace sensmart::chaos

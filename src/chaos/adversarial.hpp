@@ -1,0 +1,38 @@
+// Synthetic adversarial tasks for chaos runs: workloads chosen not to be
+// realistic but to put the worst plausible pressure on the relocation
+// engine — deep recursion racing the red zone, sawtooth stack storms that
+// force donate/reclaim cycles, and a self-verifying pattern task that acts
+// as a data-integrity oracle while its neighbours churn.
+#pragma once
+
+#include <cstdint>
+
+#include "assembler/assembler.hpp"
+
+namespace sensmart::chaos {
+
+// Recursive descent to `depth` levels, each level pushing `frame_pushes`
+// register bytes plus the 2-byte return address. Emits 0x01 to the host
+// port and exits 0 on the way back up. Stack demand grows to roughly
+// depth * (frame_pushes + 2) bytes, far past any chaos initial allocation.
+assembler::Image deep_recursion_program(uint16_t depth, uint8_t frame_pushes,
+                                        uint16_t name_tag);
+
+// A sawtooth stack storm: `bursts` rounds of pushing a per-round number of
+// bytes (24..24+amplitude) and popping them all back, so the task's stack
+// need repeatedly spikes and collapses — the donate/reclaim worst case of
+// §IV-C3. The per-round sizes are derived from `seed` at build time, so
+// the image (and the run) is deterministic. Exits 0.
+assembler::Image stack_storm_program(uint16_t bursts, uint16_t amplitude,
+                                     uint16_t seed);
+
+// The data-integrity oracle: fills `heap_bytes` of its heap with a seeded
+// byte pattern, sleeps `sleep_ticks` Timer3 ticks to let neighbours force
+// relocations across it, then re-verifies every byte; `rounds` times.
+// Emits one byte per round - the count of corrupted bytes (0 = intact) -
+// then halts with exit code 0.
+assembler::Image pattern_verifier_program(uint16_t heap_bytes,
+                                          uint16_t sleep_ticks,
+                                          uint8_t rounds, uint16_t seed);
+
+}  // namespace sensmart::chaos

@@ -1,0 +1,246 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "apps/treesearch.hpp"
+#include "chaos/adversarial.hpp"
+#include "chaos/prng.hpp"
+
+namespace sensmart::chaos {
+
+namespace {
+
+// FNV-1a over the raw fields of every recorded kernel event. Two runs of
+// the same seed must produce the same hash (deterministic replay).
+uint64_t hash_trace(const kern::KernelTrace& trace) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const kern::TraceEvent& e : trace.events()) {
+    mix(e.cycle);
+    mix(uint64_t(e.kind));
+    mix(e.a);
+    mix(e.b);
+  }
+  mix(trace.events().size());
+  mix(trace.dropped());
+  return h;
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosOptions& opts) {
+  Prng r(opts.seed);
+  ChaosResult res;
+  res.seed = opts.seed;
+
+  // --- Plan the task mix ------------------------------------------------------
+  std::vector<assembler::Image> images;
+  // Task 0 is always the data-integrity oracle: a pattern verifier whose
+  // heap sits in the churn zone.
+  images.push_back(pattern_verifier_program(
+      static_cast<uint16_t>(96 + r.below(160)),
+      static_cast<uint16_t>(200 + r.below(600)),
+      static_cast<uint8_t>(2 + r.below(3)), static_cast<uint16_t>(opts.seed)));
+
+  const size_t ntasks = 3 + r.below(5);  // 3..7
+  for (size_t i = 1; i < ntasks; ++i) {
+    switch (r.below(4)) {
+      case 0: {
+        apps::TreeSearchParams p;
+        p.nodes_per_tree = static_cast<uint16_t>(8 + 4 * r.below(5));
+        p.trees = static_cast<uint8_t>(1 + r.below(2));
+        p.searches = static_cast<uint16_t>(16 + 8 * r.below(5));
+        p.seed = static_cast<uint16_t>(r.next());
+        images.push_back(apps::tree_search_program(p));
+        break;
+      }
+      case 1:
+        images.push_back(deep_recursion_program(
+            static_cast<uint16_t>(24 + r.below(48)),
+            static_cast<uint8_t>(2 + r.below(5)),
+            static_cast<uint16_t>(r.next() & 0x7FFF)));
+        break;
+      case 2:
+        images.push_back(stack_storm_program(
+            static_cast<uint16_t>(8 + r.below(24)),
+            static_cast<uint16_t>(40 + r.below(120)),
+            static_cast<uint16_t>(r.next() & 0x7FFF)));
+        break;
+      default:
+        images.push_back(apps::data_feed_program(
+            static_cast<uint16_t>(8 + r.below(40)),
+            static_cast<uint16_t>(48 + r.below(128))));
+        break;
+    }
+  }
+  res.tasks_planned = images.size();
+
+  // --- Plan the kernel perturbation ------------------------------------------
+  sim::RunSpec spec;
+  spec.kernel.audit = opts.audit;
+  // Starvation-level initial stacks force relocation storms (§IV-C3).
+  spec.kernel.initial_stack = static_cast<uint16_t>(24 + r.below(41));
+  spec.kernel.min_stack = 24;
+  spec.kernel.stack_margin = static_cast<uint16_t>(4 + r.below(9));
+  static constexpr uint16_t kTrapIntervals[] = {16, 32, 64, 128, 256};
+  spec.kernel.trap_interval = kTrapIntervals[r.below(5)];
+  spec.kernel.slice_cycles = 2000 + r.below(8000);
+  spec.max_cycles = opts.max_cycles;
+
+  if (opts.inject_kills) {
+    const size_t nkills = r.below(4);  // 0..3
+    std::vector<kern::InjectedKill> kills;
+    for (size_t i = 0; i < nkills; ++i)
+      kills.push_back({100 + r.below(6'000),
+                       static_cast<uint8_t>(r.below(uint32_t(ntasks)))});
+    std::sort(kills.begin(), kills.end(),
+              [](const kern::InjectedKill& a, const kern::InjectedKill& b) {
+                return a.at_service_call < b.at_service_call;
+              });
+    spec.kernel.injected_kills = kills;
+    res.kills_planned = kills.size();
+  }
+
+  // --- Execute ----------------------------------------------------------------
+  kern::KernelTrace trace(1 << 16);
+  spec.trace = &trace;
+  res.run = sim::run_system(images, spec);
+  res.trace_hash = hash_trace(trace);
+  res.trace_events = trace.events().size();
+
+  // --- Oracles ----------------------------------------------------------------
+  for (const std::string& a : res.run.audit_log)
+    res.violations.push_back("audit: " + a);
+  if (!res.run.invariant_error.empty())
+    res.violations.push_back("final invariants: " + res.run.invariant_error);
+  if (res.run.stop != emu::StopReason::Halted)
+    res.violations.push_back("run did not halt within the cycle budget");
+  for (const kern::Task& t : res.run.tasks) {
+    if (t.state == kern::TaskState::Killed &&
+        t.kill_reason != kern::KillReason::Injected &&
+        t.kill_reason != kern::KillReason::OutOfStackMemory) {
+      std::ostringstream e;
+      e << "task " << int(t.id) << " killed for " << to_string(t.kill_reason)
+        << " (chaos tasks are well-formed; this indicates a kernel bug)";
+      res.violations.push_back(e.str());
+    }
+  }
+  if (!res.run.tasks.empty() &&
+      res.run.tasks[0].state == kern::TaskState::Done) {
+    for (uint8_t b : res.run.tasks[0].host_out)
+      if (b != 0) {
+        std::ostringstream e;
+        e << "data oracle: " << int(b)
+          << " heap bytes corrupted across relocations";
+        res.violations.push_back(e.str());
+        break;
+      }
+  }
+  return res;
+}
+
+std::string ChaosResult::summary() const {
+  std::ostringstream os;
+  os << "seed " << seed << ": " << tasks_planned << " tasks, "
+     << run.kernel_stats.relocations << " relocs, "
+     << run.kernel_stats.kills << " kills (" << run.kernel_stats.injected_kills
+     << " injected), " << run.kernel_stats.audit_checks << " audits, "
+     << run.cycles << " cy, trace " << std::hex << trace_hash << std::dec
+     << (ok() ? " [ok]" : " [VIOLATION]");
+  return os.str();
+}
+
+int soak_main(int argc, char** argv) {
+  uint64_t seeds = 200, start = 1, max_cycles = 300'000'000ULL;
+  bool single = false, verbose = false;
+  uint64_t single_seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto next_val = [&](const char* flag) -> uint64_t {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return std::strtoull(argv[++i], nullptr, 0);
+    };
+    if (std::strcmp(argv[i], "--seeds") == 0) {
+      seeds = next_val("--seeds");
+    } else if (std::strcmp(argv[i], "--start") == 0) {
+      start = next_val("--start");
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      single = true;
+      single_seed = next_val("--chaos-seed");
+    } else if (std::strcmp(argv[i], "--max-cycles") == 0) {
+      max_cycles = next_val("--max-cycles");
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else {
+      std::cerr << "usage: chaos_soak [--seeds N] [--start S] "
+                   "[--chaos-seed K] [--max-cycles C] [-v]\n";
+      return 2;
+    }
+  }
+
+  ChaosOptions opts;
+  opts.max_cycles = max_cycles;
+
+  if (single) {
+    // Replay mode: run the seed twice and require an identical trace.
+    opts.seed = single_seed;
+    const ChaosResult a = run_chaos(opts);
+    const ChaosResult b = run_chaos(opts);
+    std::cout << a.summary() << "\n";
+    for (const std::string& v : a.violations) std::cout << "  " << v << "\n";
+    if (a.trace_hash != b.trace_hash || a.run.cycles != b.run.cycles) {
+      std::cout << "REPLAY MISMATCH: second run traced " << std::hex
+                << b.trace_hash << std::dec << " over " << b.run.cycles
+                << " cy\n";
+      return 1;
+    }
+    std::cout << "replay: identical trace over " << a.trace_events
+              << " events\n";
+    return a.ok() ? 0 : 1;
+  }
+
+  uint64_t failures = 0, replay_mismatches = 0;
+  uint64_t total_relocs = 0, total_injected = 0, total_audits = 0;
+  for (uint64_t i = 0; i < seeds; ++i) {
+    const uint64_t s = start + i;  // may wrap; still runs `seeds` runs
+    opts.seed = s;
+    const ChaosResult res = run_chaos(opts);
+    total_relocs += res.run.kernel_stats.relocations;
+    total_injected += res.run.kernel_stats.injected_kills;
+    total_audits += res.run.kernel_stats.audit_checks;
+    if (!res.ok()) {
+      ++failures;
+      std::cout << res.summary() << "\n";
+      for (const std::string& v : res.violations)
+        std::cout << "  " << v << "\n";
+    } else if (verbose) {
+      std::cout << res.summary() << "\n";
+    }
+    // Spot-check determinism on a subsample of the sweep.
+    if (i % 25 == 0) {
+      const ChaosResult again = run_chaos(opts);
+      if (again.trace_hash != res.trace_hash) {
+        ++replay_mismatches;
+        std::cout << "seed " << s << ": REPLAY MISMATCH\n";
+      }
+    }
+  }
+  std::cout << "chaos_soak: " << seeds << " seeds, " << failures
+            << " violating, " << replay_mismatches << " replay mismatches, "
+            << total_relocs << " relocations, " << total_injected
+            << " injected kills, " << total_audits << " audit checks\n";
+  return (failures == 0 && replay_mismatches == 0) ? 0 : 1;
+}
+
+}  // namespace sensmart::chaos

@@ -1,0 +1,52 @@
+// The chaos harness: one 64-bit seed deterministically plans a perturbed
+// system run — an adversarial task mix, randomized kernel timing
+// (trap-interval jitter, slice length), starvation-level stack configs
+// that force relocation storms, and scheduled task kills at arbitrary
+// service boundaries — then executes it with the kernel auditor enabled
+// and reports every invariant or data-integrity violation.
+//
+// Replay: the same seed with the same binary reproduces the identical
+// kernel event trace (compare `trace_hash`), so any violation found by a
+// seed sweep can be re-run and debugged with `chaos_soak --chaos-seed N`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/harness.hpp"
+
+namespace sensmart::chaos {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  uint64_t max_cycles = 300'000'000ULL;  // every chaos task is finite
+  bool audit = true;                     // kernel auditor on
+  bool inject_kills = true;              // scheduled kills at service boundaries
+};
+
+struct ChaosResult {
+  uint64_t seed = 0;
+  sim::SystemRun run;
+  size_t tasks_planned = 0;
+  size_t kills_planned = 0;
+  uint64_t trace_hash = 0;   // FNV-1a over the full kernel event trace
+  size_t trace_events = 0;
+
+  // Violations, by oracle:
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  // One-line outcome summary for soak logs.
+  std::string summary() const;
+};
+
+// Plan and execute the run for `opts.seed`.
+ChaosResult run_chaos(const ChaosOptions& opts);
+
+// CLI driver shared by bench/chaos_soak: sweeps seeds or replays one.
+//   chaos_soak [--seeds N] [--start S] [--chaos-seed K] [--max-cycles C] [-v]
+// Returns a process exit code (0 = all seeds clean).
+int soak_main(int argc, char** argv);
+
+}  // namespace sensmart::chaos

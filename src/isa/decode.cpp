@@ -155,15 +155,12 @@ Instruction decode_words(uint16_t w, uint16_t w1) {
     ins.b = static_cast<uint8_t>((w >> 4) & 0x07);
     return ins;
   }
-  // JMP/CALL: only the zero-high-address forms exist on a 128 KB part.
-  if (w == 0x940C) {
-    ins.op = Op::Jmp;
-    ins.k = w1;
-    return ins;
-  }
-  if (w == 0x940E) {
-    ins.op = Op::Call;
-    ins.k = w1;
+  // JMP/CALL with the full 22-bit target: k21..k17 in word0 bits 8..4,
+  // k16 in bit 0, k15..k0 in word1.
+  if ((w & 0xFE0E) == 0x940C || (w & 0xFE0E) == 0x940E) {
+    ins.op = (w & 0x0002) ? Op::Call : Op::Jmp;
+    const uint32_t hi = ((w >> 3) & 0x3Eu) | (w & 0x1u);
+    ins.k = static_cast<int32_t>((hi << 16) | w1);
     return ins;
   }
 

@@ -174,14 +174,19 @@ void encode_to(const Instruction& ins, std::vector<uint16_t>& out) {
       out.push_back(static_cast<uint16_t>(0xD000u | (ins.k & 0x0FFF)));
       return;
     case Jmp:
-      require(ins.k >= 0 && ins.k <= 0xFFFF, "jmp: address out of range");
-      out.push_back(0x940C);
-      out.push_back(static_cast<uint16_t>(ins.k));
+      // Full 22-bit target: k21..k17 live in word0 bits 8..4, k16 in bit 0.
+      require(ins.k >= 0 && ins.k <= 0x3FFFFF, "jmp: address out of range");
+      out.push_back(static_cast<uint16_t>(0x940Cu |
+                                          ((uint32_t(ins.k) >> 13) & 0x01F0u) |
+                                          ((uint32_t(ins.k) >> 16) & 0x0001u)));
+      out.push_back(static_cast<uint16_t>(ins.k & 0xFFFF));
       return;
     case Call:
-      require(ins.k >= 0 && ins.k <= 0xFFFF, "call: address out of range");
-      out.push_back(0x940E);
-      out.push_back(static_cast<uint16_t>(ins.k));
+      require(ins.k >= 0 && ins.k <= 0x3FFFFF, "call: address out of range");
+      out.push_back(static_cast<uint16_t>(0x940Eu |
+                                          ((uint32_t(ins.k) >> 13) & 0x01F0u) |
+                                          ((uint32_t(ins.k) >> 16) & 0x0001u)));
+      out.push_back(static_cast<uint16_t>(ins.k & 0xFFFF));
       return;
     case Ijmp: out.push_back(0x9409); return;
     case Icall: out.push_back(0x9509); return;

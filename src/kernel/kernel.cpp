@@ -28,6 +28,7 @@ const char* to_string(KillReason r) {
     case KillReason::InvalidAccess: return "invalid-access";
     case KillReason::OutOfStackMemory: return "out-of-stack-memory";
     case KillReason::BadJump: return "bad-jump";
+    case KillReason::Injected: return "injected";
   }
   return "?";
 }
@@ -135,6 +136,11 @@ bool Kernel::on_service(emu::Machine& m) {
   // the instruction following the patched site.
   const uint16_t ret = m.pop16();
 
+  // Fault injection (chaos testing): a scheduled kill fires at this service
+  // boundary, before the service body runs. If it took the current task, the
+  // pending service must not execute.
+  if (injected_kill_due(ret)) return true;
+
   switch (svc.kind) {
     case rw::ServiceKind::MemIndirect:
       svc_mem_indirect(svc, ret, /*grouped=*/false);
@@ -180,6 +186,27 @@ bool Kernel::on_service(emu::Machine& m) {
       break;
   }
   return true;
+}
+
+bool Kernel::injected_kill_due(uint16_t resume_pc) {
+  while (next_injected_kill_ < cfg_.injected_kills.size() &&
+         stats_.service_calls >=
+             cfg_.injected_kills[next_injected_kill_].at_service_call) {
+    const InjectedKill& ik = cfg_.injected_kills[next_injected_kill_++];
+    Task* victim = nullptr;
+    for (Task& t : tasks_)
+      if (t.id == ik.task && t.live()) victim = &t;
+    if (victim == nullptr) continue;  // already exited; drop the injection
+    ++stats_.injected_kills;
+    const bool was_current = victim->id == current().id;
+    kill_task(*victim, KillReason::Injected);
+    if (was_current) {
+      m_.set_pc(resume_pc);
+      context_switch(resume_pc, false);
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -230,13 +257,18 @@ void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
   m_.set_pc(ret);
   ++stats_.mem_translations;
 
-  // Group leaders validate the whole group's displacement window once.
-  if (!grouped && svc.group_span > 0 &&
-      !check_window(t, static_cast<uint16_t>(base + svc.group_min),
-                    svc.group_span)) {
-    kill_task(t, KillReason::InvalidAccess);
-    context_switch(ret, false);
-    return;
+  // Group leaders validate the whole group's displacement window once. The
+  // window start is computed in 32 bits: `base + group_min` can exceed
+  // 0xFFFF, and truncating it would wrap the window into low memory and
+  // let a wild pointer group pass validation.
+  if (!grouped && svc.group_span > 0) {
+    const uint32_t win_lo = uint32_t(base) + uint32_t(svc.group_min);
+    if (win_lo > 0xFFFF ||
+        !check_window(t, static_cast<uint16_t>(win_lo), svc.group_span)) {
+      kill_task(t, KillReason::InvalidAccess);
+      context_switch(ret, false);
+      return;
+    }
   }
 
   const Xlate x = translate(t, logical);

@@ -48,6 +48,15 @@ struct CostModel {
   uint32_t sleep_svc = 120;      // blocking sleep service
 };
 
+// A deterministic fault injection: when the kernel's cumulative service-call
+// count reaches `at_service_call`, task `task` is killed (if still live) at
+// that service boundary — before the service executes. Schedules must be
+// sorted by `at_service_call`; at most one kill fires per service entry.
+struct InjectedKill {
+  uint64_t at_service_call = 0;
+  uint8_t task = 0;
+};
+
 struct KernelConfig {
   uint16_t kernel_ram = 416;     // ~10% of data memory, reserved at the top
   uint16_t initial_stack = 128;  // predefined initial stack size (§IV-C3)
@@ -58,6 +67,14 @@ struct KernelConfig {
   uint64_t warmup_cycles = 0;    // one-time start-up charge (t-kernel mode)
   bool protect_app_regions = true;  // false: t-kernel-style asymmetric
                                     // protection, identity addressing
+  // Opt-in auditor: after every move_regions/release_region/kill_task the
+  // kernel re-checks the region invariants and verifies byte-for-byte that
+  // each live task's heap and live stack contents survived the slide.
+  // Auditing charges no emulated cycles, so an audited run is cycle- and
+  // trace-identical to an unaudited one.
+  bool audit = false;
+  // Deterministic fault-injection schedule (chaos testing); sorted.
+  std::vector<InjectedKill> injected_kills;
   CostModel costs;
 };
 
@@ -67,6 +84,7 @@ enum class KillReason : uint8_t {
   InvalidAccess,     // out-of-region memory access / stack underflow
   OutOfStackMemory,  // no donor could provide stack space
   BadJump,           // indirect jump outside the program
+  Injected,          // deterministic fault injection (chaos testing)
 };
 
 const char* to_string(TaskState s);
@@ -122,7 +140,11 @@ struct KernelStats {
   uint64_t reloc_bytes_moved = 0;
   uint64_t reloc_cycles = 0;
   uint32_t kills = 0;
+  uint32_t injected_kills = 0;  // of which: deterministic fault injections
   uint64_t idle_cycles = 0;
+  // Auditor counters (only move when KernelConfig::audit is set).
+  uint64_t audit_checks = 0;
+  uint32_t audit_failures = 0;
   // Preemption delay: cycles by which preemption lagged the slice end
   // (software traps are aperiodic, §IV-B).
   uint64_t preempt_delay_max = 0;
@@ -163,6 +185,10 @@ class Kernel {
   // Verify region invariants (contiguous tiling, pointer ordering); used by
   // tests and property checks. Returns an error description or empty.
   std::string check_invariants() const;
+
+  // Audit failure descriptions recorded so far (bounded; empty unless
+  // KernelConfig::audit is set and a violation was detected).
+  const std::vector<std::string>& audit_log() const { return audit_log_; }
 
   // Attach an event trace (not owned); nullptr detaches. Zero emulated
   // cycle cost.
@@ -221,6 +247,22 @@ class Kernel {
   }
 
   void kill_task(Task& t, KillReason why);
+  // Fire a due injected kill (if any) at a service boundary. Returns true
+  // if the *current* task was killed (the pending service must be skipped).
+  bool injected_kill_due(uint16_t resume_pc);
+
+  // --- Auditing (audit.cpp) ---------------------------------------------------
+  // Per-task byte image captured before a region mutation: heap [p_l, p_h)
+  // and the live stack [sp+1, p_u).
+  struct TaskSnapshot {
+    uint8_t id = 0;
+    std::vector<uint8_t> heap, stack;
+  };
+  // Snapshot every live task's contents (audit mode only; empty otherwise).
+  std::vector<TaskSnapshot> audit_snapshot() const;
+  // Verify invariants, and contents against `before`, after mutation `what`.
+  void audit_after(const char* what, const std::vector<TaskSnapshot>& before);
+  void audit_record(const std::string& msg);
   // Update the task's peak logical stack depth from the live SP.
   void note_stack_depth(Task& t);
   void finish_task(Task& t, uint8_t code);
@@ -259,9 +301,12 @@ class Kernel {
   uint64_t account_mark_ = 0;
   uint64_t start_cycle_ = 0;
   uint64_t alloc_mark_ = 0;
-  uint64_t alloc_integral_ = 0;  // byte-cycles
+  uint64_t alloc_integral_ = 0;  // summed live stack allocation, byte-cycles
   bool alloc_frozen_ = false;    // stop integrating once a task exits, so
                                  // the average reflects full concurrency
+  uint64_t alloc_task_cycles_ = 0;  // task-cycles (exact-average denominator)
+  size_t next_injected_kill_ = 0;
+  std::vector<std::string> audit_log_;
   KernelTrace* trace_ = nullptr;
   KernelStats stats_;
 };

@@ -67,8 +67,14 @@ bool Kernel::check_window(const Task& t, uint16_t logical, uint8_t span) const {
   const Xlate lo = translate(t, logical);
   if (lo.area == Xlate::Area::Invalid) return false;
   if (span == 0) return true;
-  const Xlate hi = translate(t, static_cast<uint16_t>(logical + span));
-  return hi.area == lo.area;
+  // A window crossing the top of the 16-bit logical space can never be one
+  // contiguous area: reject it outright. Truncating `logical + span` to
+  // uint16_t would alias the upper endpoint back into low memory (the I/O
+  // page) and the endpoint area comparison would not see the seam.
+  const uint32_t end = uint32_t(logical) + uint32_t(span);
+  if (end > 0xFFFF) return false;
+  const Xlate hi = translate(t, static_cast<uint16_t>(end));
+  return hi.area != Xlate::Area::Invalid && hi.area == lo.area;
 }
 
 bool Kernel::layout_regions() {
@@ -150,19 +156,25 @@ void Kernel::sample_alloc() {
     total += t.stack_alloc();
     ++n;
   }
-  if (n > 0 && now > alloc_mark_)
-    alloc_integral_ += (now - alloc_mark_) * (total / n);
+  // Integrate the exact byte-cycle sum and the task-cycle denominator
+  // separately; dividing per sample would truncate up to n-1 bytes each
+  // time and bias the Fig. 7 average low.
+  if (n > 0 && now > alloc_mark_) {
+    alloc_integral_ += (now - alloc_mark_) * total;
+    alloc_task_cycles_ += (now - alloc_mark_) * n;
+  }
   alloc_mark_ = now;
 }
 
 double Kernel::avg_stack_alloc() const {
-  return alloc_mark_ > start_cycle_
-             ? double(alloc_integral_) / double(alloc_mark_ - start_cycle_)
+  return alloc_task_cycles_ > 0
+             ? double(alloc_integral_) / double(alloc_task_cycles_)
              : 0.0;
 }
 
 void Kernel::move_regions(Task& donor, Task& to, uint16_t delta) {
   sample_alloc();
+  const std::vector<TaskSnapshot> before = audit_snapshot();
   auto& mem = m_.mem();
   uint64_t bytes_moved = 0;
 
@@ -218,10 +230,14 @@ void Kernel::move_regions(Task& donor, Task& to, uint16_t delta) {
   m_.charge(cost);
   emit(EventKind::Relocation, donor.id,
        uint16_t(std::min<uint64_t>(bytes_moved, 0xFFFF)));
+  audit_after("move_regions", before);
 }
 
 void Kernel::release_region(Task& dead) {
   sample_alloc();
+  // `dead` is already non-live here, so the snapshot covers exactly the
+  // tasks whose contents the merge must preserve.
+  const std::vector<TaskSnapshot> before = audit_snapshot();
   // Keep live regions tiling the application area: merge the dead region
   // into a neighbour, moving that neighbour's variable-position part.
   Task* below = nullptr;
@@ -264,6 +280,7 @@ void Kernel::release_region(Task& dead) {
   dead.p_h = dead.p_l;
   dead.p_u = dead.p_l;
   emit(EventKind::RegionRelease, dead.id);
+  audit_after("release_region", before);
 }
 
 namespace {

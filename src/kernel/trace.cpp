@@ -18,6 +18,7 @@ const char* to_string(EventKind k) {
     case EventKind::TaskDone: return "done";
     case EventKind::TaskKilled: return "killed";
     case EventKind::Idle: return "idle";
+    case EventKind::AuditFail: return "audit!";
   }
   return "?";
 }

@@ -23,6 +23,7 @@ enum class EventKind : uint8_t {
   TaskDone,       // a = task, b = exit code
   TaskKilled,     // a = task, b = KillReason
   Idle,           // a/b = idle cycles (lo/hi 16 bits, capped)
+  AuditFail,      // a = audit failure ordinal (see Kernel::audit_log())
 };
 
 const char* to_string(EventKind k);

@@ -201,6 +201,20 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
     ++out.patched_sites;
   };
 
+  // Re-encode an absolute control transfer with its full 22-bit target.
+  // Targets beyond the architectural range fail loudly instead of being
+  // silently truncated into a wrong-but-valid flash address.
+  auto emit_abs = [&](Op op, uint32_t tgt) {
+    if (tgt > 0x3FFFFF)
+      throw std::runtime_error(img.name +
+                               ": retargeted JMP/CALL exceeds the 22-bit "
+                               "program address range");
+    Instruction j;
+    j.op = op;
+    j.k = static_cast<int32_t>(tgt);
+    isa::encode_to(j, out.code);
+  };
+
   for (size_t i = 0; i < sites.size(); ++i) {
     const DecodedSite& s = sites[i];
     const Plan& p = plans[i];
@@ -219,8 +233,7 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
       case PatchClass::RelaxRjmp: {
         const uint32_t tgt = plans[target_site(i)].nat_addr;
         if (p.promoted) {
-          out.code.push_back(0x940C);  // JMP
-          out.code.push_back(static_cast<uint16_t>(tgt));
+          emit_abs(Op::Jmp, tgt);
         } else {
           Instruction j = s.ins;
           j.k = int32_t(tgt) - int32_t(p.nat_addr) - 1;
@@ -249,8 +262,7 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
           const auto it = site_at.find(static_cast<uint32_t>(s.ins.k));
           if (it == site_at.end())
             throw std::runtime_error(img.name + ": jmp/call into the middle of an instruction");
-          out.code.push_back(img.code[s.addr]);
-          out.code.push_back(static_cast<uint16_t>(plans[it->second].nat_addr));
+          emit_abs(op, plans[it->second].nat_addr);
         } else {
           for (int w = 0; w < s.size; ++w)
             out.code.push_back(img.code[s.addr + w]);

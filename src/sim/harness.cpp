@@ -32,6 +32,8 @@ SystemRun run_system(const std::vector<assembler::Image>& images,
   r.kernel_stats = k.stats();
   r.avg_stack_alloc = k.avg_stack_alloc();
   r.tasks = k.tasks();
+  r.audit_log = k.audit_log();
+  r.invariant_error = k.check_invariants();
   return r;
 }
 

@@ -24,6 +24,9 @@ struct SystemRun {
   std::vector<kern::Task> tasks;               // final task states
   std::vector<rw::ProgramInfo> programs;       // inflation accounting
   size_t admitted = 0;
+  // Auditor output (populated when KernelConfig::audit is set).
+  std::vector<std::string> audit_log;          // violation descriptions
+  std::string invariant_error;                 // final check_invariants()
 
   double seconds() const { return double(cycles) / emu::kClockHz; }
   double utilization() const {

@@ -253,6 +253,37 @@ TEST(Faults, IndirectJumpOutsideProgramIsCaught) {
   EXPECT_EQ(w.k->tasks()[0].kill_reason, KillReason::BadJump);
 }
 
+// Regression: a grouped-access window whose start address wraps past
+// 0xFFFF (base + group_min > 0xFFFF) used to be truncated back into low
+// memory, alias the I/O page, and pass the leader's window validation.
+TEST(Faults, WrappedGroupWindowIsRejected) {
+  Assembler a("wrapwin");
+  a.var("pad", 8);
+  a.ldi16(28, 0xFFF0);  // Y far outside the logical data space
+  a.ldd_y(16, 0x20);    // grouped pair; window start 0x10010 wraps
+  a.ldd_y(17, 0x24);
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  const auto r = sim::run_system({a.finish()});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Killed);
+  EXPECT_EQ(r.tasks[0].kill_reason, KillReason::InvalidAccess);
+}
+
+// Companion: a grouped window legitimately near the top of the logical
+// stack must still validate (the wrap rejection must not over-reject).
+TEST(Faults, GroupWindowNearTopOfLogicalStackIsAccepted) {
+  Assembler a("topwin");
+  a.ldi16(28, 0x10E0);  // inside the logical stack, near 0x10FF
+  a.ldd_y(16, 0x04);
+  a.ldd_y(17, 0x08);
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  const auto r = sim::run_system({a.finish()});
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+}
+
 TEST(Faults, InfiniteRecursionKillsOnlyTheRecurser) {
   Assembler a("rec");
   a.label("f");

@@ -5,6 +5,7 @@
 
 #include "apps/treesearch.hpp"
 #include "baselines/native_runner.hpp"
+#include "isa/codec.hpp"
 #include "sim/harness.hpp"
 
 namespace sensmart {
@@ -96,6 +97,34 @@ TEST(SkipCorners, SkippedBackwardBranchDoesNotTrap) {
   const auto s2 = sim::run_system({img2});
   EXPECT_EQ(s2.tasks[0].host_out, n2.host_out);
   EXPECT_EQ(s2.kernel_stats.traps, 0u);
+}
+
+// Regression: retargeted JMP/CALL used to keep only the low 16 bits of the
+// destination. The encoding must carry the full 22-bit word address
+// (k21..k17 in word0 bits 8..4, k16 in bit 0) and decode back losslessly.
+TEST(AbsoluteTargets, JmpCallRoundTripAllTwentyTwoBits) {
+  for (const isa::Op op : {isa::Op::Jmp, isa::Op::Call}) {
+    for (const uint32_t k :
+         {0x0u, 0x1234u, 0xFFFFu, 0x10000u, 0x12345u, 0x3FFFFFu}) {
+      isa::Instruction ins;
+      ins.op = op;
+      ins.k = static_cast<int32_t>(k);
+      const std::vector<uint16_t> words = isa::encode(ins);
+      ASSERT_EQ(words.size(), 2u) << isa::to_string(ins);
+      const isa::Instruction back = isa::decode_words(words[0], words[1]);
+      EXPECT_EQ(back.op, op) << isa::to_string(ins);
+      EXPECT_EQ(static_cast<uint32_t>(back.k), k) << isa::to_string(ins);
+    }
+  }
+}
+
+TEST(AbsoluteTargets, TargetsBeyondTwentyTwoBitsFailLoudly) {
+  for (const isa::Op op : {isa::Op::Jmp, isa::Op::Call}) {
+    isa::Instruction ins;
+    ins.op = op;
+    ins.k = 0x400000;
+    EXPECT_THROW(isa::encode(ins), std::invalid_argument);
+  }
 }
 
 TEST(Determinism, IdenticalRunsAreCycleIdentical) {
