@@ -3,10 +3,15 @@
 // tasks (plus one data-feeding task), the number of stack relocations, and
 // the average stack allocation per task, which stays well below each
 // task's worst-case need.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "apps/treesearch.hpp"
 #include "baselines/native_runner.hpp"
+#include "host/parallel.hpp"
 #include "sim/harness.hpp"
 
 using namespace sensmart;
@@ -39,9 +44,53 @@ bool all_completed(const sim::SystemRun& r, size_t expected) {
          r.completed() == expected && r.killed() == 0;
 }
 
+// One table row for a given tree size: worst-case need from a native
+// probe run, plus the serial max-tasks search (it early-exits at the
+// first failing task count, so it stays sequential within the row).
+std::vector<std::string> compute_row(uint16_t nodes) {
+  apps::TreeSearchParams probe;
+  probe.nodes_per_tree = nodes;
+  probe.trees = 1;
+  probe.searches = 32;
+  probe.seed = 0x3131;
+  const auto nat = base::run_native(apps::tree_search_program(probe));
+  const int max_depth = nat.host_out.size() == 2 ? nat.host_out[1] : 0;
+  const int worst_need = max_depth * 15 + 48;
+
+  int max_tasks = 0;
+  sim::SystemRun best;
+  for (int n = 1; n <= 40; ++n) {
+    auto r = run_workload(nodes, n);
+    if (!all_completed(r, size_t(n) + 1)) break;
+    max_tasks = n;
+    best = std::move(r);
+  }
+  if (max_tasks == 0) {
+    return {sim::Table::num(uint64_t(nodes)), "0", "-", "-",
+            sim::Table::num(uint64_t(worst_need)),
+            sim::Table::num(uint64_t(max_depth))};
+  }
+  return {sim::Table::num(uint64_t(nodes)),
+          sim::Table::num(uint64_t(max_tasks)),
+          sim::Table::num(uint64_t(best.kernel_stats.relocations)),
+          sim::Table::num(best.avg_stack_alloc, 1),
+          sim::Table::num(uint64_t(worst_need)),
+          sim::Table::num(uint64_t(max_depth))};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+    } else {
+      std::cerr << "usage: fig7_treesearch [--jobs N]\n";
+      return 2;
+    }
+  }
+
   std::cout << "Figure 7: BINARY TREE SEARCH IN SENSMART WITH INCREASING "
                "TREE SIZES\n(1 data-feeding task + N recursive search "
                "tasks; 15 B per recursion level)\n\n";
@@ -49,38 +98,15 @@ int main() {
                 "WorstNeed(B)", "MaxDepth"},
                13);
 
-  for (uint16_t nodes = 8; nodes <= 44; nodes += 4) {
-    // Worst-case stack need from the recursion depth a task reports.
-    apps::TreeSearchParams probe;
-    probe.nodes_per_tree = nodes;
-    probe.trees = 1;
-    probe.searches = 32;
-    probe.seed = 0x3131;
-    const auto nat = base::run_native(apps::tree_search_program(probe));
-    const int max_depth = nat.host_out.size() == 2 ? nat.host_out[1] : 0;
-    const int worst_need = max_depth * 15 + 48;
-
-    int max_tasks = 0;
-    sim::SystemRun best;
-    for (int n = 1; n <= 40; ++n) {
-      auto r = run_workload(nodes, n);
-      if (!all_completed(r, size_t(n) + 1)) break;
-      max_tasks = n;
-      best = std::move(r);
-    }
-    if (max_tasks == 0) {
-      t.row({sim::Table::num(uint64_t(nodes)), "0", "-", "-",
-             sim::Table::num(uint64_t(worst_need)), sim::Table::num(uint64_t(max_depth))});
-      continue;
-    }
-
-    t.row({sim::Table::num(uint64_t(nodes)),
-           sim::Table::num(uint64_t(max_tasks)),
-           sim::Table::num(uint64_t(best.kernel_stats.relocations)),
-           sim::Table::num(best.avg_stack_alloc, 1),
-           sim::Table::num(uint64_t(worst_need)),
-           sim::Table::num(uint64_t(max_depth))});
-  }
+  // Each tree size is an independent deterministic sweep row; compute
+  // them in parallel and emit in row order, so the table is identical
+  // for any --jobs value.
+  std::vector<uint16_t> sizes;
+  for (uint16_t nodes = 8; nodes <= 44; nodes += 4) sizes.push_back(nodes);
+  const auto rows = host::sweep_collect<std::vector<std::string>>(
+      sizes.size(), host::effective_jobs(jobs, sizes.size()),
+      [&](std::size_t i) { return compute_row(sizes[i]); });
+  for (const auto& row : rows) t.row(row);
   t.print();
   std::cout
       << "\nExpected shape (paper Fig. 7): larger trees increase both heap\n"

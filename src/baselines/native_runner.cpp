@@ -9,6 +9,7 @@ NativeResult run_native(const assembler::Image& img, uint64_t max_cycles) {
   NativeResult r;
   r.stop = m.run(max_cycles);
   r.cycles = m.cycles();
+  r.instructions = m.stats().instructions;
   r.active_cycles = m.stats().active_cycles;
   r.idle_cycles = m.stats().idle_cycles;
   r.host_out = m.dev().host_out();

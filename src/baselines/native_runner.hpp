@@ -13,6 +13,7 @@ namespace sensmart::base {
 struct NativeResult {
   emu::StopReason stop = emu::StopReason::Running;
   uint64_t cycles = 0;
+  uint64_t instructions = 0;  // emulated instructions retired
   uint64_t active_cycles = 0;
   uint64_t idle_cycles = 0;
   std::vector<uint8_t> host_out;

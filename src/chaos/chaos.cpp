@@ -9,6 +9,7 @@
 #include "apps/treesearch.hpp"
 #include "chaos/adversarial.hpp"
 #include "chaos/prng.hpp"
+#include "host/parallel.hpp"
 
 namespace sensmart::chaos {
 
@@ -163,6 +164,7 @@ int soak_main(int argc, char** argv) {
   uint64_t seeds = 200, start = 1, max_cycles = 300'000'000ULL;
   bool single = false, verbose = false;
   uint64_t single_seed = 0;
+  unsigned jobs_req = 1;
   for (int i = 1; i < argc; ++i) {
     auto next_val = [&](const char* flag) -> uint64_t {
       if (i + 1 >= argc) {
@@ -180,11 +182,13 @@ int soak_main(int argc, char** argv) {
       single_seed = next_val("--chaos-seed");
     } else if (std::strcmp(argv[i], "--max-cycles") == 0) {
       max_cycles = next_val("--max-cycles");
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs_req = static_cast<unsigned>(next_val("--jobs"));
     } else if (std::strcmp(argv[i], "-v") == 0) {
       verbose = true;
     } else {
       std::cerr << "usage: chaos_soak [--seeds N] [--start S] "
-                   "[--chaos-seed K] [--max-cycles C] [-v]\n";
+                   "[--chaos-seed K] [--max-cycles C] [--jobs N] [-v]\n";
       return 2;
     }
   }
@@ -210,36 +214,62 @@ int soak_main(int argc, char** argv) {
     return a.ok() ? 0 : 1;
   }
 
+  // Every seed is an independent deterministic run, so the sweep is a
+  // parallel map: each item renders its own output lines into a buffer
+  // and the main thread prints/aggregates them strictly in seed order.
+  // Output and exit code are byte-identical for any --jobs value.
+  struct SeedOutcome {
+    uint64_t relocs = 0, injected = 0, audits = 0;
+    bool violated = false;
+    bool replay_mismatch = false;
+    std::string lines;
+  };
+  const unsigned jobs =
+      host::effective_jobs(jobs_req, static_cast<std::size_t>(seeds));
+  const std::vector<SeedOutcome> outcomes = host::sweep_collect<SeedOutcome>(
+      static_cast<std::size_t>(seeds), jobs, [&](std::size_t i) {
+        ChaosOptions o = opts;
+        o.seed = start + i;  // may wrap; still runs `seeds` runs
+        const ChaosResult res = run_chaos(o);
+        SeedOutcome out;
+        out.relocs = res.run.kernel_stats.relocations;
+        out.injected = res.run.kernel_stats.injected_kills;
+        out.audits = res.run.kernel_stats.audit_checks;
+        std::ostringstream os;
+        if (!res.ok()) {
+          out.violated = true;
+          os << res.summary() << "\n";
+          for (const std::string& v : res.violations) os << "  " << v << "\n";
+        } else if (verbose) {
+          os << res.summary() << "\n";
+        }
+        // Spot-check determinism on a subsample of the sweep.
+        if (i % 25 == 0) {
+          const ChaosResult again = run_chaos(o);
+          if (again.trace_hash != res.trace_hash) {
+            out.replay_mismatch = true;
+            os << "seed " << o.seed << ": REPLAY MISMATCH\n";
+          }
+        }
+        out.lines = os.str();
+        return out;
+      });
+
   uint64_t failures = 0, replay_mismatches = 0;
   uint64_t total_relocs = 0, total_injected = 0, total_audits = 0;
-  for (uint64_t i = 0; i < seeds; ++i) {
-    const uint64_t s = start + i;  // may wrap; still runs `seeds` runs
-    opts.seed = s;
-    const ChaosResult res = run_chaos(opts);
-    total_relocs += res.run.kernel_stats.relocations;
-    total_injected += res.run.kernel_stats.injected_kills;
-    total_audits += res.run.kernel_stats.audit_checks;
-    if (!res.ok()) {
-      ++failures;
-      std::cout << res.summary() << "\n";
-      for (const std::string& v : res.violations)
-        std::cout << "  " << v << "\n";
-    } else if (verbose) {
-      std::cout << res.summary() << "\n";
-    }
-    // Spot-check determinism on a subsample of the sweep.
-    if (i % 25 == 0) {
-      const ChaosResult again = run_chaos(opts);
-      if (again.trace_hash != res.trace_hash) {
-        ++replay_mismatches;
-        std::cout << "seed " << s << ": REPLAY MISMATCH\n";
-      }
-    }
+  for (const SeedOutcome& out : outcomes) {
+    std::cout << out.lines;
+    if (out.violated) ++failures;
+    if (out.replay_mismatch) ++replay_mismatches;
+    total_relocs += out.relocs;
+    total_injected += out.injected;
+    total_audits += out.audits;
   }
-  std::cout << "chaos_soak: " << seeds << " seeds, " << failures
-            << " violating, " << replay_mismatches << " replay mismatches, "
-            << total_relocs << " relocations, " << total_injected
-            << " injected kills, " << total_audits << " audit checks\n";
+  std::cout << "chaos_soak: " << seeds << " seeds (" << jobs << " job"
+            << (jobs == 1 ? "" : "s") << "), " << failures << " violating, "
+            << replay_mismatches << " replay mismatches, " << total_relocs
+            << " relocations, " << total_injected << " injected kills, "
+            << total_audits << " audit checks\n";
   return (failures == 0 && replay_mismatches == 0) ? 0 : 1;
 }
 

@@ -28,6 +28,14 @@ class DeviceHub {
   // I/O window interception (wired into DataMemory by Machine).
   void io_access(uint16_t addr, uint8_t& value, bool write);
 
+  // Reads that mutate device state (and can therefore shift interrupt
+  // timing): popping a received radio byte, advancing the host LFSR, and
+  // the Timer3 16-bit latch protocol. Everything else is a pure
+  // observation and need not invalidate the machine's event horizon.
+  static constexpr bool read_has_side_effects(uint16_t addr) {
+    return addr == kRadioRxData || addr == kHostRandL || addr == kTcnt3L;
+  }
+
   // Advance device state to `now` (cycle count) and latch interrupt flags.
   void sync(uint64_t now);
 

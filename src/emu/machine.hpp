@@ -3,6 +3,12 @@
 // both "native" executions and SenSmart/t-kernel executions (where the
 // loaded image is a rewritten one and kernel services are reached through
 // the service hook).
+//
+// The hot path is the batched run() loop: straight-line instructions
+// execute up to the next *event horizon* — the earliest of the cycle
+// budget and the armed IRQ probe time — with no per-instruction interrupt
+// or stop polling. Device I/O that can change interrupt state collapses
+// the horizon instead (see DESIGN.md §"Event-horizon execution").
 #pragma once
 
 #include <cstdint>
@@ -51,20 +57,36 @@ class Machine {
   }
   uint32_t flash_used_words() const { return flash_used_; }
 
-  // Reset CPU state; SP starts at the top of SRAM.
+  // Reset the CPU execution state: PC, SP (top of SRAM), SREG, the stop
+  // reason, and any armed IRQ-probe/event-horizon time. Deliberately
+  // preserved: flash and the decode cache, data-memory contents, device
+  // state, the cycle clock and run statistics — so a warm restart observes
+  // the same world an AVR would after a jump to the reset vector.
   void reset(uint32_t entry_word = kResetVector);
 
   StopReason step();
   StopReason run(uint64_t max_cycles);
 
   // --- Kernel/service integration -----------------------------------------
-  // A Break executed at word address >= `floor` invokes `hook`; the hook
-  // must set the PC and charge cycles itself. Returning false faults.
+  // A Break executed at word address >= `floor` invokes the service
+  // handler; the handler must set the PC and charge cycles itself.
+  // Returning false faults the machine.
+  //
+  // Two registration forms: the raw context+function-pointer form is the
+  // hot path (no std::function indirection on every trap); the
+  // std::function form wraps the same mechanism for convenience.
+  //
+  // `svc_arg` is the flash word following the Break (the rewriter stores
+  // the service index there); it is served from the decode cache so the
+  // handler does not refetch it on every trap.
+  using ServiceFn = bool (*)(void* ctx, Machine&, uint32_t svc_arg);
   using ServiceHook = std::function<bool(Machine&)>;
-  void set_service_hook(uint32_t floor, ServiceHook hook) {
+  void set_service_handler(uint32_t floor, ServiceFn fn, void* ctx) {
     service_floor_ = floor;
-    service_hook_ = std::move(hook);
+    service_fn_ = fn;
+    service_ctx_ = ctx;
   }
+  void set_service_hook(uint32_t floor, ServiceHook hook);
 
   // --- State access ---------------------------------------------------------
   DataMemory& mem() { return mem_; }
@@ -78,38 +100,119 @@ class Machine {
   uint64_t cycles() const { return cycles_; }
   // Charge active cycles (used by the CPU core and by kernel handlers to
   // account for the cost of trampoline/service bodies).
-  void charge(uint64_t n) {
-    cycles_ += n;
-    stats_.active_cycles += n;
-  }
+  void charge(uint64_t n) { cycles_ += n; }
   // Fast-forward the clock without executing (SLEEP / kernel idle).
   void charge_idle(uint64_t n) {
     cycles_ += n;
     stats_.idle_cycles += n;
   }
 
-  const RunStats& stats() const { return stats_; }
+  // The clock only ever advances through charge()/charge_idle(), so the
+  // active share is derived here instead of being a second read-modify-
+  // write on every retired instruction.
+  RunStats stats() const {
+    RunStats s = stats_;
+    s.active_cycles = cycles_ - stats_.idle_cycles;
+    return s;
+  }
   StopReason stop_reason() const { return stop_; }
 
-  // Push/pop on the *physical* stack (used by CALL/RET and kernel services).
-  void push16(uint16_t v);
-  uint16_t pop16();
+  // Push/pop on the *physical* stack (used by CALL/RET and kernel
+  // services). Inline: these run on every service trap.
+  void push16(uint16_t v) {
+    const uint16_t sp = mem_.sp();
+    mem_.set_raw(sp, static_cast<uint8_t>(v & 0xFF));
+    mem_.set_raw(static_cast<uint16_t>(sp - 1), static_cast<uint8_t>(v >> 8));
+    mem_.set_sp(static_cast<uint16_t>(sp - 2));
+  }
+  uint16_t pop16() {
+    const uint16_t sp = mem_.sp();
+    const uint8_t hi = mem_.raw(static_cast<uint16_t>(sp + 1));
+    const uint8_t lo = mem_.raw(static_cast<uint16_t>(sp + 2));
+    mem_.set_sp(static_cast<uint16_t>(sp + 2));
+    return static_cast<uint16_t>(lo | (hi << 8));
+  }
+
+  // The return address the trampoline call pushed, for a service handler.
+  // When the Break was dispatched fused with its call (same batch step)
+  // the just-pushed value is handed over directly and only SP is
+  // readjusted — the two stack bytes the call wrote stay exactly as a
+  // real pop would leave them, so memory and SP state are identical to
+  // the unfused path. Handlers must consume this exactly once per trap,
+  // before touching the task stack.
+  uint16_t service_ret() {
+    if (fused_ret_valid_) {
+      fused_ret_valid_ = false;
+      mem_.set_sp(static_cast<uint16_t>(mem_.sp() + 2));
+      return fused_ret_;
+    }
+    return pop16();
+  }
 
   // Force a stop from inside a service hook (e.g. task fault in native run).
   void stop(StopReason r) { stop_ = r; }
 
   // The decoded instruction at `word_addr` (decode-cache backed).
-  const isa::Instruction& decoded(uint32_t word_addr);
+  const isa::Instruction& decoded(uint32_t word_addr) {
+    return entry(word_addr).ins;
+  }
 
  private:
-  StopReason execute_one();
+  // Decode-cache entry: the decoded instruction plus its execution
+  // metadata, so the hot loop never re-derives size/base-cycles through
+  // the out-of-line isa:: classification switches.
+  struct DecodedInsn {
+    isa::Instruction ins;
+    uint8_t size = 1;    // isa::size_words(ins.op)
+    uint8_t cycles = 1;  // isa::base_cycles(ins.op)
+    uint8_t valid = 0;   // in-entry flag: no second array touched per fetch
+  };
+
+  const DecodedInsn& entry(uint32_t word_addr) {
+    word_addr %= kFlashWords;
+    DecodedInsn& d = dcache_[word_addr];
+    if (!d.valid) fill_entry(word_addr);
+    return d;
+  }
+  void fill_entry(uint32_t word_addr);
+
+  // Forced inline: the batched run() loop is the one hot call site, and
+  // keeping the dispatch in the caller's frame avoids a full
+  // prologue/epilogue per emulated instruction.
+  //
+  // The hot execution state (PC, cycle clock, retired-instruction count,
+  // SREG) is passed by reference to the caller's locals instead of living
+  // in members: every opaque call in an instruction body (I/O hook,
+  // service handler) would otherwise force the member copies to be
+  // reloaded and stored once per emulated instruction. The members are
+  // synchronized exactly where an observer can look: before any
+  // data-memory access (the I/O hook reads the clock, and the accessed
+  // address may alias SREG), around service dispatch, and at batch ends.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline StopReason execute_one(uint32_t& pc, uint64_t& cycles,
+                                uint64_t& insns, uint8_t& sreg);
   void dispatch_irq(Irq irq);
   bool maybe_take_irq();
   StopReason do_sleep();
+  bool irq_enabled() const {
+    return (mem_.sreg() & (1u << isa::kFlagI)) != 0;
+  }
+
+  // Execute helpers (member functions; the old execute_one built these as
+  // per-call lambda closures). `sreg_local` is the in-flight flag copy a
+  // store to the SREG data address must refresh.
+  uint16_t pointer_addr(isa::Ptr p) const;
+  void set_pointer(isa::Ptr p, uint16_t v);
+  void mem_indirect(uint8_t& sreg_local, const isa::Instruction& ins,
+                    bool store, isa::Ptr p, int pre, int post, uint8_t disp);
+  void skip_next(uint32_t& next_pc, int& cyc);
+
+  static bool hook_thunk(void* self, Machine& m, uint32_t svc_arg);
 
   std::vector<uint16_t> flash_;
-  std::vector<isa::Instruction> dcache_;
-  std::vector<uint8_t> dcache_valid_;
+  std::vector<DecodedInsn> dcache_;
   uint32_t flash_used_ = 0;
 
   DataMemory mem_;
@@ -118,11 +221,22 @@ class Machine {
   uint32_t pc_ = 0;
   uint64_t cycles_ = 0;
   uint64_t next_irq_probe_ = 0;
+  // End of the current straight-line batch in run(): min(cycle budget,
+  // next_irq_probe_ when interrupts are enabled). Collapsed to 0 by the
+  // I/O hook when device/interrupt state may have changed.
+  uint64_t horizon_ = 0;
   RunStats stats_;
   StopReason stop_ = StopReason::Running;
 
   uint32_t service_floor_ = kFlashWords;
-  ServiceHook service_hook_;
+  ServiceFn service_fn_ = nullptr;
+  void* service_ctx_ = nullptr;
+  ServiceHook service_hook_;  // storage for the std::function form
+
+  // Fused-dispatch hand-off for service_ret(): the return address the
+  // trampoline call pushed in the same batch step as the Break dispatch.
+  uint16_t fused_ret_ = 0;
+  bool fused_ret_valid_ = false;
 };
 
 }  // namespace sensmart::emu

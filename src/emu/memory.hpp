@@ -6,7 +6,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 
 #include "emu/io_map.hpp"
 
@@ -14,35 +13,49 @@ namespace sensmart::emu {
 
 class DataMemory {
  public:
-  using IoHook = std::function<void(uint16_t addr, uint8_t& value, bool write)>;
+  // Raw function pointer + context: the hook fires on every I/O-window
+  // access, so a std::function here would put an indirect-call trampoline
+  // and a captured-state load on the device hot path.
+  using IoHook = void (*)(void* ctx, uint16_t addr, uint8_t& value, bool write);
 
   DataMemory() { ram_.fill(0); }
 
+  // Address wrap at the top of data memory. kDataEnd is not a power of
+  // two, so an unconditional `%` is a magic-number division on every
+  // access; nearly all addresses are already in range, making this a
+  // predictable untaken branch instead.
+  static uint16_t wrap(uint16_t addr) {
+    return addr < kDataEnd ? addr : static_cast<uint16_t>(addr % kDataEnd);
+  }
+
   // Raw access, no device side effects (used by the kernel to move regions
   // and by tests to inspect state).
-  uint8_t raw(uint16_t addr) const { return ram_[addr % kDataEnd]; }
-  void set_raw(uint16_t addr, uint8_t v) { ram_[addr % kDataEnd] = v; }
+  uint8_t raw(uint16_t addr) const { return ram_[wrap(addr)]; }
+  void set_raw(uint16_t addr, uint8_t v) { ram_[wrap(addr)] = v; }
 
   // CPU-visible access: I/O window reads/writes are routed through the hook.
   uint8_t read(uint16_t addr) {
-    addr %= kDataEnd;
-    if (addr >= kIoBase && addr < kSramBase && io_hook_) {
+    addr = wrap(addr);
+    if (addr >= kIoBase && addr < kSramBase && io_hook_ != nullptr) {
       uint8_t v = ram_[addr];
-      io_hook_(addr, v, /*write=*/false);
+      io_hook_(io_ctx_, addr, v, /*write=*/false);
       ram_[addr] = v;
       return v;
     }
     return ram_[addr];
   }
   void write(uint16_t addr, uint8_t v) {
-    addr %= kDataEnd;
-    if (addr >= kIoBase && addr < kSramBase && io_hook_) {
-      io_hook_(addr, v, /*write=*/true);
+    addr = wrap(addr);
+    if (addr >= kIoBase && addr < kSramBase && io_hook_ != nullptr) {
+      io_hook_(io_ctx_, addr, v, /*write=*/true);
     }
     ram_[addr] = v;
   }
 
-  void set_io_hook(IoHook hook) { io_hook_ = std::move(hook); }
+  void set_io_hook(IoHook hook, void* ctx) {
+    io_hook_ = hook;
+    io_ctx_ = ctx;
+  }
 
   // 16-bit helpers for SP (little-endian in the SPL/SPH pair).
   uint16_t sp() const {
@@ -67,7 +80,8 @@ class DataMemory {
 
  private:
   std::array<uint8_t, kDataEnd> ram_;
-  IoHook io_hook_;
+  IoHook io_hook_ = nullptr;
+  void* io_ctx_ = nullptr;
 };
 
 }  // namespace sensmart::emu

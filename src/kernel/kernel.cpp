@@ -22,6 +22,41 @@ const char* to_string(TaskState s) {
   return "?";
 }
 
+namespace {
+// Pre/post pointer adjustment of an indirect memory op.
+struct PtrMode {
+  int pre = 0;
+  int post = 0;
+};
+PtrMode ptr_mode(Op op) {
+  switch (op) {
+    case Op::LdXInc:
+    case Op::LdYInc:
+    case Op::LdZInc:
+    case Op::StXInc:
+    case Op::StYInc:
+    case Op::StZInc:
+      return {0, 1};
+    case Op::LdXDec:
+    case Op::LdYDec:
+    case Op::LdZDec:
+    case Op::StXDec:
+    case Op::StYDec:
+    case Op::StZDec:
+      return {-1, 0};
+    default:
+      return {0, 0};
+  }
+}
+uint8_t ptr_reg(isa::Ptr p) {
+  switch (p) {
+    case isa::Ptr::X: return 26;
+    case isa::Ptr::Y: return 28;
+    default: return 30;
+  }
+}
+}  // namespace
+
 const char* to_string(KillReason r) {
   switch (r) {
     case KillReason::None: return "none";
@@ -39,8 +74,33 @@ Kernel::Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
   // Trampoline CALLs transiently push 2 bytes on the task stack before the
   // handler pops them, so the red zone can never be thinner than 4 bytes.
   cfg_.stack_margin = std::max<uint16_t>(cfg_.stack_margin, 4);
+  if (!cfg_.injected_kills.empty())
+    next_kill_at_ = cfg_.injected_kills.front().at_service_call;
+  svc_table_ = sys.services.data();
+  n_services_ = static_cast<uint32_t>(sys.services.size());
+  csvc_.resize(sys.services.size());
+  for (size_t i = 0; i < sys.services.size(); ++i) {
+    const rw::Service& svc = sys.services[i];
+    const isa::Instruction& ins = svc.original;
+    CompiledSvc& c = csvc_[i];
+    c.kind = svc.kind;
+    c.ptr_reg = ptr_reg(isa::pointer_of(ins));
+    const PtrMode pm = ptr_mode(ins.op);
+    c.pre = static_cast<int8_t>(pm.pre);
+    c.post = static_cast<int8_t>(pm.post);
+    c.rd = ins.rd;
+    c.q = ins.q;
+    c.group_min = svc.group_min;
+    c.group_span = svc.group_span;
+    c.store = isa::is_store(ins.op);
+    c.is_push = ins.op == Op::Push;
+  }
   m_.load_flash(sys.flash);
-  m_.set_service_hook(0, [this](emu::Machine& mm) { return on_service(mm); });
+  m_.set_service_handler(0, &Kernel::service_thunk, this);
+}
+
+bool Kernel::service_thunk(void* self, emu::Machine& m, uint32_t svc_arg) {
+  return static_cast<Kernel*>(self)->on_service(m, svc_arg);
 }
 
 std::optional<uint8_t> Kernel::admit(size_t program_index) {
@@ -60,6 +120,7 @@ std::optional<uint8_t> Kernel::admit(size_t program_index) {
   t.id = static_cast<uint8_t>(tasks_.size());
   t.program = program_index;
   tasks_.push_back(std::move(t));
+  rebuild_xlate_cache();
   return tasks_.back().id;
 }
 
@@ -117,69 +178,67 @@ void Kernel::note_stack_depth(Task& t) {
   t.peak_stack_used = std::max(t.peak_stack_used, depth);
 }
 
-void Kernel::charge_op(uint32_t total) {
-  // The trampoline CALL itself already cost 4 cycles.
-  m_.charge(total > 4 ? total - 4 : 0);
-}
-
 // ---------------------------------------------------------------------------
 // Service dispatch
 // ---------------------------------------------------------------------------
 
-bool Kernel::on_service(emu::Machine& m) {
-  const uint32_t idx = m.flash_word(m.pc() + 1);
-  if (idx >= sys_->services.size()) return false;
-  const rw::Service& svc = sys_->services[idx];
+bool Kernel::on_service(emu::Machine& m, uint32_t idx) {
+  if (idx >= n_services_) return false;
+  // The common services (stack ops and pointer loads/stores) run entirely
+  // from the flattened CompiledSvc row; the wider Service descriptor is
+  // only touched by the rare kinds that need the original instruction.
+  const CompiledSvc& cs = csvc_[idx];
   ++stats_.service_calls;
 
-  // Pop the address the trampoline CALL pushed: the naturalized address of
+  // The address the trampoline CALL pushed: the naturalized address of
   // the instruction following the patched site.
-  const uint16_t ret = m.pop16();
+  const uint16_t ret = m.service_ret();
 
   // Fault injection (chaos testing): a scheduled kill fires at this service
   // boundary, before the service body runs. If it took the current task, the
-  // pending service must not execute.
-  if (injected_kill_due(ret)) return true;
+  // pending service must not execute. One compare in the common case.
+  if (stats_.service_calls >= next_kill_at_ && injected_kill_due(ret))
+    return true;
 
-  switch (svc.kind) {
+  switch (cs.kind) {
     case rw::ServiceKind::MemIndirect:
-      svc_mem_indirect(svc, ret, /*grouped=*/false);
+      svc_mem_indirect(cs, ret, /*grouped=*/false);
       break;
     case rw::ServiceKind::MemIndirectGrouped:
-      svc_mem_indirect(svc, ret, /*grouped=*/true);
+      svc_mem_indirect(cs, ret, /*grouped=*/true);
       break;
     case rw::ServiceKind::MemDirect:
-      svc_mem_direct(svc, ret);
+      svc_mem_direct(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::ReservedDirect:
-      svc_reserved_direct(svc, ret);
+      svc_reserved_direct(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::PushPop:
-      svc_push_pop(svc, ret);
+      svc_push_pop(cs, ret);
       break;
     case rw::ServiceKind::CallEnter:
-      svc_call_enter(svc, ret);
+      svc_call_enter(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::Return:
-      svc_return(svc, ret);
+      svc_return(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::IndirectJump:
-      svc_indirect_jump(svc, ret);
+      svc_indirect_jump(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::BackwardBranch:
-      svc_branch(svc, ret, /*backward=*/true);
+      svc_branch(svc_table_[idx], ret, /*backward=*/true);
       break;
     case rw::ServiceKind::ForwardBranch:
-      svc_branch(svc, ret, /*backward=*/false);
+      svc_branch(svc_table_[idx], ret, /*backward=*/false);
       break;
     case rw::ServiceKind::SpRead:
-      svc_sp_read(svc, ret);
+      svc_sp_read(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::SpWrite:
-      svc_sp_write(svc, ret);
+      svc_sp_write(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::Lpm:
-      svc_lpm(svc, ret);
+      svc_lpm(svc_table_[idx], ret);
       break;
     case rw::ServiceKind::SleepOp:
       svc_sleep(ret);
@@ -189,6 +248,7 @@ bool Kernel::on_service(emu::Machine& m) {
 }
 
 bool Kernel::injected_kill_due(uint16_t resume_pc) {
+  bool killed_current = false;
   while (next_injected_kill_ < cfg_.injected_kills.size() &&
          stats_.service_calls >=
              cfg_.injected_kills[next_injected_kill_].at_service_call) {
@@ -203,56 +263,22 @@ bool Kernel::injected_kill_due(uint16_t resume_pc) {
     if (was_current) {
       m_.set_pc(resume_pc);
       context_switch(resume_pc, false);
-      return true;
+      killed_current = true;
+      break;
     }
   }
-  return false;
+  next_kill_at_ = next_injected_kill_ < cfg_.injected_kills.size()
+                      ? cfg_.injected_kills[next_injected_kill_].at_service_call
+                      : UINT64_MAX;
+  return killed_current;
 }
 
-namespace {
-// Pre/post pointer adjustment of an indirect memory op.
-struct PtrMode {
-  int pre = 0;
-  int post = 0;
-};
-PtrMode ptr_mode(Op op) {
-  switch (op) {
-    case Op::LdXInc:
-    case Op::LdYInc:
-    case Op::LdZInc:
-    case Op::StXInc:
-    case Op::StYInc:
-    case Op::StZInc:
-      return {0, 1};
-    case Op::LdXDec:
-    case Op::LdYDec:
-    case Op::LdZDec:
-    case Op::StXDec:
-    case Op::StYDec:
-    case Op::StZDec:
-      return {-1, 0};
-    default:
-      return {0, 0};
-  }
-}
-uint8_t ptr_reg(isa::Ptr p) {
-  switch (p) {
-    case isa::Ptr::X: return 26;
-    case isa::Ptr::Y: return 28;
-    default: return 30;
-  }
-}
-}  // namespace
-
-void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
+void Kernel::svc_mem_indirect(const CompiledSvc& cs, uint16_t ret,
                               bool grouped) {
   Task& t = current();
-  const isa::Instruction& ins = svc.original;
-  const uint8_t pr = ptr_reg(isa::pointer_of(ins));
-  const PtrMode pm = ptr_mode(ins.op);
-  const uint16_t p0 = m_.mem().reg_pair(pr);
-  const uint16_t base = static_cast<uint16_t>(p0 + pm.pre);
-  const uint16_t logical = static_cast<uint16_t>(base + ins.q);
+  const uint16_t p0 = m_.mem().reg_pair(cs.ptr_reg);
+  const uint16_t base = static_cast<uint16_t>(p0 + cs.pre);
+  const uint16_t logical = static_cast<uint16_t>(base + cs.q);
 
   m_.set_pc(ret);
   ++stats_.mem_translations;
@@ -261,10 +287,10 @@ void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
   // window start is computed in 32 bits: `base + group_min` can exceed
   // 0xFFFF, and truncating it would wrap the window into low memory and
   // let a wild pointer group pass validation.
-  if (!grouped && svc.group_span > 0) {
-    const uint32_t win_lo = uint32_t(base) + uint32_t(svc.group_min);
+  if (!grouped && cs.group_span > 0) {
+    const uint32_t win_lo = uint32_t(base) + uint32_t(cs.group_min);
     if (win_lo > 0xFFFF ||
-        !check_window(t, static_cast<uint16_t>(win_lo), svc.group_span)) {
+        !check_window(t, static_cast<uint16_t>(win_lo), cs.group_span)) {
       kill_task(t, KillReason::InvalidAccess);
       context_switch(ret, false);
       return;
@@ -278,22 +304,22 @@ void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
     return;
   }
 
-  const bool store = isa::is_store(ins.op);
+  const bool store = cs.store;
   if (x.area == Xlate::Area::Io) {
-    uint8_t v = store ? m_.mem().reg(ins.rd) : 0;
+    uint8_t v = store ? m_.mem().reg(cs.rd) : 0;
     if (reserved_port_access(x.phys, v, store, ret)) {
-      if (!store) m_.mem().set_reg(ins.rd, v);
+      if (!store) m_.mem().set_reg(cs.rd, v);
     } else if (store) {
-      m_.mem().write(x.phys, m_.mem().reg(ins.rd));
+      m_.mem().write(x.phys, m_.mem().reg(cs.rd));
     } else {
-      m_.mem().set_reg(ins.rd, m_.mem().read(x.phys));
+      m_.mem().set_reg(cs.rd, m_.mem().read(x.phys));
     }
     charge_op(cfg_.costs.ind_io);
   } else {
     if (store)
-      m_.mem().set_raw(x.phys, m_.mem().reg(ins.rd));
+      m_.mem().set_raw(x.phys, m_.mem().reg(cs.rd));
     else
-      m_.mem().set_reg(ins.rd, m_.mem().raw(x.phys));
+      m_.mem().set_reg(cs.rd, m_.mem().raw(x.phys));
     if (grouped)
       charge_op(cfg_.costs.ind_grouped);
     else
@@ -301,8 +327,8 @@ void Kernel::svc_mem_indirect(const rw::Service& svc, uint16_t ret,
                                             : cfg_.costs.ind_stack);
   }
 
-  if (pm.pre != 0 || pm.post != 0)
-    m_.mem().set_reg_pair(pr, static_cast<uint16_t>(base + pm.post));
+  if (cs.pre != 0 || cs.post != 0)
+    m_.mem().set_reg_pair(cs.ptr_reg, static_cast<uint16_t>(base + cs.post));
 }
 
 void Kernel::svc_mem_direct(const rw::Service& svc, uint16_t ret) {
@@ -386,28 +412,33 @@ bool Kernel::reserved_port_access(uint16_t addr, uint8_t& value, bool write,
   return true;
 }
 
-void Kernel::svc_push_pop(const rw::Service& svc, uint16_t ret) {
+void Kernel::svc_push_pop(const CompiledSvc& cs, uint16_t ret) {
   Task& t = current();
-  const isa::Instruction& ins = svc.original;
   m_.set_pc(ret);
 
-  if (ins.op == Op::Push) {
-    if (!ensure_stack(1)) {
-      context_switch(ret, false);
-      return;
+  uint16_t sp = m_.mem().sp();
+  if (cs.is_push) {
+    // Fast headroom check with the cached region bound; only a relocation
+    // (which moves SP) drops to the slow path, so SP is re-read after it.
+    const uint16_t p_h = xc_[current_].p_h;
+    if (sp < p_h || static_cast<uint16_t>(sp - p_h) < cfg_.stack_margin) {
+      if (!ensure_stack_slow(1)) {
+        context_switch(ret, false);
+        return;
+      }
+      sp = m_.mem().sp();
     }
-    const uint16_t sp = m_.mem().sp();
-    m_.mem().set_raw(sp, m_.mem().reg(ins.rd));
+    m_.mem().set_raw(sp, m_.mem().reg(cs.rd));
     m_.mem().set_sp(static_cast<uint16_t>(sp - 1));
-    note_stack_depth(t);
+    const uint16_t depth = static_cast<uint16_t>(t.p_u - sp);
+    if (depth > t.peak_stack_used) t.peak_stack_used = depth;
   } else {  // Pop
-    const uint16_t sp = m_.mem().sp();
-    if (sp + 1 >= current().p_u) {
+    if (sp + 1 >= t.p_u) {
       kill_task(t, KillReason::InvalidAccess);  // stack underflow
       context_switch(ret, false);
       return;
     }
-    m_.mem().set_reg(ins.rd, m_.mem().raw(static_cast<uint16_t>(sp + 1)));
+    m_.mem().set_reg(cs.rd, m_.mem().raw(static_cast<uint16_t>(sp + 1)));
     m_.mem().set_sp(static_cast<uint16_t>(sp + 1));
   }
   charge_op(cfg_.costs.stack_pushpop);

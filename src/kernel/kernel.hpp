@@ -198,11 +198,32 @@ class Kernel {
   friend struct KernelTestPeer;
 
   // --- Service dispatch (kernel.cpp) ----------------------------------------
-  bool on_service(emu::Machine& m);
-  void svc_mem_indirect(const rw::Service& svc, uint16_t ret, bool grouped);
+  // Raw handler registered with Machine::set_service_handler — a plain
+  // function pointer, so every trap avoids the std::function indirection.
+  static bool service_thunk(void* self, emu::Machine& m, uint32_t svc_arg);
+  bool on_service(emu::Machine& m, uint32_t idx);
+
+  // Link-time-constant facts about each trampoline, flattened at kernel
+  // construction: the hot handlers read one small struct per trap instead
+  // of re-deriving pointer register / pre-post mode / store-ness through
+  // the out-of-line isa classification switches.
+  struct CompiledSvc {
+    rw::ServiceKind kind = rw::ServiceKind::MemIndirect;
+    uint8_t ptr_reg = 30;  // 26/28/30 for X/Y/Z
+    int8_t pre = 0;
+    int8_t post = 0;
+    uint8_t rd = 0;
+    uint8_t q = 0;
+    uint8_t group_min = 0;
+    uint8_t group_span = 0;
+    bool store = false;
+    bool is_push = false;
+  };
+
+  void svc_mem_indirect(const CompiledSvc& cs, uint16_t ret, bool grouped);
   void svc_mem_direct(const rw::Service& svc, uint16_t ret);
   void svc_reserved_direct(const rw::Service& svc, uint16_t ret);
-  void svc_push_pop(const rw::Service& svc, uint16_t ret);
+  void svc_push_pop(const CompiledSvc& cs, uint16_t ret);
   void svc_call_enter(const rw::Service& svc, uint16_t ret);
   void svc_return(const rw::Service& svc, uint16_t ret);
   void svc_indirect_jump(const rw::Service& svc, uint16_t ret);
@@ -226,11 +247,34 @@ class Kernel {
   // Check a whole window [logical, logical+span] (grouped leader).
   bool check_window(const Task& t, uint16_t logical, uint8_t span) const;
 
+  // Per-task translation cache: region bounds and the two displacements
+  // translate() needs, flat and indexed by task id (tasks_[i].id == i).
+  // Rebuilt only when the region map changes — layout_regions, move_regions,
+  // release_region — so the hot service handlers never chase
+  // sys_->programs or recompute kDataEnd - p_u per access.
+  struct XlateCache {
+    uint16_t heap_end_logical = 0;  // kSramBase + program heap size
+    uint16_t heap_disp = 0;         // p_l - kSramBase; phys = logical + disp
+    uint16_t sp_off = 0;            // kDataEnd - p_u (stack displacement M)
+    uint16_t p_h = 0;               // stack-area bounds for validation
+    uint16_t p_u = 0;
+  };
+  void rebuild_xlate_cache();
+
   bool layout_regions();
   // Ensure the current task can grow its stack by `needed` bytes while
   // keeping the red-zone margin; relocates or kills. Returns false if the
-  // task was killed.
-  bool ensure_stack(uint16_t needed);
+  // task was killed. The inline check is the service-trap common case
+  // (enough headroom, no map lookup, no sp_of indirection).
+  bool ensure_stack(uint16_t needed) {
+    const uint16_t sp = m_.mem().sp();  // current task is Running: live SP
+    const XlateCache& c = xc_[current_];
+    if (sp >= c.p_h &&
+        uint32_t(sp - c.p_h) + 1 >= uint32_t(needed) + cfg_.stack_margin)
+      return true;
+    return ensure_stack_slow(needed);
+  }
+  bool ensure_stack_slow(uint16_t needed);
   // One relocation step toward `shortfall` more free bytes for the current
   // task; kills the current task (returning false) if no donor exists.
   bool grow_step(uint16_t shortfall);
@@ -249,6 +293,8 @@ class Kernel {
   void kill_task(Task& t, KillReason why);
   // Fire a due injected kill (if any) at a service boundary. Returns true
   // if the *current* task was killed (the pending service must be skipped).
+  // The slow path maintains next_kill_at_ so the per-trap test in
+  // on_service is a single counter comparison.
   bool injected_kill_due(uint16_t resume_pc);
 
   // --- Auditing (audit.cpp) ---------------------------------------------------
@@ -287,12 +333,21 @@ class Kernel {
   const rw::ProgramInfo& prog_of(const Task& t) const {
     return sys_->programs[t.program];
   }
-  void charge_op(uint32_t total);
+  void charge_op(uint32_t total) {
+    // The trampoline CALL itself already cost 4 cycles.
+    m_.charge(total > 4 ? total - 4 : 0);
+  }
 
   emu::Machine& m_;
   const rw::LinkedSystem* sys_;
   KernelConfig cfg_;
   std::vector<Task> tasks_;
+  std::vector<XlateCache> xc_;  // parallel to tasks_ (indexed by task id)
+  std::vector<CompiledSvc> csvc_;  // parallel to sys_->services
+  // Flat views of the (immutable) service pool, resolved once so dispatch
+  // does not chase sys_-> and vector headers per trap.
+  const rw::Service* svc_table_ = nullptr;
+  uint32_t n_services_ = 0;
   size_t current_ = 0;
   bool started_ = false;
   uint16_t kernel_base_ = 0;  // first byte of the kernel data area
@@ -306,6 +361,9 @@ class Kernel {
                                  // the average reflects full concurrency
   uint64_t alloc_task_cycles_ = 0;  // task-cycles (exact-average denominator)
   size_t next_injected_kill_ = 0;
+  // Service-call count at which the next injected kill fires (UINT64_MAX
+  // when the schedule is exhausted or empty).
+  uint64_t next_kill_at_ = UINT64_MAX;
   std::vector<std::string> audit_log_;
   KernelTrace* trace_ = nullptr;
   KernelStats stats_;

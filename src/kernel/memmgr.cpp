@@ -30,15 +30,30 @@ uint16_t Kernel::free_stack(const Task& t) const {
   return sp >= t.p_h ? static_cast<uint16_t>(sp - t.p_h + 1) : 0;
 }
 
+void Kernel::rebuild_xlate_cache() {
+  xc_.resize(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    XlateCache& c = xc_[i];
+    c.heap_end_logical =
+        static_cast<uint16_t>(kSramBase + prog_of(t).heap_size);
+    c.heap_disp = static_cast<uint16_t>(t.p_l - kSramBase);
+    c.sp_off = static_cast<uint16_t>(kDataEnd - t.p_u);
+    c.p_h = t.p_h;
+    c.p_u = t.p_u;
+  }
+}
+
 Kernel::Xlate Kernel::translate(const Task& t, uint16_t logical) const {
   Xlate x;
+  const XlateCache& c = xc_[t.id];
   if (!cfg_.protect_app_regions) {
     // t-kernel-style asymmetric protection: identity addressing, only the
     // kernel area is guarded.
     if (logical >= kernel_base_) return x;
     x.phys = logical;
     x.area = logical < kSramBase ? Xlate::Area::Io
-             : logical < t.p_h   ? Xlate::Area::Heap
+             : logical < c.p_h   ? Xlate::Area::Heap
                                  : Xlate::Area::Stack;
     return x;
   }
@@ -48,15 +63,14 @@ Kernel::Xlate Kernel::translate(const Task& t, uint16_t logical) const {
     x.area = Xlate::Area::Io;
     return x;
   }
-  const auto& prog = prog_of(t);
-  if (logical < kSramBase + prog.heap_size) {
-    x.phys = static_cast<uint16_t>(logical - kSramBase + t.p_l);
+  if (logical < c.heap_end_logical) {
+    x.phys = static_cast<uint16_t>(logical + c.heap_disp);
     x.area = Xlate::Area::Heap;
     return x;
   }
   // Stack window: displacement p_u - M (§IV-C2).
-  const int32_t phys = int32_t(logical) - int32_t(logical_sp_offset(t));
-  if (phys >= int32_t(t.p_h) && phys < int32_t(t.p_u)) {
+  const int32_t phys = int32_t(logical) - int32_t(c.sp_off);
+  if (phys >= int32_t(c.p_h) && phys < int32_t(c.p_u)) {
     x.phys = static_cast<uint16_t>(phys);
     x.area = Xlate::Area::Stack;
   }
@@ -106,6 +120,7 @@ bool Kernel::layout_regions() {
   // Hand the leftover to the last region; it becomes the first donor.
   tasks_.back().p_u = kernel_base_;
   tasks_.back().sp = static_cast<uint16_t>(kernel_base_ - 1);
+  rebuild_xlate_cache();
   return true;
 }
 
@@ -137,7 +152,7 @@ bool Kernel::grow_step(uint16_t shortfall) {
   return true;
 }
 
-bool Kernel::ensure_stack(uint16_t needed) {
+bool Kernel::ensure_stack_slow(uint16_t needed) {
   Task& t = current();
   const uint32_t required = uint32_t(needed) + cfg_.stack_margin;
   while (free_stack(t) < required) {
@@ -230,6 +245,7 @@ void Kernel::move_regions(Task& donor, Task& to, uint16_t delta) {
   m_.charge(cost);
   emit(EventKind::Relocation, donor.id,
        uint16_t(std::min<uint64_t>(bytes_moved, 0xFFFF)));
+  rebuild_xlate_cache();
   audit_after("move_regions", before);
 }
 
@@ -279,6 +295,7 @@ void Kernel::release_region(Task& dead) {
   }
   dead.p_h = dead.p_l;
   dead.p_u = dead.p_l;
+  rebuild_xlate_cache();
   emit(EventKind::RegionRelease, dead.id);
   audit_after("release_region", before);
 }

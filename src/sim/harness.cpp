@@ -27,6 +27,7 @@ SystemRun run_system(const std::vector<assembler::Image>& images,
   }
   r.stop = k.run(spec.max_cycles);
   r.cycles = m.cycles();
+  r.instructions = m.stats().instructions;
   r.active_cycles = m.stats().active_cycles;
   r.idle_cycles = m.stats().idle_cycles;
   r.kernel_stats = k.stats();

@@ -17,6 +17,7 @@ namespace sensmart::sim {
 struct SystemRun {
   emu::StopReason stop = emu::StopReason::Running;
   uint64_t cycles = 0;
+  uint64_t instructions = 0;  // emulated instructions retired
   uint64_t active_cycles = 0;
   uint64_t idle_cycles = 0;
   kern::KernelStats kernel_stats;

@@ -16,7 +16,7 @@ TEST(Devices, Timer3IsAFreeRunningGlobalClock) {
   EXPECT_EQ(m.dev().timer3_ticks(m.cycles()), 100);
   // 16-bit read protocol: reading L latches H.
   uint8_t lo = 0, hi = 0;
-  m.mem().set_io_hook({});  // bypass: use read via Machine path instead
+  m.mem().set_io_hook(nullptr, nullptr);  // bypass: use read via Machine path
   Machine m2;
   m2.charge_idle(256 * 0x1234);
   lo = m2.mem().read(kTcnt3L);

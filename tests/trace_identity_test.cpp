@@ -1,0 +1,144 @@
+// Trace-identity regression tests for the host emulation fast path.
+//
+// The batched event-horizon loop, the decode cache, and the kernel
+// service fast path are all pure host-side optimizations: they must not
+// change a single emulated cycle or kernel event. These tests pin ten
+// chaos seeds to golden (cycle count, FNV-1a trace hash) pairs recorded
+// from the unbatched pre-optimization build, and exercise the decode
+// cache's invalidation rules for overlapping load_flash calls —
+// including the word-before-base case a cached two-word operand (or a
+// Break's cached service index) depends on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "emu/machine.hpp"
+#include "isa/codec.hpp"
+
+namespace sensmart {
+namespace {
+
+using emu::Machine;
+using emu::StopReason;
+using isa::Instruction;
+using isa::Op;
+
+// --- Golden chaos traces -----------------------------------------------------
+//
+// Recorded with the default ChaosOptions (300M cycle budget, audits and
+// kill injection on). Any divergence — one cycle, one reordered kernel
+// event — changes the hash, so an optimization that alters emulated
+// behavior in any observable way fails here immediately.
+
+struct GoldenSeed {
+  uint64_t seed;
+  uint64_t cycles;
+  uint64_t trace_hash;
+};
+
+constexpr GoldenSeed kGolden[] = {
+    {1, 144449, 0xf48380525e9c84ebULL},  {2, 1684561, 0xfb0465d6295a3c96ULL},
+    {3, 794847, 0x9ef6a6c712fd47ceULL},  {4, 921005, 0x48d06309a86881c8ULL},
+    {5, 1616721, 0xd4a2a80e591a87b4ULL}, {6, 1897808, 0x2bec35c2235b3036ULL},
+    {7, 709526, 0x1c31067e4a457d0eULL},  {8, 2406479, 0xe68bd8bfba9f35bfULL},
+    {9, 381531, 0x331decde4da2a5f0ULL},  {10, 665852, 0x1f327278678379dcULL},
+};
+
+TEST(TraceIdentity, GoldenChaosSeeds) {
+  for (const GoldenSeed& g : kGolden) {
+    chaos::ChaosOptions opts;
+    opts.seed = g.seed;
+    const chaos::ChaosResult res = chaos::run_chaos(opts);
+    EXPECT_TRUE(res.ok()) << "seed " << g.seed << ": " << res.summary();
+    EXPECT_EQ(res.run.cycles, g.cycles) << "seed " << g.seed;
+    EXPECT_EQ(res.trace_hash, g.trace_hash) << "seed " << g.seed;
+  }
+}
+
+// --- Decode-cache invalidation ----------------------------------------------
+
+Instruction mk(Op op, uint8_t rd = 0, uint8_t rr = 0, int32_t k = 0) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rr = rr;
+  i.k = k;
+  return i;
+}
+
+std::vector<uint16_t> words_of(const std::vector<Instruction>& prog) {
+  std::vector<uint16_t> words;
+  for (const Instruction& i : prog) isa::encode_to(i, words);
+  return words;
+}
+
+// Overwriting an executed word must evict its cached decode: the same PC
+// runs the new instruction after a reset, not the cached old one.
+TEST(TraceIdentity, ReloadInvalidatesOverlappingWords) {
+  Machine m;
+  m.load_flash(words_of({mk(Op::Ldi, 16, 0, 0x11)}));
+  m.reset(0);
+  ASSERT_EQ(m.step(), StopReason::Running);
+  EXPECT_EQ(m.mem().reg(16), 0x11);
+
+  m.load_flash(words_of({mk(Op::Ldi, 16, 0, 0x22)}), 0);
+  m.reset(0);
+  ASSERT_EQ(m.step(), StopReason::Running);
+  EXPECT_EQ(m.mem().reg(16), 0x22);
+}
+
+// A two-word instruction's cached entry holds the operand word fetched
+// from base+1, so reloading flash at that *operand* address must also
+// evict the entry one word before the load's base.
+TEST(TraceIdentity, ReloadInvalidatesWordBeforeBase) {
+  Machine m;
+  m.load_flash(words_of({mk(Op::Lds, 16, 0, 0x0200)}));
+  m.mem().set_raw(0x0200, 0xAA);
+  m.mem().set_raw(0x0300, 0xBB);
+  m.reset(0);
+  ASSERT_EQ(m.step(), StopReason::Running);
+  EXPECT_EQ(m.mem().reg(16), 0xAA);  // decode for word 0 now cached
+
+  // Overwrite only word 1 — the Lds operand. The entry at word 0 must go.
+  const uint16_t new_operand[] = {0x0300};
+  m.load_flash(new_operand, 1);
+  m.reset(0);
+  ASSERT_EQ(m.step(), StopReason::Running);
+  EXPECT_EQ(m.mem().reg(16), 0xBB);
+}
+
+// The Break service index (the flash word after the Break) is cached in
+// the decode entry and handed to the service handler without a refetch;
+// reloading that word must invalidate the Break's entry too.
+TEST(TraceIdentity, ReloadInvalidatesCachedServiceIndex) {
+  Machine m;
+  std::vector<uint16_t> words = words_of({mk(Op::Break)});
+  words.push_back(0x0042);  // service index operand
+  m.load_flash(words);
+
+  static uint32_t captured;
+  captured = 0;
+  m.set_service_handler(
+      0,
+      [](void*, Machine& mm, uint32_t svc_arg) {
+        captured = svc_arg;
+        mm.stop(StopReason::Halted);
+        return true;
+      },
+      nullptr);
+
+  m.reset(0);
+  m.step();
+  EXPECT_EQ(captured, 0x42u);
+
+  const uint16_t new_index[] = {0x0099};
+  m.load_flash(new_index, 1);
+  m.reset(0);
+  m.step();
+  EXPECT_EQ(captured, 0x99u);
+}
+
+}  // namespace
+}  // namespace sensmart
