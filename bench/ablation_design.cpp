@@ -18,16 +18,25 @@ namespace {
 void ablation_merging() {
   std::cout << "A. Trampoline merging (flash words of the trampoline "
                "region, all 7 kernel benchmarks linked together)\n\n";
-  sim::Table t({"Config", "Tramp words", "Services", "Sites"});
-  for (const bool merge : {false, true}) {
-    rw::Linker linker({}, merge);
+  sim::Table t({"Config", "Tramp words", "Services", "Sites", "Tail-shared"});
+  struct Cfg {
+    const char* name;
+    rw::RewriteOptions opts;
+    bool merge;
+  };
+  rw::RewriteOptions tail_off = rw::paper_options();
+  const Cfg cfgs[] = {{"unmerged", tail_off, false},
+                      {"merged", tail_off, true},
+                      {"merged+tail", {}, true}};
+  for (const Cfg& c : cfgs) {
+    rw::Linker linker(c.opts, c.merge);
     for (const auto& n : apps::benchmark_names())
       linker.add(apps::build_benchmark(n));
     const auto sys = linker.link();
-    t.row({merge ? "merged" : "unmerged",
-           sim::Table::num(uint64_t(sys.tramp_words)),
+    t.row({c.name, sim::Table::num(uint64_t(sys.tramp_words)),
            sim::Table::num(uint64_t(sys.services.size())),
-           sim::Table::num(uint64_t(sys.service_requests))});
+           sim::Table::num(uint64_t(sys.service_requests)),
+           sim::Table::num(uint64_t(sys.tail_shared_words))});
   }
   t.print();
 }
@@ -44,10 +53,15 @@ void ablation_grouping() {
       {"treesearch", apps::tree_search_program(tp)},
   };
   for (const auto& [name, img] : programs) {
+    // Both rows pin paper_options() so the newer fast tiers (section E)
+    // don't contaminate the grouping delta.
     sim::RunSpec off;
+    off.rewrite = rw::paper_options();
     off.rewrite.grouped_access = false;
+    sim::RunSpec on;
+    on.rewrite = rw::paper_options();
     const auto r_off = sim::run_system({img}, off);
-    const auto r_on = sim::run_system({img});
+    const auto r_on = sim::run_system({img}, on);
     t.row({name, sim::Table::num(r_off.seconds()),
            sim::Table::num(r_on.seconds()),
            sim::Table::num(100.0 * (1 - r_on.seconds() / r_off.seconds()),
@@ -115,6 +129,69 @@ void ablation_initial_stack() {
                "point where they simply pre-reserve the worst case)\n";
 }
 
+void ablation_fast_tiers() {
+  std::cout << "\nE. Guest fast tiers (§6d): translation coalescing, "
+               "collapsed stack runs,\nfast direct-heap services — emulated "
+               "cycles on a fig. 7-style mix\n(1 data feed + 2 searchers)\n\n";
+  apps::TreeSearchParams tp;
+  tp.nodes_per_tree = 24;
+  tp.searches = 400;
+  std::vector<assembler::Image> fig7mini;
+  fig7mini.push_back(apps::data_feed_program(4, 64));
+  fig7mini.push_back(apps::tree_search_program(tp));
+  fig7mini.push_back(apps::tree_search_program(tp));
+  const std::vector<assembler::Image> amplitude = {
+      apps::build_benchmark("amplitude")};
+
+  struct Cfg {
+    const char* name;
+    bool coalesce, runs, fast_direct;
+  };
+  const Cfg cfgs[] = {{"all off (paper)", false, false, false},
+                      {"+coalescing", true, false, false},
+                      {"+stack runs", false, true, false},
+                      {"+fast direct", false, false, true},
+                      {"all on", true, true, true}};
+  struct Set {
+    const char* title;
+    const std::vector<assembler::Image>* images;
+  };
+  const Set sets[] = {{"fig. 7-style mix (stack-heavy)", &fig7mini},
+                      {"amplitude (memory-heavy)", &amplitude}};
+  for (const Set& set : sets) {
+    std::cout << set.title << ":\n";
+    sim::Table t(
+        {"Config", "Emul cycles", "Traps", "Cy/serviced-op", "Saved"});
+    uint64_t base_cycles = 0;
+    for (const Cfg& c : cfgs) {
+      sim::RunSpec spec;
+      spec.rewrite = rw::paper_options();
+      spec.rewrite.coalesce_translations = c.coalesce;
+      spec.rewrite.collapse_stack_checks = c.runs;
+      spec.rewrite.fast_direct_heap = c.fast_direct;
+      const auto r = sim::run_system(*set.images, spec);
+      const auto& ks = r.kernel_stats;
+      if (!base_cycles) base_cycles = r.cycles;
+      const uint64_t ops = ks.service_calls + ks.stack_run_members;
+      t.row({c.name, sim::Table::num(r.cycles),
+             sim::Table::num(ks.service_calls),
+             ops ? sim::Table::num(double(ks.service_cycles) / double(ops), 1)
+                 : "-",
+             sim::Table::num(
+                 100.0 * (1.0 - double(r.cycles) / double(base_cycles)), 1) +
+                 "%"});
+    }
+    t.print();
+    std::cout << "\n";
+  }
+  std::cout << "(outputs are byte-identical across every row — "
+               "tests/coalescing_equivalence_test.cpp proves it; only the "
+               "cycle accounting moves. Coalescing is structurally rare in "
+               "these loop-heavy AVR workloads: grouping already harvests "
+               "adjacent accesses and loop bodies begin at block leaders, "
+               "so the pass pays off mainly in straight-line memory code)\n";
+}
+
 }  // namespace
 
 int main() {
@@ -123,5 +200,6 @@ int main() {
   ablation_grouping();
   ablation_trap_interval();
   ablation_initial_stack();
+  ablation_fast_tiers();
   return 0;
 }

@@ -25,13 +25,17 @@ int main() {
   std::cout << "Figure 4: CODE INFLATION OF KERNEL BENCHMARK PROGRAMS "
                "(bytes)\n\n";
   sim::Table t({"Program", "Native", "SenS.rewr", "SenS.shift", "SenS.tramp",
-                "SenS.total", "SenS.infl", "t-k.total", "t-k.infl"},
+                "SenS.total", "SenS.infl", "+tail.infl", "t-k.total",
+                "t-k.infl"},
                12);
 
   double worst_sensmart = 0;
   for (const auto& name : apps::benchmark_names()) {
     const auto img = apps::build_benchmark(name);
-    const auto s = rewrite_one(img, {}, /*merge=*/true);
+    // The paper column pins paper_options(); "+tail" adds the §6d
+    // trampoline tail merging and placeholder-shrunk stack runs.
+    const auto s = rewrite_one(img, rw::paper_options(), /*merge=*/true);
+    const auto ft = rewrite_one(img, {}, /*merge=*/true);
     const auto tk = rewrite_one(img, rw::tkernel_rewrite_options(),
                                 rw::kTKernelMerging);
     const uint32_t st =
@@ -44,7 +48,8 @@ int main() {
            sim::Table::num(uint64_t(s.shift_table_bytes)),
            sim::Table::num(uint64_t(s.trampoline_bytes)),
            sim::Table::num(uint64_t(st)), sim::Table::num(s.inflation()),
-           sim::Table::num(uint64_t(tt)), sim::Table::num(tk.inflation())});
+           sim::Table::num(ft.inflation()), sim::Table::num(uint64_t(tt)),
+           sim::Table::num(tk.inflation())});
   }
   t.print();
 
@@ -62,7 +67,22 @@ int main() {
             << " B if rewritten separately -> " << sys.tramp_words * 2
             << " B linked together (" << sys.service_requests
             << " patch sites -> " << sys.services.size()
-            << " merged trampolines)\n";
+            << " merged trampolines, " << sys.tail_shared_words * 2
+            << " B shared via tail merging)\n";
+
+  // Merge statistics (§6d): patch-site requests by service kind, i.e.
+  // where the trampoline pressure comes from.
+  std::cout << "\nPatch-site requests by service kind:\n";
+  static const char* kKindNames[] = {
+      "mem-indirect", "mem-grouped", "mem-coalesced",  "mem-direct",
+      "mem-direct-fast", "reserved-port", "push/pop",  "call-enter",
+      "return", "indirect-jump", "backward-branch", "forward-branch",
+      "sp-read", "sp-write", "lpm", "sleep"};
+  for (int k = 0; k < rw::kNumServiceKinds; ++k)
+    if (sys.requests_by_kind[k])
+      std::cout << "  " << kKindNames[k] << ": " << sys.requests_by_kind[k]
+                << "\n";
+
   std::cout << "\nPaper's envelope: SenSmart inflation within 200% "
                "(total <= 3x native); worst measured here: "
             << sim::Table::num(worst_sensmart) << "x\n";

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -43,11 +44,21 @@ constexpr double kBaselineFig7HostMips = 72.67;
 constexpr double kBaselineNativeHostMips = 100.19;
 constexpr double kBaselineSoakWallSeconds = 0.0235;
 
+// Guest-side reference, recorded before the fast-tier rewriter passes
+// (commit b6c5f7b, default RewriteOptions of that build): what the fig7
+// mix *cost in emulated cycles* when every stack op and every indirect
+// access took a full-price trap. Deterministic — independent of host
+// speed and reps.
+constexpr uint64_t kBaselineFig7EmulatedCycles = 484'558'776ULL;
+constexpr uint64_t kBaselineFig7ServiceCalls = 8'539'192ULL;
+
 struct Measurement {
   double wall_s = 0.0;  // best-of-reps
   uint64_t instructions = 0;
   uint64_t cycles = 0;
   uint64_t service_calls = 0;
+  uint64_t service_cycles = 0;  // emulated cycles charged by service handlers
+  uint64_t serviced_ops = 0;    // service_calls + collapsed stack-run members
 
   double host_mips() const {
     return wall_s > 0 ? double(instructions) / wall_s / 1e6 : 0.0;
@@ -57,6 +68,23 @@ struct Measurement {
   }
   double traps_per_sec() const {
     return wall_s > 0 ? double(service_calls) / wall_s : 0.0;
+  }
+  // Guest metrics (deterministic):
+  double cycles_per_trap() const {
+    return service_calls ? double(service_cycles) / double(service_calls)
+                         : 0.0;
+  }
+  // Per *serviced operation*: collapsed stack runs amortize several ops
+  // into one trap, so this is the cost that actually fell.
+  double cycles_per_serviced_op() const {
+    return serviced_ops ? double(service_cycles) / double(serviced_ops) : 0.0;
+  }
+  double traps_per_1k_instructions() const {
+    return instructions ? 1e3 * double(service_calls) / double(instructions)
+                        : 0.0;
+  }
+  double cpi() const {
+    return instructions ? double(cycles) / double(instructions) : 0.0;
   }
 };
 
@@ -111,6 +139,8 @@ Measurement measure_fig7(uint16_t nodes, int n_search, uint16_t searches,
     best.instructions = m.stats().instructions;
     best.cycles = m.cycles();
     best.service_calls = k.stats().service_calls;
+    best.service_cycles = k.stats().service_cycles;
+    best.serviced_ops = k.stats().service_calls + k.stats().stack_run_members;
   }
   return best;
 }
@@ -195,6 +225,16 @@ void emit_json(std::ostream& os, bool smoke, int reps, uint16_t fig7_nodes,
   f(fig7.cycles_per_sec());
   os << ",\n      \"service_traps_per_sec\": ";
   f(fig7.traps_per_sec());
+  os << ",\n      \"guest_cycles_per_instruction\": ";
+  f(fig7.cpi());
+  os << ",\n      \"guest_cycles_per_trap\": ";
+  f(fig7.cycles_per_trap());
+  os << ",\n      \"guest_cycles_per_serviced_op\": ";
+  f(fig7.cycles_per_serviced_op());
+  os << ",\n      \"guest_traps_per_1k_instructions\": ";
+  f(fig7.traps_per_1k_instructions());
+  os << ",\n      \"guest_overhead_vs_native\": ";
+  f(native.cpi() > 0 ? fig7.cpi() / native.cpi() : 0.0);
   os << "\n    },\n";
   os << "    \"native_treesearch\": {\n";
   os << "      \"description\": \"bare-machine tree search, no kernel\",\n";
@@ -230,8 +270,69 @@ void emit_json(std::ostream& os, bool smoke, int reps, uint16_t fig7_nodes,
   os << ",\n    \"native_host_mips\": ";
   f(base.native_host_mips > 0 ? native.host_mips() / base.native_host_mips
                               : 0.0);
+  os << "\n  },\n";
+  // Guest-side (emulated-cycle) trajectory: deterministic, so this block
+  // is also what the CI regression gate (--gate) compares against.
+  os << "  \"guest\": {\n";
+  os << "    \"baseline_commit\": \"b6c5f7b\",\n";
+  os << "    \"baseline_emulated_cycles\": " << kBaselineFig7EmulatedCycles
+     << ",\n";
+  os << "    \"baseline_service_calls\": " << kBaselineFig7ServiceCalls
+     << ",\n";
+  os << "    \"emulated_cycles\": " << fig7.cycles << ",\n";
+  os << "    \"service_calls\": " << fig7.service_calls << ",\n";
+  os << "    \"cycle_reduction_pct\": ";
+  f(smoke || kBaselineFig7EmulatedCycles == 0
+        ? 0.0
+        : 100.0 * (1.0 - double(fig7.cycles) /
+                             double(kBaselineFig7EmulatedCycles)));
   os << "\n  }\n";
   os << "}\n";
+}
+
+// Pull the committed guest emulated-cycle count out of a BENCH JSON.
+// Prefers the "guest" block; falls back to the fig7 workload entry so the
+// gate also works against pre-guest-schema files.
+uint64_t committed_guest_cycles(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  size_t at = text.find("\"guest\"");
+  if (at == std::string::npos) at = text.find("\"fig7_treesearch\"");
+  if (at == std::string::npos) return 0;
+  const std::string key = "\"emulated_cycles\": ";
+  at = text.find(key, at);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + at + key.size(), nullptr, 10);
+}
+
+// CI regression gate: re-measure the full-scale fig7 mix (guest cycles are
+// deterministic, so reps=1 and no warm-up) and fail if it costs more than
+// `tolerance` over the committed BENCH_emulator.json.
+int run_gate(const std::string& path) {
+  constexpr double kTolerance = 1.02;  // 2%
+  const uint64_t committed = committed_guest_cycles(path);
+  if (committed == 0) {
+    std::cerr << "perf_emulator: no committed emulated_cycles in " << path
+              << "\n";
+    return 2;
+  }
+  const Measurement fig7 = measure_fig7(24, 6, 8000, 1);
+  const double ratio = double(fig7.cycles) / double(committed);
+  std::cout << "guest-cycle gate: current " << fig7.cycles << " vs committed "
+            << committed << " (" << sim::Table::num(100.0 * (ratio - 1.0), 2)
+            << "% drift, tolerance +2%)\n";
+  if (double(fig7.cycles) > double(committed) * kTolerance) {
+    std::cerr << "perf_emulator: FAIL — fig7 guest cycles regressed beyond "
+                 "2%; if the increase is intentional (new default pass, cost "
+                 "recalibration), refresh BENCH_emulator.json and the golden "
+                 "traces in the same commit\n";
+    return 1;
+  }
+  std::cout << "guest-cycle gate: OK\n";
+  return 0;
 }
 
 }  // namespace
@@ -240,6 +341,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int reps = 5;
   std::string json_path = "BENCH_emulator.json";
+  std::string gate_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -247,11 +349,15 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      gate_path = argv[++i];
     } else {
-      std::cerr << "usage: perf_emulator [--smoke] [--reps N] [--json PATH]\n";
+      std::cerr << "usage: perf_emulator [--smoke] [--reps N] [--json PATH] "
+                   "[--gate BENCH.json]\n";
       return 2;
     }
   }
+  if (!gate_path.empty()) return run_gate(gate_path);
   if (smoke) reps = std::min(reps, 2);
   const uint16_t fig7_nodes = 24;
   const int fig7_tasks = smoke ? 2 : 6;
@@ -283,6 +389,24 @@ int main(int argc, char** argv) {
                                  2)
               << "x\n";
   }
+  std::cout << "guest: " << fig7.cycles << " emulated cycles, "
+            << sim::Table::num(fig7.cycles_per_trap(), 1) << " cy/trap, "
+            << sim::Table::num(fig7.cycles_per_serviced_op(), 1)
+            << " cy/serviced-op, "
+            << sim::Table::num(fig7.traps_per_1k_instructions(), 1)
+            << " traps/1k-insn, overhead "
+            << sim::Table::num(native.cpi() > 0 ? fig7.cpi() / native.cpi()
+                                                : 0.0,
+                               3)
+            << "x vs native";
+  if (!smoke)
+    std::cout << " ("
+              << sim::Table::num(
+                     100.0 * (1.0 - double(fig7.cycles) /
+                                        double(kBaselineFig7EmulatedCycles)),
+                     1)
+              << "% cycle reduction vs pre-tier baseline)";
+  std::cout << "\n";
 
   std::ofstream js(json_path);
   if (!js) {

@@ -37,13 +37,18 @@ using assembler::Assembler;
 using EmitFn = std::function<void(Assembler&, int)>;  // (asm, copies)
 
 // Run a straight-line program with `copies` repetitions of the target op
-// under SenSmart and return total cycles at halt.
-uint64_t run_copies(const EmitFn& emit, int copies, bool grouped_opt = true) {
+// under SenSmart and return total cycles at halt. The paper columns pin
+// paper_options() — the newer fast tiers (§6d) would otherwise reclassify
+// the very sites Table II prices at full cost (e.g. a static heap LDS
+// becomes the 16-cycle fast-direct service).
+uint64_t run_copies(const EmitFn& emit, int copies, bool grouped_opt = true,
+                    bool fast_tiers = false) {
   Assembler a("micro");
   a.var("pad", 16);  // a little heap for direct/indirect heap tests
   emit(a, copies);
   a.halt(0);
   sim::RunSpec spec;
+  spec.rewrite = fast_tiers ? rw::RewriteOptions{} : rw::paper_options();
   spec.rewrite.grouped_access = grouped_opt;
   const auto r = sim::run_system({a.finish()}, spec);
   if (r.stop != emu::StopReason::Halted || r.completed() != 1) {
@@ -53,9 +58,10 @@ uint64_t run_copies(const EmitFn& emit, int copies, bool grouped_opt = true) {
   return r.cycles;
 }
 
-double per_op(const EmitFn& emit, int k = 64, bool grouped_opt = true) {
-  const uint64_t c1 = run_copies(emit, k, grouped_opt);
-  const uint64_t c0 = run_copies(emit, 0, grouped_opt);
+double per_op(const EmitFn& emit, int k = 64, bool grouped_opt = true,
+              bool fast_tiers = false) {
+  const uint64_t c1 = run_copies(emit, k, grouped_opt, fast_tiers);
+  const uint64_t c0 = run_copies(emit, 0, grouped_opt, fast_tiers);
   return double(c1 - c0) / k;
 }
 
@@ -284,6 +290,44 @@ void print_table() {
 
   std::cout << "\nTable II: OVERHEAD OF KEY OPERATIONS (cycles)\n\n";
   t.print();
+
+  // Guest fast tiers (§6d) — this implementation's extension, not in the
+  // paper: the same operations priced by the tiered services. "Full" is
+  // the corresponding paper-mode cost from the table above.
+  sim::Table ft({"Operation (fast tiers on)", "Measured", "Full"});
+  ft.row({"Direct, heap (fast-direct)",
+          sim::Table::num(per_op(
+              [](Assembler& a, int k) {
+                for (int i = 0; i < k; ++i) a.lds(16, emu::kSramBase);
+              },
+              64, true, /*fast_tiers=*/true)),
+          "28"});
+  // Straight-line re-access through an untouched pointer: the first access
+  // translates at full price, the remaining k-1 coalesce.
+  ft.row({"Indirect, coalesced reuse",
+          sim::Table::num(per_op(
+              [](Assembler& a, int k) {
+                a.ldi16(26, emu::kSramBase);
+                for (int i = 0; i < k; ++i) a.ld_x(16);
+              },
+              256, true, /*fast_tiers=*/true)),
+          "60"});
+  // Maximal collapsed runs (4 pushes, 4 pops): one leader trap per run,
+  // per-member margin checks executed virtually inside it.
+  ft.row({"Stack push/pop, collapsed run",
+          sim::Table::num(per_op(
+                              [](Assembler& a, int k) {
+                                for (int i = 0; i < k; ++i) {
+                                  for (int j = 0; j < 4; ++j) a.push(16);
+                                  for (int j = 0; j < 4; ++j) a.pop(16);
+                                }
+                              },
+                              32, true, /*fast_tiers=*/true) /
+                          8),
+          "57"});
+
+  std::cout << "\nFast-tier service costs (§6d extension; per operation)\n\n";
+  ft.print();
 }
 
 // --- google-benchmark timers for host-side component throughput -------------

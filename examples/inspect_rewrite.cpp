@@ -36,7 +36,9 @@ const char* kind_name(rw::ServiceKind k) {
   switch (k) {
     case MemIndirect: return "mem-indirect";
     case MemIndirectGrouped: return "mem-grouped";
+    case MemIndirectCoalesced: return "mem-coalesced";
     case MemDirect: return "mem-direct";
+    case MemDirectFast: return "mem-direct-fast";
     case ReservedDirect: return "reserved-port";
     case PushPop: return "push/pop";
     case CallEnter: return "call-enter";

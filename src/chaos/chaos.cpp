@@ -87,6 +87,7 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
 
   // --- Plan the kernel perturbation ------------------------------------------
   sim::RunSpec spec;
+  spec.rewrite = opts.rewrite;
   spec.kernel.audit = opts.audit;
   // Starvation-level initial stacks force relocation storms (§IV-C3).
   spec.kernel.initial_stack = static_cast<uint16_t>(24 + r.below(41));

@@ -23,6 +23,7 @@ struct ChaosOptions {
   uint64_t max_cycles = 300'000'000ULL;  // every chaos task is finite
   bool audit = true;                     // kernel auditor on
   bool inject_kills = true;              // scheduled kills at service boundaries
+  rw::RewriteOptions rewrite{};          // rewriter config for the planned mix
 };
 
 struct ChaosResult {

@@ -94,6 +94,11 @@ Kernel::Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
     c.group_span = svc.group_span;
     c.store = isa::is_store(ins.op);
     c.is_push = ins.op == Op::Push;
+    if (svc.kind == rw::ServiceKind::PushPop) {
+      c.run_n = svc.group_span <= 3 ? svc.group_span : 3;
+      for (int f = 0; f < c.run_n; ++f)
+        c.run_rd[f] = static_cast<uint8_t>((svc.run_regs >> (5 * f)) & 0x1F);
+    }
   }
   m_.load_flash(sys.flash);
   m_.set_service_handler(0, &Kernel::service_thunk, this);
@@ -202,13 +207,19 @@ bool Kernel::on_service(emu::Machine& m, uint32_t idx) {
 
   switch (cs.kind) {
     case rw::ServiceKind::MemIndirect:
-      svc_mem_indirect(cs, ret, /*grouped=*/false);
+      svc_mem_indirect(cs, ret, IndTier::Full);
       break;
     case rw::ServiceKind::MemIndirectGrouped:
-      svc_mem_indirect(cs, ret, /*grouped=*/true);
+      svc_mem_indirect(cs, ret, IndTier::Grouped);
+      break;
+    case rw::ServiceKind::MemIndirectCoalesced:
+      svc_mem_indirect(cs, ret, IndTier::Coalesced);
       break;
     case rw::ServiceKind::MemDirect:
-      svc_mem_direct(svc_table_[idx], ret);
+      svc_mem_direct(svc_table_[idx], ret, /*fast=*/false);
+      break;
+    case rw::ServiceKind::MemDirectFast:
+      svc_mem_direct(svc_table_[idx], ret, /*fast=*/true);
       break;
     case rw::ServiceKind::ReservedDirect:
       svc_reserved_direct(svc_table_[idx], ret);
@@ -274,7 +285,7 @@ bool Kernel::injected_kill_due(uint16_t resume_pc) {
 }
 
 void Kernel::svc_mem_indirect(const CompiledSvc& cs, uint16_t ret,
-                              bool grouped) {
+                              IndTier tier) {
   Task& t = current();
   const uint16_t p0 = m_.mem().reg_pair(cs.ptr_reg);
   const uint16_t base = static_cast<uint16_t>(p0 + cs.pre);
@@ -287,7 +298,7 @@ void Kernel::svc_mem_indirect(const CompiledSvc& cs, uint16_t ret,
   // window start is computed in 32 bits: `base + group_min` can exceed
   // 0xFFFF, and truncating it would wrap the window into low memory and
   // let a wild pointer group pass validation.
-  if (!grouped && cs.group_span > 0) {
+  if (tier == IndTier::Full && cs.group_span > 0) {
     const uint32_t win_lo = uint32_t(base) + uint32_t(cs.group_min);
     if (win_lo > 0xFFFF ||
         !check_window(t, static_cast<uint16_t>(win_lo), cs.group_span)) {
@@ -320,23 +331,33 @@ void Kernel::svc_mem_indirect(const CompiledSvc& cs, uint16_t ret,
       m_.mem().set_raw(x.phys, m_.mem().reg(cs.rd));
     else
       m_.mem().set_reg(cs.rd, m_.mem().raw(x.phys));
-    if (grouped)
-      charge_op(cfg_.costs.ind_grouped);
-    else
-      charge_op(x.area == Xlate::Area::Heap ? cfg_.costs.ind_heap
-                                            : cfg_.costs.ind_stack);
+    switch (tier) {
+      case IndTier::Grouped:
+        charge_op(cfg_.costs.ind_grouped);
+        break;
+      case IndTier::Coalesced:
+        charge_op(cfg_.costs.ind_coalesced);
+        break;
+      case IndTier::Full:
+        charge_op(x.area == Xlate::Area::Heap ? cfg_.costs.ind_heap
+                                              : cfg_.costs.ind_stack);
+        break;
+    }
   }
 
   if (cs.pre != 0 || cs.post != 0)
     m_.mem().set_reg_pair(cs.ptr_reg, static_cast<uint16_t>(base + cs.post));
 }
 
-void Kernel::svc_mem_direct(const rw::Service& svc, uint16_t ret) {
+void Kernel::svc_mem_direct(const rw::Service& svc, uint16_t ret, bool fast) {
   Task& t = current();
   const isa::Instruction& ins = svc.original;
   m_.set_pc(ret);
   ++stats_.mem_translations;
 
+  // The fast tier's address was statically proven in-heap by the rewriter,
+  // so translate() cannot fail for it; it still runs the same path so the
+  // two tiers are behaviorally indistinguishable (only the charge differs).
   const Xlate x = translate(t, static_cast<uint16_t>(ins.k));
   if (x.area == Xlate::Area::Invalid) {
     kill_task(t, KillReason::InvalidAccess);
@@ -347,7 +368,7 @@ void Kernel::svc_mem_direct(const rw::Service& svc, uint16_t ret) {
     m_.mem().set_raw(x.phys, m_.mem().reg(ins.rd));
   else
     m_.mem().set_reg(ins.rd, m_.mem().raw(x.phys));
-  charge_op(cfg_.costs.direct_other);
+  charge_op(fast ? cfg_.costs.direct_fast : cfg_.costs.direct_other);
 }
 
 void Kernel::svc_reserved_direct(const rw::Service& svc, uint16_t ret) {
@@ -416,32 +437,45 @@ void Kernel::svc_push_pop(const CompiledSvc& cs, uint16_t ret) {
   Task& t = current();
   m_.set_pc(ret);
 
-  uint16_t sp = m_.mem().sp();
-  if (cs.is_push) {
-    // Fast headroom check with the cached region bound; only a relocation
-    // (which moves SP) drops to the slow path, so SP is re-read after it.
-    const uint16_t p_h = xc_[current_].p_h;
-    if (sp < p_h || static_cast<uint16_t>(sp - p_h) < cfg_.stack_margin) {
-      if (!ensure_stack_slow(1)) {
+  // A collapsed stack run executes all of its members inside the leader's
+  // trap, applying the *identical* per-member headroom check, relocation
+  // request and kill condition that separate PUSH/POP services would — so
+  // the machine-state and relocation trajectories are the same whether
+  // collapsing is on or off; only the cycle charge (and trap count) shrink.
+  const int members = 1 + cs.run_n;
+  for (int i = 0; i < members; ++i) {
+    const uint8_t rd = i == 0 ? cs.rd : cs.run_rd[i - 1];
+    uint16_t sp = m_.mem().sp();
+    if (cs.is_push) {
+      // Fast headroom check with the cached region bound; only a relocation
+      // (which moves SP) drops to the slow path, so SP is re-read after it.
+      const uint16_t p_h = xc_[current_].p_h;
+      if (sp < p_h || static_cast<uint16_t>(sp - p_h) < cfg_.stack_margin) {
+        if (!ensure_stack_slow(1)) {
+          context_switch(ret, false);
+          return;
+        }
+        sp = m_.mem().sp();
+      }
+      m_.mem().set_raw(sp, m_.mem().reg(rd));
+      m_.mem().set_sp(static_cast<uint16_t>(sp - 1));
+      const uint16_t depth = static_cast<uint16_t>(t.p_u - sp);
+      if (depth > t.peak_stack_used) t.peak_stack_used = depth;
+    } else {  // Pop
+      if (sp + 1 >= t.p_u) {
+        kill_task(t, KillReason::InvalidAccess);  // stack underflow
         context_switch(ret, false);
         return;
       }
-      sp = m_.mem().sp();
+      m_.mem().set_reg(rd, m_.mem().raw(static_cast<uint16_t>(sp + 1)));
+      m_.mem().set_sp(static_cast<uint16_t>(sp + 1));
     }
-    m_.mem().set_raw(sp, m_.mem().reg(cs.rd));
-    m_.mem().set_sp(static_cast<uint16_t>(sp - 1));
-    const uint16_t depth = static_cast<uint16_t>(t.p_u - sp);
-    if (depth > t.peak_stack_used) t.peak_stack_used = depth;
-  } else {  // Pop
-    if (sp + 1 >= t.p_u) {
-      kill_task(t, KillReason::InvalidAccess);  // stack underflow
-      context_switch(ret, false);
-      return;
-    }
-    m_.mem().set_reg(cs.rd, m_.mem().raw(static_cast<uint16_t>(sp + 1)));
-    m_.mem().set_sp(static_cast<uint16_t>(sp + 1));
   }
-  charge_op(cfg_.costs.stack_pushpop);
+  // Each follower's placeholder NOP pays 1 cycle natively; the leader
+  // charges the rest of the per-member run cost.
+  stats_.stack_run_members += cs.run_n;
+  charge_op(cfg_.costs.stack_pushpop +
+            uint32_t(cs.run_n) * (cfg_.costs.stack_run_member - 1));
 }
 
 void Kernel::svc_call_enter(const rw::Service& svc, uint16_t ret) {

@@ -27,11 +27,19 @@ namespace sensmart::kern {
 struct CostModel {
   uint32_t init = 5738;          // system initialization
   uint32_t direct_other = 28;    // direct (LDS/STS) heap access
+  uint32_t direct_fast = 16;     // statically-in-heap LDS/STS: displacement
+                                 // only, no run-time area classification
   uint32_t ind_io = 54;          // indirect access landing in the I/O area
   uint32_t ind_heap = 60;        // indirect heap access (group leader/full)
   uint32_t ind_stack = 47;       // indirect stack-frame access
   uint32_t ind_grouped = 18;     // grouped-access follower
+  uint32_t ind_coalesced = 26;   // provenance-coalesced access: bounds
+                                 // re-check against the cached window, no
+                                 // full translation
   uint32_t stack_pushpop = 57;   // checked PUSH/POP
+  uint32_t stack_run_member = 9; // each collapsed stack-run member beyond
+                                 // the leader (1 cycle of which the
+                                 // placeholder NOP pays natively)
   uint32_t stack_callret = 77;   // checked CALL/RET
   uint32_t prog_mem = 376;       // program-memory address translation
   uint32_t get_sp = 45;          // IN pair from SPL/SPH (total)
@@ -132,10 +140,18 @@ struct Task {
 
 struct KernelStats {
   uint64_t service_calls = 0;
+  uint64_t service_cycles = 0;  // emulated cycles charged by service
+                                // handlers (incl. the trampoline CALL)
+  uint64_t stack_run_members = 0;  // follower ops executed inside collapsed
+                                   // stack-run leader traps (§6d)
   uint64_t traps = 0;          // backward-branch trampoline entries
   uint64_t trap_checks = 0;    // 1/N counter wraps (kernel slice checks)
   uint64_t context_switches = 0;
   uint64_t mem_translations = 0;
+  // Translation-window invalidations: cache rebuilds forced by a region-map
+  // mutation after start (relocation, release, kill) — the runtime half of
+  // the coalescing contract (DESIGN.md §6d).
+  uint64_t window_invalidations = 0;
   uint32_t relocations = 0;
   uint64_t reloc_bytes_moved = 0;
   uint64_t reloc_cycles = 0;
@@ -218,10 +234,18 @@ class Kernel {
     uint8_t group_span = 0;
     bool store = false;
     bool is_push = false;
+    uint8_t run_n = 0;        // collapsed stack-run followers (0..3)
+    uint8_t run_rd[3] = {0, 0, 0};  // their registers, in run order
   };
 
-  void svc_mem_indirect(const CompiledSvc& cs, uint16_t ret, bool grouped);
-  void svc_mem_direct(const rw::Service& svc, uint16_t ret);
+  // Cost tier of an indirect memory service: the full translate-and-check,
+  // the grouped-follower path, or the coalesced check-only reuse path. All
+  // three perform the identical translation and kill checks; only the
+  // charged cycle cost differs (task-visible behavior is tier-invariant).
+  enum class IndTier : uint8_t { Full, Grouped, Coalesced };
+
+  void svc_mem_indirect(const CompiledSvc& cs, uint16_t ret, IndTier tier);
+  void svc_mem_direct(const rw::Service& svc, uint16_t ret, bool fast);
   void svc_reserved_direct(const rw::Service& svc, uint16_t ret);
   void svc_push_pop(const CompiledSvc& cs, uint16_t ret);
   void svc_call_enter(const rw::Service& svc, uint16_t ret);
@@ -335,6 +359,7 @@ class Kernel {
   }
   void charge_op(uint32_t total) {
     // The trampoline CALL itself already cost 4 cycles.
+    stats_.service_cycles += total;
     m_.charge(total > 4 ? total - 4 : 0);
   }
 

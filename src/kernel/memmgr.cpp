@@ -31,6 +31,12 @@ uint16_t Kernel::free_stack(const Task& t) const {
 }
 
 void Kernel::rebuild_xlate_cache() {
+  // After start, a rebuild means the region map changed under running
+  // tasks: every cached translation window is invalid from here on. This
+  // is the runtime half of the coalescing contract (DESIGN.md §6d) — the
+  // rewriter only coalesces across spans that cannot contain such a
+  // mutation, and the counter lets benches report how often windows die.
+  if (started_) ++stats_.window_invalidations;
   xc_.resize(tasks_.size());
   for (size_t i = 0; i < tasks_.size(); ++i) {
     const Task& t = tasks_[i];

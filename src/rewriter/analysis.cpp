@@ -125,6 +125,138 @@ std::vector<DecodedSite> analyze(const assembler::Image& img, bool grouping) {
   return sites;
 }
 
+namespace {
+
+// Registers written by `ins` that overlap the pointer pair at `base`
+// (26/28/30). Loads and ALU results into r26..r31 rebuild a pointer, so
+// its provenance dies; everything else leaves the pair intact.
+bool clobbers_pair(const Instruction& ins, uint8_t base) {
+  auto hits = [base](uint8_t r) { return r == base || r == base + 1; };
+  switch (ins.op) {
+    case Op::Add: case Op::Adc: case Op::Sub: case Op::Sbc:
+    case Op::And: case Op::Or: case Op::Eor: case Op::Mov:
+    case Op::Subi: case Op::Sbci: case Op::Andi: case Op::Ori:
+    case Op::Ldi:
+    case Op::Com: case Op::Neg: case Op::Swap: case Op::Inc:
+    case Op::Dec: case Op::Asr: case Op::Lsr: case Op::Ror:
+    case Op::Lds: case Op::Pop: case Op::In:
+    case Op::Lpm:
+      return hits(ins.rd);
+    case Op::Mul:
+      return hits(0) || hits(1);
+    case Op::LpmR0:
+      return hits(0);
+    case Op::Adiw: case Op::Sbiw: case Op::Movw:
+      return hits(ins.rd) || hits(static_cast<uint8_t>(ins.rd + 1));
+    case Op::LpmInc:
+      // Reads program memory through Z and post-increments it: Z is no
+      // longer a (translated) data pointer afterwards.
+      return hits(ins.rd) || base == 30;
+    default:
+      return false;
+  }
+}
+
+// Sites whose kernel service may relocate memory regions (stack growth) or
+// block the task (after which other tasks run and may trigger relocation):
+// any cached translation window is stale afterwards.
+bool may_relocate_or_block(const Instruction& ins) {
+  if (ins.op == Op::Push || ins.op == Op::Sleep) return true;
+  if (ins.op == Op::Out && isa::writes_sp(ins.op, ins.a)) return true;
+  // Calls grow the stack too, but they end the basic block anyway and the
+  // successor site is a block leader; listed for clarity.
+  return isa::is_call(ins.op);
+}
+
+int ptr_index(isa::Ptr p) {
+  switch (p) {
+    case isa::Ptr::X: return 0;
+    case isa::Ptr::Y: return 1;
+    default: return 2;
+  }
+}
+
+constexpr uint8_t kPtrBase[3] = {26, 28, 30};
+
+}  // namespace
+
+size_t mark_coalesced(std::vector<DecodedSite>& sites) {
+  // Forward scan with three provenance bits: "an indirect access through
+  // this pointer has translated it, and neither the pointer nor the region
+  // map can have changed since". Block leaders reset all three — control
+  // can arrive there from elsewhere, including the backward-branch traps
+  // that are the only preemption points (§IV-B), so nothing is live across
+  // them.
+  bool live[3] = {false, false, false};
+  size_t marked = 0;
+  for (DecodedSite& s : sites) {
+    if (s.is_data || s.block_leader) live[0] = live[1] = live[2] = false;
+    if (s.is_data) continue;
+    const Instruction& ins = s.ins;
+
+    if (isa::is_mem_indirect(ins.op)) {
+      const int p = ptr_index(isa::pointer_of(ins));
+      if (live[p] && s.group == GroupRole::None) {
+        s.coalesced = true;
+        ++marked;
+      }
+      live[p] = true;
+      // A load may overwrite a pointer pair (e.g. LDD r26, Z+4 rebuilds X
+      // while dereferencing Z); kill the overwritten pair's provenance —
+      // including the dereferenced pointer's own, if the load targets it.
+      if (!isa::is_store(ins.op)) {
+        for (int o = 0; o < 3; ++o)
+          if (ins.rd == kPtrBase[o] || ins.rd == kPtrBase[o] + 1)
+            live[o] = false;
+      }
+      continue;
+    }
+
+    if (may_relocate_or_block(ins)) {
+      live[0] = live[1] = live[2] = false;
+      continue;
+    }
+    for (int o = 0; o < 3; ++o)
+      if (live[o] && clobbers_pair(ins, kPtrBase[o])) live[o] = false;
+  }
+  return marked;
+}
+
+size_t mark_stack_runs(std::vector<DecodedSite>& sites, int cap) {
+  if (cap > 4) cap = 4;  // run_regs packs at most 3 followers
+  size_t followers = 0;
+  size_t i = 0;
+  while (i < sites.size()) {
+    const Op op = sites[i].ins.op;
+    if (sites[i].is_data || (op != Op::Push && op != Op::Pop)) {
+      ++i;
+      continue;
+    }
+    // Extend over adjacent same-op sites; a member that is a block leader
+    // can be reached from elsewhere and must start its own checked run.
+    size_t j = i + 1;
+    while (j < sites.size() && j - i < static_cast<size_t>(cap) &&
+           sites[j].ins.op == op && !sites[j].is_data &&
+           !sites[j].block_leader) {
+      ++j;
+    }
+    if (j - i >= 2) {
+      sites[i].stack_run = StackRunRole::Leader;
+      sites[i].run_extra = static_cast<uint8_t>(j - i - 1);
+      uint16_t regs = 0;
+      for (size_t k = i + 1; k < j; ++k) {
+        sites[k].stack_run = StackRunRole::Follower;
+        regs |= static_cast<uint16_t>((sites[k].ins.rd & 0x1F)
+                                      << (5 * (k - i - 1)));
+        ++followers;
+      }
+      sites[i].run_regs = regs;
+    }
+    i = j;
+  }
+  return followers;
+}
+
 size_t count_followers(const std::vector<DecodedSite>& sites) {
   return static_cast<size_t>(
       std::count_if(sites.begin(), sites.end(), [](const DecodedSite& s) {

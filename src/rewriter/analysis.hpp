@@ -1,8 +1,10 @@
 // Binary analysis performed by the base-station rewriter before patching:
-// linear decode, basic-block discovery, and grouped-memory-access detection
+// linear decode, basic-block discovery, grouped-memory-access detection
 // (§IV-C2: adjacent LDD/STD through the same unmodified index register are
 // translated once; the paper observes 2- and 4-instruction groups for word
-// and double-word data).
+// and double-word data), and the two block-local dataflow passes layered on
+// top of it — pointer-provenance translation coalescing and stack-run
+// collapsing (DESIGN.md §6d).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,10 @@ namespace sensmart::rw {
 
 enum class GroupRole : uint8_t { None, Leader, Follower };
 
+// Role of a PUSH/POP site inside a collapsed same-op run: the leader's
+// trampoline checks bounds for the whole run, followers stay native.
+enum class StackRunRole : uint8_t { None, Leader, Follower };
+
 struct DecodedSite {
   uint32_t addr = 0;  // original word address
   isa::Instruction ins;
@@ -24,11 +30,37 @@ struct DecodedSite {
   GroupRole group = GroupRole::None;
   uint8_t group_min_q = 0;   // leader: smallest displacement in the group
   uint8_t group_span = 0;    // leader: max displacement minus min
+  // Translation coalescing: a later access in the same block through a
+  // pointer whose provenance is still live takes the check-only reuse tier.
+  bool coalesced = false;
+  StackRunRole stack_run = StackRunRole::None;
+  uint8_t run_extra = 0;     // stack-run leader: members beyond itself
+  uint16_t run_regs = 0;     // leader: follower registers, 5 bits each
 };
 
 // Decode the whole image and annotate basic-block leaders and access groups.
 // `grouping` disables the grouped-access optimization when false (ablation).
 std::vector<DecodedSite> analyze(const assembler::Image& img, bool grouping);
+
+// Pointer-provenance coalescing pass: within a basic block, after one
+// translated indirect access through X/Y/Z, later indirect accesses through
+// the same pointer — not rebuilt in between, with no relocation-capable or
+// blocking service in between — are marked `coalesced` and take the
+// check-only reuse tier instead of a full translation. Grouped followers
+// (already cheaper) and group leaders (their window check guards their
+// followers) are left untouched. Returns the number of sites marked.
+size_t mark_coalesced(std::vector<DecodedSite>& sites);
+
+// Stack-run collapsing pass: maximal runs of adjacent same-op PUSH (or POP)
+// sites inside one block, capped at `cap` members, become one leader whose
+// trampoline performs the whole run — with the identical per-member bounds
+// check, relocation request and kill condition the uncollapsed services
+// would apply, so the machine-state trajectory is the same with the pass on
+// or off — while the follower sites shrink to one-word placeholders. The
+// follower registers ride in `run_regs` (5 bits each, run order), which
+// caps the run at 1 leader + 3 followers. Returns the follower count
+// (trampoline calls saved).
+size_t mark_stack_runs(std::vector<DecodedSite>& sites, int cap = 4);
 
 // Count of sites whose role is Follower (used by inflation stats/tests).
 size_t count_followers(const std::vector<DecodedSite>& sites);

@@ -1,5 +1,7 @@
 #include "rewriter/linker.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -35,12 +37,28 @@ LinkedSystem Linker::link() {
   sys.tramp_base = cursor_;
   sys.services = pool_.services();
   sys.service_requests = pool_.requests();
+  sys.requests_by_kind = pool_.requests_by_kind();
 
-  // Place trampolines.
+  // Place trampolines. With tail merging, the first trampoline of each
+  // kind carries the full handler body; later ones of the same kind keep
+  // only the stub that materializes their site identity and jump into the
+  // first one's tail.
   uint32_t a = sys.tramp_base;
+  std::array<bool, size_t(kNumServiceKinds)> kind_seen{};
   for (const Service& s : sys.services) {
     sys.service_addr.push_back(a);
-    a += scaled_body_words(s.kind, opts_.body_scale);
+    const uint32_t full = scaled_body_words(s.kind, opts_.body_scale);
+    uint32_t w = full;
+    if (opts_.tramp_tail_merge && kind_seen[size_t(s.kind)]) {
+      w = std::max<uint32_t>(
+          2, static_cast<uint32_t>(
+                 std::lround(std::ceil(stub_words(s.kind) * opts_.body_scale))));
+      if (w > full) w = full;
+      sys.tail_shared_words += full - w;
+    }
+    kind_seen[size_t(s.kind)] = true;
+    sys.service_words.push_back(w);
+    a += w;
   }
   sys.tramp_words = a - sys.tramp_base;
 
@@ -83,8 +101,7 @@ LinkedSystem Linker::link() {
     std::set<uint32_t> used;
     for (const auto& cs : p.callsites) used.insert(cs.service);
     uint32_t tw = 0;
-    for (uint32_t svc : used)
-      tw += scaled_body_words(sys.services[svc].kind, opts_.body_scale);
+    for (uint32_t svc : used) tw += sys.service_words[svc];
     info.trampoline_bytes = tw * 2;
 
     sys.programs.push_back(std::move(info));

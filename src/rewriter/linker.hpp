@@ -4,6 +4,7 @@
 // table in flash. Words 0..15 are reserved for the kernel vector area.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,9 +42,14 @@ struct LinkedSystem {
   std::vector<ProgramInfo> programs;
   std::vector<Service> services;
   std::vector<uint32_t> service_addr;  // flash word address per service
+  std::vector<uint32_t> service_words;  // placed size per service (words)
   uint32_t tramp_base = 0;
   uint32_t tramp_words = 0;
   uint32_t service_requests = 0;  // before merging
+  // Merge statistics (Fig. 4 reporting): pre-merge requests per kind, and
+  // the flash words saved by peephole tail merging across the pool.
+  std::array<uint32_t, size_t(kNumServiceKinds)> requests_by_kind{};
+  uint32_t tail_shared_words = 0;
   RewriteOptions options;
 };
 

@@ -25,6 +25,8 @@ enum class PatchClass : uint8_t {
   RelaxBr,     // forward Brxx: keep if the offset fits, else trampoline
   RelaxRjmp,   // forward Rjmp: keep if the offset fits, else widen to JMP
   Tramp,       // replaced by CALL <trampoline>
+  Placeholder, // collapsed stack-run follower: the leader's trampoline
+               // performed it; a one-word NOP holds the site's place
 };
 
 struct Plan {
@@ -37,13 +39,16 @@ struct Plan {
 
 // Decide the service kind for a patched instruction, or nullopt to keep it.
 std::optional<Service> classify(const DecodedSite& s,
-                                const RewriteOptions& opts) {
+                                const RewriteOptions& opts,
+                                uint16_t heap_size) {
   const Instruction& ins = s.ins;
   Service svc;
   svc.original = ins;
 
   if (isa::is_mem_indirect(ins.op)) {
-    if (s.group == GroupRole::Follower) {
+    if (s.coalesced) {
+      svc.kind = ServiceKind::MemIndirectCoalesced;
+    } else if (s.group == GroupRole::Follower) {
       svc.kind = ServiceKind::MemIndirectGrouped;
     } else {
       svc.kind = ServiceKind::MemIndirect;
@@ -61,11 +66,23 @@ std::optional<Service> classify(const DecodedSite& s,
       svc.kind = ServiceKind::ReservedDirect;
       return svc;
     }
-    svc.kind = ServiceKind::MemDirect;
+    // A direct address statically inside this program's heap can never
+    // land elsewhere at run time (the heap displacement is the only thing
+    // relocation changes), so the area classification is resolved on the
+    // base station and the trampoline only applies the displacement.
+    svc.kind = (opts.fast_direct_heap &&
+                addr < emu::kSramBase + heap_size)
+                   ? ServiceKind::MemDirectFast
+                   : ServiceKind::MemDirect;
     return svc;
   }
   if (isa::is_stack_op(ins.op)) {
     svc.kind = ServiceKind::PushPop;
+    // A run leader's service performs the collapsed followers' operations
+    // too; the count rides in group_span, their registers in run_regs.
+    // (Follower sites never reach classify — they become placeholders.)
+    svc.group_span = s.run_extra;
+    svc.run_regs = s.run_regs;
     return svc;
   }
   if (ins.op == Op::In) {
@@ -108,9 +125,20 @@ std::optional<Service> classify(const DecodedSite& s,
 
 }  // namespace
 
+RewriteOptions paper_options() {
+  RewriteOptions o;
+  o.coalesce_translations = false;
+  o.collapse_stack_checks = false;
+  o.fast_direct_heap = false;
+  o.tramp_tail_merge = false;
+  return o;
+}
+
 NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
                            ServicePool& pool, const RewriteOptions& opts) {
-  const std::vector<DecodedSite> sites = analyze(img, opts.grouped_access);
+  std::vector<DecodedSite> sites = analyze(img, opts.grouped_access);
+  if (opts.coalesce_translations) mark_coalesced(sites);
+  if (opts.collapse_stack_checks) mark_stack_runs(sites);
 
   // --- Plan each site --------------------------------------------------------
   std::vector<Plan> plans(sites.size());
@@ -121,7 +149,12 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
     p.nat_size = sites[i].size;
     if (sites[i].is_data) continue;
 
-    if (auto svc = classify(sites[i], opts)) {
+    if (sites[i].stack_run == StackRunRole::Follower) {
+      p.cls = PatchClass::Placeholder;
+      p.nat_size = 1;
+      continue;
+    }
+    if (auto svc = classify(sites[i], opts, img.heap_size)) {
       p.cls = PatchClass::Tramp;
       p.svc = *svc;
       p.nat_size = 2;
@@ -230,6 +263,13 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
         emit_call_placeholder(p.svc);
         break;
 
+      case PatchClass::Placeholder: {
+        Instruction nop;
+        nop.op = Op::Nop;
+        isa::encode_to(nop, out.code);
+        break;
+      }
+
       case PatchClass::RelaxRjmp: {
         const uint32_t tgt = plans[target_site(i)].nat_addr;
         if (p.promoted) {
@@ -279,6 +319,7 @@ NaturalizedProgram rewrite(const assembler::Image& img, uint32_t base,
 
 uint32_t ServicePool::intern(const Service& svc) {
   ++requests_;
+  ++requests_by_kind_[size_t(svc.kind)];
   if (merging_) {
     const auto [it, inserted] =
         index_.try_emplace(svc.key(), uint32_t(services_.size()));
@@ -304,7 +345,9 @@ int body_words(ServiceKind kind) {
   switch (kind) {
     case ServiceKind::MemIndirect: return 7;
     case ServiceKind::MemIndirectGrouped: return 4;
+    case ServiceKind::MemIndirectCoalesced: return 4;
     case ServiceKind::MemDirect: return 5;
+    case ServiceKind::MemDirectFast: return 4;
     case ServiceKind::ReservedDirect: return 4;
     case ServiceKind::PushPop: return 5;
     case ServiceKind::CallEnter: return 6;
@@ -318,6 +361,33 @@ int body_words(ServiceKind kind) {
     case ServiceKind::SleepOp: return 4;
   }
   return 5;
+}
+
+int stub_words(ServiceKind kind) {
+  // The per-site part a trampoline cannot share: the Break marker + service
+  // index (2 words) plus whatever materializes the site's identity before
+  // jumping into the first same-kind trampoline's tail. Memory services
+  // keep one word for the register/displacement immediate; the heavier
+  // control-flow services keep their target materialization.
+  switch (kind) {
+    case ServiceKind::MemIndirect: return 4;
+    case ServiceKind::MemIndirectGrouped: return 2;
+    case ServiceKind::MemIndirectCoalesced: return 2;
+    case ServiceKind::MemDirect: return 3;
+    case ServiceKind::MemDirectFast: return 3;
+    case ServiceKind::ReservedDirect: return 3;
+    case ServiceKind::PushPop: return 2;
+    case ServiceKind::CallEnter: return 3;
+    case ServiceKind::Return: return 2;
+    case ServiceKind::IndirectJump: return 3;
+    case ServiceKind::BackwardBranch: return 3;
+    case ServiceKind::ForwardBranch: return 3;
+    case ServiceKind::SpRead: return 2;
+    case ServiceKind::SpWrite: return 2;
+    case ServiceKind::Lpm: return 3;
+    case ServiceKind::SleepOp: return 2;
+  }
+  return 2;
 }
 
 }  // namespace sensmart::rw

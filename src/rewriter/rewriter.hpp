@@ -41,11 +41,32 @@ struct RewriteOptions {
   bool patch_branches = true;
   // Grouped-access optimization (§IV-C2); ablatable.
   bool grouped_access = true;
+  // Block-local pointer-provenance coalescing (DESIGN.md §6d): repeated
+  // indirect accesses through an untouched pointer reuse the translation
+  // via the check-only tier instead of re-trapping at full cost.
+  bool coalesce_translations = true;
+  // Collapse adjacent PUSH (or POP) runs: one bounds-checking leader
+  // trampoline plus native follower instructions. Task-visible behavior is
+  // identical because the run cap (4) never exceeds the kernel's enforced
+  // minimum red-zone margin.
+  bool collapse_stack_checks = true;
+  // LDS/STS whose address is statically provable in-heap take the
+  // displacement-only fast service (no run-time area classification).
+  bool fast_direct_heap = true;
+  // Peephole tail merging in the trampoline pool: trampolines of one kind
+  // share the first one's handler tail, later ones shrink to stubs.
+  bool tramp_tail_merge = true;
   // Scale factor on trampoline body sizes. 1.0 models SenSmart's shared,
   // base-station-optimized bodies; the t-kernel mode uses a larger factor
   // together with disabled merging to model inline on-node rewriting.
   double body_scale = 1.0;
 };
+
+// The configuration of §IV exactly as published, without the optimization
+// tiers layered on after it. The figure benches pin their paper columns to
+// this so the reproduced numbers keep matching the paper while the default
+// configuration carries the faster code generation.
+RewriteOptions paper_options();
 
 struct NaturalizedProgram {
   std::string name;

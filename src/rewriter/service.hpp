@@ -17,6 +17,7 @@
 // recomputed from it at run time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -28,9 +29,14 @@ namespace sensmart::rw {
 enum class ServiceKind : uint8_t {
   MemIndirect,      // LD/ST/LDD/STD: logical->physical translation + check
   MemIndirectGrouped,  // follower of a grouped access: pre-translated path
+  MemIndirectCoalesced,  // provenance-coalesced access: check-only reuse
+                         // tier against the cached translation (§6d)
   MemDirect,        // LDS/STS into the heap: static displacement + check
+  MemDirectFast,    // LDS/STS statically proven in-heap: 16-bit
+                    // displacement only, no run-time area classification
   ReservedDirect,   // LDS/STS to a kernel-virtualized port (Timer3, host)
-  PushPop,          // PUSH/POP: stack bounds check + operation
+  PushPop,          // PUSH/POP: stack bounds check + operation; a stack-run
+                    // leader checks the whole collapsed run at once
   CallEnter,        // RCALL/CALL/ICALL: stack check, push, (translated) jump
   Return,           // RET/RETI: underflow check + jump
   IndirectJump,     // IJMP: program-memory address translation (shift table)
@@ -42,24 +48,35 @@ enum class ServiceKind : uint8_t {
   SleepOp,          // SLEEP: block the task until its armed wake target
 };
 
+inline constexpr int kNumServiceKinds = int(ServiceKind::SleepOp) + 1;
+
 // Flash words a real trampoline body of this kind would occupy (Break
 // marker + handler sequence). Derived from hand-written AVR sequences for
 // each operation; see DESIGN.md.
 int body_words(ServiceKind kind);
 
+// Flash words left in a trampoline of this kind after its handler tail has
+// been peephole-merged with the first trampoline of the same kind: the stub
+// materializes the operation identity and jumps into the shared tail. Never
+// below 2 — the Break marker and the service-index word must stay in place.
+int stub_words(ServiceKind kind);
+
 struct Service {
   ServiceKind kind;
   isa::Instruction original;  // the instruction this trampoline stands for
   // Grouped-access metadata: a leader's bounds check covers the window
-  // [ptr + group_min, ptr + group_min + group_span].
+  // [ptr + group_min, ptr + group_min + group_span]. A PushPop stack-run
+  // leader reuses group_span as the count of collapsed followers.
   uint8_t group_min = 0;
   uint8_t group_span = 0;
+  // Stack-run leader: follower registers, 5 bits each, in run order.
+  uint16_t run_regs = 0;
 
   // Merging key: services with identical behaviour share one trampoline.
   auto key() const {
     return std::tuple(kind, original.op, original.rd, original.rr,
                       original.k, original.a, original.b, original.q,
-                      original.ptr, group_min, group_span);
+                      original.ptr, group_min, group_span, run_regs);
   }
 };
 
@@ -75,12 +92,18 @@ class ServicePool {
   const std::vector<Service>& services() const { return services_; }
   uint32_t total_body_words() const;
   uint32_t requests() const { return requests_; }  // pre-merge count
+  // Pre-merge request count per ServiceKind (merge-statistics reporting).
+  const std::array<uint32_t, size_t(kNumServiceKinds)>& requests_by_kind()
+      const {
+    return requests_by_kind_;
+  }
 
  private:
   std::vector<Service> services_;
   std::map<decltype(std::declval<Service>().key()), uint32_t> index_;
   bool merging_ = true;
   uint32_t requests_ = 0;
+  std::array<uint32_t, size_t(kNumServiceKinds)> requests_by_kind_{};
 };
 
 }  // namespace sensmart::rw

@@ -6,6 +6,12 @@ RewriteOptions tkernel_rewrite_options() {
   RewriteOptions o;
   o.patch_branches = true;   // the t-kernel also traps backward branches
   o.grouped_access = false;  // page-local rewriting: no basic-block analysis
+  // No basic-block analysis also means none of the dataflow tiers built on
+  // it, and replicated inline bodies leave no shared tails to merge.
+  o.coalesce_translations = false;
+  o.collapse_stack_checks = false;
+  o.fast_direct_heap = false;
+  o.tramp_tail_merge = false;
   // Inline bodies replicated at every site instead of shared trampolines
   // (modest per-body size, but no merging makes the total much larger).
   o.body_scale = 1.6;

@@ -1,0 +1,142 @@
+// Equivalence of the guest-side fast tiers (§6d): translation
+// coalescing, collapsed stack runs, fast direct-heap services and
+// trampoline tail merging change *cycle accounting only*. For every
+// workload in src/apps and a sweep of chaos-planned mixes, a run with
+// the tiers on (default RewriteOptions) and a run with them off
+// (paper_options()) must produce byte-identical task outputs and
+// identical final dispositions — state, kill reason, exit code.
+//
+// Kill injection is off in the chaos sweep: injected kills trigger at
+// service-call *counts*, and collapsing stack runs legitimately changes
+// how many service calls a program makes, so the same plan would kill
+// tasks at different program points. Everything else (starvation-level
+// stacks, relocation storms, trap-interval jitter, the auditor) is on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.hpp"
+#include "apps/memalloc.hpp"
+#include "apps/periodic_task.hpp"
+#include "apps/treesearch.hpp"
+#include "chaos/chaos.hpp"
+#include "sim/harness.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Image;
+
+void expect_equivalent(const sim::SystemRun& on, const sim::SystemRun& off,
+                       const std::string& label) {
+  EXPECT_EQ(on.stop, off.stop) << label;
+  ASSERT_EQ(on.tasks.size(), off.tasks.size()) << label;
+  for (size_t i = 0; i < on.tasks.size(); ++i) {
+    const kern::Task& a = on.tasks[i];
+    const kern::Task& b = off.tasks[i];
+    EXPECT_EQ(int(a.state), int(b.state)) << label << " task " << i;
+    EXPECT_EQ(int(a.kill_reason), int(b.kill_reason))
+        << label << " task " << i;
+    EXPECT_EQ(a.exit_code, b.exit_code) << label << " task " << i;
+    EXPECT_EQ(a.host_out, b.host_out) << label << " task " << i;
+  }
+  EXPECT_TRUE(on.invariant_error.empty()) << label << ": "
+                                          << on.invariant_error;
+  EXPECT_TRUE(off.invariant_error.empty()) << label << ": "
+                                           << off.invariant_error;
+}
+
+void check_workload(const std::vector<Image>& images,
+                    const std::string& label) {
+  sim::RunSpec fast;  // default RewriteOptions: all tiers on
+  sim::RunSpec paper;
+  paper.rewrite = rw::paper_options();
+  const sim::SystemRun on = sim::run_system(images, fast);
+  const sim::SystemRun off = sim::run_system(images, paper);
+  // The tiers must actually save guest cycles, not just match.
+  EXPECT_LE(on.cycles, off.cycles) << label;
+  expect_equivalent(on, off, label);
+}
+
+TEST(CoalescingEquivalence, EveryBenchmark) {
+  for (const std::string& name : apps::benchmark_names())
+    check_workload({apps::build_benchmark(name)}, name);
+}
+
+TEST(CoalescingEquivalence, TreeSearchAndDataFeed) {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = 24;
+  p.searches = 400;
+  check_workload({apps::tree_search_program(p)}, "treesearch");
+  check_workload({apps::data_feed_program(16, 64)}, "data_feed");
+}
+
+TEST(CoalescingEquivalence, PeriodicTask) {
+  apps::PeriodicTaskParams p;
+  p.activations = 8;
+  p.instructions = 4000;
+  p.period_ticks = 200;
+  check_workload({apps::periodic_task_program(p)}, "periodic");
+}
+
+// The §III-A allocator: ld/st through X and Z in straight-line runs —
+// prime coalescing territory, and relocation-sensitive.
+TEST(CoalescingEquivalence, MemallocExercise) {
+  assembler::Assembler a("allocx");
+  a.rjmp("main");
+  apps::emit_pool_allocator(a, "p", 4, 8);
+  a.label("main");
+  a.rcall("p_init");
+  a.rcall("p_alloc");
+  a.movw(8, 26);       // block 0
+  a.rcall("p_alloc");  // block 1 in X
+  // Fill block 1 through X, then read it back through Z.
+  a.movw(30, 26);
+  a.ldi(16, 0x5A);
+  for (int i = 0; i < 4; ++i) a.st_x_inc(16);
+  a.ldi(17, 0);
+  for (int i = 0; i < 4; ++i) {
+    a.ldd_z(16, uint8_t(i));
+    a.add(17, 16);
+  }
+  a.sts(emu::kHostOut, 17);  // 4 * 0x5A mod 256
+  a.movw(26, 30);
+  a.rcall("p_free");
+  a.movw(26, 8);
+  a.rcall("p_free");
+  a.halt(0);
+  check_workload({a.finish()}, "memalloc");
+}
+
+// The fig. 7 shape at reduced scale: one data feeder plus competing
+// searchers — deep recursion, relocation pressure, grouped accesses.
+TEST(CoalescingEquivalence, MultitaskMix) {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = 24;
+  p.searches = 200;
+  std::vector<Image> images;
+  images.push_back(apps::data_feed_program(4, 64));
+  images.push_back(apps::tree_search_program(p));
+  images.push_back(apps::tree_search_program(p));
+  check_workload(images, "fig7-mini");
+}
+
+TEST(CoalescingEquivalence, ChaosSeedSweep) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    chaos::ChaosOptions fast;
+    fast.seed = seed;
+    fast.inject_kills = false;  // kill plans index service-call counts
+    chaos::ChaosOptions paper = fast;
+    paper.rewrite = rw::paper_options();
+    const chaos::ChaosResult on = chaos::run_chaos(fast);
+    const chaos::ChaosResult off = chaos::run_chaos(paper);
+    const std::string label = "chaos seed " + std::to_string(seed);
+    EXPECT_TRUE(on.ok()) << label << ": " << on.summary();
+    EXPECT_TRUE(off.ok()) << label << ": " << off.summary();
+    expect_equivalent(on.run, off.run, label);
+  }
+}
+
+}  // namespace
+}  // namespace sensmart

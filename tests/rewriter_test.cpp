@@ -244,7 +244,9 @@ TEST(Rewrite, LongForwardBranchPromotedToTrampoline) {
   a.halt(0);
   auto img = a.finish();
   ServicePool pool;
-  const auto nat = rewrite(img, kAppBase, pool, {});
+  // paper_options(): with stack-run collapsing on, the 40 pushes shrink to
+  // 10 leader CALLs + 30 one-word placeholders and the target stays in range.
+  const auto nat = rewrite(img, kAppBase, pool, paper_options());
   const auto first = isa::decode(nat.code, 0);
   EXPECT_EQ(first.op, isa::Op::Call);
   bool has_fwd = false;
@@ -261,15 +263,42 @@ TEST(Rewrite, MergingDeduplicatesIdenticalSites) {
   auto img = a.finish();
 
   ServicePool merged;
-  rewrite(img, kAppBase, merged, {});
+  rewrite(img, kAppBase, merged, paper_options());
   // push r16, push r17, sts HostHalt-pair services (halt emits ldi+sts).
   EXPECT_EQ(merged.services().size(), 3u);
   EXPECT_EQ(merged.requests(), 21u);
 
   ServicePool unmerged;
   unmerged.set_merging(false);
-  rewrite(img, kAppBase, unmerged, {});
+  rewrite(img, kAppBase, unmerged, paper_options());
   EXPECT_EQ(unmerged.services().size(), 21u);
+}
+
+TEST(Rewrite, StackRunCollapseShrinksPushRuns) {
+  Assembler a("t");
+  for (int i = 0; i < 10; ++i) a.push(16);
+  for (int i = 0; i < 10; ++i) a.push(17);
+  a.halt(0);
+  auto img = a.finish();
+
+  // Default options collapse each maximal same-op run into leader traps
+  // carrying up to 3 followers (register may differ; run_regs records each
+  // member's rd): 20 pushes -> 5 runs of 4 -> 3 distinct leader shapes.
+  ServicePool pool;
+  const auto nat = rewrite(img, kAppBase, pool, {});
+  uint32_t pushpop_services = 0;
+  for (const auto& s : pool.services())
+    if (s.kind == ServiceKind::PushPop) ++pushpop_services;
+  EXPECT_EQ(pushpop_services, 3u);  // r16x4, r16+r16+r17+r17, r17x4
+  EXPECT_EQ(pool.requests(), 6u);   // 5 leaders + 1 halt sts
+  // Placeholders keep the instruction count: 15 followers stay one word.
+  uint32_t nops = 0;
+  for (uint32_t pc = 0; pc < nat.code.size();) {
+    const auto ins = isa::decode(nat.code, pc);
+    if (ins.op == isa::Op::Nop) ++nops;
+    pc += isa::size_words(ins.op);
+  }
+  EXPECT_EQ(nops, 15u);
 }
 
 TEST(Rewrite, MergingWorksAcrossPrograms) {
