@@ -66,20 +66,37 @@ void DeviceHub::sync(uint64_t now) {
   }
 
   // Radio receive: move bytes whose on-air time has elapsed into the
-  // readable buffer.
+  // readable buffer. Arrivals beyond the buffer depth are lost (RX
+  // overrun), like on the real transceiver when the task polls too slowly.
   while (!rx_pending_.empty() && rx_pending_.front().first <= now) {
-    rx_avail_.push_back(rx_pending_.front().second);
+    if (rx_avail_.size() < kRxBufferCap) {
+      rx_avail_.push_back(rx_pending_.front().second);
+      ++rx_delivered_;
+    } else {
+      ++rx_overruns_;
+    }
     rx_pending_.pop_front();
     radio_irq_flag_ = true;
   }
 
-  // Radio completion.
-  if (radio_done_at_ && now >= *radio_done_at_) {
+  // Radio transmit completion(s): hand the finished packet over (record +
+  // medium sink) and start the next queued send back-to-back — its bytes
+  // go on air at kCyclesPerRadioByte spacing from the completion cycle.
+  while (radio_done_at_ && now >= *radio_done_at_) {
+    const uint64_t done = *radio_done_at_;
     radio_done_at_.reset();
-    radio_sent_.push_back(std::move(radio_buf_));
-    radio_buf_.clear();
-    mem_.set_raw(kRadioStatus, 0);
+    radio_sent_.push_back(std::move(tx_inflight_));
+    tx_inflight_.clear();
     radio_irq_flag_ = true;
+    if (tx_sink_) tx_sink_(radio_sent_.back(), done);
+    if (!tx_queue_.empty()) {
+      tx_inflight_ = std::move(tx_queue_.front());
+      tx_queue_.pop_front();
+      radio_done_at_ = done + uint64_t(kCyclesPerRadioByte) *
+                                  tx_inflight_.size();
+    } else {
+      mem_.set_raw(kRadioStatus, 0);
+    }
   }
 }
 
@@ -125,9 +142,17 @@ void DeviceHub::io_access(uint16_t addr, uint8_t& value, bool write) {
         value = static_cast<uint8_t>(std::min<size_t>(rx_avail_.size(), 255));
       break;
     case kRadioCtrl:
-      if (write && value == 1 && !radio_buf_.empty() && !radio_done_at_) {
-        radio_done_at_ =
-            now_ + uint64_t(kCyclesPerRadioByte) * radio_buf_.size();
+      if (write && value == 1 && !radio_buf_.empty()) {
+        if (!radio_done_at_) {
+          tx_inflight_ = std::move(radio_buf_);
+          radio_done_at_ =
+              now_ + uint64_t(kCyclesPerRadioByte) * tx_inflight_.size();
+        } else {
+          // Transmitter busy: queue the staged packet instead of silently
+          // dropping the send. It starts when the in-flight one completes.
+          tx_queue_.push_back(std::move(radio_buf_));
+        }
+        radio_buf_.clear();
         mem_.set_raw(kRadioStatus, 1);
       }
       break;
@@ -181,10 +206,16 @@ void DeviceHub::io_access(uint16_t addr, uint8_t& value, bool write) {
   }
 }
 
-void DeviceHub::inject_rx(std::span<const uint8_t> bytes, uint64_t at_cycle) {
+uint64_t DeviceHub::schedule_rx(std::span<const uint8_t> bytes,
+                                uint64_t at_cycle) {
+  // Serial medium: a delivery that overlaps the in-flight one queues
+  // behind it (arrival timestamps in rx_pending_ stay monotone, so sync()
+  // drains strictly in arrival order).
+  const uint64_t begin = std::max(at_cycle, rx_busy_until_);
   for (size_t i = 0; i < bytes.size(); ++i)
-    rx_pending_.emplace_back(at_cycle + (i + 1) * kCyclesPerRadioByte,
-                             bytes[i]);
+    rx_pending_.emplace_back(begin + (i + 1) * kCyclesPerRadioByte, bytes[i]);
+  rx_busy_until_ = begin + bytes.size() * kCyclesPerRadioByte;
+  return begin;
 }
 
 std::optional<Irq> DeviceHub::pending_irq() const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -23,6 +24,13 @@ namespace sensmart::emu {
 
 class DeviceHub {
  public:
+  // Radio timing: ~3072 cycles per byte on air (19.2 kbit/s at 7.37 MHz).
+  static constexpr uint32_t kCyclesPerRadioByte = 3072;
+  // RX buffer depth of the modeled transceiver. Bytes arriving while the
+  // buffer is full are lost (counted in rx_overruns()) — a task that polls
+  // too slowly drops trailing bytes, exactly like the real part.
+  static constexpr size_t kRxBufferCap = 64;
+
   explicit DeviceHub(DataMemory& mem) : mem_(mem) {}
 
   // I/O window interception (wired into DataMemory by Machine).
@@ -62,12 +70,39 @@ class DeviceHub {
     return radio_sent_;
   }
 
-  // Deliver an incoming packet over the air: byte i becomes readable at
-  // kRadioRxData after (i+1) on-air byte times from `at_cycle` (defaults
-  // to the current device time).
-  void inject_rx(std::span<const uint8_t> bytes, uint64_t at_cycle);
-  void inject_rx(std::span<const uint8_t> bytes) { inject_rx(bytes, now_); }
+  // TX hand-off to a transmission medium (the multi-node simulator): called
+  // once per completed packet with the sent bytes and the cycle at which
+  // the last byte left the air. Completed packets are still recorded in
+  // radio_packets() regardless. Per-packet, not per-byte, so the
+  // std::function indirection is off the emulation hot path.
+  using TxSink = std::function<void(std::span<const uint8_t>, uint64_t)>;
+  void set_tx_sink(TxSink sink) { tx_sink_ = std::move(sink); }
+
+  // Schedule an incoming packet over the air: byte i becomes readable at
+  // kRadioRxData after (i+1) on-air byte times from the delivery start.
+  // The receive path models a serial medium: while an earlier delivery is
+  // still in the air, a newly scheduled packet queues behind it instead of
+  // interleaving with (or shadowing) the in-flight bytes — its delivery
+  // start is pushed to the end of the busy window. Returns the cycle the
+  // delivery actually starts.
+  uint64_t schedule_rx(std::span<const uint8_t> bytes, uint64_t at_cycle);
+  // Back-compat aliases (delivery at the current device time).
+  void inject_rx(std::span<const uint8_t> bytes, uint64_t at_cycle) {
+    schedule_rx(bytes, at_cycle);
+  }
+  void inject_rx(std::span<const uint8_t> bytes) { schedule_rx(bytes, now_); }
   size_t rx_buffered() const { return rx_avail_.size(); }
+  // Bytes lost to a full RX buffer / total bytes handed to the buffer.
+  uint64_t rx_overruns() const { return rx_overruns_; }
+  uint64_t rx_delivered() const { return rx_delivered_; }
+  // Drop any buffered and in-flight RX bytes (node reboot into a freshly
+  // installed image; the half-received tail of the old session must not be
+  // readable by the new program).
+  void flush_rx() {
+    rx_pending_.clear();
+    rx_avail_.clear();
+    rx_busy_until_ = 0;
+  }
 
   uint16_t timer3_ticks(uint64_t now) const {
     return static_cast<uint16_t>(now / kTimer3Prescale);
@@ -91,15 +126,23 @@ class DeviceHub {
   static constexpr uint32_t kAdcLatency = 200;
   std::optional<uint64_t> adc_done_at_;
 
-  // Radio: ~3072 cycles per byte on air (19.2 kbit/s at 7.37 MHz).
-  static constexpr uint32_t kCyclesPerRadioByte = 3072;
+  // Radio transmit path: bytes written to kRadioData stage in radio_buf_;
+  // a kRadioCtrl start moves the staged packet in flight (radio_done_at_)
+  // or, while a transmission is already in the air, onto tx_queue_ — the
+  // queued packet starts back-to-back when the current one completes.
   std::vector<uint8_t> radio_buf_;
+  std::vector<uint8_t> tx_inflight_;
+  std::deque<std::vector<uint8_t>> tx_queue_;
   std::optional<uint64_t> radio_done_at_;
   bool radio_irq_flag_ = false;
   std::vector<std::vector<uint8_t>> radio_sent_;
+  TxSink tx_sink_;
   // Receive path: bytes in flight (arrival cycle, value) and arrived bytes.
   std::deque<std::pair<uint64_t, uint8_t>> rx_pending_;
   std::deque<uint8_t> rx_avail_;
+  uint64_t rx_busy_until_ = 0;  // serial-medium cursor for schedule_rx
+  uint64_t rx_overruns_ = 0;
+  uint64_t rx_delivered_ = 0;
 
   // Host ports.
   std::vector<uint8_t> host_out_;

@@ -71,6 +71,21 @@ const char* to_string(KillReason r) {
 Kernel::Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
                KernelConfig cfg)
     : m_(machine), sys_(&sys), cfg_(cfg) {
+  init();
+}
+
+Kernel::Kernel(emu::Machine& machine, rw::LinkedSystem&& sys, KernelConfig cfg,
+               InstallInfo install)
+    : m_(machine),
+      owned_sys_(std::make_unique<rw::LinkedSystem>(std::move(sys))),
+      sys_(owned_sys_.get()),
+      cfg_(cfg),
+      install_(install) {
+  init();
+}
+
+void Kernel::init() {
+  const rw::LinkedSystem& sys = *sys_;
   // Trampoline CALLs transiently push 2 bytes on the task stack before the
   // handler pops them, so the red zone can never be thinner than 4 bytes.
   cfg_.stack_margin = std::max<uint16_t>(cfg_.stack_margin, 4);

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -84,6 +85,24 @@ struct KernelConfig {
   // Deterministic fault-injection schedule (chaos testing); sorted.
   std::vector<InjectedKill> injected_kills;
   CostModel costs;
+};
+
+// Provenance of an installed image. For a locally linked system the default
+// (not over-the-air) applies; for an image received via radio dissemination
+// the network layer records where the bytes came from and what receiving
+// them cost, so per-node install statistics survive into the kernel.
+struct InstallInfo {
+  bool over_the_air = false;
+  uint16_t node_id = 0;        // network node that received the image
+  uint8_t image_version = 0;   // protocol image version
+  uint32_t image_bytes = 0;    // serialized image size
+  uint32_t image_crc = 0;      // verified whole-image CRC-32
+  uint64_t rx_cycles = 0;      // dissemination duration (node-observed)
+  uint64_t frames_rx = 0;      // frames received during dissemination
+  uint64_t nacks_sent = 0;     // repair requests issued
+  uint64_t crc_rejects = 0;    // corrupted frames detected and discarded
+  uint64_t bytes_rx = 0;       // radio bytes received
+  uint64_t bytes_tx = 0;       // radio bytes sent (Nacks/Acks)
 };
 
 enum class TaskState : uint8_t { Ready, Running, Blocked, Done, Killed };
@@ -173,6 +192,14 @@ class Kernel {
   Kernel(emu::Machine& machine, const rw::LinkedSystem& sys,
          KernelConfig cfg = {});
 
+  // Image-install entry point: the kernel takes ownership of a system that
+  // was reconstructed from received bytes (net::deserialize_system), so the
+  // installed image outlives the dissemination buffers it came from. Only a
+  // fully verified image may reach this constructor — the network layer
+  // never surfaces partial or corrupted blobs.
+  Kernel(emu::Machine& machine, rw::LinkedSystem&& sys, KernelConfig cfg = {},
+         InstallInfo install = {});
+
   // Create a task running program `program_index`. Fails (returns nullopt)
   // if admission would leave some task below the minimum stack. Must be
   // called before start().
@@ -191,6 +218,9 @@ class Kernel {
   const std::vector<Task>& tasks() const { return tasks_; }
   const KernelStats& stats() const { return stats_; }
   const KernelConfig& config() const { return cfg_; }
+  // How this kernel's image was installed (defaults for local linking).
+  const InstallInfo& install_info() const { return install_; }
+  const rw::LinkedSystem& system() const { return *sys_; }
   bool all_stopped() const;
   size_t live_count() const;
   // Time-averaged stack allocation per live task (bytes), integrated over
@@ -363,9 +393,14 @@ class Kernel {
     m_.charge(total > 4 ? total - 4 : 0);
   }
 
+  // Shared construction body of the borrowing and owning constructors.
+  void init();
+
   emu::Machine& m_;
+  std::unique_ptr<rw::LinkedSystem> owned_sys_;  // set by the install ctor
   const rw::LinkedSystem* sys_;
   KernelConfig cfg_;
+  InstallInfo install_;
   std::vector<Task> tasks_;
   std::vector<XlateCache> xc_;  // parallel to tasks_ (indexed by task id)
   std::vector<CompiledSvc> csvc_;  // parallel to sys_->services

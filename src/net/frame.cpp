@@ -1,0 +1,145 @@
+#include "net/frame.hpp"
+
+namespace sensmart::net {
+
+uint16_t crc16_ccitt(std::span<const uint8_t> bytes) {
+  uint16_t crc = 0xFFFF;
+  for (uint8_t b : bytes) {
+    crc ^= static_cast<uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i)
+      crc = (crc & 0x8000) ? static_cast<uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+uint32_t crc32(std::span<const uint8_t> bytes) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
+
+std::vector<uint8_t> encode_frame(const Frame& f) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameOverhead + f.payload.size());
+  out.push_back(kFrameSync);
+  out.push_back(static_cast<uint8_t>(f.type));
+  out.push_back(f.version);
+  out.push_back(static_cast<uint8_t>(f.seq & 0xFF));
+  out.push_back(static_cast<uint8_t>(f.seq >> 8));
+  out.push_back(static_cast<uint8_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  const uint16_t crc =
+      crc16_ccitt(std::span<const uint8_t>(out).subspan(1, 5 + f.payload.size()));
+  out.push_back(static_cast<uint8_t>(crc & 0xFF));
+  out.push_back(static_cast<uint8_t>(crc >> 8));
+  return out;
+}
+
+std::optional<Frame> Deframer::next() {
+  while (!buf_.empty()) {
+    if (buf_.front() != kFrameSync) {
+      buf_.pop_front();
+      ++skipped_;
+      continue;
+    }
+    if (buf_.size() < kFrameOverhead) return std::nullopt;  // need header
+    const uint8_t len = buf_[5];
+    if (len > kMaxPayload) {  // impossible length: lost sync
+      buf_.pop_front();
+      ++skipped_;
+      continue;
+    }
+    const size_t total = kFrameOverhead + len;
+    if (buf_.size() < total) return std::nullopt;  // frame still arriving
+    std::vector<uint8_t> body(buf_.begin() + 1, buf_.begin() + 6 + len);
+    const uint16_t want = static_cast<uint16_t>(
+        buf_[6 + len] | (static_cast<uint16_t>(buf_[7 + len]) << 8));
+    if (crc16_ccitt(body) != want) {
+      ++crc_errors_;
+      buf_.pop_front();  // resync from the next byte
+      ++skipped_;
+      continue;
+    }
+    const uint8_t rawtype = body[0];
+    Frame f;
+    f.type = static_cast<FrameType>(rawtype);
+    f.version = body[1];
+    f.seq = static_cast<uint16_t>(body[2] | (static_cast<uint16_t>(body[3]) << 8));
+    f.payload.assign(body.begin() + 5, body.end());
+    buf_.erase(buf_.begin(), buf_.begin() + total);
+    if (rawtype < uint8_t(FrameType::Summary) ||
+        rawtype > uint8_t(FrameType::Ack)) {
+      // CRC-valid but unknown type (future protocol revision): skip it.
+      ++crc_errors_;
+      continue;
+    }
+    return f;
+  }
+  return std::nullopt;
+}
+
+Frame make_summary(uint8_t version, const SummaryInfo& info) {
+  Frame f;
+  f.type = FrameType::Summary;
+  f.version = version;
+  f.seq = 0;
+  auto& p = f.payload;
+  p.push_back(static_cast<uint8_t>(info.total_chunks & 0xFF));
+  p.push_back(static_cast<uint8_t>(info.total_chunks >> 8));
+  for (int i = 0; i < 4; ++i)
+    p.push_back(static_cast<uint8_t>(info.image_bytes >> (8 * i)));
+  for (int i = 0; i < 4; ++i)
+    p.push_back(static_cast<uint8_t>(info.image_crc >> (8 * i)));
+  p.push_back(info.chunk_payload);
+  return f;
+}
+
+std::optional<SummaryInfo> parse_summary(const Frame& f) {
+  if (f.type != FrameType::Summary || f.payload.size() != 11)
+    return std::nullopt;
+  SummaryInfo s;
+  s.total_chunks = static_cast<uint16_t>(
+      f.payload[0] | (static_cast<uint16_t>(f.payload[1]) << 8));
+  for (int i = 0; i < 4; ++i)
+    s.image_bytes |= static_cast<uint32_t>(f.payload[2 + i]) << (8 * i);
+  for (int i = 0; i < 4; ++i)
+    s.image_crc |= static_cast<uint32_t>(f.payload[6 + i]) << (8 * i);
+  s.chunk_payload = f.payload[10];
+  if (s.chunk_payload == 0 || s.chunk_payload > kMaxPayload) return std::nullopt;
+  return s;
+}
+
+Frame make_nack(uint8_t version, uint16_t node_id,
+                std::span<const uint16_t> missing) {
+  Frame f;
+  f.type = FrameType::Nack;
+  f.version = version;
+  f.seq = node_id;
+  const size_t n = std::min(missing.size(), kMaxNackList);
+  f.payload.push_back(static_cast<uint8_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    f.payload.push_back(static_cast<uint8_t>(missing[i] & 0xFF));
+    f.payload.push_back(static_cast<uint8_t>(missing[i] >> 8));
+  }
+  return f;
+}
+
+std::optional<std::vector<uint16_t>> parse_nack(const Frame& f) {
+  if (f.type != FrameType::Nack || f.payload.empty()) return std::nullopt;
+  const size_t n = f.payload[0];
+  if (n > kMaxNackList || f.payload.size() != 1 + 2 * n) return std::nullopt;
+  std::vector<uint16_t> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    out.push_back(static_cast<uint16_t>(
+        f.payload[1 + 2 * i] |
+        (static_cast<uint16_t>(f.payload[2 + 2 * i]) << 8)));
+  return out;
+}
+
+}  // namespace sensmart::net

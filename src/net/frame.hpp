@@ -1,0 +1,88 @@
+// Over-the-air frame format of the dissemination protocol (DESIGN.md §7).
+//
+// Every radio packet is one frame:
+//
+//   [0]      sync byte 0xA5
+//   [1]      type (FrameType)
+//   [2]      image version
+//   [3..4]   seq, little-endian (chunk index for Data; node id for Nack/Ack)
+//   [5]      payload length L (0..kMaxPayload)
+//   [6..6+L) payload
+//   [6+L..]  CRC-16/CCITT over bytes [1, 6+L), little-endian
+//
+// The receive side parses the raw RX byte stream with a resynchronizing
+// Deframer: a corrupted sync byte, length byte or CRC drops bytes until the
+// next parseable frame — corruption is detected, never delivered.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace sensmart::net {
+
+inline constexpr uint8_t kFrameSync = 0xA5;
+inline constexpr size_t kMaxPayload = 48;
+inline constexpr size_t kFrameOverhead = 8;  // sync+type+ver+seq2+len+crc2
+
+enum class FrameType : uint8_t {
+  Summary = 1,  // image metadata: total chunks, byte size, whole-image CRC
+  Data = 2,     // one chunk of the image blob
+  Nack = 3,     // receiver -> base: list of missing chunk indices
+  Ack = 4,      // receiver -> base: whole image received and verified
+};
+
+struct Frame {
+  FrameType type = FrameType::Data;
+  uint8_t version = 0;
+  uint16_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — frame integrity.
+uint16_t crc16_ccitt(std::span<const uint8_t> bytes);
+// CRC-32 (reflected, poly 0xEDB88320) — whole-image integrity.
+uint32_t crc32(std::span<const uint8_t> bytes);
+
+// Serialize a frame into wire bytes (one radio packet).
+std::vector<uint8_t> encode_frame(const Frame& f);
+
+// Streaming parser over the raw RX byte sequence.
+class Deframer {
+ public:
+  void push(uint8_t byte) { buf_.push_back(byte); }
+  // Next complete, CRC-valid frame, or nullopt if more bytes are needed.
+  // Invalid prefixes are skipped byte-by-byte (resync).
+  std::optional<Frame> next();
+
+  uint64_t crc_errors() const { return crc_errors_; }
+  uint64_t skipped_bytes() const { return skipped_; }
+
+ private:
+  std::deque<uint8_t> buf_;
+  uint64_t crc_errors_ = 0;
+  uint64_t skipped_ = 0;
+};
+
+// --- Typed payloads ---------------------------------------------------------
+
+struct SummaryInfo {
+  uint16_t total_chunks = 0;
+  uint32_t image_bytes = 0;
+  uint32_t image_crc = 0;
+  uint8_t chunk_payload = 0;  // bytes per Data chunk (last may be short)
+};
+
+Frame make_summary(uint8_t version, const SummaryInfo& info);
+std::optional<SummaryInfo> parse_summary(const Frame& f);
+
+// A Nack carries up to kMaxNackList missing chunk indices; an empty list
+// means "I have no summary yet — send it".
+inline constexpr size_t kMaxNackList = 16;
+Frame make_nack(uint8_t version, uint16_t node_id,
+                std::span<const uint16_t> missing);
+std::optional<std::vector<uint16_t>> parse_nack(const Frame& f);
+
+}  // namespace sensmart::net

@@ -1,0 +1,32 @@
+// Wire codec for a naturalized system image (the unit of over-the-air
+// dissemination): the base station runs the rewriter/linker, serializes the
+// resulting rw::LinkedSystem into a self-contained blob, and nodes
+// reconstruct an identical LinkedSystem from the verified bytes before
+// handing it to the kernel for installation.
+//
+// The encoding is deliberately dumb — little-endian fields in declaration
+// order, length-prefixed vectors — because the conformance suite pins it:
+// serialize(deserialize(b)) == b, and a deserialized system must run
+// byte-identically to the original.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rewriter/linker.hpp"
+
+namespace sensmart::net {
+
+inline constexpr uint32_t kImageMagic = 0x4D495353u;  // "SSIM"
+inline constexpr uint16_t kImageFormatVersion = 1;
+
+std::vector<uint8_t> serialize_system(const rw::LinkedSystem& sys);
+
+// Strictly validating: any truncation, bad magic, impossible count or
+// trailing garbage yields nullopt (a corrupted blob must never install).
+std::optional<rw::LinkedSystem> deserialize_system(
+    std::span<const uint8_t> blob);
+
+}  // namespace sensmart::net

@@ -1,0 +1,101 @@
+#include "net/medium.hpp"
+
+namespace sensmart::net {
+
+using emu::DeviceHub;
+
+void Medium::enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
+                     bool corrupt) {
+  std::vector<uint8_t> bytes(packet.begin(), packet.end());
+  if (corrupt) {
+    // Flip 1..3 bits at seeded positions — enough to break the frame CRC
+    // (or, rarely, only the sync byte: the deframer resyncs either way).
+    const uint32_t flips = prng_.range(1, 3);
+    for (uint32_t i = 0; i < flips; ++i) {
+      const uint32_t bit =
+          prng_.below(static_cast<uint32_t>(bytes.size() * 8));
+      bytes[bit >> 3] ^= static_cast<uint8_t>(1u << (bit & 7));
+    }
+  }
+  pending_.emplace(std::make_pair(at, enqueue_seq_++),
+                   Delivery{to, std::move(bytes)});
+}
+
+void Medium::flush(uint64_t now) {
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first.first <= now) {
+    devs_[it->second.to]->schedule_rx(it->second.bytes, it->first.first);
+    it = pending_.erase(it);
+  }
+}
+
+void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
+                       uint64_t done_cycle) {
+  const size_t n = devs_.size();
+  if (link_tx_.size() < n * n) link_tx_.resize(n * n, 0);
+  stats_.bytes_on_air += packet.size();
+
+  const uint64_t base_latency =
+      uint64_t(params_.latency_bytes) * DeviceHub::kCyclesPerRadioByte;
+
+  for (size_t to = 0; to < n; ++to) {
+    if (to == from) continue;
+    const uint64_t tx_index = link_tx_[from * n + to]++;
+    ++stats_.packets_offered;
+
+    // Decide this delivery's fate: scripted policy if installed, else one
+    // random roll per fault class in a fixed order (drop, dup, reorder,
+    // corrupt) so the consumed PRNG sequence is schedule-independent.
+    FaultAction act = FaultAction::None;
+    if (policy_) {
+      act = policy_(from, to, tx_index, packet);
+    } else {
+      const bool drop = prng_.percent(params_.drop_pct);
+      const bool dup = prng_.percent(params_.dup_pct);
+      const bool reorder = prng_.percent(params_.reorder_pct);
+      const bool corrupt = prng_.percent(params_.corrupt_pct);
+      if (drop)
+        act = FaultAction::Drop;
+      else if (dup)
+        act = FaultAction::Duplicate;
+      else if (reorder)
+        act = FaultAction::Reorder;
+      else if (corrupt)
+        act = FaultAction::Corrupt;
+    }
+
+    if (observer_) observer_(done_cycle, act, from, to);
+    switch (act) {
+      case FaultAction::Drop:
+        ++stats_.dropped;
+        continue;
+      case FaultAction::Duplicate:
+        ++stats_.duplicated;
+        enqueue(to, packet, done_cycle + base_latency, false);
+        enqueue(to, packet,
+                done_cycle + base_latency +
+                    packet.size() * DeviceHub::kCyclesPerRadioByte,
+                false);
+        break;
+      case FaultAction::Reorder: {
+        // Push this packet past the next few transmissions: an extra
+        // delay of 2..6 packet-lengths-worth of airtime.
+        ++stats_.reordered;
+        const uint64_t extra = uint64_t(prng_.range(2, 6)) * packet.size() *
+                               DeviceHub::kCyclesPerRadioByte;
+        enqueue(to, packet, done_cycle + base_latency + extra, false);
+        break;
+      }
+      case FaultAction::Corrupt:
+        ++stats_.corrupted;
+        enqueue(to, packet, done_cycle + base_latency, true);
+        break;
+      case FaultAction::None:
+        enqueue(to, packet, done_cycle + base_latency, false);
+        break;
+    }
+    ++stats_.delivered;
+  }
+}
+
+}  // namespace sensmart::net

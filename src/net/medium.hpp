@@ -1,0 +1,106 @@
+// Seeded lossy broadcast medium connecting the radio devices of the
+// simulated nodes (DESIGN.md §7).
+//
+// Every transmitted packet is offered to every other node's receiver;
+// per (sender, receiver) link the medium rolls — in a fixed order, from one
+// SplitMix64 stream — drop, duplicate, corruption and reordering delay, so
+// a run is a pure function of the chaos seed and the (deterministic)
+// transmission sequence. Deliveries are buffered and flushed once per
+// simulation quantum in delivery-time order (so a reorder-delayed packet
+// really does land behind packets transmitted after it), then handed to
+// the destination device via DeviceHub::schedule_rx, whose serial-medium
+// queuing keeps overlapping deliveries ordered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "chaos/prng.hpp"
+#include "emu/devices.hpp"
+
+namespace sensmart::net {
+
+struct LinkParams {
+  // Probabilities in percent (0..100), rolled per link per packet.
+  uint32_t drop_pct = 0;
+  uint32_t dup_pct = 0;
+  uint32_t reorder_pct = 0;
+  uint32_t corrupt_pct = 0;
+  // Propagation + turnaround latency in on-air byte times (>= 1: a packet
+  // sent in one simulation quantum can never be consumed in the same one).
+  uint32_t latency_bytes = 2;
+};
+
+// Scripted fault override for conformance tests: called once per
+// (link, packet); the returned action replaces the random rolls for that
+// delivery. `link_tx_index` counts packets offered on this link.
+enum class FaultAction : uint8_t { None, Drop, Duplicate, Reorder, Corrupt };
+using FaultPolicy = std::function<FaultAction(
+    size_t from, size_t to, uint64_t link_tx_index,
+    std::span<const uint8_t> packet)>;
+
+struct MediumStats {
+  uint64_t packets_offered = 0;  // per-link deliveries attempted
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t corrupted = 0;
+  uint64_t bytes_on_air = 0;  // sender-side airtime, bytes
+};
+
+class Medium {
+ public:
+  Medium(LinkParams params, uint64_t seed)
+      : params_(params), prng_(seed ^ 0x6D656469756DULL) {
+    if (params_.latency_bytes == 0) params_.latency_bytes = 1;
+  }
+
+  // Attach node radios in id order; ids are indices into this vector.
+  void attach(emu::DeviceHub* dev) { devs_.push_back(dev); }
+  size_t nodes() const { return devs_.size(); }
+
+  void set_fault_policy(FaultPolicy p) { policy_ = std::move(p); }
+
+  // Broadcast a packet transmitted by `from`, whose last byte left the air
+  // at `done_cycle`, to every other attached node. Deliveries are buffered
+  // until flush().
+  void broadcast(size_t from, std::span<const uint8_t> packet,
+                 uint64_t done_cycle);
+
+  // Hand every delivery whose start time is <= `now` to its destination
+  // radio, in (time, enqueue-order) order. Called once per simulation
+  // quantum by the network simulator.
+  void flush(uint64_t now);
+
+  const MediumStats& stats() const { return stats_; }
+
+  // Observer for the simulation trace: (done_cycle, action, from, to).
+  using Observer = std::function<void(uint64_t, FaultAction, size_t, size_t)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+ private:
+  void enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
+               bool corrupt);
+
+  LinkParams params_;
+  chaos::Prng prng_;
+  std::vector<emu::DeviceHub*> devs_;
+  std::vector<uint64_t> link_tx_;  // per-link offered-packet counters
+  FaultPolicy policy_;
+  Observer observer_;
+  MediumStats stats_;
+  // Buffered deliveries keyed by (start cycle, enqueue sequence) — the
+  // sequence keeps the drain order total and deterministic.
+  struct Delivery {
+    size_t to;
+    std::vector<uint8_t> bytes;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, Delivery> pending_;
+  uint64_t enqueue_seq_ = 0;
+};
+
+}  // namespace sensmart::net

@@ -1,0 +1,448 @@
+#include "net/netsim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::net {
+
+using emu::DeviceHub;
+
+namespace {
+constexpr uint64_t kByte = DeviceHub::kCyclesPerRadioByte;
+constexpr size_t kMaxEarlyChunks = 4096;  // pre-summary chunk stash bound
+}  // namespace
+
+// Base-station protocol state: one initial streaming pass over the chunks,
+// a retransmit set fed by Nacks, and an exponentially backed-off Summary
+// probe while waiting for stragglers.
+struct NetSim::Base {
+  Deframer deframer;
+  std::set<uint16_t> retransmit;
+  std::vector<bool> acked;  // indexed by node id (1-based)
+  size_t acked_count = 0;
+  uint16_t cursor = 0;
+  bool summary_pending = true;
+  uint64_t next_probe_at = 0;
+  uint32_t probe_streak = 0;
+  BaseDissemStats stats;
+};
+
+// Receiver protocol state: chunk bitmap + reassembly buffer, a Nack timer
+// with capped exponential backoff, and a stash for chunks that arrive
+// before the Summary (so a dropped Summary doesn't waste the first pass).
+struct NetSim::Node {
+  uint16_t id = 0;
+  Deframer deframer;
+  bool have_summary = false;
+  SummaryInfo summary;
+  std::vector<uint8_t> image;
+  std::vector<bool> have;
+  uint16_t chunks_have = 0;
+  std::map<uint16_t, std::vector<uint8_t>> early;
+  bool complete = false;
+  uint64_t next_nack_at = 0;
+  uint32_t nack_streak = 0;
+  uint64_t last_ack_at = 0;
+  NodeDissemStats stats;
+};
+
+NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
+    : cfg_(cfg),
+      blob_(std::move(image_blob)),
+      medium_(cfg.link, cfg.chaos_seed) {
+  if (cfg_.proto.chunk_payload == 0) cfg_.proto.chunk_payload = 1;
+  if (cfg_.proto.chunk_payload > kMaxPayload)
+    cfg_.proto.chunk_payload = static_cast<uint8_t>(kMaxPayload);
+  const size_t cp = cfg_.proto.chunk_payload;
+  total_chunks_ = static_cast<uint16_t>((blob_.size() + cp - 1) / cp);
+  blob_crc_ = crc32(blob_);
+
+  machines_.reserve(cfg_.nodes + 1);
+  for (size_t i = 0; i <= cfg_.nodes; ++i) {
+    machines_.push_back(std::make_unique<emu::Machine>());
+    medium_.attach(&machines_.back()->dev());
+    const size_t id = i;
+    machines_.back()->dev().set_tx_sink(
+        [this, id](std::span<const uint8_t> pkt, uint64_t done) {
+          record(done, static_cast<uint8_t>(id), NetEventKind::TxFrame,
+                 pkt.size() > 1 ? pkt[1] : 0,
+                 static_cast<uint32_t>(pkt.size()));
+          if (id == 0)
+            base_->stats.bytes_tx += pkt.size();
+          else
+            nodes_[id - 1]->stats.bytes_tx += pkt.size();
+          medium_.broadcast(id, pkt, done);
+        });
+  }
+
+  medium_.set_observer(
+      [this](uint64_t cycle, FaultAction act, size_t from, size_t to) {
+        NetEventKind kind;
+        switch (act) {
+          case FaultAction::Drop: kind = NetEventKind::MediumDrop; break;
+          case FaultAction::Duplicate: kind = NetEventKind::MediumDup; break;
+          case FaultAction::Reorder: kind = NetEventKind::MediumReorder; break;
+          case FaultAction::Corrupt: kind = NetEventKind::MediumCorrupt; break;
+          case FaultAction::None: return;
+        }
+        record(cycle, kNodeMedium, kind, static_cast<uint32_t>(from),
+               static_cast<uint32_t>(to));
+      });
+
+  base_ = std::make_unique<Base>();
+  base_->acked.assign(cfg_.nodes + 1, false);
+
+  nodes_.reserve(cfg_.nodes);
+  for (size_t i = 0; i < cfg_.nodes; ++i) {
+    auto n = std::make_unique<Node>();
+    n->id = static_cast<uint16_t>(i + 1);
+    // Stagger the first Nack deadline per node id so simultaneous timeouts
+    // do not produce a synchronized Nack volley at the base.
+    n->next_nack_at = cfg_.proto.nack_timeout + n->id * 3 * kByte;
+    nodes_.push_back(std::move(n));
+  }
+}
+
+NetSim::~NetSim() = default;
+
+void NetSim::set_fault_policy(FaultPolicy p) {
+  medium_.set_fault_policy(std::move(p));
+}
+
+void NetSim::record(uint64_t cycle, uint8_t node, NetEventKind kind,
+                    uint32_t a, uint32_t b) {
+  trace_digest_ = fnv1a_step(trace_digest_, cycle);
+  trace_digest_ = fnv1a_step(trace_digest_, node);
+  trace_digest_ =
+      fnv1a_step(trace_digest_, static_cast<uint64_t>(kind));
+  trace_digest_ = fnv1a_step(trace_digest_, a);
+  trace_digest_ = fnv1a_step(trace_digest_, b);
+  ++trace_count_;
+  if (trace_.size() < cfg_.trace_capacity)
+    trace_.push_back({cycle, node, kind, a, b});
+}
+
+void NetSim::send_frame(size_t node_id, const Frame& f) {
+  auto& dev = machines_[node_id]->dev();
+  const std::vector<uint8_t> bytes = encode_frame(f);
+  for (uint8_t b : bytes) {
+    uint8_t v = b;
+    dev.io_access(emu::kRadioData, v, true);
+  }
+  uint8_t go = 1;
+  dev.io_access(emu::kRadioCtrl, go, true);
+  if (node_id == 0)
+    ++base_->stats.frames_tx;
+}
+
+void NetSim::drain_rx(size_t node_id, Deframer& d) {
+  auto& dev = machines_[node_id]->dev();
+  for (;;) {
+    uint8_t avail = 0;
+    dev.io_access(emu::kRadioRxAvail, avail, false);
+    if (avail == 0) break;
+    for (uint8_t i = 0; i < avail; ++i) {
+      uint8_t b = 0;
+      dev.io_access(emu::kRadioRxData, b, false);
+      d.push(b);
+    }
+  }
+}
+
+std::vector<uint8_t> NetSim::chunk_payload_of(uint16_t seq) const {
+  const size_t cp = cfg_.proto.chunk_payload;
+  const size_t begin = size_t(seq) * cp;
+  const size_t end = std::min(begin + cp, blob_.size());
+  return std::vector<uint8_t>(blob_.begin() + begin, blob_.begin() + end);
+}
+
+void NetSim::on_base_frame(const Frame& f, uint64_t now) {
+  if (f.version != cfg_.proto.version) return;
+  switch (f.type) {
+    case FrameType::Nack: {
+      const auto missing = parse_nack(f);
+      if (!missing || f.seq == 0 || f.seq > cfg_.nodes) return;
+      ++base_->stats.nacks_rx;
+      base_->probe_streak = 0;  // someone is alive and still needs data
+      if (missing->empty()) {
+        base_->summary_pending = true;
+      } else {
+        for (uint16_t seq : *missing)
+          if (seq < total_chunks_) base_->retransmit.insert(seq);
+      }
+      break;
+    }
+    case FrameType::Ack: {
+      if (f.seq == 0 || f.seq > cfg_.nodes) return;
+      ++base_->stats.acks_rx;
+      base_->probe_streak = 0;
+      if (!base_->acked[f.seq]) {
+        base_->acked[f.seq] = true;
+        ++base_->acked_count;
+      }
+      break;
+    }
+    default:
+      break;  // the base ignores Summary/Data echoes from other nodes
+  }
+  (void)now;
+}
+
+void NetSim::step_base(uint64_t now) {
+  drain_rx(0, base_->deframer);
+  while (auto f = base_->deframer.next()) on_base_frame(*f, now);
+  if (base_->acked_count == cfg_.nodes) return;
+
+  uint8_t busy = 0;
+  machines_[0]->dev().io_access(emu::kRadioStatus, busy, false);
+  if (busy & 1) return;  // one frame in the air at a time
+
+  if (base_->summary_pending) {
+    base_->summary_pending = false;
+    ++base_->stats.summaries_tx;
+    send_frame(0, make_summary(cfg_.proto.version,
+                               {total_chunks_,
+                                static_cast<uint32_t>(blob_.size()),
+                                blob_crc_, cfg_.proto.chunk_payload}));
+    return;
+  }
+  if (!base_->retransmit.empty()) {
+    const uint16_t seq = *base_->retransmit.begin();
+    base_->retransmit.erase(base_->retransmit.begin());
+    ++base_->stats.retransmissions;
+    record(now, 0, NetEventKind::BaseRetransmit, seq,
+           static_cast<uint32_t>(base_->retransmit.size()));
+    send_frame(0, Frame{FrameType::Data, cfg_.proto.version, seq,
+                        chunk_payload_of(seq)});
+    return;
+  }
+  if (base_->cursor < total_chunks_) {
+    const uint16_t seq = base_->cursor++;
+    ++base_->stats.data_tx;
+    send_frame(0, Frame{FrameType::Data, cfg_.proto.version, seq,
+                        chunk_payload_of(seq)});
+    return;
+  }
+  // Idle with unacked nodes: re-probe with a Summary, backing off
+  // exponentially until a Nack/Ack resets the streak.
+  if (now >= base_->next_probe_at) {
+    ++base_->stats.summaries_tx;
+    record(now, 0, NetEventKind::BaseProbe, base_->probe_streak, 0);
+    send_frame(0, make_summary(cfg_.proto.version,
+                               {total_chunks_,
+                                static_cast<uint32_t>(blob_.size()),
+                                blob_crc_, cfg_.proto.chunk_payload}));
+    const uint32_t exp =
+        std::min(base_->probe_streak, cfg_.proto.backoff_cap_exp);
+    base_->next_probe_at = now + (cfg_.proto.probe_interval << exp);
+    ++base_->probe_streak;
+  }
+}
+
+void NetSim::node_send_nack(Node& n, uint64_t now) {
+  std::vector<uint16_t> missing;
+  if (n.have_summary) {
+    for (uint16_t seq = 0; seq < total_chunks_ && missing.size() < kMaxNackList;
+         ++seq)
+      if (!n.have[seq]) missing.push_back(seq);
+  }
+  // No summary yet: an empty list asks the base to resend it.
+  send_frame(n.id, make_nack(cfg_.proto.version, n.id, missing));
+  ++n.stats.nacks_sent;
+  const uint32_t exp = std::min(n.nack_streak, cfg_.proto.backoff_cap_exp);
+  n.stats.backoff_max_exp = std::max(n.stats.backoff_max_exp, exp);
+  record(now, static_cast<uint8_t>(n.id), NetEventKind::NackTx,
+         static_cast<uint32_t>(missing.size()), exp);
+  n.next_nack_at = now + (cfg_.proto.nack_timeout << exp) + n.id * 3 * kByte;
+  ++n.nack_streak;
+}
+
+void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
+  ++n.stats.frames_rx;
+  if (f.version != cfg_.proto.version) return;
+
+  auto progress = [&] {
+    // Useful traffic: reset the Nack backoff so the next timeout is short.
+    n.nack_streak = 0;
+    n.next_nack_at = now + cfg_.proto.nack_timeout + n.id * 3 * kByte;
+  };
+
+  auto store_chunk = [&](uint16_t seq, std::span<const uint8_t> payload) {
+    const size_t cp = cfg_.proto.chunk_payload;
+    if (seq >= n.summary.total_chunks) return;
+    const size_t expect =
+        (seq + 1 == n.summary.total_chunks)
+            ? n.summary.image_bytes - size_t(seq) * cp
+            : cp;
+    if (payload.size() != expect) return;
+    if (n.have[seq]) {
+      ++n.stats.duplicate_chunks;
+      record(now, static_cast<uint8_t>(n.id), NetEventKind::DuplicateChunk,
+             seq, 0);
+      return;
+    }
+    std::copy(payload.begin(), payload.end(), n.image.begin() + seq * cp);
+    n.have[seq] = true;
+    ++n.chunks_have;
+    record(now, static_cast<uint8_t>(n.id), NetEventKind::ChunkStored, seq,
+           n.chunks_have);
+    progress();
+    if (n.chunks_have != n.summary.total_chunks) return;
+
+    // Whole image assembled: activate only on a verified checksum.
+    if (crc32(n.image) == n.summary.image_crc) {
+      n.complete = true;
+      n.stats.complete = true;
+      n.stats.completion_cycle = now;
+      record(now, static_cast<uint8_t>(n.id), NetEventKind::Complete, n.id,
+             n.summary.image_crc & 0xFFFF);
+      send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
+      ++n.stats.acks_sent;
+      n.last_ack_at = now;
+    } else {
+      // Frame CRCs all passed yet the image does not verify (16-bit CRC
+      // collision): discard everything and re-request; never activate.
+      ++n.stats.checksum_failures;
+      record(now, static_cast<uint8_t>(n.id), NetEventKind::ChecksumFail,
+             n.id, 0);
+      std::fill(n.have.begin(), n.have.end(), false);
+      n.chunks_have = 0;
+      n.nack_streak = 0;
+      n.next_nack_at = now + n.id * 3 * kByte;
+    }
+  };
+
+  switch (f.type) {
+    case FrameType::Summary: {
+      ++n.stats.summaries_rx;
+      const auto info = parse_summary(f);
+      if (!info) return;
+      if (n.complete) {
+        // Base is probing for a lost Ack — repeat it, rate-limited.
+        if (now - n.last_ack_at >= cfg_.proto.ack_repeat_min) {
+          send_frame(n.id,
+                     Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
+          ++n.stats.acks_sent;
+          n.last_ack_at = now;
+        }
+        return;
+      }
+      if (!n.have_summary) {
+        // Sanity-check the announced geometry before allocating.
+        const size_t cp = info->chunk_payload;
+        if (cp == 0 || cp > kMaxPayload || info->total_chunks == 0 ||
+            info->image_bytes == 0 || info->image_bytes > (32u << 20) ||
+            (info->image_bytes + cp - 1) / cp != info->total_chunks)
+          return;
+        n.summary = *info;
+        n.image.assign(info->image_bytes, 0);
+        n.have.assign(info->total_chunks, false);
+        n.chunks_have = 0;
+        record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryStored,
+               info->total_chunks, info->image_crc & 0xFFFF);
+        n.have_summary = true;
+        auto early = std::move(n.early);
+        n.early.clear();
+        for (auto& [seq, payload] : early) store_chunk(seq, payload);
+        if (!n.complete) progress();
+      } else {
+        // A probe while we are mid-transfer: answer promptly (staggered by
+        // node id) with what is still missing instead of waiting out the
+        // current backoff.
+        n.nack_streak = 0;
+        n.next_nack_at = std::min<uint64_t>(n.next_nack_at,
+                                            now + (2 + 4ull * n.id) * kByte);
+      }
+      break;
+    }
+    case FrameType::Data: {
+      ++n.stats.data_rx;
+      if (n.complete) return;
+      if (!n.have_summary) {
+        // Stash pre-Summary chunks so a lost Summary doesn't waste the
+        // whole first pass; integrated once the geometry is known.
+        if (f.payload.size() <= kMaxPayload && n.early.size() < kMaxEarlyChunks)
+          n.early.emplace(f.seq, f.payload);
+        progress();
+        return;
+      }
+      store_chunk(f.seq, f.payload);
+      break;
+    }
+    default:
+      break;  // receivers ignore overheard Nacks/Acks from peers
+  }
+}
+
+void NetSim::step_node(size_t idx, uint64_t now) {
+  Node& n = *nodes_[idx];
+  drain_rx(n.id, n.deframer);
+  while (auto f = n.deframer.next()) on_node_frame(n, *f, now);
+  if (n.complete) return;
+  if (now >= n.next_nack_at) node_send_nack(n, now);
+}
+
+DisseminationResult NetSim::disseminate() {
+  DisseminationResult res;
+  res.total_chunks = total_chunks_;
+  res.image_crc = blob_crc_;
+  res.image_bytes = static_cast<uint32_t>(blob_.size());
+  ran_ = true;
+
+  uint64_t t = 0;
+  while (base_->acked_count < cfg_.nodes) {
+    t += kByte;
+    if (t > cfg_.max_cycles) {
+      res.aborted = true;
+      size_t incomplete = 0;
+      for (const auto& n : nodes_) incomplete += !n->complete;
+      record(t, 0, NetEventKind::Abort,
+             static_cast<uint32_t>(incomplete), 0);
+      break;
+    }
+    // Deliver due packets first, then advance devices (completing
+    // transmissions hand packets to the medium with latency >= one byte
+    // time, so nothing broadcast in this quantum is consumable before the
+    // next — node stepping order cannot leak causality).
+    medium_.flush(t);
+    for (auto& m : machines_) m->dev().sync(t);
+    step_base(t);
+    for (size_t i = 0; i < nodes_.size(); ++i) step_node(i, t);
+  }
+
+  res.all_acked = base_->acked_count == cfg_.nodes;
+  res.cycles = t;
+  res.base = base_->stats;
+  res.medium = medium_.stats();
+  res.nodes.resize(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = *nodes_[i];
+    n.stats.crc_drops = n.deframer.crc_errors();
+    n.stats.bytes_rx = machines_[n.id]->dev().rx_delivered();
+    n.stats.rx_overruns = machines_[n.id]->dev().rx_overruns();
+    res.nodes[i] = n.stats;
+  }
+  res.trace_digest = trace_digest_;
+  res.trace_events = trace_count_;
+  return res;
+}
+
+const std::vector<uint8_t>& NetSim::node_blob(size_t node) const {
+  static const std::vector<uint8_t> kEmpty;
+  if (node == 0 || node > nodes_.size()) return kEmpty;
+  const Node& n = *nodes_[node - 1];
+  return n.complete ? n.image : kEmpty;
+}
+
+bool NetSim::node_complete(size_t node) const {
+  return node >= 1 && node <= nodes_.size() && nodes_[node - 1]->complete;
+}
+
+emu::Machine& NetSim::node_machine(size_t node) {
+  return *machines_.at(node);
+}
+
+}  // namespace sensmart::net

@@ -1,0 +1,196 @@
+// Deterministic multi-node network simulator + over-the-air dissemination
+// protocol (DESIGN.md §7).
+//
+// Topology: one base station (node 0) and N receiver nodes, each owning an
+// emulated mote (emu::Machine); their radio devices are connected through a
+// seeded lossy Medium. The base station holds a naturalized system image
+// (rw::LinkedSystem serialized by net::serialize_system), announces it with
+// a Summary frame, streams CRC-protected Data chunks, and answers receiver
+// Nacks with retransmissions; receivers reassemble, verify the whole-image
+// CRC-32 and Ack. A partially received or corrupted image is never handed
+// out for installation.
+//
+// Determinism contract: the simulation advances all nodes in lockstep
+// quanta of one on-air byte time, steps nodes in id order, and draws every
+// random decision from one seeded PRNG inside Medium — a run (including
+// its full event trace and digest) is a pure function of (image bytes,
+// NetConfig). Replays are byte-identical, serial or under a parallel
+// seed sweep (src/host/parallel), because one run never shares state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "emu/machine.hpp"
+#include "net/frame.hpp"
+#include "net/medium.hpp"
+
+namespace sensmart::net {
+
+struct ProtocolParams {
+  uint8_t version = 1;       // image version announced in every frame
+  uint8_t chunk_payload = 32;
+  // Receiver: cycles of silence before a Nack; doubles per consecutive
+  // Nack without progress, capped at timeout << backoff_cap_exp.
+  uint64_t nack_timeout = 8 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+  uint32_t backoff_cap_exp = 5;
+  // Receiver: minimum spacing between repeated Acks (base probe answers).
+  uint64_t ack_repeat_min = 4 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+  // Base: idle re-probe (Summary) interval; doubles per unanswered probe,
+  // same cap as the receiver backoff.
+  uint64_t probe_interval = 16 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+};
+
+struct NetConfig {
+  size_t nodes = 4;  // receivers; the base station is extra (node id 0)
+  LinkParams link;
+  ProtocolParams proto;
+  uint64_t chaos_seed = 1;
+  uint64_t max_cycles = 4'000'000'000ULL;
+  size_t trace_capacity = 1 << 16;  // stored events (digest covers all)
+};
+
+// Simulation event trace: node 0 is the base station, receiver i is node i
+// (1-based), kNodeMedium marks medium decisions.
+inline constexpr uint8_t kNodeMedium = 0xFF;
+enum class NetEventKind : uint8_t {
+  TxFrame = 1,     // a = first byte, b = packet length
+  RxFrame,         // a = frame type, b = seq
+  SummaryStored,   // a = total chunks, b = image CRC (low 16)
+  ChunkStored,     // a = seq, b = chunks held
+  DuplicateChunk,  // a = seq
+  NackTx,          // a = missing count, b = backoff exponent
+  AckTx,           // a = node id
+  Complete,        // a = node id, b = image CRC (low 16)
+  ChecksumFail,    // a = node id
+  MediumDrop,      // a = from, b = to
+  MediumDup,
+  MediumReorder,
+  MediumCorrupt,
+  BaseRetransmit,  // a = seq, b = outstanding retransmit count
+  BaseProbe,       // a = probe ordinal
+  Abort,           // a = incomplete node count
+};
+
+struct NetTraceEvent {
+  uint64_t cycle = 0;
+  uint8_t node = 0;
+  NetEventKind kind = NetEventKind::TxFrame;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+struct NodeDissemStats {
+  bool complete = false;
+  uint64_t completion_cycle = 0;
+  uint64_t frames_rx = 0;
+  uint64_t data_rx = 0;
+  uint64_t duplicate_chunks = 0;
+  uint64_t crc_drops = 0;      // deframer resyncs (corrupt frames)
+  uint64_t nacks_sent = 0;
+  uint64_t acks_sent = 0;
+  uint64_t summaries_rx = 0;
+  uint32_t checksum_failures = 0;  // whole-image CRC mismatches (reset+retry)
+  uint32_t backoff_max_exp = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t bytes_rx = 0;
+  uint64_t rx_overruns = 0;
+};
+
+struct BaseDissemStats {
+  uint64_t frames_tx = 0;
+  uint64_t data_tx = 0;          // initial-pass chunks
+  uint64_t retransmissions = 0;  // Nack-requested chunks
+  uint64_t summaries_tx = 0;
+  uint64_t nacks_rx = 0;
+  uint64_t acks_rx = 0;
+  uint64_t bytes_tx = 0;
+};
+
+struct DisseminationResult {
+  bool all_acked = false;   // base heard a verified-install Ack from all
+  bool aborted = false;     // cycle budget exhausted first
+  uint64_t cycles = 0;      // simulated time at termination
+  uint16_t total_chunks = 0;
+  uint32_t image_crc = 0;
+  uint32_t image_bytes = 0;
+  BaseDissemStats base;
+  std::vector<NodeDissemStats> nodes;  // index 0 = receiver node 1
+  MediumStats medium;
+  uint64_t trace_digest = 0;  // FNV-1a over every trace event
+  size_t trace_events = 0;
+
+  size_t complete_nodes() const {
+    size_t n = 0;
+    for (const auto& s : nodes) n += s.complete;
+    return n;
+  }
+};
+
+class NetSim {
+ public:
+  NetSim(NetConfig cfg, std::vector<uint8_t> image_blob);
+  ~NetSim();
+
+  // Scripted faults for conformance tests; forwarded to the medium.
+  void set_fault_policy(FaultPolicy p);
+
+  // Run the dissemination protocol to termination (all nodes verified and
+  // acknowledged, or the cycle budget exhausted).
+  DisseminationResult disseminate();
+
+  // --- Post-dissemination access ---------------------------------------------
+  // Receiver `node` is 1-based (matching trace ids). A node's verified
+  // image bytes; empty unless the node completed — a partial image is
+  // never observable here.
+  const std::vector<uint8_t>& node_blob(size_t node) const;
+  bool node_complete(size_t node) const;
+  // The node's emulated machine (for installation and execution).
+  emu::Machine& node_machine(size_t node);
+
+  const std::vector<NetTraceEvent>& trace() const { return trace_; }
+
+ private:
+  struct Node;
+  struct Base;
+
+  void record(uint64_t cycle, uint8_t node, NetEventKind kind, uint32_t a,
+              uint32_t b);
+  void send_frame(size_t node_id, const Frame& f);
+  void drain_rx(size_t node_id, Deframer& d);
+  void step_base(uint64_t now);
+  void step_node(size_t idx, uint64_t now);
+  void on_base_frame(const Frame& f, uint64_t now);
+  void on_node_frame(Node& n, const Frame& f, uint64_t now);
+  void node_send_nack(Node& n, uint64_t now);
+  std::vector<uint8_t> chunk_payload_of(uint16_t seq) const;
+
+  NetConfig cfg_;
+  std::vector<uint8_t> blob_;
+  uint16_t total_chunks_ = 0;
+  uint32_t blob_crc_ = 0;
+
+  Medium medium_;
+  std::vector<std::unique_ptr<emu::Machine>> machines_;  // [0] = base
+  std::unique_ptr<Base> base_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // receiver i -> id i+1
+
+  std::vector<NetTraceEvent> trace_;
+  uint64_t trace_digest_ = 0xcbf29ce484222325ULL;  // FNV-1a running state
+  size_t trace_count_ = 0;
+  bool ran_ = false;
+};
+
+// FNV-1a digest helper shared with tests.
+inline uint64_t fnv1a_step(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sensmart::net

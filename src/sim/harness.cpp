@@ -4,19 +4,20 @@
 #include <iomanip>
 #include <sstream>
 
+#include "net/image_codec.hpp"
 #include "rewriter/tkernel.hpp"
 
 namespace sensmart::sim {
 
-SystemRun run_system(const std::vector<assembler::Image>& images,
-                     const RunSpec& spec) {
-  rw::Linker linker(spec.rewrite, spec.merge_trampolines);
-  for (const auto& img : images) linker.add(img);
-  rw::LinkedSystem sys = linker.link();
+namespace {
 
-  emu::Machine m;
-  kern::Kernel k(m, sys, spec.kernel);
-  if (spec.trace != nullptr) k.set_trace(spec.trace);
+// Shared by run_system and the per-node phase of run_network: admit every
+// program, start, run to the budget, and collect the result.
+SystemRun run_kernel_to_completion(emu::Machine& m, kern::Kernel& k,
+                                   const rw::LinkedSystem& sys,
+                                   uint64_t max_cycles,
+                                   kern::KernelTrace* trace) {
+  if (trace != nullptr) k.set_trace(trace);
   SystemRun r;
   r.admitted = k.admit_all();
   r.programs = sys.programs;
@@ -25,7 +26,7 @@ SystemRun run_system(const std::vector<assembler::Image>& images,
     r.tasks = k.tasks();
     return r;
   }
-  r.stop = k.run(spec.max_cycles);
+  r.stop = k.run(max_cycles);
   r.cycles = m.cycles();
   r.instructions = m.stats().instructions;
   r.active_cycles = m.stats().active_cycles;
@@ -36,6 +37,76 @@ SystemRun run_system(const std::vector<assembler::Image>& images,
   r.audit_log = k.audit_log();
   r.invariant_error = k.check_invariants();
   return r;
+}
+
+}  // namespace
+
+SystemRun run_system(const std::vector<assembler::Image>& images,
+                     const RunSpec& spec) {
+  rw::Linker linker(spec.rewrite, spec.merge_trampolines);
+  for (const auto& img : images) linker.add(img);
+  rw::LinkedSystem sys = linker.link();
+
+  emu::Machine m;
+  kern::Kernel k(m, sys, spec.kernel);
+  return run_kernel_to_completion(m, k, sys, spec.max_cycles, spec.trace);
+}
+
+NetworkRun run_network(const std::vector<assembler::Image>& images,
+                       const NetworkRunSpec& spec) {
+  NetworkRun out;
+
+  // Base station: naturalize (rewrite+link) the applications and serialize
+  // the resulting system image for the air.
+  rw::Linker linker(spec.rewrite, spec.merge_trampolines);
+  for (const auto& img : images) linker.add(img);
+  rw::LinkedSystem sys = linker.link();
+  out.image_blob = net::serialize_system(sys);
+
+  net::NetSim net(spec.net, out.image_blob);
+  if (spec.fault_policy) net.set_fault_policy(spec.fault_policy);
+  out.dissemination = net.disseminate();
+
+  out.nodes.resize(spec.net.nodes);
+  for (size_t i = 0; i < spec.net.nodes; ++i) {
+    NodeRun& nr = out.nodes[i];
+    const size_t id = i + 1;
+    if (!net.node_complete(id)) continue;  // partial image: nothing to run
+
+    // Reconstruct the system from the node's verified bytes. The strict
+    // decoder re-checks structure; a blob that verified by CRC but does
+    // not parse is treated as not installed.
+    auto received = net::deserialize_system(net.node_blob(id));
+    if (!received) continue;
+
+    const net::NodeDissemStats& ds = out.dissemination.nodes[i];
+    kern::InstallInfo info;
+    info.over_the_air = true;
+    info.node_id = static_cast<uint16_t>(id);
+    info.image_version = spec.net.proto.version;
+    info.image_bytes = out.dissemination.image_bytes;
+    info.image_crc = out.dissemination.image_crc;
+    info.rx_cycles = ds.completion_cycle;
+    info.frames_rx = ds.frames_rx;
+    info.nacks_sent = ds.nacks_sent;
+    info.crc_rejects = ds.crc_drops;
+    info.bytes_rx = ds.bytes_rx;
+    info.bytes_tx = ds.bytes_tx;
+
+    // Reboot the node into the received image: align its CPU clock with
+    // the dissemination timeline, drop any half-received radio tail, and
+    // hand the image to the kernel.
+    emu::Machine& m = net.node_machine(id);
+    m.charge(out.dissemination.cycles);
+    m.dev().flush_rx();
+    kern::Kernel k(m, std::move(*received), spec.kernel, info);
+    nr.install = k.install_info();
+    nr.installed = true;
+    if (spec.run_kernels)
+      nr.run = run_kernel_to_completion(m, k, k.system(), spec.run_cycles,
+                                        nullptr);
+  }
+  return out;
 }
 
 SystemRun run_tkernel(const assembler::Image& image, uint64_t max_cycles) {

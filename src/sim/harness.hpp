@@ -10,6 +10,7 @@
 
 #include "assembler/assembler.hpp"
 #include "kernel/kernel.hpp"
+#include "net/netsim.hpp"
 #include "rewriter/linker.hpp"
 
 namespace sensmart::sim {
@@ -63,6 +64,47 @@ SystemRun run_system(const std::vector<assembler::Image>& images,
 // Convenience: the t-kernel configuration of the same harness.
 SystemRun run_tkernel(const assembler::Image& image,
                       uint64_t max_cycles = 4'000'000'000ULL);
+
+// ---------------------------------------------------------------------------
+// Multi-node scenario: over-the-air dissemination, then per-node execution.
+// ---------------------------------------------------------------------------
+
+struct NetworkRunSpec {
+  rw::RewriteOptions rewrite;
+  bool merge_trampolines = true;
+  kern::KernelConfig kernel;
+  net::NetConfig net;                       // nodes, link, protocol, seed
+  uint64_t run_cycles = 4'000'000'000ULL;   // per-node execution budget
+  bool run_kernels = true;                  // false: dissemination only
+  net::FaultPolicy fault_policy;            // scripted faults (tests)
+};
+
+struct NodeRun {
+  bool installed = false;    // verified image deserialized, kernel started
+  kern::InstallInfo install;
+  SystemRun run;             // valid when installed && run_kernels
+};
+
+struct NetworkRun {
+  std::vector<uint8_t> image_blob;  // base's serialized naturalized image
+  net::DisseminationResult dissemination;
+  std::vector<NodeRun> nodes;  // index i = network node i+1
+
+  bool all_installed() const {
+    for (const auto& n : nodes)
+      if (!n.installed) return false;
+    return !nodes.empty();
+  }
+};
+
+// The full over-the-air pipeline: rewrite+link `images` at the base
+// station, serialize the naturalized system, disseminate it over the lossy
+// medium to every node, and — on each node whose received image verified —
+// install it into a kernel and run all tasks to completion. A node that
+// never completed dissemination (or whose blob fails strict
+// deserialization) is left without a kernel: partial images never run.
+NetworkRun run_network(const std::vector<assembler::Image>& images,
+                       const NetworkRunSpec& spec);
 
 // ---------------------------------------------------------------------------
 // Fixed-width table printer for the bench binaries.

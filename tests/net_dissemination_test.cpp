@@ -1,0 +1,365 @@
+// Conformance suite for the multi-node radio network and the over-the-air
+// dissemination protocol (DESIGN.md §7): frame/image codec round-trips, the
+// 4-node lossy-dissemination acceptance scenario (byte-identical installs),
+// golden trace digests, serial-vs-parallel replay equality, a 32-seed
+// randomized-program property test, and adversarial schedules that must end
+// in a verified install or a clean abort — never a partial activation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/treesearch.hpp"
+#include "host/parallel.hpp"
+#include "net/frame.hpp"
+#include "net/image_codec.hpp"
+#include "net/netsim.hpp"
+#include "sim/harness.hpp"
+#include "testlib/random_program.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Image;
+
+std::vector<Image> fig7_workload(uint16_t tree_nodes, int n_search) {
+  std::vector<Image> images;
+  images.push_back(apps::data_feed_program(6, 64));
+  for (int i = 0; i < n_search; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = tree_nodes;
+    p.trees = 1;
+    p.searches = 32;
+    p.seed = static_cast<uint16_t>(0x3131 + 0x1D0B * i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  return images;
+}
+
+std::vector<uint8_t> linked_blob(const std::vector<Image>& images) {
+  rw::Linker linker(rw::RewriteOptions{}, true);
+  for (const auto& img : images) linker.add(img);
+  return net::serialize_system(linker.link());
+}
+
+// --- Frame codec ------------------------------------------------------------
+
+TEST(NetFrame, EncodeDecodeRoundTrip) {
+  net::Frame f;
+  f.type = net::FrameType::Data;
+  f.version = 7;
+  f.seq = 0xBEEF;
+  for (int i = 0; i < 33; ++i) f.payload.push_back(uint8_t(i * 3));
+
+  net::Deframer d;
+  for (uint8_t b : net::encode_frame(f)) d.push(b);
+  const auto got = d.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, f.type);
+  EXPECT_EQ(got->version, f.version);
+  EXPECT_EQ(got->seq, f.seq);
+  EXPECT_EQ(got->payload, f.payload);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_EQ(d.crc_errors(), 0u);
+}
+
+TEST(NetFrame, BackToBackFramesAndGarbagePrefix) {
+  net::Deframer d;
+  // Leading garbage, then three frames in a row.
+  for (uint8_t b : {0x00, 0x13, 0xFF}) d.push(b);
+  for (uint16_t seq = 0; seq < 3; ++seq) {
+    net::Frame f{net::FrameType::Data, 1, seq, {uint8_t(seq), 0xAA}};
+    for (uint8_t b : net::encode_frame(f)) d.push(b);
+  }
+  for (uint16_t seq = 0; seq < 3; ++seq) {
+    const auto got = d.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->seq, seq);
+  }
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_GE(d.skipped_bytes(), 3u);
+}
+
+TEST(NetFrame, CorruptionDetectedAndResynced) {
+  net::Frame a{net::FrameType::Data, 1, 10, {1, 2, 3, 4}};
+  net::Frame b{net::FrameType::Data, 1, 11, {5, 6, 7, 8}};
+  auto wa = net::encode_frame(a);
+  wa[7] ^= 0x40;  // flip a payload bit: CRC must catch it
+
+  net::Deframer d;
+  for (uint8_t byte : wa) d.push(byte);
+  for (uint8_t byte : net::encode_frame(b)) d.push(byte);
+  const auto got = d.next();
+  ASSERT_TRUE(got.has_value());  // resynced onto the second frame
+  EXPECT_EQ(got->seq, 11);
+  EXPECT_GE(d.crc_errors(), 1u);
+}
+
+TEST(NetFrame, SummaryAndNackPayloads) {
+  net::SummaryInfo info{1234, 56789u, 0xDEADBEEFu, 32};
+  const auto sf = net::make_summary(3, info);
+  const auto back = net::parse_summary(sf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->total_chunks, info.total_chunks);
+  EXPECT_EQ(back->image_bytes, info.image_bytes);
+  EXPECT_EQ(back->image_crc, info.image_crc);
+  EXPECT_EQ(back->chunk_payload, info.chunk_payload);
+
+  const std::vector<uint16_t> missing{3, 5, 900, 4093};
+  const auto nf = net::make_nack(3, 2, missing);
+  EXPECT_EQ(nf.seq, 2);  // node id rides in the seq field
+  const auto miss = net::parse_nack(nf);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(*miss, missing);
+
+  const auto empty = net::parse_nack(net::make_nack(3, 1, {}));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+// --- Image codec ------------------------------------------------------------
+
+TEST(NetImageCodec, RoundTripIsByteIdentical) {
+  const auto blob = linked_blob(fig7_workload(8, 2));
+  const auto sys = net::deserialize_system(blob);
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_EQ(net::serialize_system(*sys), blob);
+  EXPECT_FALSE(sys->programs.empty());
+  EXPECT_FALSE(sys->services.empty());
+}
+
+TEST(NetImageCodec, TruncationNeverParses) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  for (size_t len = 0; len < blob.size(); len += 97) {
+    std::vector<uint8_t> cut(blob.begin(), blob.begin() + len);
+    EXPECT_FALSE(net::deserialize_system(cut).has_value()) << "len=" << len;
+  }
+  // Trailing garbage is rejected too.
+  auto extended = blob;
+  extended.push_back(0);
+  EXPECT_FALSE(net::deserialize_system(extended).has_value());
+}
+
+// --- Acceptance: 4-node dissemination at 10% loss ---------------------------
+
+TEST(NetDissemination, FourNodesAtTenPercentLossInstallByteIdentical) {
+  const auto blob = linked_blob(fig7_workload(8, 2));
+
+  net::NetConfig cfg;
+  cfg.nodes = 4;
+  cfg.link.drop_pct = 10;
+  cfg.chaos_seed = 0x5EED;
+  cfg.max_cycles = 1'000'000'000ULL;
+  net::NetSim sim(cfg, blob);
+  const auto res = sim.disseminate();
+
+  EXPECT_TRUE(res.all_acked);
+  EXPECT_FALSE(res.aborted);
+  EXPECT_EQ(res.complete_nodes(), 4u);
+  EXPECT_GT(res.medium.dropped, 0u);  // the loss actually happened
+  for (size_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(sim.node_complete(id)) << "node " << id;
+    EXPECT_EQ(sim.node_blob(id), blob) << "node " << id;
+  }
+  // Loss forces repair traffic.
+  uint64_t nacks = 0;
+  for (const auto& n : res.nodes) nacks += n.nacks_sent;
+  EXPECT_GT(nacks, 0u);
+  EXPECT_GT(res.base.retransmissions, 0u);
+}
+
+TEST(NetDissemination, EndToEndNodesRunInstalledImageIdentically) {
+  sim::NetworkRunSpec spec;
+  spec.kernel.initial_stack = 96;
+  spec.net.nodes = 4;
+  spec.net.link.drop_pct = 10;
+  spec.net.chaos_seed = 0x5EED;
+  spec.net.max_cycles = 1'000'000'000ULL;
+  spec.run_cycles = 2'000'000'000ULL;
+
+  const auto nr = sim::run_network(fig7_workload(8, 2), spec);
+  ASSERT_TRUE(nr.dissemination.all_acked);
+  ASSERT_TRUE(nr.all_installed());
+  ASSERT_EQ(nr.nodes.size(), 4u);
+
+  for (size_t i = 0; i < nr.nodes.size(); ++i) {
+    const auto& node = nr.nodes[i];
+    // Install provenance propagated into the kernel.
+    EXPECT_TRUE(node.install.over_the_air);
+    EXPECT_EQ(node.install.node_id, i + 1);
+    EXPECT_EQ(node.install.image_crc, nr.dissemination.image_crc);
+    EXPECT_EQ(node.install.image_bytes, nr.image_blob.size());
+    EXPECT_GT(node.install.frames_rx, 0u);
+    // Every task of the installed image ran to completion.
+    EXPECT_EQ(node.run.stop, emu::StopReason::Halted) << "node " << i + 1;
+    EXPECT_EQ(node.run.completed(), node.run.tasks.size());
+    EXPECT_TRUE(node.run.invariant_error.empty());
+  }
+  // All nodes executed the same image from the same clock: their task
+  // outputs must be identical.
+  for (size_t i = 1; i < nr.nodes.size(); ++i) {
+    ASSERT_EQ(nr.nodes[i].run.tasks.size(), nr.nodes[0].run.tasks.size());
+    for (size_t t = 0; t < nr.nodes[0].run.tasks.size(); ++t)
+      EXPECT_EQ(nr.nodes[i].run.tasks[t].host_out,
+                nr.nodes[0].run.tasks[t].host_out)
+          << "node " << i + 1 << " task " << t;
+  }
+}
+
+// --- Determinism: replay, golden digests, serial vs parallel ----------------
+
+net::DisseminationResult disseminate_seed(const std::vector<uint8_t>& blob,
+                                          uint64_t seed) {
+  net::NetConfig cfg;
+  cfg.nodes = 3;
+  cfg.link.drop_pct = 12;
+  cfg.link.dup_pct = 4;
+  cfg.link.reorder_pct = 4;
+  cfg.link.corrupt_pct = 4;
+  cfg.chaos_seed = seed;
+  cfg.max_cycles = 2'000'000'000ULL;
+  net::NetSim sim(cfg, blob);
+  return sim.disseminate();
+}
+
+TEST(NetDeterminism, SameSeedReplaysByteIdentically) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  const auto a = disseminate_seed(blob, 42);
+  const auto b = disseminate_seed(blob, 42);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.base.frames_tx, b.base.frames_tx);
+  EXPECT_EQ(a.medium.dropped, b.medium.dropped);
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].frames_rx, b.nodes[i].frames_rx);
+    EXPECT_EQ(a.nodes[i].completion_cycle, b.nodes[i].completion_cycle);
+  }
+
+  const auto c = disseminate_seed(blob, 43);
+  EXPECT_NE(a.trace_digest, c.trace_digest);
+}
+
+TEST(NetDeterminism, SerialAndParallelSweepsAgree) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  constexpr size_t kSeeds = 8;
+  auto digests = [&](unsigned jobs) {
+    return host::sweep_collect<uint64_t>(
+        kSeeds, host::effective_jobs(jobs, kSeeds), [&](std::size_t i) {
+          const auto r = disseminate_seed(blob, 100 + i);
+          EXPECT_TRUE(r.all_acked) << "seed " << 100 + i;
+          return r.trace_digest;
+        });
+  };
+  const auto serial = digests(1);
+  const auto parallel = digests(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// Golden digests: pinned observed values. A change here means the
+// dissemination schedule changed — intentional protocol changes must update
+// these constants (and the committed EXPERIMENTS.md baseline) explicitly.
+TEST(NetDeterminism, GoldenTraceDigests) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  const uint64_t expected[3] = {
+      0x7697f85e0c51bdedULL,  // seed 1
+      0x763c4fa6f5fb1d97ULL,  // seed 2
+      0xdfee889478227a01ULL,  // seed 3
+  };
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto r = disseminate_seed(blob, seed);
+    ASSERT_TRUE(r.all_acked) << "seed " << seed;
+    EXPECT_EQ(r.trace_digest, expected[seed - 1])
+        << "seed " << seed << " digest 0x" << std::hex << r.trace_digest;
+  }
+}
+
+// --- Property: randomized programs survive a lossy link ---------------------
+
+TEST(NetProperty, RandomProgramsDisseminateByteIdenticalOver32Seeds) {
+  constexpr size_t kSeeds = 32;
+  const auto ok = host::sweep_collect<bool>(
+      kSeeds, host::effective_jobs(4, kSeeds), [&](std::size_t i) {
+        const auto blob =
+            linked_blob({testlib::random_program(uint32_t(i) + 1)});
+        net::NetConfig cfg;
+        cfg.nodes = 2;
+        cfg.link.drop_pct = 15;
+        cfg.link.dup_pct = 5;
+        cfg.link.reorder_pct = 5;
+        cfg.link.corrupt_pct = 5;
+        cfg.chaos_seed = 0xABCD + i;
+        cfg.max_cycles = 2'000'000'000ULL;
+        net::NetSim sim(cfg, blob);
+        const auto r = sim.disseminate();
+        if (!r.all_acked) return false;
+        for (size_t id = 1; id <= cfg.nodes; ++id) {
+          if (sim.node_blob(id) != blob) return false;
+          if (!net::deserialize_system(sim.node_blob(id)).has_value())
+            return false;
+        }
+        return true;
+      });
+  for (size_t i = 0; i < kSeeds; ++i)
+    EXPECT_TRUE(ok[i]) << "seed " << i + 1;
+}
+
+// --- Adversarial: verified install or clean abort, nothing in between ------
+
+TEST(NetAdversarial, TotalLossAbortsCleanlyWithoutInstall) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  net::NetConfig cfg;
+  cfg.nodes = 2;
+  cfg.max_cycles = 40'000'000ULL;  // bounded: this cannot converge
+  net::NetSim sim(cfg, blob);
+  sim.set_fault_policy([](size_t, size_t, uint64_t, std::span<const uint8_t>) {
+    return net::FaultAction::Drop;
+  });
+  const auto r = sim.disseminate();
+  EXPECT_FALSE(r.all_acked);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.complete_nodes(), 0u);
+  for (size_t id = 1; id <= cfg.nodes; ++id) {
+    EXPECT_FALSE(sim.node_complete(id));
+    EXPECT_TRUE(sim.node_blob(id).empty());  // partials are unobservable
+  }
+}
+
+TEST(NetAdversarial, TotalCorruptionAbortsCleanlyWithoutInstall) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  net::NetConfig cfg;
+  cfg.nodes = 2;
+  cfg.max_cycles = 40'000'000ULL;
+  net::NetSim sim(cfg, blob);
+  sim.set_fault_policy([](size_t, size_t, uint64_t, std::span<const uint8_t>) {
+    return net::FaultAction::Corrupt;
+  });
+  const auto r = sim.disseminate();
+  EXPECT_FALSE(r.all_acked);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.complete_nodes(), 0u);
+  uint64_t crc_drops = 0;
+  for (const auto& n : r.nodes) crc_drops += n.crc_drops;
+  EXPECT_GT(crc_drops, 0u);  // every corruption was detected, none delivered
+  for (size_t id = 1; id <= cfg.nodes; ++id)
+    EXPECT_TRUE(sim.node_blob(id).empty());
+}
+
+TEST(NetAdversarial, AbortedNodeNeverRunsAKernel) {
+  sim::NetworkRunSpec spec;
+  spec.net.nodes = 2;
+  spec.net.max_cycles = 40'000'000ULL;
+  spec.fault_policy = [](size_t, size_t, uint64_t,
+                         std::span<const uint8_t>) {
+    return net::FaultAction::Drop;
+  };
+  const auto nr = sim::run_network(fig7_workload(8, 1), spec);
+  EXPECT_TRUE(nr.dissemination.aborted);
+  EXPECT_FALSE(nr.all_installed());
+  for (const auto& node : nr.nodes) {
+    EXPECT_FALSE(node.installed);
+    EXPECT_EQ(node.run.tasks.size(), 0u);  // no kernel was ever constructed
+  }
+}
+
+}  // namespace
+}  // namespace sensmart

@@ -132,5 +132,151 @@ TEST(RadioRx, LoopbackRoundtrip) {
   EXPECT_EQ(m.dev().host_out(), (std::vector<uint8_t>{0, 7, 11, 13}));
 }
 
+// --- Transmit-side coverage -------------------------------------------------
+
+TEST(RadioTx, SentPacketFramingAndTiming) {
+  // Bytes staged at kRadioData become one packet on the ctrl strobe; the
+  // packet completes after exactly size * kCyclesPerRadioByte cycles.
+  Assembler a("tx");
+  a.var("pad", 2);
+  for (uint8_t b : {0xA5, 0x02, 0x01, 0x7F}) {
+    a.ldi(16, b);
+    a.sts(kRadioData, 16);
+  }
+  a.ldi(16, 1);
+  a.sts(kRadioCtrl, 16);
+  a.lds(17, kRadioStatus);  // immediately after the strobe: busy
+  a.sts(kHostOut, 17);
+  a.label("txwait");
+  a.lds(16, kRadioStatus);
+  a.andi(16, 1);
+  a.brne("txwait");
+  a.halt(0);
+  const auto img = a.finish();
+
+  Machine m;
+  m.load_flash(img.code);
+  m.reset(0);
+  uint64_t done_cycle = 0;
+  std::vector<uint8_t> sunk;
+  m.dev().set_tx_sink([&](std::span<const uint8_t> pkt, uint64_t done) {
+    sunk.assign(pkt.begin(), pkt.end());
+    done_cycle = done;
+  });
+  ASSERT_EQ(m.run(1'000'000), StopReason::Halted);
+  ASSERT_EQ(m.dev().radio_packets().size(), 1u);
+  EXPECT_EQ(m.dev().radio_packets()[0],
+            (std::vector<uint8_t>{0xA5, 0x02, 0x01, 0x7F}));
+  EXPECT_EQ(sunk, m.dev().radio_packets()[0]);
+  EXPECT_EQ(m.dev().host_out(), (std::vector<uint8_t>{1}));  // busy flag
+  // The packet was in the air for exactly 4 byte times.
+  EXPECT_GE(done_cycle, 4u * DeviceHub::kCyclesPerRadioByte);
+  EXPECT_GE(m.cycles(), done_cycle);
+}
+
+TEST(RadioTx, BackToBackSendsQueueAtByteSpacing) {
+  // A ctrl strobe while a transmission is in flight queues the staged
+  // packet instead of dropping it; the queued packet starts back-to-back,
+  // so the two completions are exactly size2 byte-times apart.
+  Assembler a("tx2");
+  a.var("pad", 2);
+  for (uint8_t b : {1, 2, 3}) {
+    a.ldi(16, b);
+    a.sts(kRadioData, 16);
+  }
+  a.ldi(16, 1);
+  a.sts(kRadioCtrl, 16);
+  // Immediately stage and strobe a second packet while busy.
+  for (uint8_t b : {9, 8}) {
+    a.ldi(16, b);
+    a.sts(kRadioData, 16);
+  }
+  a.ldi(16, 1);
+  a.sts(kRadioCtrl, 16);
+  a.label("txwait");
+  a.lds(16, kRadioStatus);
+  a.andi(16, 1);
+  a.brne("txwait");
+  a.halt(0);
+  const auto img = a.finish();
+
+  Machine m;
+  m.load_flash(img.code);
+  m.reset(0);
+  std::vector<uint64_t> done_cycles;
+  m.dev().set_tx_sink([&](std::span<const uint8_t>, uint64_t done) {
+    done_cycles.push_back(done);
+  });
+  ASSERT_EQ(m.run(1'000'000), StopReason::Halted);
+  ASSERT_EQ(m.dev().radio_packets().size(), 2u);
+  EXPECT_EQ(m.dev().radio_packets()[0], (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(m.dev().radio_packets()[1], (std::vector<uint8_t>{9, 8}));
+  ASSERT_EQ(done_cycles.size(), 2u);
+  EXPECT_EQ(done_cycles[1] - done_cycles[0],
+            2u * DeviceHub::kCyclesPerRadioByte);
+}
+
+TEST(RadioRx, OverrunWhenTaskPollsTooSlowly) {
+  // A program that never drains the RX buffer: bytes beyond the buffer
+  // capacity are lost and counted, earlier bytes survive.
+  Assembler a("slow");
+  a.var("pad", 2);
+  // Burn ~1M cycles (5*256*256 dec/brne iterations) without touching the
+  // RX ports — long enough for all 74 on-air byte times to elapse.
+  a.ldi(20, 5);
+  a.label("d0");
+  a.ldi(21, 0);
+  a.label("d1");
+  a.ldi(22, 0);
+  a.label("d2");
+  a.dec(22);
+  a.brne("d2");
+  a.dec(21);
+  a.brne("d1");
+  a.dec(20);
+  a.brne("d0");
+  a.lds(16, kRadioRxAvail);  // buffer filled to capacity, no further
+  a.sts(kHostOut, 16);
+  a.lds(17, kRadioRxData);  // oldest byte survived, overrun lost the tail
+  a.sts(kHostOut, 17);
+  a.halt(0);
+  const auto img = a.finish();
+
+  Machine m;
+  m.load_flash(img.code);
+  m.reset(0);
+  std::vector<uint8_t> big(DeviceHub::kRxBufferCap + 10);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = uint8_t(i + 1);
+  m.dev().inject_rx(big, 0);
+  ASSERT_EQ(m.run(big.size() * DeviceHub::kCyclesPerRadioByte + 4'000'000),
+            StopReason::Halted);
+  EXPECT_EQ(m.dev().host_out(),
+            (std::vector<uint8_t>{uint8_t(DeviceHub::kRxBufferCap), 1}));
+  EXPECT_EQ(m.dev().rx_overruns(), 10u);
+  EXPECT_EQ(m.dev().rx_delivered(), uint64_t(DeviceHub::kRxBufferCap));
+}
+
+TEST(RadioRx, SecondScheduleRxQueuesBehindPendingDelivery) {
+  // Regression: scheduling a second delivery while the first is still on
+  // the air must queue it after the busy window, not silently drop it (or
+  // interleave with the in-flight bytes).
+  const auto img = rx_reader(4);
+  Machine m;
+  m.load_flash(img.code);
+  m.reset(0);
+  const std::vector<uint8_t> first = {0x01, 0x02};
+  const std::vector<uint8_t> second = {0x03, 0x04};
+  const uint64_t start1 = m.dev().schedule_rx(first, 0);
+  // Overlapping request: wants to start mid-way through the first.
+  const uint64_t start2 =
+      m.dev().schedule_rx(second, DeviceHub::kCyclesPerRadioByte / 2);
+  EXPECT_EQ(start1, 0u);
+  EXPECT_EQ(start2, 2u * DeviceHub::kCyclesPerRadioByte);  // pushed back
+  ASSERT_EQ(m.run(2'000'000), StopReason::Halted);
+  // All four bytes arrive, in order, none lost: 1,2,3,4 then checksum 10.
+  EXPECT_EQ(m.dev().host_out(),
+            (std::vector<uint8_t>{0x01, 0x02, 0x03, 0x04, 0x0A}));
+}
+
 }  // namespace
 }  // namespace sensmart::emu

@@ -1,0 +1,139 @@
+#include "testlib/random_program.hpp"
+
+#include <random>
+#include <string>
+
+#include "emu/io_map.hpp"
+
+namespace sensmart::testlib {
+
+using assembler::Assembler;
+using assembler::Image;
+
+Image random_program(uint32_t seed) {
+  constexpr uint16_t kArrBytes = kRandomProgramArrBytes;
+  std::mt19937 rng(seed);
+  auto u = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  Assembler a("rand" + std::to_string(seed));
+  const uint16_t arr = a.var("arr", kArrBytes);
+  int label_id = 0;
+  auto fresh = [&label_id] { return "L" + std::to_string(label_id++); };
+
+  a.rjmp("main");
+
+  // Two subroutines with a little work each.
+  for (int s = 0; s < 2; ++s) {
+    a.label("sub" + std::to_string(s));
+    a.push(18);
+    for (int i = 0; i < u(2, 6); ++i) {
+      const uint8_t rd = uint8_t(u(16, 21));
+      switch (u(0, 3)) {
+        case 0: a.subi(rd, uint8_t(u(0, 255))); break;
+        case 1: a.eor(rd, uint8_t(u(16, 21))); break;
+        case 2: a.swap(rd); break;
+        default: a.inc(rd); break;
+      }
+    }
+    a.pop(18);
+    a.ret();
+  }
+
+  const uint16_t table[4] = {uint16_t(rng()), uint16_t(rng()),
+                             uint16_t(rng()), uint16_t(rng())};
+  a.dw("table", table);
+
+  a.label("main");
+  for (uint8_t r = 16; r <= 25; ++r) a.ldi(r, uint8_t(u(0, 255)));
+
+  const int blocks = u(8, 24);
+  for (int b = 0; b < blocks; ++b) {
+    switch (u(0, 6)) {
+      case 0: {  // ALU burst
+        for (int i = 0; i < u(1, 5); ++i) {
+          const uint8_t rd = uint8_t(u(16, 25));
+          const uint8_t rr = uint8_t(u(16, 25));
+          switch (u(0, 5)) {
+            case 0: a.add(rd, rr); break;
+            case 1: a.sub(rd, rr); break;
+            case 2: a.and_(rd, rr); break;
+            case 3: a.or_(rd, rr); break;
+            case 4: a.eor(rd, rr); break;
+            default: a.mov(rd, rr); break;
+          }
+        }
+        break;
+      }
+      case 1: {  // X-pointer heap traffic (bounded)
+        a.ldi16(26, uint16_t(arr + u(0, kArrBytes - 4)));
+        a.st_x_inc(uint8_t(u(16, 25)));
+        a.st_x(uint8_t(u(16, 25)));
+        a.ld_x_inc(uint8_t(u(16, 20)));
+        break;
+      }
+      case 2: {  // Y displacement traffic (grouping candidates)
+        a.ldi16(28, uint16_t(arr + u(0, kArrBytes - 8)));
+        a.std_y(uint8_t(u(0, 3)), uint8_t(u(16, 25)));
+        a.std_y(uint8_t(u(4, 7)), uint8_t(u(16, 25)));
+        a.ldd_y(uint8_t(u(16, 20)), uint8_t(u(0, 7)));
+        break;
+      }
+      case 3: {  // short counted loop
+        const std::string top = fresh();
+        a.ldi(19, uint8_t(u(2, 6)));
+        a.label(top);
+        a.add(20, 21);
+        a.eor(22, 20);
+        a.dec(19);
+        a.brne(top);
+        break;
+      }
+      case 4: {  // balanced stack traffic
+        const uint8_t r1 = uint8_t(u(16, 25)), r2 = uint8_t(u(16, 25));
+        a.push(r1);
+        a.push(r2);
+        a.pop(r2);
+        a.pop(r1);
+        break;
+      }
+      case 5: {  // call a subroutine
+        a.rcall("sub" + std::to_string(u(0, 1)));
+        break;
+      }
+      default: {  // LPM from the table
+        a.ldi_label(30, "table");
+        a.add(30, 30);
+        a.adc(31, 31);
+        const int off = u(0, 7);
+        if (off) {
+          a.ldi(18, uint8_t(off));
+          a.add(30, 18);
+          a.ldi(18, 0);
+          a.adc(31, 18);
+        }
+        a.lpm_inc(uint8_t(u(16, 22)));
+        a.lpm(uint8_t(u(23, 25)));
+        break;
+      }
+    }
+  }
+
+  // Dump registers r16..r25.
+  for (uint8_t r = 16; r <= 25; ++r) a.sts(emu::kHostOut, r);
+  // Heap checksum.
+  a.ldi16(26, arr);
+  a.ldi(17, kArrBytes);
+  a.ldi(16, 0);
+  a.label("ck");
+  a.ld_x_inc(18);
+  a.add(16, 18);
+  a.dec(17);
+  a.brne("ck");
+  a.sts(emu::kHostOut, 16);
+  a.halt(0);
+  return a.finish();
+}
+
+}  // namespace sensmart::testlib

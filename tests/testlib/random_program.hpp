@@ -1,0 +1,21 @@
+// Shared test-program generator: a random but well-behaved (memory-safe,
+// terminating) application with ALU traffic, bounded heap accesses through
+// X/Y/Z, balanced pushes, short loops, calls into generated subroutines and
+// LPM from a constant table. Used by the equivalence property suite and by
+// the network dissemination property suite (which disseminates the
+// naturalized form of these programs over a lossy medium).
+#pragma once
+
+#include <cstdint>
+
+#include "assembler/assembler.hpp"
+
+namespace sensmart::testlib {
+
+// Bytes of heap the generated program touches (checksummed at exit).
+inline constexpr uint16_t kRandomProgramArrBytes = 64;
+
+// Deterministic in `seed`: the same seed always yields the same image.
+assembler::Image random_program(uint32_t seed);
+
+}  // namespace sensmart::testlib
