@@ -103,4 +103,14 @@ Image pattern_verifier_program(uint16_t heap_bytes, uint16_t sleep_ticks,
   return a.finish();
 }
 
+Image runaway_program(uint16_t name_tag) {
+  Assembler a("runaway" + std::to_string(name_tag));
+  a.ldi(16, 0);
+  a.label("spin");
+  a.inc(16);
+  a.dec(17);
+  a.rjmp("spin");
+  return a.finish();
+}
+
 }  // namespace sensmart::chaos

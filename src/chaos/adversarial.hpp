@@ -35,4 +35,10 @@ assembler::Image pattern_verifier_program(uint16_t heap_bytes,
                                           uint16_t sleep_ticks,
                                           uint8_t rounds, uint16_t seed);
 
+// A runaway task: an infinite register-only spin loop. Its backward branch
+// still relays through the kernel (so preemption works and neighbours keep
+// running), but it never makes a non-branch service call — the exact shape
+// the watchdog exists to contain. Without a watchdog it never exits.
+assembler::Image runaway_program(uint16_t name_tag);
+
 }  // namespace sensmart::chaos

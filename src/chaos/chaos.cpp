@@ -10,6 +10,7 @@
 #include "chaos/adversarial.hpp"
 #include "chaos/prng.hpp"
 #include "host/parallel.hpp"
+#include "net/netsim.hpp"
 
 namespace sensmart::chaos {
 
@@ -83,8 +84,6 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
         break;
     }
   }
-  res.tasks_planned = images.size();
-
   // --- Plan the kernel perturbation ------------------------------------------
   sim::RunSpec spec;
   spec.rewrite = opts.rewrite;
@@ -98,12 +97,37 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
   spec.kernel.slice_cycles = 2000 + r.below(8000);
   spec.max_cycles = opts.max_cycles;
 
+  // Supervision dimension (planned before kills so injected kills can
+  // target the runaway too). A runaway is planted only under an armed
+  // watchdog: nothing else ever terminates it.
+  if (opts.recovery) {
+    kern::SupervisorConfig& sup = spec.kernel.supervise;
+    sup.enabled = r.below(100) < 60;
+    sup.max_restarts = static_cast<uint16_t>(1 + r.below(3));
+    sup.backoff_cycles = 4'000 + r.below(30'000);
+    sup.backoff_cap_exp = 3 + r.below(4);
+    sup.healthy_services = 64 + r.below(512);
+    // The minimum watchdog budget must exceed any legitimate task's
+    // longest service-free stretch; chaos tasks touch memory (a service)
+    // every few instructions, so 40k cycles is orders of magnitude clear.
+    if (r.below(100) < 50) sup.watchdog_cycles = 40'000 + r.below(120'000);
+    res.supervision_planned = sup.enabled;
+    res.watchdog_planned = sup.watchdog_cycles > 0;
+    if (res.watchdog_planned && r.below(100) < 60) {
+      images.push_back(
+          runaway_program(static_cast<uint16_t>(opts.seed & 0x7FFF)));
+      res.runaway_planned = true;
+    }
+  }
+  res.tasks_planned = images.size();
+
   if (opts.inject_kills) {
     const size_t nkills = r.below(4);  // 0..3
     std::vector<kern::InjectedKill> kills;
     for (size_t i = 0; i < nkills; ++i)
-      kills.push_back({100 + r.below(6'000),
-                       static_cast<uint8_t>(r.below(uint32_t(ntasks)))});
+      kills.push_back(
+          {100 + r.below(6'000),
+           static_cast<uint8_t>(r.below(uint32_t(images.size())))});
     std::sort(kills.begin(), kills.end(),
               [](const kern::InjectedKill& a, const kern::InjectedKill& b) {
                 return a.at_service_call < b.at_service_call;
@@ -126,14 +150,38 @@ ChaosResult run_chaos(const ChaosOptions& opts) {
     res.violations.push_back("final invariants: " + res.run.invariant_error);
   if (res.run.stop != emu::StopReason::Halted)
     res.violations.push_back("run did not halt within the cycle budget");
+  const uint8_t runaway_id =
+      static_cast<uint8_t>(res.tasks_planned ? res.tasks_planned - 1 : 0);
   for (const kern::Task& t : res.run.tasks) {
+    const bool is_runaway = res.runaway_planned && t.id == runaway_id;
     if (t.state == kern::TaskState::Killed &&
         t.kill_reason != kern::KillReason::Injected &&
-        t.kill_reason != kern::KillReason::OutOfStackMemory) {
+        t.kill_reason != kern::KillReason::OutOfStackMemory &&
+        !(is_runaway && t.kill_reason == kern::KillReason::Watchdog)) {
       std::ostringstream e;
       e << "task " << int(t.id) << " killed for " << to_string(t.kill_reason)
         << " (chaos tasks are well-formed; this indicates a kernel bug)";
       res.violations.push_back(e.str());
+    }
+    // Under supervision a kill is terminal only through quarantine: a task
+    // left Killed without the quarantine mark means the supervisor lost it.
+    if (res.supervision_planned && t.state == kern::TaskState::Killed &&
+        !t.quarantined) {
+      std::ostringstream e;
+      e << "task " << int(t.id)
+        << " terminally killed but never quarantined under supervision";
+      res.violations.push_back(e.str());
+    }
+    if (is_runaway) {
+      // The watchdog must contain the runaway: fired at least once, and the
+      // task must be dead by the end (quarantined when supervised).
+      if (t.watchdog_fires == 0 && t.state != kern::TaskState::Killed)
+        res.violations.push_back(
+            "runaway task survived with no watchdog fire");
+      if (t.state != kern::TaskState::Killed)
+        res.violations.push_back("runaway task not terminated");
+      else if (res.supervision_planned && !t.quarantined)
+        res.violations.push_back("runaway task killed but not quarantined");
     }
   }
   if (!res.run.tasks.empty() &&
@@ -155,16 +203,112 @@ std::string ChaosResult::summary() const {
   os << "seed " << seed << ": " << tasks_planned << " tasks, "
      << run.kernel_stats.relocations << " relocs, "
      << run.kernel_stats.kills << " kills (" << run.kernel_stats.injected_kills
-     << " injected), " << run.kernel_stats.audit_checks << " audits, "
+     << " injected), " << run.kernel_stats.restarts << " restarts, "
+     << run.kernel_stats.quarantines << " quarantines, "
+     << run.kernel_stats.watchdog_fires << " wd, "
+     << run.kernel_stats.audit_checks << " audits, "
      << run.cycles << " cy, trace " << std::hex << trace_hash << std::dec
+     << (ok() ? " [ok]" : " [VIOLATION]");
+  return os.str();
+}
+
+NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
+  NetChaosResult res;
+  res.seed = opts.seed;
+
+  // --- Plan the scenario ------------------------------------------------------
+  // A distinct stream from the kernel-chaos planner so the two sweeps
+  // never alias.
+  Prng r(opts.seed ^ 0x4E45544348414FULL);  // "NETCHAO"
+  net::NetConfig cfg;
+  cfg.nodes = 2 + r.below(4);  // 2..5 receivers
+  cfg.chaos_seed = opts.seed;
+  cfg.max_cycles = opts.max_cycles;
+  cfg.link.drop_pct = r.below(21);
+  cfg.link.dup_pct = r.below(6);
+  cfg.link.reorder_pct = r.below(6);
+  cfg.link.corrupt_pct = r.below(6);
+  cfg.node_faults.crash_pct = 30 + r.below(71);  // 30..100
+  cfg.node_faults.max_crashes_per_node = 1 + r.below(2);
+  cfg.node_faults.down_min_bytes = 64 + r.below(128);
+  cfg.node_faults.down_max_bytes =
+      cfg.node_faults.down_min_bytes + 256 + r.below(768);
+  cfg.node_faults.wipe_pct = r.below(51);
+
+  // The payload is an arbitrary seeded blob: dissemination is
+  // content-agnostic, and the byte-equality oracle needs nothing more.
+  std::vector<uint8_t> blob(300 + r.below(1200));
+  for (auto& b : blob) b = static_cast<uint8_t>(r.next() & 0xFF);
+  res.nodes = cfg.nodes;
+  res.blob_bytes = static_cast<uint32_t>(blob.size());
+
+  // --- Execute twice: the second run is the replay oracle ---------------------
+  auto one_run = [&] {
+    net::NetSim sim(cfg, blob);
+    net::DisseminationResult d = sim.disseminate();
+    // Blob equality is checked inside the closure (NetSim owns the
+    // per-node stores), violations recorded on the shared result.
+    for (size_t id = 1; id <= cfg.nodes; ++id) {
+      if (!sim.node_complete(id)) continue;
+      if (sim.node_blob(id) != blob) {
+        std::ostringstream e;
+        e << "node " << id << " verified an image that differs from the "
+          << "base blob (CRC passed on corrupt bytes?)";
+        res.violations.push_back(e.str());
+      }
+    }
+    return d;
+  };
+  const net::DisseminationResult a = one_run();
+  const net::DisseminationResult b = one_run();
+
+  res.cycles = a.cycles;
+  res.trace_digest = a.trace_digest;
+  res.trace_events = a.trace_events;
+  for (const auto& n : a.nodes) {
+    res.crashes += n.crashes;
+    res.reboots += n.reboots;
+    res.resumed_chunks += n.resumed_chunks;
+    res.store_writes += n.store_writes;
+  }
+
+  // --- Oracles ----------------------------------------------------------------
+  if (!a.all_acked) {
+    std::ostringstream e;
+    e << "dissemination did not converge ("
+      << (a.budget_exhausted ? "budget exhausted" : "nodes abandoned") << ", "
+      << a.complete_nodes() << "/" << cfg.nodes << " complete";
+    for (const auto& n : a.nodes)
+      if (n.abort_reason != net::NodeAbortReason::None)
+        e << ", " << to_string(n.abort_reason);
+    e << ")";
+    res.violations.push_back(e.str());
+  }
+  if (a.trace_digest != b.trace_digest || a.cycles != b.cycles ||
+      a.trace_events != b.trace_events) {
+    std::ostringstream e;
+    e << "REPLAY MISMATCH: " << std::hex << a.trace_digest << " vs "
+      << b.trace_digest << std::dec;
+    res.violations.push_back(e.str());
+  }
+  return res;
+}
+
+std::string NetChaosResult::summary() const {
+  std::ostringstream os;
+  os << "net seed " << seed << ": " << nodes << " nodes, " << blob_bytes
+     << " B, " << crashes << " crashes, " << reboots << " reboots, "
+     << resumed_chunks << " resumed, " << store_writes << " writes, "
+     << cycles << " cy, trace " << std::hex << trace_digest << std::dec
      << (ok() ? " [ok]" : " [VIOLATION]");
   return os.str();
 }
 
 int soak_main(int argc, char** argv) {
   uint64_t seeds = 200, start = 1, max_cycles = 300'000'000ULL;
-  bool single = false, verbose = false;
-  uint64_t single_seed = 0;
+  uint64_t net_seeds = 0;
+  bool single = false, net_single = false, verbose = false;
+  uint64_t single_seed = 0, net_single_seed = 0;
   unsigned jobs_req = 1;
   for (int i = 1; i < argc; ++i) {
     auto next_val = [&](const char* flag) -> uint64_t {
@@ -181,6 +325,11 @@ int soak_main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
       single = true;
       single_seed = next_val("--chaos-seed");
+    } else if (std::strcmp(argv[i], "--net-seeds") == 0) {
+      net_seeds = next_val("--net-seeds");
+    } else if (std::strcmp(argv[i], "--net-seed") == 0) {
+      net_single = true;
+      net_single_seed = next_val("--net-seed");
     } else if (std::strcmp(argv[i], "--max-cycles") == 0) {
       max_cycles = next_val("--max-cycles");
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -189,13 +338,34 @@ int soak_main(int argc, char** argv) {
       verbose = true;
     } else {
       std::cerr << "usage: chaos_soak [--seeds N] [--start S] "
-                   "[--chaos-seed K] [--max-cycles C] [--jobs N] [-v]\n";
+                   "[--chaos-seed K] [--net-seeds N] [--net-seed K] "
+                   "[--max-cycles C] [--jobs N] [-v]\n";
       return 2;
     }
   }
 
   ChaosOptions opts;
   opts.max_cycles = max_cycles;
+
+  if (net_single) {
+    // Network replay mode: run_net_chaos already replays internally; run
+    // the whole planner twice on top for an end-to-end identity check.
+    NetChaosOptions no;
+    no.seed = net_single_seed;
+    const NetChaosResult a = run_net_chaos(no);
+    const NetChaosResult b = run_net_chaos(no);
+    std::cout << a.summary() << "\n";
+    for (const std::string& v : a.violations) std::cout << "  " << v << "\n";
+    if (a.trace_digest != b.trace_digest || a.cycles != b.cycles) {
+      std::cout << "REPLAY MISMATCH: second run traced " << std::hex
+                << b.trace_digest << std::dec << " over " << b.cycles
+                << " cy\n";
+      return 1;
+    }
+    std::cout << "replay: identical trace over " << a.trace_events
+              << " events\n";
+    return a.ok() ? 0 : 1;
+  }
 
   if (single) {
     // Replay mode: run the seed twice and require an identical trace.
@@ -266,12 +436,63 @@ int soak_main(int argc, char** argv) {
     total_injected += out.injected;
     total_audits += out.audits;
   }
-  std::cout << "chaos_soak: " << seeds << " seeds (" << jobs << " job"
-            << (jobs == 1 ? "" : "s") << "), " << failures << " violating, "
-            << replay_mismatches << " replay mismatches, " << total_relocs
-            << " relocations, " << total_injected << " injected kills, "
-            << total_audits << " audit checks\n";
-  return (failures == 0 && replay_mismatches == 0) ? 0 : 1;
+  if (seeds > 0)
+    std::cout << "chaos_soak: " << seeds << " seeds (" << jobs << " job"
+              << (jobs == 1 ? "" : "s") << "), " << failures << " violating, "
+              << replay_mismatches << " replay mismatches, " << total_relocs
+              << " relocations, " << total_injected << " injected kills, "
+              << total_audits << " audit checks\n";
+
+  // Network-chaos sweep: same deterministic parallel-map shape, so output
+  // is byte-identical for any --jobs value.
+  uint64_t net_failures = 0;
+  if (net_seeds > 0) {
+    struct NetOutcome {
+      uint64_t crashes = 0, reboots = 0, resumed = 0;
+      bool violated = false;
+      std::string lines;
+    };
+    const unsigned net_jobs =
+        host::effective_jobs(jobs_req, static_cast<std::size_t>(net_seeds));
+    const std::vector<NetOutcome> net_outcomes =
+        host::sweep_collect<NetOutcome>(
+            static_cast<std::size_t>(net_seeds), net_jobs,
+            [&](std::size_t i) {
+              NetChaosOptions o;
+              o.seed = start + i;
+              const NetChaosResult res = run_net_chaos(o);
+              NetOutcome out;
+              out.crashes = res.crashes;
+              out.reboots = res.reboots;
+              out.resumed = res.resumed_chunks;
+              std::ostringstream os;
+              if (!res.ok()) {
+                out.violated = true;
+                os << res.summary() << "\n";
+                for (const std::string& v : res.violations)
+                  os << "  " << v << "\n";
+              } else if (verbose) {
+                os << res.summary() << "\n";
+              }
+              out.lines = os.str();
+              return out;
+            });
+    uint64_t total_crashes = 0, total_reboots = 0, total_resumed = 0;
+    for (const NetOutcome& out : net_outcomes) {
+      std::cout << out.lines;
+      if (out.violated) ++net_failures;
+      total_crashes += out.crashes;
+      total_reboots += out.reboots;
+      total_resumed += out.resumed;
+    }
+    std::cout << "net_soak: " << net_seeds << " seeds (" << net_jobs
+              << " job" << (net_jobs == 1 ? "" : "s") << "), " << net_failures
+              << " violating, " << total_crashes << " crashes, "
+              << total_reboots << " reboots, " << total_resumed
+              << " chunks resumed\n";
+  }
+  return (failures == 0 && replay_mismatches == 0 && net_failures == 0) ? 0
+                                                                        : 1;
 }
 
 }  // namespace sensmart::chaos

@@ -23,6 +23,9 @@ struct ChaosOptions {
   uint64_t max_cycles = 300'000'000ULL;  // every chaos task is finite
   bool audit = true;                     // kernel auditor on
   bool inject_kills = true;              // scheduled kills at service boundaries
+  bool recovery = true;    // supervision/watchdog dimension (DESIGN.md §8):
+                           // seeds may enable the task supervisor, arm the
+                           // watchdog, and plant a runaway task for it
   rw::RewriteOptions rewrite{};          // rewriter config for the planned mix
 };
 
@@ -31,6 +34,9 @@ struct ChaosResult {
   sim::SystemRun run;
   size_t tasks_planned = 0;
   size_t kills_planned = 0;
+  bool supervision_planned = false;  // this seed enabled the supervisor
+  bool watchdog_planned = false;     // this seed armed the watchdog
+  bool runaway_planned = false;      // last task is the runaway spin loop
   uint64_t trace_hash = 0;   // FNV-1a over the full kernel event trace
   size_t trace_events = 0;
 
@@ -45,8 +51,41 @@ struct ChaosResult {
 // Plan and execute the run for `opts.seed`.
 ChaosResult run_chaos(const ChaosOptions& opts);
 
+// --- Network chaos ----------------------------------------------------------
+// One seed plans a whole dissemination under fire: a random receiver count,
+// seeded link-fault rates, and a seeded node crash/reboot schedule
+// (NodeFaultPolicy), then requires convergence — every node's installed
+// blob byte-identical to the base's — and a byte-identical replay.
+
+struct NetChaosOptions {
+  uint64_t seed = 1;
+  uint64_t max_cycles = 6'000'000'000ULL;
+};
+
+struct NetChaosResult {
+  uint64_t seed = 0;
+  size_t nodes = 0;
+  uint32_t blob_bytes = 0;
+  uint64_t cycles = 0;
+  uint64_t trace_digest = 0;
+  size_t trace_events = 0;
+  uint32_t crashes = 0;       // node crashes that fired
+  uint32_t reboots = 0;
+  uint64_t resumed_chunks = 0;  // chunks restored from persistent stores
+  uint64_t store_writes = 0;
+
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+// Plan and execute the network run for `opts.seed` (runs it twice: the
+// second run checks deterministic replay of the full event trace).
+NetChaosResult run_net_chaos(const NetChaosOptions& opts);
+
 // CLI driver shared by bench/chaos_soak: sweeps seeds or replays one.
-//   chaos_soak [--seeds N] [--start S] [--chaos-seed K] [--max-cycles C] [-v]
+//   chaos_soak [--seeds N] [--start S] [--chaos-seed K] [--max-cycles C]
+//              [--net-seeds N] [--net-seed K] [--jobs N] [-v]
 // Returns a process exit code (0 = all seeds clean).
 int soak_main(int argc, char** argv);
 

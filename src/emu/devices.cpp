@@ -206,6 +206,31 @@ void DeviceHub::io_access(uint16_t addr, uint8_t& value, bool write) {
   }
 }
 
+void DeviceHub::reboot() {
+  // Volatile transmit state: staged bytes, the packet on the air, and the
+  // back-to-back queue all die with the power rail.
+  radio_buf_.clear();
+  tx_inflight_.clear();
+  tx_queue_.clear();
+  radio_done_at_.reset();
+  radio_irq_flag_ = false;
+  mem_.set_raw(kRadioStatus, 0);
+  // Volatile receive state (the radio is off until power-up).
+  flush_rx();
+  // Conversion, sleep, and timer latches.
+  adc_done_at_.reset();
+  sleep_armed_ = false;
+  sleep_wake_cycle_ = 0;
+  sleep_target_l_ = 0;
+  tcnt3_latched_h_ = 0;
+  t0_epoch_ = now_;
+  t0_start_ = 0;
+  halted_ = false;
+  halt_code_ = 0;
+  // image_store_, host_out_, radio_sent_, and the counters survive: the
+  // store is non-volatile, the rest are observer-side logs.
+}
+
 uint64_t DeviceHub::schedule_rx(std::span<const uint8_t> bytes,
                                 uint64_t at_cycle) {
   // Serial medium: a delivery that overlaps the in-flight one queues

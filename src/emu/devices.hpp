@@ -22,6 +22,27 @@
 
 namespace sensmart::emu {
 
+// Modeled non-volatile external flash holding over-the-air dissemination
+// progress: the announced image geometry, the chunk bitmap, the partially
+// reassembled image, and whether the whole-image CRC has verified. It
+// survives DeviceHub::reboot(), so a crashed node resumes its transfer
+// from this record instead of re-requesting every chunk (DESIGN.md §8).
+struct ImageStore {
+  bool has_summary = false;   // geometry fields below are valid
+  uint8_t image_version = 0;
+  uint16_t total_chunks = 0;
+  uint8_t chunk_payload = 0;  // bytes per full chunk
+  uint32_t image_bytes = 0;
+  uint32_t image_crc = 0;     // announced whole-image CRC-32
+  bool verified = false;      // image[] complete and CRC-checked
+  uint16_t chunks_have = 0;
+  std::vector<uint8_t> have;  // per-chunk received flag (bitmap)
+  std::vector<uint8_t> image;
+  uint64_t writes = 0;        // committed chunk writes (flash-wear proxy)
+
+  void erase() { *this = ImageStore{}; }
+};
+
 class DeviceHub {
  public:
   // Radio timing: ~3072 cycles per byte on air (19.2 kbit/s at 7.37 MHz).
@@ -110,6 +131,19 @@ class DeviceHub {
 
   void set_adc_seed(uint16_t seed) { lfsr_ = seed ? seed : 0xACE1; }
 
+  // Persistent (reboot-surviving) dissemination store.
+  ImageStore& image_store() { return image_store_; }
+  const ImageStore& image_store() const { return image_store_; }
+
+  // Node power-cycle: clear every volatile device state — staged/in-flight
+  // TX, RX buffers and in-flight deliveries, timers, ADC conversion, sleep
+  // latches — while preserving image_store() and the observer-side logs
+  // (host_out(), radio_packets()). The cycle clock is global simulation
+  // time and is NOT reset: a reboot costs time, not history. Deliveries
+  // that land during the outage must be flushed again at power-up
+  // (flush_rx()) — the radio was off.
+  void reboot();
+
  private:
   uint16_t lfsr_next();
   uint32_t timer0_prescale() const;
@@ -155,6 +189,9 @@ class DeviceHub {
 
   // Timer3 latch for the 16-bit read protocol (read L latches H).
   uint8_t tcnt3_latched_h_ = 0;
+
+  // Non-volatile image store (survives reboot()).
+  ImageStore image_store_;
 };
 
 }  // namespace sensmart::emu

@@ -64,6 +64,7 @@ const char* to_string(KillReason r) {
     case KillReason::OutOfStackMemory: return "out-of-stack-memory";
     case KillReason::BadJump: return "bad-jump";
     case KillReason::Injected: return "injected";
+    case KillReason::Watchdog: return "watchdog";
   }
   return "?";
 }
@@ -91,6 +92,8 @@ void Kernel::init() {
   cfg_.stack_margin = std::max<uint16_t>(cfg_.stack_margin, 4);
   if (!cfg_.injected_kills.empty())
     next_kill_at_ = cfg_.injected_kills.front().at_service_call;
+  recovery_on_ =
+      cfg_.supervise.enabled || cfg_.supervise.watchdog_cycles > 0;
   svc_table_ = sys.services.data();
   n_services_ = static_cast<uint32_t>(sys.services.size());
   csvc_.resize(sys.services.size());
@@ -219,6 +222,15 @@ bool Kernel::on_service(emu::Machine& m, uint32_t idx) {
   // pending service must not execute. One compare in the common case.
   if (stats_.service_calls >= next_kill_at_ && injected_kill_due(ret))
     return true;
+
+  // Recovery bookkeeping: any service other than a branch relay counts as
+  // evidence of useful progress — it refreshes the watchdog mark and
+  // credits the healthy streak that clears a supervised failure run.
+  // Branch relays are excluded on purpose: a runaway register-only loop
+  // traps through them constantly and must not look healthy.
+  if (recovery_on_ && cs.kind != rw::ServiceKind::BackwardBranch &&
+      cs.kind != rw::ServiceKind::ForwardBranch)
+    note_healthy_service();
 
   switch (cs.kind) {
     case rw::ServiceKind::MemIndirect:

@@ -55,6 +55,8 @@ struct CostModel {
   uint32_t reserved_io = 40;     // kernel-virtualized port access
   uint32_t fwd_branch = 6;       // relayed forward branch
   uint32_t sleep_svc = 120;      // blocking sleep service
+  uint32_t task_restart = 1840;  // supervisor restart: region re-init,
+                                 // entry-context staging, run-queue insert
 };
 
 // A deterministic fault injection: when the kernel's cumulative service-call
@@ -64,6 +66,29 @@ struct CostModel {
 struct InjectedKill {
   uint64_t at_service_call = 0;
   uint8_t task = 0;
+};
+
+// Task supervision (DESIGN.md §8). When enabled, a kill is no longer
+// terminal: the supervisor re-initializes the task's logical regions in
+// place (heap and stack bytes zeroed, region boundaries untouched) and
+// restarts it from its entry point after a capped exponential backoff.
+// A task that fails `max_restarts` consecutive times — without executing
+// `healthy_services` non-branch kernel services in between — is
+// quarantined: terminally killed and its region reclaimed for relocation.
+//
+// The watchdog is independent of restart policy: a task that accumulates
+// `watchdog_cycles` of CPU time without making a single non-branch kernel
+// service is presumed stuck in a register-only loop and is killed with
+// KillReason::Watchdog (then restarted, if supervision is enabled). It is
+// checked at slice-check granularity (1/trap_interval backward branches),
+// so containment lags the budget by up to one check interval.
+struct SupervisorConfig {
+  bool enabled = false;
+  uint16_t max_restarts = 3;         // consecutive failures before quarantine
+  uint64_t backoff_cycles = 16'384;  // first restart delay; doubles per failure
+  uint32_t backoff_cap_exp = 6;      // delay capped at backoff_cycles << this
+  uint64_t healthy_services = 256;   // non-branch services that clear a streak
+  uint64_t watchdog_cycles = 0;      // 0 = watchdog off (CPU cycles per task)
 };
 
 struct KernelConfig {
@@ -84,6 +109,8 @@ struct KernelConfig {
   bool audit = false;
   // Deterministic fault-injection schedule (chaos testing); sorted.
   std::vector<InjectedKill> injected_kills;
+  // Crash recovery: task restart/quarantine policy and runaway watchdog.
+  SupervisorConfig supervise;
   CostModel costs;
 };
 
@@ -112,6 +139,7 @@ enum class KillReason : uint8_t {
   OutOfStackMemory,  // no donor could provide stack space
   BadJump,           // indirect jump outside the program
   Injected,          // deterministic fault injection (chaos testing)
+  Watchdog,          // no kernel service within the watchdog budget
 };
 
 const char* to_string(TaskState s);
@@ -142,6 +170,14 @@ struct Task {
   uint64_t sleep_wake_cycle = 0;
   uint8_t tcnt3_latch = 0;
   std::vector<uint8_t> host_out;
+
+  // Recovery state (KernelConfig::supervise).
+  uint32_t restarts = 0;        // supervisor restarts consumed so far
+  uint16_t restart_streak = 0;  // consecutive failures since last healthy run
+  uint32_t watchdog_fires = 0;  // runaway containments for this task
+  bool quarantined = false;     // terminally killed by the supervisor
+  uint64_t wd_cpu_mark = 0;     // task CPU time at last non-branch service
+  uint64_t healthy_streak = 0;  // non-branch services since last restart
 
   // Statistics.
   uint64_t cpu_cycles = 0;
@@ -176,6 +212,11 @@ struct KernelStats {
   uint64_t reloc_cycles = 0;
   uint32_t kills = 0;
   uint32_t injected_kills = 0;  // of which: deterministic fault injections
+  // Recovery counters (only move when KernelConfig::supervise is enabled,
+  // except watchdog_fires, which the standalone watchdog also drives).
+  uint32_t restarts = 0;
+  uint32_t quarantines = 0;
+  uint32_t watchdog_fires = 0;
   uint64_t idle_cycles = 0;
   // Auditor counters (only move when KernelConfig::audit is set).
   uint64_t audit_checks = 0;
@@ -345,6 +386,22 @@ class Kernel {
   }
 
   void kill_task(Task& t, KillReason why);
+
+  // --- Supervision (supervisor.cpp) ------------------------------------------
+  // Restart `t` in place: re-initialize its logical regions, stage a fresh
+  // entry context, and block it for the capped-exponential backoff delay.
+  void restart_task(Task& t, KillReason why);
+  // Terminal half of a supervised kill: mark the task quarantined (the
+  // caller has already made the kill terminal and reclaims the region).
+  void quarantine_task(Task& t);
+  // Supervision bookkeeping on a non-branch service: refresh the watchdog
+  // mark and credit the healthy streak. Called from on_service only when
+  // supervision or the watchdog is active.
+  void note_healthy_service();
+  // Slice-check-granularity watchdog test; kills (and restarts) the current
+  // task if it exceeded the budget. Returns true if it fired (the caller
+  // must not keep treating the task as Running).
+  bool watchdog_check(uint32_t resume_pc);
   // Fire a due injected kill (if any) at a service boundary. Returns true
   // if the *current* task was killed (the pending service must be skipped).
   // The slow path maintains next_kill_at_ so the per-trap test in
@@ -424,6 +481,9 @@ class Kernel {
   // Service-call count at which the next injected kill fires (UINT64_MAX
   // when the schedule is exhausted or empty).
   uint64_t next_kill_at_ = UINT64_MAX;
+  // Supervision or watchdog active: gates the per-service recovery
+  // bookkeeping to one boolean test on unsupervised kernels.
+  bool recovery_on_ = false;
   std::vector<std::string> audit_log_;
   KernelTrace* trace_ = nullptr;
   KernelStats stats_;

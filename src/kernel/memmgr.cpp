@@ -317,14 +317,21 @@ void snapshot_exit_stats(Task& t, uint16_t sp_now) {
 
 void Kernel::kill_task(Task& t, KillReason why) {
   account_current();
+  const uint16_t sp_now = sp_of(t);  // read while the task still runs
+  ++stats_.kills;
+  emit(EventKind::TaskKilled, t.id, uint16_t(why));
+  // Supervised kernels give a failing task `max_restarts` fresh starts
+  // before the kill becomes terminal (quarantine).
+  if (cfg_.supervise.enabled && t.restart_streak < cfg_.supervise.max_restarts) {
+    restart_task(t, why);
+    return;
+  }
   sample_alloc();
   alloc_frozen_ = true;
-  const uint16_t sp_now = sp_of(t);  // read while the task still runs
   t.state = TaskState::Killed;
   t.kill_reason = why;
   snapshot_exit_stats(t, sp_now);
-  ++stats_.kills;
-  emit(EventKind::TaskKilled, t.id, uint16_t(why));
+  if (cfg_.supervise.enabled) quarantine_task(t);
   release_region(t);
 }
 

@@ -22,6 +22,7 @@ void Kernel::trap_tick(uint32_t resume_pc) {
   ++stats_.trap_checks;
   m_.charge(cfg_.costs.trap_check);
   wake_due_tasks();
+  if (recovery_on_ && watchdog_check(resume_pc)) return;
   const uint64_t elapsed = m_.cycles() - slice_start_;
   if (elapsed >= cfg_.slice_cycles) {
     const uint64_t delay = elapsed - cfg_.slice_cycles;
@@ -93,13 +94,17 @@ void Kernel::context_switch(uint32_t resume_pc, bool block_current) {
   std::optional<size_t> next = pick_next(current_);
 
   // Slice expired but nobody else is runnable: keep running, restart slice.
-  if (!next && cur.live() && !block_current) {
+  // The conditions test Running, not live(): a task the supervisor just
+  // restarted is live but Blocked with a freshly staged entry context, and
+  // saving the machine's stale registers over that snapshot would resume it
+  // inside its crashed incarnation.
+  if (!next && cur.state == TaskState::Running && !block_current) {
     slice_start_ = m_.cycles();
     account_mark_ = m_.cycles();
     return;
   }
 
-  if (cur.live()) {
+  if (cur.state == TaskState::Running) {
     save_context(cur, resume_pc);
     cur.state = block_current ? TaskState::Blocked : TaskState::Ready;
   }

@@ -1,0 +1,93 @@
+// Task supervision and runaway containment (DESIGN.md §8): restart a
+// killed task from its entry point under capped exponential backoff,
+// quarantine it after too many consecutive failures, and kill tasks that
+// stop making kernel services within the watchdog budget.
+#include <algorithm>
+
+#include "kernel/kernel.hpp"
+
+namespace sensmart::kern {
+
+using emu::kSramBase;
+
+void Kernel::restart_task(Task& t, KillReason why) {
+  const uint16_t sp_now = sp_of(t);  // before the state change, while the
+                                     // machine SP may still be authoritative
+  if (sp_now < t.p_u)
+    t.peak_stack_used = std::max(
+        t.peak_stack_used, static_cast<uint16_t>(t.p_u - 1 - sp_now));
+  t.kill_reason = why;  // last failure cause, for recovery stats
+  ++t.restarts;
+  ++t.restart_streak;
+  t.healthy_streak = 0;
+  ++stats_.restarts;
+
+  // Re-initialize the logical regions in place: heap and stack bytes are
+  // zeroed exactly as layout_regions left them at first start. The region
+  // boundaries are deliberately untouched — space the task donated to (or
+  // borrowed from) neighbours through earlier relocations stays where it
+  // is and is renegotiated on demand once the task runs again.
+  for (uint32_t a = t.p_l; a < t.p_u; ++a)
+    m_.mem().set_raw(static_cast<uint16_t>(a), 0);
+
+  // Stage a fresh entry context. State leaves Running first so the staged
+  // snapshot is authoritative: context_switch must not save the crashed
+  // incarnation's machine registers over it, and sp_of/set_sp_of must read
+  // the snapshot rather than the live SP.
+  t.state = TaskState::Blocked;
+  t.regs.fill(0);
+  t.sreg = 0;
+  t.sp = static_cast<uint16_t>(t.p_u - 1);
+  t.pc = prog_of(t).entry_nat;
+  t.sleep_armed = false;
+  t.sleep_wake_cycle = 0;
+  t.sleep_target_l = 0;
+  t.tcnt3_latch = 0;
+  t.wd_cpu_mark = t.cpu_cycles;  // fresh watchdog budget after restart
+
+  // Capped exponential backoff: 1x, 2x, 4x, ... the base delay, capped at
+  // backoff_cycles << backoff_cap_exp. The scheduler's idle fast-forward
+  // gives the delay its semantics when nothing else is runnable.
+  const uint32_t exp = std::min<uint32_t>(
+      static_cast<uint32_t>(t.restart_streak - 1), cfg_.supervise.backoff_cap_exp);
+  t.wake_cycle = m_.cycles() + (cfg_.supervise.backoff_cycles << exp);
+
+  m_.charge(cfg_.costs.task_restart);
+  emit(EventKind::TaskRestarted, t.id, t.restart_streak);
+}
+
+void Kernel::quarantine_task(Task& t) {
+  t.quarantined = true;
+  ++stats_.quarantines;
+  emit(EventKind::TaskQuarantined, t.id,
+       uint16_t(std::min<uint32_t>(t.restarts, 0xFFFF)));
+}
+
+void Kernel::note_healthy_service() {
+  Task& t = current();
+  t.wd_cpu_mark = t.cpu_cycles + (m_.cycles() - account_mark_);
+  if (t.restart_streak != 0 &&
+      ++t.healthy_streak >= cfg_.supervise.healthy_services) {
+    // The restarted incarnation made sustained progress: forgive the
+    // failure streak so the next fault starts a new restart budget.
+    t.restart_streak = 0;
+    t.healthy_streak = 0;
+  }
+}
+
+bool Kernel::watchdog_check(uint32_t resume_pc) {
+  if (cfg_.supervise.watchdog_cycles == 0) return false;
+  Task& t = current();
+  if (t.state != TaskState::Running) return false;
+  const uint64_t cpu_now = t.cpu_cycles + (m_.cycles() - account_mark_);
+  if (cpu_now - t.wd_cpu_mark < cfg_.supervise.watchdog_cycles) return false;
+  ++t.watchdog_fires;
+  ++stats_.watchdog_fires;
+  emit(EventKind::WatchdogFired, t.id,
+       uint16_t(std::min<uint32_t>(t.watchdog_fires, 0xFFFF)));
+  kill_task(t, KillReason::Watchdog);
+  context_switch(resume_pc, /*block_current=*/false);
+  return true;
+}
+
+}  // namespace sensmart::kern

@@ -3,6 +3,7 @@
 #include <iomanip>
 
 #include "emu/io_map.hpp"
+#include "kernel/kernel.hpp"
 
 namespace sensmart::kern {
 
@@ -19,6 +20,9 @@ const char* to_string(EventKind k) {
     case EventKind::TaskKilled: return "killed";
     case EventKind::Idle: return "idle";
     case EventKind::AuditFail: return "audit!";
+    case EventKind::TaskRestarted: return "restart";
+    case EventKind::TaskQuarantined: return "quarantine";
+    case EventKind::WatchdogFired: return "watchdog";
   }
   return "?";
 }
@@ -48,10 +52,20 @@ void KernelTrace::dump(std::ostream& os, size_t limit) const {
         os << " task " << e.a << " exit " << e.b;
         break;
       case EventKind::TaskKilled:
-        os << " task " << e.a << " reason " << e.b;
+        os << " task " << e.a << " reason "
+           << to_string(static_cast<KillReason>(e.b));
         break;
       case EventKind::Idle:
         os << " " << (uint32_t(e.b) << 16 | e.a) << " cy";
+        break;
+      case EventKind::TaskRestarted:
+        os << " task " << e.a << " (failure streak " << e.b << ")";
+        break;
+      case EventKind::TaskQuarantined:
+        os << " task " << e.a << " after " << e.b << " restarts";
+        break;
+      case EventKind::WatchdogFired:
+        os << " task " << e.a << " (fire " << e.b << ")";
         break;
       default:
         os << " task " << e.a;

@@ -24,6 +24,9 @@ enum class EventKind : uint8_t {
   TaskKilled,     // a = task, b = KillReason
   Idle,           // a/b = idle cycles (lo/hi 16 bits, capped)
   AuditFail,      // a = audit failure ordinal (see Kernel::audit_log())
+  TaskRestarted,  // a = task, b = consecutive-failure streak (1 = first)
+  TaskQuarantined,  // a = task, b = total supervisor restarts it consumed
+  WatchdogFired,  // a = task, b = cumulative watchdog fires for the task
 };
 
 const char* to_string(EventKind k);

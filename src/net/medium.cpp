@@ -21,6 +21,25 @@ void Medium::enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
                    Delivery{to, std::move(bytes)});
 }
 
+void Medium::add_partition(std::span<const size_t> a,
+                           std::span<const size_t> b, uint64_t begin,
+                           uint64_t end) {
+  for (size_t x : a)
+    for (size_t y : b) {
+      outages_.push_back({x, y, begin, end});
+      outages_.push_back({y, x, begin, end});
+    }
+}
+
+bool Medium::in_outage(size_t from, size_t to, uint64_t at) const {
+  for (const LinkOutage& o : outages_) {
+    if ((o.from == kAnyNode || o.from == from) &&
+        (o.to == kAnyNode || o.to == to) && at >= o.begin && at < o.end)
+      return true;
+  }
+  return false;
+}
+
 void Medium::flush(uint64_t now) {
   auto it = pending_.begin();
   while (it != pending_.end() && it->first.first <= now) {
@@ -42,6 +61,15 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
     if (to == from) continue;
     const uint64_t tx_index = link_tx_[from * n + to]++;
     ++stats_.packets_offered;
+
+    // Link-down windows are checked first and bypass both the scripted
+    // policy and the random rolls — an outage consumes no randomness, so
+    // scheduling one never perturbs deliveries outside its window.
+    if (in_outage(from, to, done_cycle)) {
+      ++stats_.outage_drops;
+      if (observer_) observer_(done_cycle, FaultAction::Outage, from, to);
+      continue;
+    }
 
     // Decide this delivery's fate: scripted policy if installed, else one
     // random roll per fault class in a fixed order (drop, dup, reorder,
@@ -68,6 +96,9 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
     switch (act) {
       case FaultAction::Drop:
         ++stats_.dropped;
+        continue;
+      case FaultAction::Outage:  // scripted policy declared the link down
+        ++stats_.outage_drops;
         continue;
       case FaultAction::Duplicate:
         ++stats_.duplicated;

@@ -36,11 +36,31 @@ struct LinkParams {
 
 // Scripted fault override for conformance tests: called once per
 // (link, packet); the returned action replaces the random rolls for that
-// delivery. `link_tx_index` counts packets offered on this link.
-enum class FaultAction : uint8_t { None, Drop, Duplicate, Reorder, Corrupt };
+// delivery. `link_tx_index` counts packets offered on this link. Outage
+// means the link is down for this delivery (counted separately from
+// random drops).
+enum class FaultAction : uint8_t {
+  None, Drop, Duplicate, Reorder, Corrupt, Outage
+};
 using FaultPolicy = std::function<FaultAction(
     size_t from, size_t to, uint64_t link_tx_index,
     std::span<const uint8_t> packet)>;
+
+// Matches any node id in a LinkOutage endpoint.
+inline constexpr size_t kAnyNode = static_cast<size_t>(-1);
+
+// A link-down window [begin, end) in simulation cycles: every delivery
+// whose transmission completes while the window is open is suppressed.
+// Endpoints accept kAnyNode, so one entry can down every link touching a
+// node (a crashed/rebooting node) or a whole direction of a partition.
+// Outages are decided before any random roll and consume no randomness:
+// adding a window never perturbs the fate of deliveries outside it.
+struct LinkOutage {
+  size_t from = kAnyNode;
+  size_t to = kAnyNode;
+  uint64_t begin = 0;
+  uint64_t end = 0;  // exclusive
+};
 
 struct MediumStats {
   uint64_t packets_offered = 0;  // per-link deliveries attempted
@@ -49,6 +69,7 @@ struct MediumStats {
   uint64_t duplicated = 0;
   uint64_t reordered = 0;
   uint64_t corrupted = 0;
+  uint64_t outage_drops = 0;  // deliveries suppressed by link-down windows
   uint64_t bytes_on_air = 0;  // sender-side airtime, bytes
 };
 
@@ -64,6 +85,15 @@ class Medium {
   size_t nodes() const { return devs_.size(); }
 
   void set_fault_policy(FaultPolicy p) { policy_ = std::move(p); }
+
+  // Schedule a link-down window; may be called mid-simulation (windows in
+  // the past simply never match).
+  void add_outage(const LinkOutage& o) { outages_.push_back(o); }
+  // Two-sided partition: every link between a member of `a` and a member
+  // of `b` is down for [begin, end), in both directions.
+  void add_partition(std::span<const size_t> a, std::span<const size_t> b,
+                     uint64_t begin, uint64_t end);
+  const std::vector<LinkOutage>& outages() const { return outages_; }
 
   // Broadcast a packet transmitted by `from`, whose last byte left the air
   // at `done_cycle`, to every other attached node. Deliveries are buffered
@@ -86,8 +116,11 @@ class Medium {
   void enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
                bool corrupt);
 
+  bool in_outage(size_t from, size_t to, uint64_t at) const;
+
   LinkParams params_;
   chaos::Prng prng_;
+  std::vector<LinkOutage> outages_;
   std::vector<emu::DeviceHub*> devs_;
   std::vector<uint64_t> link_tx_;  // per-link offered-packet counters
   FaultPolicy policy_;

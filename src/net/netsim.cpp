@@ -1,6 +1,7 @@
 #include "net/netsim.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <set>
 
@@ -13,7 +14,20 @@ using emu::DeviceHub;
 namespace {
 constexpr uint64_t kByte = DeviceHub::kCyclesPerRadioByte;
 constexpr size_t kMaxEarlyChunks = 4096;  // pre-summary chunk stash bound
+// PRNG stream tag for seeded node faults: a distinct stream from the
+// medium's, so enabling node faults never shifts the per-packet rolls.
+constexpr uint64_t kNodeFaultStream = 0x4E4F44454641ULL;  // "NODEFA"
 }  // namespace
+
+const char* to_string(NodeAbortReason r) {
+  switch (r) {
+    case NodeAbortReason::None: return "none";
+    case NodeAbortReason::NeverHeard: return "never-heard";
+    case NodeAbortReason::TimedOut: return "timed-out";
+    case NodeAbortReason::ChecksumFail: return "checksum-fail";
+  }
+  return "?";
+}
 
 // Base-station protocol state: one initial streaming pass over the chunks,
 // a retransmit set fed by Nacks, and an exponentially backed-off Summary
@@ -27,25 +41,33 @@ struct NetSim::Base {
   bool summary_pending = true;
   uint64_t next_probe_at = 0;
   uint32_t probe_streak = 0;
+  // Graceful degradation: per-node liveness accounting. A node whose
+  // unanswered-probe counter reaches node_give_up_probes is abandoned —
+  // the base completes for the live nodes instead of probing forever. Any
+  // frame later heard from an abandoned node revives it.
+  std::vector<bool> heard;                // ever received a frame from id
+  std::vector<bool> abandoned;            // currently given up on
+  std::vector<uint32_t> probes_unanswered;  // consecutive silent probes
+  size_t abandoned_count = 0;
   BaseDissemStats stats;
 };
 
-// Receiver protocol state: chunk bitmap + reassembly buffer, a Nack timer
-// with capped exponential backoff, and a stash for chunks that arrive
-// before the Summary (so a dropped Summary doesn't waste the first pass).
+// Receiver protocol state. Deliberately split in two: everything here is
+// volatile — it dies when the node crashes — while the chunk bitmap, the
+// reassembly buffer, and the verified flag live in the node's persistent
+// emu::ImageStore (via its DeviceHub), which survives reboot so a
+// resurrected node resumes its Nack-driven transfer where it left off.
 struct NetSim::Node {
   uint16_t id = 0;
   Deframer deframer;
-  bool have_summary = false;
-  SummaryInfo summary;
-  std::vector<uint8_t> image;
-  std::vector<bool> have;
-  uint16_t chunks_have = 0;
-  std::map<uint16_t, std::vector<uint8_t>> early;
-  bool complete = false;
+  std::map<uint16_t, std::vector<uint8_t>> early;  // pre-Summary stash
   uint64_t next_nack_at = 0;
   uint32_t nack_streak = 0;
   uint64_t last_ack_at = 0;
+  // Lifecycle (NodeFaultPolicy): pending crash events and the down window.
+  std::deque<NodeCrash> crash_plan;
+  bool down = false;
+  uint64_t up_at = 0;
   NodeDissemStats stats;
 };
 
@@ -86,6 +108,7 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
           case FaultAction::Duplicate: kind = NetEventKind::MediumDup; break;
           case FaultAction::Reorder: kind = NetEventKind::MediumReorder; break;
           case FaultAction::Corrupt: kind = NetEventKind::MediumCorrupt; break;
+          case FaultAction::Outage: kind = NetEventKind::MediumOutage; break;
           case FaultAction::None: return;
         }
         record(cycle, kNodeMedium, kind, static_cast<uint32_t>(from),
@@ -94,6 +117,9 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
 
   base_ = std::make_unique<Base>();
   base_->acked.assign(cfg_.nodes + 1, false);
+  base_->heard.assign(cfg_.nodes + 1, false);
+  base_->abandoned.assign(cfg_.nodes + 1, false);
+  base_->probes_unanswered.assign(cfg_.nodes + 1, 0);
 
   nodes_.reserve(cfg_.nodes);
   for (size_t i = 0; i < cfg_.nodes; ++i) {
@@ -103,6 +129,51 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
     // do not produce a synchronized Nack volley at the base.
     n->next_nack_at = cfg_.proto.nack_timeout + n->id * 3 * kByte;
     nodes_.push_back(std::move(n));
+  }
+
+  if (cfg_.node_faults.any()) plan_node_faults();
+}
+
+void NetSim::plan_node_faults() {
+  const NodeFaultPolicy& pol = cfg_.node_faults;
+  std::vector<std::vector<NodeCrash>> plan(cfg_.nodes + 1);
+  // Seeded crashes come from their own stream: the medium's per-packet
+  // rolls stay untouched, so the fault-free prefix of a faulted run is
+  // byte-identical to the corresponding fault-free run.
+  chaos::Prng r(cfg_.chaos_seed ^ kNodeFaultStream);
+  if (pol.crash_pct > 0) {
+    for (size_t id = 1; id <= cfg_.nodes; ++id) {
+      for (uint32_t c = 0; c < pol.max_crashes_per_node; ++c) {
+        // Draw every parameter unconditionally so one node's plan never
+        // depends on whether an earlier roll fired.
+        const bool fire = r.percent(pol.crash_pct);
+        const uint32_t frac = r.range(15, 85);
+        const uint64_t down = pol.down_max_bytes > pol.down_min_bytes
+                                  ? pol.down_min_bytes +
+                                        r.below(uint32_t(pol.down_max_bytes -
+                                                         pol.down_min_bytes + 1))
+                                  : pol.down_min_bytes;
+        const bool wipe = r.percent(pol.wipe_pct);
+        if (!fire) continue;
+        NodeCrash ev;
+        ev.node = static_cast<uint16_t>(id);
+        ev.at_chunks =
+            static_cast<uint16_t>(uint32_t(total_chunks_) * frac / 100);
+        ev.down_bytes = down;
+        ev.wipe_store = wipe;
+        plan[id].push_back(ev);
+      }
+    }
+  }
+  for (const NodeCrash& ev : pol.scripted)
+    if (ev.node >= 1 && ev.node <= cfg_.nodes) plan[ev.node].push_back(ev);
+  for (size_t id = 1; id <= cfg_.nodes; ++id) {
+    auto& v = plan[id];
+    std::stable_sort(v.begin(), v.end(),
+                     [](const NodeCrash& a, const NodeCrash& b) {
+                       return a.at_chunks < b.at_chunks;
+                     });
+    nodes_[id - 1]->crash_plan.assign(v.begin(), v.end());
   }
 }
 
@@ -159,6 +230,17 @@ std::vector<uint8_t> NetSim::chunk_payload_of(uint16_t seq) const {
   return std::vector<uint8_t>(blob_.begin() + begin, blob_.begin() + end);
 }
 
+void NetSim::note_node_alive(size_t node_id) {
+  base_->heard[node_id] = true;
+  base_->probes_unanswered[node_id] = 0;
+  if (base_->abandoned[node_id]) {
+    // The node came back (e.g. rebooted after a long outage): resume
+    // serving it instead of holding the stale verdict.
+    base_->abandoned[node_id] = false;
+    --base_->abandoned_count;
+  }
+}
+
 void NetSim::on_base_frame(const Frame& f, uint64_t now) {
   if (f.version != cfg_.proto.version) return;
   switch (f.type) {
@@ -167,6 +249,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
       if (!missing || f.seq == 0 || f.seq > cfg_.nodes) return;
       ++base_->stats.nacks_rx;
       base_->probe_streak = 0;  // someone is alive and still needs data
+      note_node_alive(f.seq);
       if (missing->empty()) {
         base_->summary_pending = true;
       } else {
@@ -179,6 +262,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
       if (f.seq == 0 || f.seq > cfg_.nodes) return;
       ++base_->stats.acks_rx;
       base_->probe_streak = 0;
+      note_node_alive(f.seq);
       if (!base_->acked[f.seq]) {
         base_->acked[f.seq] = true;
         ++base_->acked_count;
@@ -194,7 +278,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
 void NetSim::step_base(uint64_t now) {
   drain_rx(0, base_->deframer);
   while (auto f = base_->deframer.next()) on_base_frame(*f, now);
-  if (base_->acked_count == cfg_.nodes) return;
+  if (base_->acked_count + base_->abandoned_count >= cfg_.nodes) return;
 
   uint8_t busy = 0;
   machines_[0]->dev().io_access(emu::kRadioStatus, busy, false);
@@ -239,15 +323,31 @@ void NetSim::step_base(uint64_t now) {
         std::min(base_->probe_streak, cfg_.proto.backoff_cap_exp);
     base_->next_probe_at = now + (cfg_.proto.probe_interval << exp);
     ++base_->probe_streak;
+    // Bounded per-node retries: every straggler is charged one unanswered
+    // probe; at the give-up bound the base abandons it (recording why)
+    // and completes for the nodes that are alive.
+    if (cfg_.proto.node_give_up_probes > 0) {
+      for (size_t id = 1; id <= cfg_.nodes; ++id) {
+        if (base_->acked[id] || base_->abandoned[id]) continue;
+        if (++base_->probes_unanswered[id] < cfg_.proto.node_give_up_probes)
+          continue;
+        base_->abandoned[id] = true;
+        ++base_->abandoned_count;
+        record(now, 0, NetEventKind::NodeAbandoned,
+               static_cast<uint32_t>(id),
+               static_cast<uint32_t>(abort_reason_of(*nodes_[id - 1])));
+      }
+    }
   }
 }
 
 void NetSim::node_send_nack(Node& n, uint64_t now) {
+  const auto& st = machines_[n.id]->dev().image_store();
   std::vector<uint16_t> missing;
-  if (n.have_summary) {
+  if (st.has_summary) {
     for (uint16_t seq = 0; seq < total_chunks_ && missing.size() < kMaxNackList;
          ++seq)
-      if (!n.have[seq]) missing.push_back(seq);
+      if (!st.have[seq]) missing.push_back(seq);
   }
   // No summary yet: an empty list asks the base to resend it.
   send_frame(n.id, make_nack(cfg_.proto.version, n.id, missing));
@@ -261,6 +361,7 @@ void NetSim::node_send_nack(Node& n, uint64_t now) {
 }
 
 void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
+  emu::ImageStore& st = machines_[n.id]->dev().image_store();
   ++n.stats.frames_rx;
   if (f.version != cfg_.proto.version) return;
 
@@ -271,34 +372,34 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
   };
 
   auto store_chunk = [&](uint16_t seq, std::span<const uint8_t> payload) {
-    const size_t cp = cfg_.proto.chunk_payload;
-    if (seq >= n.summary.total_chunks) return;
-    const size_t expect =
-        (seq + 1 == n.summary.total_chunks)
-            ? n.summary.image_bytes - size_t(seq) * cp
-            : cp;
+    const size_t cp = st.chunk_payload;
+    if (seq >= st.total_chunks) return;
+    const size_t expect = (seq + 1 == st.total_chunks)
+                              ? st.image_bytes - size_t(seq) * cp
+                              : cp;
     if (payload.size() != expect) return;
-    if (n.have[seq]) {
+    if (st.have[seq]) {
       ++n.stats.duplicate_chunks;
       record(now, static_cast<uint8_t>(n.id), NetEventKind::DuplicateChunk,
              seq, 0);
       return;
     }
-    std::copy(payload.begin(), payload.end(), n.image.begin() + seq * cp);
-    n.have[seq] = true;
-    ++n.chunks_have;
+    std::copy(payload.begin(), payload.end(), st.image.begin() + seq * cp);
+    st.have[seq] = 1;
+    ++st.chunks_have;
+    ++st.writes;
     record(now, static_cast<uint8_t>(n.id), NetEventKind::ChunkStored, seq,
-           n.chunks_have);
+           st.chunks_have);
     progress();
-    if (n.chunks_have != n.summary.total_chunks) return;
+    if (st.chunks_have != st.total_chunks) return;
 
     // Whole image assembled: activate only on a verified checksum.
-    if (crc32(n.image) == n.summary.image_crc) {
-      n.complete = true;
+    if (crc32(st.image) == st.image_crc) {
+      st.verified = true;
       n.stats.complete = true;
       n.stats.completion_cycle = now;
       record(now, static_cast<uint8_t>(n.id), NetEventKind::Complete, n.id,
-             n.summary.image_crc & 0xFFFF);
+             st.image_crc & 0xFFFF);
       send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
       ++n.stats.acks_sent;
       n.last_ack_at = now;
@@ -308,8 +409,8 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
       ++n.stats.checksum_failures;
       record(now, static_cast<uint8_t>(n.id), NetEventKind::ChecksumFail,
              n.id, 0);
-      std::fill(n.have.begin(), n.have.end(), false);
-      n.chunks_have = 0;
+      std::fill(st.have.begin(), st.have.end(), 0);
+      st.chunks_have = 0;
       n.nack_streak = 0;
       n.next_nack_at = now + n.id * 3 * kByte;
     }
@@ -320,7 +421,7 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
       ++n.stats.summaries_rx;
       const auto info = parse_summary(f);
       if (!info) return;
-      if (n.complete) {
+      if (st.verified) {
         // Base is probing for a lost Ack — repeat it, rate-limited.
         if (now - n.last_ack_at >= cfg_.proto.ack_repeat_min) {
           send_frame(n.id,
@@ -330,24 +431,38 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
         }
         return;
       }
-      if (!n.have_summary) {
+      if (st.has_summary && (info->image_crc != st.image_crc ||
+                             info->total_chunks != st.total_chunks ||
+                             info->image_bytes != st.image_bytes ||
+                             info->chunk_payload != st.chunk_payload)) {
+        // A different image than the one the store holds progress for
+        // (e.g. a new version after a long outage): the stale partial
+        // transfer is useless — erase and start over.
+        st.erase();
+      }
+      if (!st.has_summary) {
         // Sanity-check the announced geometry before allocating.
         const size_t cp = info->chunk_payload;
         if (cp == 0 || cp > kMaxPayload || info->total_chunks == 0 ||
             info->image_bytes == 0 || info->image_bytes > (32u << 20) ||
             (info->image_bytes + cp - 1) / cp != info->total_chunks)
           return;
-        n.summary = *info;
-        n.image.assign(info->image_bytes, 0);
-        n.have.assign(info->total_chunks, false);
-        n.chunks_have = 0;
+        st.image_version = f.version;
+        st.total_chunks = info->total_chunks;
+        st.image_bytes = info->image_bytes;
+        st.image_crc = info->image_crc;
+        st.chunk_payload = info->chunk_payload;
+        st.image.assign(info->image_bytes, 0);
+        st.have.assign(info->total_chunks, 0);
+        st.chunks_have = 0;
+        ++st.writes;
         record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryStored,
                info->total_chunks, info->image_crc & 0xFFFF);
-        n.have_summary = true;
+        st.has_summary = true;
         auto early = std::move(n.early);
         n.early.clear();
         for (auto& [seq, payload] : early) store_chunk(seq, payload);
-        if (!n.complete) progress();
+        if (!st.verified) progress();
       } else {
         // A probe while we are mid-transfer: answer promptly (staggered by
         // node id) with what is still missing instead of waiting out the
@@ -360,8 +475,8 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
     }
     case FrameType::Data: {
       ++n.stats.data_rx;
-      if (n.complete) return;
-      if (!n.have_summary) {
+      if (st.verified) return;
+      if (!st.has_summary) {
         // Stash pre-Summary chunks so a lost Summary doesn't waste the
         // whole first pass; integrated once the geometry is known.
         if (f.payload.size() <= kMaxPayload && n.early.size() < kMaxEarlyChunks)
@@ -381,8 +496,60 @@ void NetSim::step_node(size_t idx, uint64_t now) {
   Node& n = *nodes_[idx];
   drain_rx(n.id, n.deframer);
   while (auto f = n.deframer.next()) on_node_frame(n, *f, now);
-  if (n.complete) return;
+  if (machines_[n.id]->dev().image_store().verified) return;
   if (now >= n.next_nack_at) node_send_nack(n, now);
+}
+
+void NetSim::node_lifecycle(size_t idx, uint64_t now) {
+  Node& n = *nodes_[idx];
+  auto& dev = machines_[n.id]->dev();
+  emu::ImageStore& st = dev.image_store();
+
+  if (n.down) {
+    if (now < n.up_at) return;
+    // Power-up: anything that landed while the radio was off is gone, the
+    // volatile protocol state starts fresh, and the transfer resumes from
+    // the persisted chunk bitmap (empty after a cold, store-wiping crash).
+    dev.flush_rx();
+    n.deframer = Deframer{};
+    n.early.clear();
+    n.down = false;
+    ++n.stats.reboots;
+    n.stats.resumed_chunks = st.chunks_have;
+    n.nack_streak = 0;
+    n.next_nack_at = now + cfg_.proto.nack_timeout / 2 + n.id * 3 * kByte;
+    n.last_ack_at = 0;  // a completed node re-answers the next probe at once
+    record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeRebooted,
+           st.chunks_have, st.verified);
+    return;
+  }
+
+  if (!n.crash_plan.empty() &&
+      st.chunks_have >= n.crash_plan.front().at_chunks) {
+    const NodeCrash ev = n.crash_plan.front();
+    n.crash_plan.pop_front();
+    ++n.stats.crashes;
+    record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeCrashed,
+           st.chunks_have, ev.wipe_store);
+    dev.reboot();  // power fails: every volatile device state dies now
+    if (ev.wipe_store) st.erase();
+    n.deframer = Deframer{};
+    n.early.clear();
+    n.down = true;
+    n.up_at = now + ev.down_bytes * kByte;
+    // While down the node neither hears nor is heard: both link directions
+    // are forced into an outage window (consumes no medium randomness).
+    medium_.add_outage({kAnyNode, n.id, now, n.up_at});
+    medium_.add_outage({n.id, kAnyNode, now, n.up_at});
+  }
+}
+
+NodeAbortReason NetSim::abort_reason_of(const Node& n) const {
+  if (!base_->heard[n.id]) return NodeAbortReason::NeverHeard;
+  const bool complete = machines_[n.id]->dev().image_store().verified;
+  if (n.stats.checksum_failures > 0 && !complete)
+    return NodeAbortReason::ChecksumFail;
+  return NodeAbortReason::TimedOut;
 }
 
 DisseminationResult NetSim::disseminate() {
@@ -393,14 +560,12 @@ DisseminationResult NetSim::disseminate() {
   ran_ = true;
 
   uint64_t t = 0;
-  while (base_->acked_count < cfg_.nodes) {
+  // Termination: every node acknowledged, or every straggler abandoned
+  // after its bounded retries, or the cycle budget exhausted.
+  while (base_->acked_count + base_->abandoned_count < cfg_.nodes) {
     t += kByte;
     if (t > cfg_.max_cycles) {
-      res.aborted = true;
-      size_t incomplete = 0;
-      for (const auto& n : nodes_) incomplete += !n->complete;
-      record(t, 0, NetEventKind::Abort,
-             static_cast<uint32_t>(incomplete), 0);
+      res.budget_exhausted = true;
       break;
     }
     // Deliver due packets first, then advance devices (completing
@@ -410,21 +575,39 @@ DisseminationResult NetSim::disseminate() {
     medium_.flush(t);
     for (auto& m : machines_) m->dev().sync(t);
     step_base(t);
-    for (size_t i = 0; i < nodes_.size(); ++i) step_node(i, t);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      node_lifecycle(i, t);
+      if (!nodes_[i]->down) step_node(i, t);
+    }
   }
 
   res.all_acked = base_->acked_count == cfg_.nodes;
+  res.aborted = !res.all_acked;
   res.cycles = t;
-  res.base = base_->stats;
   res.medium = medium_.stats();
   res.nodes.resize(nodes_.size());
   for (size_t i = 0; i < nodes_.size(); ++i) {
     Node& n = *nodes_[i];
+    const auto& dev = machines_[n.id]->dev();
+    const emu::ImageStore& st = dev.image_store();
     n.stats.crc_drops = n.deframer.crc_errors();
-    n.stats.bytes_rx = machines_[n.id]->dev().rx_delivered();
-    n.stats.rx_overruns = machines_[n.id]->dev().rx_overruns();
+    n.stats.bytes_rx = dev.rx_delivered();
+    n.stats.rx_overruns = dev.rx_overruns();
+    n.stats.complete = st.verified;  // a cold crash can wipe a completion
+    n.stats.store_writes = st.writes;
+    n.stats.abandoned = base_->abandoned[n.id];
+    if (res.aborted && !base_->acked[n.id]) {
+      // Per-node abort reason instead of one global count: one Abort
+      // event per node the base never heard a verified install from.
+      n.stats.abort_reason = abort_reason_of(n);
+      record(t, static_cast<uint8_t>(n.id), NetEventKind::Abort,
+             n.id, static_cast<uint32_t>(n.stats.abort_reason));
+    }
     res.nodes[i] = n.stats;
   }
+  base_->stats.nodes_abandoned =
+      static_cast<uint32_t>(base_->abandoned_count);
+  res.base = base_->stats;
   res.trace_digest = trace_digest_;
   res.trace_events = trace_count_;
   return res;
@@ -433,12 +616,13 @@ DisseminationResult NetSim::disseminate() {
 const std::vector<uint8_t>& NetSim::node_blob(size_t node) const {
   static const std::vector<uint8_t> kEmpty;
   if (node == 0 || node > nodes_.size()) return kEmpty;
-  const Node& n = *nodes_[node - 1];
-  return n.complete ? n.image : kEmpty;
+  const emu::ImageStore& st = machines_[node]->dev().image_store();
+  return st.verified ? st.image : kEmpty;
 }
 
 bool NetSim::node_complete(size_t node) const {
-  return node >= 1 && node <= nodes_.size() && nodes_[node - 1]->complete;
+  return node >= 1 && node <= nodes_.size() &&
+         machines_[node]->dev().image_store().verified;
 }
 
 emu::Machine& NetSim::node_machine(size_t node) {

@@ -42,6 +42,42 @@ struct ProtocolParams {
   // Base: idle re-probe (Summary) interval; doubles per unanswered probe,
   // same cap as the receiver backoff.
   uint64_t probe_interval = 16 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+  // Base: consecutive unanswered probes before a node is abandoned (its
+  // abort reason is reported per node instead of stalling the whole run).
+  // 0 = never abandon. The default is large enough that short reboot
+  // outages never get a node abandoned, yet a truly dead node bounds the
+  // run. A frame from an abandoned node revives it.
+  uint32_t node_give_up_probes = 12;
+};
+
+// A scheduled receiver crash: fires the first time the node holds at least
+// `at_chunks` chunks (0 = immediately), powers the node down for
+// `down_bytes` on-air byte times, then reboots it. Volatile state (radio
+// buffers, deframer, protocol timers) is lost; the persistent image store
+// survives unless `wipe_store` asks for a cold (flash-erased) reboot.
+struct NodeCrash {
+  uint16_t node = 1;         // receiver id (1-based); the base never crashes
+  uint16_t at_chunks = 0;    // progress threshold that triggers the crash
+  uint64_t down_bytes = 256; // outage duration in on-air byte times
+  bool wipe_store = false;   // also erase the persistent store
+};
+
+// Node lifecycle faults (DESIGN.md §8): scripted crash events plus seeded
+// random ones. Seeded crashes draw from their own PRNG stream (derived
+// from chaos_seed), so enabling them never shifts the medium's fault
+// rolls — a fault-free run keeps its golden trace digest.
+struct NodeFaultPolicy {
+  std::vector<NodeCrash> scripted;
+  // Each receiver suffers up to `max_crashes_per_node` seeded crashes,
+  // each with probability `crash_pct`, at a seeded progress fraction, down
+  // for a seeded duration in [down_min_bytes, down_max_bytes].
+  uint32_t crash_pct = 0;
+  uint32_t max_crashes_per_node = 1;
+  uint64_t down_min_bytes = 64;
+  uint64_t down_max_bytes = 1024;
+  uint32_t wipe_pct = 0;  // of seeded crashes: cold (store-wiping) reboots
+
+  bool any() const { return !scripted.empty() || crash_pct > 0; }
 };
 
 struct NetConfig {
@@ -51,7 +87,18 @@ struct NetConfig {
   uint64_t chaos_seed = 1;
   uint64_t max_cycles = 4'000'000'000ULL;
   size_t trace_capacity = 1 << 16;  // stored events (digest covers all)
+  NodeFaultPolicy node_faults;      // receiver crash/reboot schedule
 };
+
+// Why a receiver ended the run without a base-acknowledged install.
+enum class NodeAbortReason : uint8_t {
+  None,          // node completed (or was never given up on)
+  NeverHeard,    // base never received a single frame from the node
+  TimedOut,      // node was heard once but stopped answering probes
+  ChecksumFail,  // node kept rejecting the assembled image (CRC mismatch)
+};
+
+const char* to_string(NodeAbortReason r);
 
 // Simulation event trace: node 0 is the base station, receiver i is node i
 // (1-based), kNodeMedium marks medium decisions.
@@ -72,7 +119,13 @@ enum class NetEventKind : uint8_t {
   MediumCorrupt,
   BaseRetransmit,  // a = seq, b = outstanding retransmit count
   BaseProbe,       // a = probe ordinal
-  Abort,           // a = incomplete node count
+  Abort,           // one per incomplete node at termination:
+                   // a = node id, b = NodeAbortReason
+  NodeCrashed,     // a = chunks held at the crash, b = wipe_store
+  NodeRebooted,    // a = chunks resumed from the store, b = verified flag
+  NodeAbandoned,   // base gave up on a node: a = node id, b = reason
+  MediumOutage,    // delivery suppressed by a link-down window:
+                   // a = from, b = to
 };
 
 struct NetTraceEvent {
@@ -98,6 +151,14 @@ struct NodeDissemStats {
   uint64_t bytes_tx = 0;
   uint64_t bytes_rx = 0;
   uint64_t rx_overruns = 0;
+  // Lifecycle-fault outcomes (NodeFaultPolicy).
+  uint32_t crashes = 0;
+  uint32_t reboots = 0;
+  uint16_t resumed_chunks = 0;  // chunks restored from the persistent
+                                // store at the most recent reboot
+  uint64_t store_writes = 0;    // committed chunk writes (flash-wear proxy)
+  bool abandoned = false;       // base gave up waiting for this node
+  NodeAbortReason abort_reason = NodeAbortReason::None;
 };
 
 struct BaseDissemStats {
@@ -108,11 +169,15 @@ struct BaseDissemStats {
   uint64_t nacks_rx = 0;
   uint64_t acks_rx = 0;
   uint64_t bytes_tx = 0;
+  uint32_t nodes_abandoned = 0;  // still abandoned at termination
 };
 
 struct DisseminationResult {
   bool all_acked = false;   // base heard a verified-install Ack from all
-  bool aborted = false;     // cycle budget exhausted first
+  bool aborted = false;     // terminated without hearing every Ack (cycle
+                            // budget exhausted, or every straggler was
+                            // abandoned after bounded per-node retries)
+  bool budget_exhausted = false;  // of aborted runs: max_cycles hit first
   uint64_t cycles = 0;      // simulated time at termination
   uint16_t total_chunks = 0;
   uint32_t image_crc = 0;
@@ -126,6 +191,11 @@ struct DisseminationResult {
   size_t complete_nodes() const {
     size_t n = 0;
     for (const auto& s : nodes) n += s.complete;
+    return n;
+  }
+  size_t abandoned_nodes() const {
+    size_t n = 0;
+    for (const auto& s : nodes) n += s.abandoned;
     return n;
   }
 };
@@ -161,6 +231,10 @@ class NetSim {
               uint32_t b);
   void send_frame(size_t node_id, const Frame& f);
   void drain_rx(size_t node_id, Deframer& d);
+  void plan_node_faults();
+  void node_lifecycle(size_t idx, uint64_t now);
+  void note_node_alive(size_t node_id);
+  NodeAbortReason abort_reason_of(const Node& n) const;
   void step_base(uint64_t now);
   void step_node(size_t idx, uint64_t now);
   void on_base_frame(const Frame& f, uint64_t now);

@@ -71,6 +71,7 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
   for (size_t i = 0; i < spec.net.nodes; ++i) {
     NodeRun& nr = out.nodes[i];
     const size_t id = i + 1;
+    nr.abort_reason = out.dissemination.nodes[i].abort_reason;
     if (!net.node_complete(id)) continue;  // partial image: nothing to run
 
     // Reconstruct the system from the node's verified bytes. The strict

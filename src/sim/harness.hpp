@@ -81,6 +81,9 @@ struct NetworkRunSpec {
 
 struct NodeRun {
   bool installed = false;    // verified image deserialized, kernel started
+  // Why dissemination gave up on this node (None when it completed);
+  // mirrors the per-node Abort events in the dissemination trace.
+  net::NodeAbortReason abort_reason = net::NodeAbortReason::None;
   kern::InstallInfo install;
   SystemRun run;             // valid when installed && run_kernels
 };

@@ -1,0 +1,336 @@
+// Crash-recovery subsystem (DESIGN.md §8): supervisor restart/backoff and
+// quarantine semantics, watchdog containment of runaway tasks, reclamation
+// of a quarantined task's region, and deterministic replay of full
+// recovery schedules.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "chaos/adversarial.hpp"
+#include "emu/machine.hpp"
+#include "kernel/kernel.hpp"
+#include "rewriter/linker.hpp"
+
+namespace sensmart::kern {
+namespace {
+
+using assembler::Assembler;
+using assembler::Image;
+
+// A well-behaved worker: `iters` rounds of push/pop (each a kernel
+// service), then a clean exit. Plenty of service traffic for injected
+// kills to land on and for healthy-streak accounting to observe.
+Image worker_program(uint16_t iters, uint8_t exit_code) {
+  Assembler a("worker" + std::to_string(exit_code));
+  a.ldi16(24, iters);
+  a.label("l");
+  a.push(2);
+  a.pop(2);
+  a.dec16(24);
+  a.brne("l");
+  a.halt(exit_code);
+  return a.finish();
+}
+
+struct RunResult {
+  emu::StopReason stop;
+  std::vector<Task> tasks;
+  KernelStats stats;
+  uint64_t cycles = 0;
+  uint64_t trace_hash = 0;
+  std::string invariants;
+  std::vector<std::string> audit;
+};
+
+uint64_t hash_trace(const KernelTrace& trace) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const TraceEvent& e : trace.events()) {
+    mix(e.cycle);
+    mix(uint64_t(e.kind));
+    mix(e.a);
+    mix(e.b);
+  }
+  return h;
+}
+
+RunResult run_images(const std::vector<Image>& images,
+                     const KernelConfig& cfg,
+                     uint64_t max_cycles = 400'000'000ULL,
+                     KernelTrace* trace_out = nullptr) {
+  rw::Linker linker;
+  for (const auto& img : images) linker.add(img);
+  const auto sys = linker.link();
+
+  emu::Machine m;
+  Kernel k(m, sys, cfg);
+  KernelTrace trace(1 << 16);
+  k.set_trace(trace_out != nullptr ? trace_out : &trace);
+  k.admit_all();
+  EXPECT_TRUE(k.start());
+  RunResult r;
+  r.stop = k.run(max_cycles);
+  r.tasks = k.tasks();
+  r.stats = k.stats();
+  r.cycles = m.cycles();
+  r.trace_hash = hash_trace(trace_out != nullptr ? *trace_out : trace);
+  r.invariants = k.check_invariants();
+  r.audit = k.audit_log();
+  return r;
+}
+
+// --- Restart ----------------------------------------------------------------
+
+TEST(Supervision, InjectedKillRestartsTaskToCompletion) {
+  KernelConfig cfg;
+  cfg.audit = true;
+  cfg.supervise.enabled = true;
+  cfg.supervise.backoff_cycles = 8'000;
+  cfg.injected_kills = {{200, 0}};
+
+  KernelTrace trace(1 << 16);
+  const auto r = run_images({worker_program(400, 7)}, cfg, 400'000'000ULL,
+                            &trace);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  // The kill happened, but it was not terminal: the task re-ran from its
+  // entry point and exited normally.
+  EXPECT_EQ(r.stats.kills, 1u);
+  EXPECT_EQ(r.stats.injected_kills, 1u);
+  EXPECT_EQ(r.stats.restarts, 1u);
+  EXPECT_EQ(r.stats.quarantines, 0u);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_EQ(r.tasks[0].exit_code, 7);
+  EXPECT_EQ(r.tasks[0].restarts, 1u);
+  EXPECT_FALSE(r.tasks[0].quarantined);
+  EXPECT_TRUE(r.invariants.empty()) << r.invariants;
+  EXPECT_TRUE(r.audit.empty());
+  // Trace shows the kill followed by the supervised restart.
+  EXPECT_EQ(trace.count(EventKind::TaskKilled), 1u);
+  EXPECT_EQ(trace.count(EventKind::TaskRestarted), 1u);
+  bool kill_seen = false;
+  for (const auto& e : trace.events()) {
+    if (e.kind == EventKind::TaskKilled) kill_seen = true;
+    if (e.kind == EventKind::TaskRestarted) {
+      EXPECT_TRUE(kill_seen);  // restart always follows its kill
+      EXPECT_EQ(e.a, 0);       // task id
+      EXPECT_EQ(e.b, 1);       // first failure in the streak
+    }
+  }
+}
+
+TEST(Supervision, BackoffDelaysTheRestart) {
+  auto run_with_backoff = [](uint64_t backoff) {
+    KernelConfig cfg;
+    cfg.supervise.enabled = true;
+    cfg.supervise.backoff_cycles = backoff;
+    cfg.injected_kills = {{200, 0}};
+    return run_images({worker_program(400, 0)}, cfg).cycles;
+  };
+  const uint64_t quick = run_with_backoff(2'000);
+  const uint64_t slow = run_with_backoff(2'000'000);
+  // The single restart is the only difference between the two runs, so the
+  // completion times differ by almost exactly the extra backoff.
+  EXPECT_GT(slow, quick + 1'900'000);
+}
+
+// --- Quarantine -------------------------------------------------------------
+
+TEST(Supervision, ConsecutiveFailuresQuarantine) {
+  KernelConfig cfg;
+  cfg.audit = true;
+  cfg.supervise.enabled = true;
+  cfg.supervise.max_restarts = 2;
+  cfg.supervise.backoff_cycles = 4'000;
+  // Streak forgiveness requires a long healthy run; the kills below land
+  // well inside it, so every failure counts toward the quarantine.
+  cfg.supervise.healthy_services = 100'000;
+  cfg.injected_kills = {{100, 0}, {300, 0}, {500, 0}};
+
+  KernelTrace trace(1 << 16);
+  const auto r = run_images({worker_program(600, 0)}, cfg, 400'000'000ULL,
+                            &trace);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  // Two restarts consume the budget; the third failure is terminal.
+  EXPECT_EQ(r.stats.kills, 3u);
+  EXPECT_EQ(r.stats.restarts, 2u);
+  EXPECT_EQ(r.stats.quarantines, 1u);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Killed);
+  EXPECT_EQ(r.tasks[0].kill_reason, KillReason::Injected);
+  EXPECT_TRUE(r.tasks[0].quarantined);
+  EXPECT_EQ(r.tasks[0].restarts, 2u);
+  EXPECT_EQ(trace.count(EventKind::TaskQuarantined), 1u);
+  EXPECT_TRUE(r.invariants.empty()) << r.invariants;
+  EXPECT_TRUE(r.audit.empty());
+}
+
+TEST(Supervision, HealthyRunClearsTheFailureStreak) {
+  KernelConfig cfg;
+  cfg.supervise.enabled = true;
+  cfg.supervise.max_restarts = 2;
+  cfg.supervise.backoff_cycles = 4'000;
+  // A short forgiveness threshold: the worker executes far more than 32
+  // services between the widely spaced kills, so each restart begins with
+  // a clean streak and the quarantine never fires — three kills would
+  // otherwise exceed max_restarts.
+  cfg.supervise.healthy_services = 32;
+  cfg.injected_kills = {{200, 0}, {1'200, 0}, {2'200, 0}};
+
+  const auto r = run_images({worker_program(800, 9)}, cfg);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.stats.kills, 3u);
+  EXPECT_EQ(r.stats.restarts, 3u);
+  EXPECT_EQ(r.stats.quarantines, 0u);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_EQ(r.tasks[0].exit_code, 9);
+}
+
+// The regression at the heart of quarantine: the terminal kill must hand
+// the task's region back to the allocator, so surviving tasks can grow
+// into it. Task 1 pins a heap too large for task 0's deep recursion to
+// fit while both are live; only reclaiming the quarantined region lets
+// task 0 finish.
+TEST(Supervision, QuarantinedRegionIsReclaimedForRelocation) {
+  // ~2400 B of stack demand: more than the application area minus task 1's
+  // heap, less than the area once task 1's region is reclaimed.
+  std::vector<Image> images;
+  images.push_back(chaos::deep_recursion_program(400, 4, 1));
+  {
+    Assembler a("hog");
+    a.var("ballast", 1500);  // heap: not donatable while the task lives
+    a.ldi16(24, 5'000);
+    a.label("l");
+    a.push(2);
+    a.pop(2);
+    a.dec16(24);
+    a.brne("l");
+    a.halt(0);
+    images.push_back(a.finish());
+  }
+
+  KernelConfig cfg;
+  cfg.audit = true;
+  cfg.initial_stack = 64;
+  cfg.supervise.enabled = true;
+  cfg.supervise.max_restarts = 1;  // one restart, then quarantine
+  cfg.supervise.healthy_services = 100'000;
+  cfg.injected_kills = {{60, 1}, {120, 1}};
+
+  const auto r = run_images(images, cfg, 2'000'000'000ULL);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.tasks.size(), 2u);
+  EXPECT_EQ(r.tasks[1].state, TaskState::Killed);
+  EXPECT_TRUE(r.tasks[1].quarantined);
+  // The recursion completed — possible only because the quarantined
+  // region was released for relocation.
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_TRUE(r.invariants.empty()) << r.invariants;
+  EXPECT_TRUE(r.audit.empty());
+}
+
+// --- Watchdog ---------------------------------------------------------------
+
+TEST(Watchdog, ContainsARunawayLoop) {
+  KernelConfig cfg;
+  cfg.supervise.watchdog_cycles = 60'000;  // supervision itself off
+
+  KernelTrace trace(1 << 16);
+  const auto r = run_images(
+      {worker_program(500, 3), chaos::runaway_program(7)}, cfg,
+      400'000'000ULL, &trace);
+  // Without the watchdog this run would spin to the cycle budget.
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  ASSERT_EQ(r.tasks.size(), 2u);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_EQ(r.tasks[1].state, TaskState::Killed);
+  EXPECT_EQ(r.tasks[1].kill_reason, KillReason::Watchdog);
+  EXPECT_EQ(r.tasks[1].watchdog_fires, 1u);
+  EXPECT_EQ(r.stats.watchdog_fires, 1u);
+  EXPECT_GE(trace.count(EventKind::WatchdogFired), 1u);
+}
+
+TEST(Watchdog, NeverFiresOnAServiceMakingTask) {
+  KernelConfig cfg;
+  cfg.supervise.watchdog_cycles = 60'000;
+  const auto r = run_images({worker_program(4'000, 0)}, cfg);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_EQ(r.stats.watchdog_fires, 0u);
+}
+
+TEST(Watchdog, SupervisedRunawayRestartsThenQuarantines) {
+  KernelConfig cfg;
+  cfg.supervise.enabled = true;
+  cfg.supervise.max_restarts = 2;
+  cfg.supervise.backoff_cycles = 8'000;
+  cfg.supervise.watchdog_cycles = 60'000;
+
+  KernelTrace trace(1 << 16);
+  const auto r = run_images(
+      {worker_program(500, 0), chaos::runaway_program(8)}, cfg,
+      400'000'000ULL, &trace);
+  ASSERT_EQ(r.stop, emu::StopReason::Halted);
+  // The runaway never makes a non-branch service, so every restart ends in
+  // another watchdog fire until the quarantine puts it down for good.
+  EXPECT_EQ(r.tasks[1].state, TaskState::Killed);
+  EXPECT_EQ(r.tasks[1].kill_reason, KillReason::Watchdog);
+  EXPECT_TRUE(r.tasks[1].quarantined);
+  EXPECT_EQ(r.tasks[1].watchdog_fires, 3u);  // 2 restarts + terminal fire
+  EXPECT_EQ(r.stats.restarts, 2u);
+  EXPECT_EQ(r.stats.quarantines, 1u);
+  EXPECT_EQ(trace.count(EventKind::WatchdogFired), 3u);
+  EXPECT_EQ(trace.count(EventKind::TaskRestarted), 2u);
+  EXPECT_EQ(trace.count(EventKind::TaskQuarantined), 1u);
+  // The healthy neighbour is untouched.
+  EXPECT_EQ(r.tasks[0].state, TaskState::Done);
+  EXPECT_EQ(r.tasks[0].watchdog_fires, 0u);
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(Recovery, FullRecoveryScheduleReplaysByteIdentically) {
+  KernelConfig cfg;
+  cfg.audit = true;
+  cfg.supervise.enabled = true;
+  cfg.supervise.max_restarts = 2;
+  cfg.supervise.backoff_cycles = 8'000;
+  cfg.supervise.watchdog_cycles = 60'000;
+  cfg.supervise.healthy_services = 100'000;
+  cfg.injected_kills = {{150, 0}, {400, 0}, {700, 0}};
+
+  const std::vector<Image> images = {worker_program(700, 0),
+                                     chaos::runaway_program(9)};
+  const auto a = run_images(images, cfg);
+  const auto b = run_images(images, cfg);
+  EXPECT_EQ(a.stop, emu::StopReason::Halted);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+  EXPECT_EQ(a.stats.quarantines, b.stats.quarantines);
+  EXPECT_EQ(a.stats.watchdog_fires, b.stats.watchdog_fires);
+  // The schedule actually exercised every recovery path.
+  EXPECT_GT(a.stats.restarts, 0u);
+  EXPECT_GT(a.stats.quarantines, 0u);
+  EXPECT_GT(a.stats.watchdog_fires, 0u);
+}
+
+TEST(Recovery, SupervisionOffIsByteIdenticalToSeedBehaviour) {
+  // A run with the whole subsystem left at defaults must not differ from
+  // one with the supervisor struct explicitly zeroed — the recovery hooks
+  // charge nothing when disabled.
+  KernelConfig off;
+  KernelConfig expl;
+  expl.supervise = SupervisorConfig{};
+  const std::vector<Image> images = {worker_program(500, 2)};
+  const auto a = run_images(images, off);
+  const auto b = run_images(images, expl);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+}
+
+}  // namespace
+}  // namespace sensmart::kern

@@ -106,6 +106,77 @@ TEST(Trace, CapacityBoundsGrowth) {
   EXPECT_GT(trace.dropped(), 0u);
 }
 
+TEST(Trace, RendersKillReasonNames) {
+  // to_string(KillReason) covers every enumerator.
+  EXPECT_STREQ(to_string(KillReason::None), "none");
+  EXPECT_STREQ(to_string(KillReason::InvalidAccess), "invalid-access");
+  EXPECT_STREQ(to_string(KillReason::OutOfStackMemory),
+               "out-of-stack-memory");
+  EXPECT_STREQ(to_string(KillReason::BadJump), "bad-jump");
+  EXPECT_STREQ(to_string(KillReason::Injected), "injected");
+  EXPECT_STREQ(to_string(KillReason::Watchdog), "watchdog");
+
+  // A dumped TaskKilled event names its reason, not a raw number.
+  KernelTrace trace;
+  trace.record(1'000, EventKind::TaskKilled, 2,
+               uint16_t(KillReason::OutOfStackMemory));
+  trace.record(2'000, EventKind::TaskKilled, 3,
+               uint16_t(KillReason::Watchdog));
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("killed"), std::string::npos);
+  EXPECT_NE(os.str().find("task 2 reason out-of-stack-memory"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("task 3 reason watchdog"), std::string::npos);
+}
+
+TEST(Trace, RendersRecoveryEvents) {
+  EXPECT_STREQ(to_string(EventKind::TaskRestarted), "restart");
+  EXPECT_STREQ(to_string(EventKind::TaskQuarantined), "quarantine");
+  EXPECT_STREQ(to_string(EventKind::WatchdogFired), "watchdog");
+
+  KernelTrace trace;
+  trace.record(1'000, EventKind::TaskRestarted, 1, 2);
+  trace.record(2'000, EventKind::TaskQuarantined, 1, 3);
+  trace.record(3'000, EventKind::WatchdogFired, 4, 1);
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("task 1 (failure streak 2)"), std::string::npos);
+  EXPECT_NE(os.str().find("task 1 after 3 restarts"), std::string::npos);
+  EXPECT_NE(os.str().find("task 4 (fire 1)"), std::string::npos);
+}
+
+TEST(Trace, KilledTaskRendersInEndToEndDump) {
+  // An actual kill (injected at a service boundary) renders with its
+  // reason in the dumped trace.
+  Assembler a("victim");
+  a.ldi16(24, 500);
+  a.label("l");
+  a.push(2);
+  a.pop(2);
+  a.dec16(24);
+  a.brne("l");
+  a.halt(0);
+  rw::Linker linker;
+  linker.add(a.finish());
+  const auto sys = linker.link();
+
+  emu::Machine m;
+  KernelConfig cfg;
+  cfg.injected_kills = {{100, 0}};
+  Kernel k(m, sys, cfg);
+  KernelTrace trace;
+  k.set_trace(&trace);
+  k.admit_all();
+  ASSERT_TRUE(k.start());
+  k.run(50'000'000);
+
+  ASSERT_EQ(trace.count(EventKind::TaskKilled), 1u);
+  std::ostringstream os;
+  trace.dump(os);
+  EXPECT_NE(os.str().find("task 0 reason injected"), std::string::npos);
+}
+
 TEST(Trace, DetachedTraceCostsNothing) {
   Assembler a("t");
   a.ldi16(20, 2000);
