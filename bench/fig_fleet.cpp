@@ -1,0 +1,397 @@
+// Fleet-scaling benchmark for the sharded deterministic network engine
+// (DESIGN.md §9): for each (nodes, drop%) scenario, disseminate the
+// naturalized fig7 image to the whole fleet at several shard counts and
+// report wall-clock seconds, emulated cycles, the trace digest, and the
+// speedup relative to the serial (shards=1) engine. The digest and cycle
+// count are required to be byte-identical at every shard count — the bench
+// itself enforces it and exits nonzero on any divergence, so the matrix
+// doubles as the serial-vs-sharded conformance check at fleet scale.
+//
+// A memory section quantifies fleet-wide image dedup: the per-node heap
+// bytes spent on flash + decode-cache images with lazy allocation and one
+// shared naturalized image adopted fleet-wide, against the historical
+// eager per-machine allocation. Peak process RSS (VmHWM) rides along.
+//
+// Wall seconds and speedup depend on the host (recorded as host_threads);
+// cycles and digests do not, so --gate compares only the deterministic
+// surface against the committed BENCH_fleet.json (2% cycle tolerance,
+// exact digest match) over a reduced matrix that stays CI-cheap.
+//
+//   fig_fleet [--smoke] [--jobs N] [--json PATH] [--gate BENCH.json]
+//             [--diff]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/treesearch.hpp"
+#include "host/parallel.hpp"
+#include "net/image_codec.hpp"
+#include "net/netsim.hpp"
+#include "sim/harness.hpp"
+
+using namespace sensmart;
+
+namespace {
+
+constexpr uint64_t kChaosSeed = 0xF1EE7;
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8};
+
+std::vector<uint8_t> fig7_image_blob() {
+  std::vector<assembler::Image> images;
+  images.push_back(apps::data_feed_program(6, 64));
+  for (int i = 0; i < 2; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = 8;
+    p.trees = 1;
+    p.searches = 32;
+    p.seed = static_cast<uint16_t>(0x3131 + 0x1D0B * i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  rw::Linker linker;
+  for (const auto& img : images) linker.add(img);
+  return net::serialize_system(linker.link());
+}
+
+// Peak resident set (VmHWM) in KiB; 0 when unavailable (non-Linux).
+uint64_t peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+  return 0;
+}
+
+struct FleetCell {
+  size_t nodes = 0;
+  uint32_t drop_pct = 0;
+  unsigned shards = 0;
+  double wall_s = 0.0;
+  uint64_t cycles = 0;
+  uint64_t trace_digest = 0;
+  size_t complete = 0;
+  double speedup = 1.0;  // serial wall / this wall, same (nodes, drop)
+};
+
+// One dissemination run, timed end to end (fleet construction included —
+// allocating 257 machines is part of what the lazy-image change pays for).
+FleetCell run_cell(const std::vector<uint8_t>& blob, size_t nodes,
+                   uint32_t drop_pct, unsigned shards) {
+  FleetCell c;
+  c.nodes = nodes;
+  c.drop_pct = drop_pct;
+  c.shards = shards;
+  net::NetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.link.drop_pct = drop_pct;
+  cfg.chaos_seed = kChaosSeed;
+  cfg.max_cycles = 64'000'000'000ULL;
+  cfg.shards = shards;
+  // At fleet scale, ack/probe collisions on the shared channel can push a
+  // straggler past the default abandon bound even though it verified; the
+  // bench requires full convergence, so the base never gives up.
+  cfg.proto.node_give_up_probes = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  net::NetSim sim(cfg, blob);
+  const net::DisseminationResult res = sim.disseminate();
+  c.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+                 .count();
+  c.cycles = res.cycles;
+  c.trace_digest = res.trace_digest;
+  c.complete = res.complete_nodes();
+  if (!res.all_acked) {
+    std::cerr << "fig_fleet: nodes=" << nodes << " drop=" << drop_pct
+              << "% shards=" << shards << " did not converge ("
+              << res.complete_nodes() << "/" << nodes << " complete)\n";
+    std::exit(1);
+  }
+  return c;
+}
+
+// Run every shard count for one (nodes, drop) scenario and require the
+// deterministic surface to be invariant.
+std::vector<FleetCell> run_scenario(const std::vector<uint8_t>& blob,
+                                    size_t nodes, uint32_t drop_pct,
+                                    const std::vector<unsigned>& shard_list) {
+  std::vector<FleetCell> cells;
+  for (unsigned s : shard_list) {
+    cells.push_back(run_cell(blob, nodes, drop_pct, s));
+    FleetCell& c = cells.back();
+    c.speedup = cells.front().wall_s / (c.wall_s > 0 ? c.wall_s : 1e-9);
+    if (c.cycles != cells.front().cycles ||
+        c.trace_digest != cells.front().trace_digest) {
+      std::cerr << "fig_fleet: DIVERGENCE at nodes=" << nodes
+                << " drop=" << drop_pct << "% shards=" << s << ": digest 0x"
+                << std::hex << c.trace_digest << " vs serial 0x"
+                << cells.front().trace_digest << std::dec << "\n";
+      std::exit(1);
+    }
+  }
+  return cells;
+}
+
+// --- Fleet image dedup accounting -------------------------------------------
+// After a converged dissemination, install the verified image fleet-wide
+// the way sim::run_network does: one shared pre-decoded image adopted by
+// every node. Report per-node image heap against the historical eager
+// per-machine allocation (a private flash array + full decode cache each).
+struct MemoryReport {
+  size_t nodes = 0;
+  size_t eager_per_node = 0;
+  size_t shared_bytes = 0;     // the one fleet image
+  size_t private_total = 0;    // residual per-node private image bytes
+  double per_node = 0.0;
+  double reduction_pct = 0.0;
+};
+
+MemoryReport measure_dedup(const std::vector<uint8_t>& blob, size_t nodes,
+                           unsigned shards) {
+  MemoryReport m;
+  m.nodes = nodes;
+  m.eager_per_node =
+      emu::Machine::kFlashWords * sizeof(uint16_t) +
+      emu::Machine::kFlashWords * sizeof(emu::Machine::DecodedInsn);
+
+  net::NetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.chaos_seed = kChaosSeed;
+  cfg.max_cycles = 64'000'000'000ULL;
+  cfg.shards = shards;
+  cfg.proto.node_give_up_probes = 0;
+  net::NetSim sim(cfg, blob);
+  const net::DisseminationResult res = sim.disseminate();
+  if (!res.all_acked) {
+    std::cerr << "fig_fleet: dedup scenario did not converge\n";
+    std::exit(1);
+  }
+  const auto sys = net::deserialize_system(blob);
+  if (!sys) {
+    std::cerr << "fig_fleet: image blob failed to deserialize\n";
+    std::exit(1);
+  }
+  const auto img = emu::Machine::build_shared_image(sys->flash);
+  m.shared_bytes = img->bytes();
+  for (size_t id = 1; id <= nodes; ++id) {
+    sim.node_machine(id).adopt_image(img);
+    m.private_total += sim.node_machine(id).private_image_bytes();
+  }
+  m.per_node = double(m.private_total + m.shared_bytes) / double(nodes);
+  m.reduction_pct = 100.0 * (1.0 - m.per_node / double(m.eager_per_node));
+  return m;
+}
+
+uint64_t sum_serial_cycles(const std::vector<FleetCell>& cells) {
+  uint64_t t = 0;
+  for (const auto& c : cells)
+    if (c.shards == 1) t += c.cycles;
+  return t;
+}
+
+// The gate matrix: CI-cheap scenarios only. gate_cycles in the JSON is
+// summed over exactly these cells whether the bench ran --smoke or full,
+// so --gate (which recomputes only them) always compares like for like.
+const std::vector<size_t> kGateNodes = {4, 16};
+const std::vector<uint32_t> kGateDrops = {0, 10};
+
+bool is_gate_cell(const FleetCell& c) {
+  bool n_ok = false, d_ok = false;
+  for (size_t n : kGateNodes) n_ok |= (c.nodes == n);
+  for (uint32_t d : kGateDrops) d_ok |= (c.drop_pct == d);
+  return n_ok && d_ok;
+}
+
+uint64_t gate_cycles(const std::vector<FleetCell>& cells) {
+  uint64_t t = 0;
+  for (const auto& c : cells)
+    if (c.shards == 1 && is_gate_cell(c)) t += c.cycles;
+  return t;
+}
+
+void emit_json(std::ostream& os, bool smoke, size_t image_bytes,
+               const std::vector<FleetCell>& cells, const MemoryReport& mem) {
+  os << "{\n";
+  os << "  \"schema\": \"sensmart.bench.fleet/1\",\n";
+  os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  os << "  \"chaos_seed\": " << kChaosSeed << ",\n";
+  os << "  \"image_bytes\": " << image_bytes << ",\n";
+  os << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  os << "  \"peak_rss_kb\": " << peak_rss_kb() << ",\n";
+  os << "  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const FleetCell& c = cells[i];
+    os << "    {\"nodes\": " << c.nodes << ", \"drop_pct\": " << c.drop_pct
+       << ", \"shards\": " << c.shards << ", \"wall_s\": "
+       << sim::Table::num(c.wall_s, 3) << ", \"speedup\": "
+       << sim::Table::num(c.speedup, 2) << ", \"cycles\": " << c.cycles
+       << ", \"trace_digest\": " << c.trace_digest << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"memory\": {\n";
+  os << "    \"nodes\": " << mem.nodes << ",\n";
+  os << "    \"eager_per_node_bytes\": " << mem.eager_per_node << ",\n";
+  os << "    \"shared_image_bytes\": " << mem.shared_bytes << ",\n";
+  os << "    \"private_image_bytes_total\": " << mem.private_total << ",\n";
+  os << "    \"per_node_bytes\": " << sim::Table::num(mem.per_node, 1)
+     << ",\n";
+  os << "    \"reduction_pct\": " << sim::Table::num(mem.reduction_pct, 2)
+     << "\n";
+  os << "  },\n";
+  // The deterministic regression surface (--gate compares this): summed
+  // serial cycles over the gate matrix, which is shard-invariant.
+  os << "  \"guest\": {\n";
+  os << "    \"gate_cycles\": " << gate_cycles(cells) << ",\n";
+  os << "    \"total_serial_cycles\": " << sum_serial_cycles(cells) << "\n";
+  os << "  }\n";
+  os << "}\n";
+}
+
+uint64_t committed_gate_cycles(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  size_t at = text.find("\"guest\"");
+  if (at == std::string::npos) return 0;
+  const std::string key = "\"gate_cycles\": ";
+  at = text.find(key, at);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(text.c_str() + at + key.size(), nullptr, 10);
+}
+
+// CI regression gate: recompute the gate matrix serial and sharded; fail
+// on >2% summed-cycle drift against the committed BENCH_fleet.json or on
+// any serial-vs-sharded digest mismatch.
+int run_gate(const std::string& path) {
+  constexpr double kTolerance = 0.02;
+  const uint64_t committed = committed_gate_cycles(path);
+  if (committed == 0) {
+    std::cerr << "fig_fleet: no committed gate_cycles in " << path << "\n";
+    return 2;
+  }
+  const auto blob = fig7_image_blob();
+  uint64_t current = 0;
+  for (size_t n : kGateNodes)
+    for (uint32_t d : kGateDrops) {
+      const auto cells = run_scenario(blob, n, d, {1, 4});  // enforces digest
+      current += sum_serial_cycles(cells);
+    }
+  const double drift = double(current) / double(committed) - 1.0;
+  std::cout << "fleet gate: current " << current << " vs committed "
+            << committed << " (" << sim::Table::num(100.0 * drift, 2)
+            << "% drift, tolerance ±2%)\n";
+  if (drift > kTolerance || drift < -kTolerance) {
+    std::cerr << "fig_fleet: FAIL — fleet dissemination cost drifted beyond "
+                 "2%; if the engine change is intentional, refresh "
+                 "BENCH_fleet.json in the same commit\n";
+    return 1;
+  }
+  std::cout << "fleet gate: OK (digests serial == sharded)\n";
+  return 0;
+}
+
+// Serial-vs-sharded diff for CI: one mid-size scenario at every shard
+// count; exits nonzero (inside run_scenario) on any divergence.
+int run_diff() {
+  const auto blob = fig7_image_blob();
+  const auto cells =
+      run_scenario(blob, 16, 10, {kShardCounts, std::end(kShardCounts)});
+  std::cout << "fleet diff: nodes=16 drop=10% digest 0x" << std::hex
+            << cells.front().trace_digest << std::dec
+            << " identical at shards {1, 2, 4, 8}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_fleet.json";
+  std::string gate_path;
+  bool diff = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      ++i;  // accepted for CLI symmetry; cells time internal parallelism,
+            // so the scenario loop itself always runs serially
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      gate_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      diff = true;
+    } else {
+      std::cerr << "usage: fig_fleet [--smoke] [--jobs N] [--json PATH] "
+                   "[--gate BENCH.json] [--diff]\n";
+      return 2;
+    }
+  }
+  if (!gate_path.empty()) return run_gate(gate_path);
+  if (diff) return run_diff();
+
+  const auto blob = fig7_image_blob();
+  const std::vector<unsigned> shard_list(kShardCounts,
+                                         std::end(kShardCounts));
+
+  // The gate scenarios are always present (they define gate_cycles); the
+  // full run adds the fleet-scale scenarios the speedup story is about.
+  std::vector<std::pair<size_t, uint32_t>> scenarios;
+  for (size_t n : kGateNodes)
+    for (uint32_t d : kGateDrops) scenarios.emplace_back(n, d);
+  if (!smoke) {
+    scenarios.emplace_back(64, 10);
+    scenarios.emplace_back(256, 10);
+  }
+
+  std::vector<FleetCell> cells;
+  for (const auto& [n, d] : scenarios) {
+    const auto sc = run_scenario(blob, n, d, shard_list);
+    cells.insert(cells.end(), sc.begin(), sc.end());
+  }
+  const MemoryReport mem =
+      measure_dedup(blob, smoke ? size_t(16) : size_t(256), 8);
+
+  std::cout << "Fleet dissemination across shard counts ("
+            << blob.size() << "-byte image, seed 0x" << std::hex << kChaosSeed
+            << std::dec << ", host_threads="
+            << std::thread::hardware_concurrency() << ")\n\n";
+  sim::Table t({"Nodes", "Drop%", "Shards", "Wall(s)", "Speedup", "Gcycles",
+                "Digest"},
+               11);
+  for (const FleetCell& c : cells) {
+    std::ostringstream dg;
+    dg << std::hex << (c.trace_digest >> 48);
+    t.row({sim::Table::num(uint64_t(c.nodes)),
+           sim::Table::num(uint64_t(c.drop_pct)),
+           sim::Table::num(uint64_t(c.shards)),
+           sim::Table::num(c.wall_s, 2), sim::Table::num(c.speedup, 2),
+           sim::Table::num(double(c.cycles) / 1e9, 2), dg.str() + ".."});
+  }
+  t.print();
+  std::cout << "\nImage dedup at " << mem.nodes << " nodes: "
+            << mem.eager_per_node / 1024 << " KiB/node eager -> "
+            << sim::Table::num(mem.per_node / 1024.0, 1)
+            << " KiB/node shared (" << sim::Table::num(mem.reduction_pct, 1)
+            << "% reduction; one " << mem.shared_bytes / 1024
+            << " KiB image fleet-wide)\n"
+            << "Speedup scales with host cores (digests and cycles do not\n"
+               "change with shard count — that is the engine's contract).\n";
+
+  std::ofstream js(json_path);
+  if (!js) {
+    std::cerr << "fig_fleet: cannot write " << json_path << "\n";
+    return 1;
+  }
+  emit_json(js, smoke, blob.size(), cells, mem);
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -60,6 +60,10 @@ ChaosResult run_chaos(const ChaosOptions& opts);
 struct NetChaosOptions {
   uint64_t seed = 1;
   uint64_t max_cycles = 6'000'000'000ULL;
+  // Shard workers for the intra-network parallel engine (NetConfig::
+  // shards). Any value must reproduce the serial run byte-identically —
+  // the replay oracle below enforces it when tests sweep shard counts.
+  unsigned shards = 1;
 };
 
 struct NetChaosResult {

@@ -20,8 +20,11 @@ const char* to_string(StopReason r) {
   return "?";
 }
 
-Machine::Machine()
-    : flash_(kFlashWords, 0xFFFF), dcache_(kFlashWords) {
+// flash_/dcache_ start empty: a fleet-simulation machine that never
+// executes (every NetSim receiver during dissemination) never pays the
+// ~1.6 MB of private image arrays. materialize_image() allocates them on
+// the first load_flash()/fetch; adopt_image() shares them instead.
+Machine::Machine() {
   mem_.set_io_hook(
       [](void* self, uint16_t addr, uint8_t& v, bool write) {
         Machine& m = *static_cast<Machine*>(self);
@@ -53,9 +56,50 @@ bool Machine::hook_thunk(void* self, Machine& m, uint32_t) {
   return static_cast<Machine*>(self)->service_hook_(m);
 }
 
+void Machine::materialize_image() {
+  if (!flash_.empty()) return;
+  if (shared_) {
+    // Copy-on-write detach: snapshot the shared image (every entry of its
+    // decode cache is valid, so the snapshot is immediately hot) and stop
+    // sharing. The SharedImage itself is never written.
+    flash_ = shared_->flash;
+    dcache_ = shared_->dcache;
+    shared_.reset();
+  } else {
+    flash_.assign(kFlashWords, 0xFFFF);
+    dcache_.assign(kFlashWords, DecodedInsn{});
+  }
+  flash_ro_ = flash_.data();
+  dcache_ro_ = dcache_.data();
+}
+
+void Machine::adopt_image(std::shared_ptr<const SharedImage> img) {
+  shared_ = std::move(img);
+  flash_ = {};
+  dcache_ = {};
+  flash_ro_ = shared_->flash.data();
+  dcache_ro_ = shared_->dcache.data();
+  flash_used_ = shared_->used;
+}
+
+std::shared_ptr<const Machine::SharedImage> Machine::build_shared_image(
+    std::span<const uint16_t> words, uint32_t base) {
+  if (base + words.size() > kFlashWords)
+    throw std::out_of_range("flash image too large");
+  auto img = std::make_shared<SharedImage>();
+  img->flash.assign(kFlashWords, 0xFFFF);
+  for (size_t i = 0; i < words.size(); ++i) img->flash[base + i] = words[i];
+  img->used = base + static_cast<uint32_t>(words.size());
+  img->dcache.resize(kFlashWords);
+  for (uint32_t a = 0; a < kFlashWords; ++a)
+    decode_entry(img->flash, a, img->dcache[a]);
+  return img;
+}
+
 void Machine::load_flash(std::span<const uint16_t> words, uint32_t base) {
   if (base + words.size() > kFlashWords)
     throw std::out_of_range("flash image too large");
+  materialize_image();
   for (size_t i = 0; i < words.size(); ++i) {
     flash_[base + i] = words[i];
     dcache_[base + i].valid = 0;
@@ -80,17 +124,21 @@ void Machine::reset(uint32_t entry_word) {
   fused_ret_valid_ = false;
 }
 
-void Machine::fill_entry(uint32_t word_addr) {
-  DecodedInsn& d = dcache_[word_addr];
-  d.ins = isa::decode(flash_, word_addr);
+void Machine::decode_entry(std::span<const uint16_t> flash,
+                           uint32_t word_addr, DecodedInsn& d) {
+  d.ins = isa::decode(flash, word_addr);
   d.size = static_cast<uint8_t>(isa::size_words(d.ins.op));
   d.cycles = static_cast<uint8_t>(isa::base_cycles(d.ins.op));
   // A Break's decode has no operand of its own; cache the service-index
   // word that follows it so a trap dispatch does not refetch it from
   // flash. load_flash() invalidates this entry if either word changes.
   if (d.ins.op == isa::Op::Break)
-    d.ins.k = static_cast<int32_t>(flash_word(word_addr + 1));
+    d.ins.k = static_cast<int32_t>(flash[(word_addr + 1) % kFlashWords]);
   d.valid = 1;
+}
+
+void Machine::fill_entry(uint32_t word_addr) {
+  decode_entry(flash_, word_addr, dcache_[word_addr]);
 }
 
 void Machine::dispatch_irq(Irq irq) {

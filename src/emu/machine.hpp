@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -44,12 +45,60 @@ class Machine {
  public:
   static constexpr uint32_t kFlashWords = 0x10000;  // 128 KB
 
+  // Decode-cache entry: the decoded instruction plus its execution
+  // metadata, so the hot loop never re-derives size/base-cycles through
+  // the out-of-line isa:: classification switches.
+  struct DecodedInsn {
+    isa::Instruction ins;
+    uint8_t size = 1;    // isa::size_words(ins.op)
+    uint8_t cycles = 1;  // isa::base_cycles(ins.op)
+    uint8_t valid = 0;   // in-entry flag: no second array touched per fetch
+  };
+
+  // One naturalized image shared by a fleet of machines: the full flash
+  // plus a completely pre-decoded cache (every entry valid), immutable
+  // after build_shared_image(). Because no entry is ever invalid, an
+  // adopting machine's fetch path never writes into it — concurrent
+  // execution of any number of machines over one SharedImage is read-only
+  // and race-free. A machine that needs to mutate flash (load_flash)
+  // detaches first with a private copy-on-write snapshot.
+  struct SharedImage {
+    std::vector<uint16_t> flash;      // kFlashWords; erased state 0xFFFF
+    std::vector<DecodedInsn> dcache;  // kFlashWords, all entries valid
+    uint32_t used = 0;                // words occupied by the image
+    size_t bytes() const {
+      return flash.size() * sizeof(uint16_t) +
+             dcache.size() * sizeof(DecodedInsn);
+    }
+  };
+
   Machine();
 
+  // Build an immutable, fully pre-decoded image for adopt_image(). Cost is
+  // one decode pass over all of flash, paid once per fleet instead of
+  // lazily per machine.
+  static std::shared_ptr<const SharedImage> build_shared_image(
+      std::span<const uint16_t> words, uint32_t base = 0);
+
+  // Share `img` as this machine's flash + decode cache, releasing any
+  // private copies. Equivalent to load_flash() of the same words for every
+  // observable behavior; the image memory is shared, not owned.
+  void adopt_image(std::shared_ptr<const SharedImage> img);
+  bool image_shared() const { return shared_ != nullptr; }
+  // Heap bytes this machine privately holds for flash + decode cache
+  // (zero while unloaded or adopted — the dedup win fig_fleet reports).
+  size_t private_image_bytes() const {
+    return flash_.capacity() * sizeof(uint16_t) +
+           dcache_.capacity() * sizeof(DecodedInsn);
+  }
+
   // Load `words` at flash word address `base` and reset decode caches.
+  // A machine sharing an image detaches (copy-on-write) first.
   void load_flash(std::span<const uint16_t> words, uint32_t base = 0);
   uint16_t flash_word(uint32_t word_addr) const {
-    return flash_[word_addr % kFlashWords];
+    // flash_ro_ is null only before any image exists; erased flash reads
+    // 0xFFFF, matching the eagerly-allocated historical behavior.
+    return flash_ro_ ? flash_ro_[word_addr % kFlashWords] : 0xFFFF;
   }
   uint8_t flash_byte(uint32_t byte_addr) const {
     const uint16_t w = flash_word(byte_addr >> 1);
@@ -158,23 +207,23 @@ class Machine {
   }
 
  private:
-  // Decode-cache entry: the decoded instruction plus its execution
-  // metadata, so the hot loop never re-derives size/base-cycles through
-  // the out-of-line isa:: classification switches.
-  struct DecodedInsn {
-    isa::Instruction ins;
-    uint8_t size = 1;    // isa::size_words(ins.op)
-    uint8_t cycles = 1;  // isa::base_cycles(ins.op)
-    uint8_t valid = 0;   // in-entry flag: no second array touched per fetch
-  };
-
   const DecodedInsn& entry(uint32_t word_addr) {
     word_addr %= kFlashWords;
-    DecodedInsn& d = dcache_[word_addr];
+    // dcache_ro_ views either the private cache (lazily fillable) or a
+    // shared image (every entry pre-decoded, so the fill branch is dead
+    // and the shared data is never written).
+    if (!dcache_ro_) materialize_image();
+    const DecodedInsn& d = dcache_ro_[word_addr];
     if (!d.valid) fill_entry(word_addr);
     return d;
   }
   void fill_entry(uint32_t word_addr);
+  // Allocate the private flash/decode-cache arrays on first need; a
+  // machine holding a SharedImage detaches by snapshotting it (the
+  // copy-on-write half of the dedup contract).
+  void materialize_image();
+  static void decode_entry(std::span<const uint16_t> flash,
+                           uint32_t word_addr, DecodedInsn& d);
 
   // Forced inline: the batched run() loop is the one hot call site, and
   // keeping the dispatch in the caller's frame avoids a full
@@ -211,8 +260,15 @@ class Machine {
 
   static bool hook_thunk(void* self, Machine& m, uint32_t svc_arg);
 
+  // Image storage: either private (flash_/dcache_, allocated lazily on
+  // first load/fetch) or shared (shared_, immutable). flash_ro_/dcache_ro_
+  // are the active read views; fill_entry() writes through dcache_ only,
+  // which aliases dcache_ro_ exactly when the image is private.
   std::vector<uint16_t> flash_;
   std::vector<DecodedInsn> dcache_;
+  std::shared_ptr<const SharedImage> shared_;
+  const uint16_t* flash_ro_ = nullptr;
+  const DecodedInsn* dcache_ro_ = nullptr;
   uint32_t flash_used_ = 0;
 
   DataMemory mem_;

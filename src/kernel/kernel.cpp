@@ -85,6 +85,19 @@ Kernel::Kernel(emu::Machine& machine, rw::LinkedSystem&& sys, KernelConfig cfg,
   init();
 }
 
+Kernel::Kernel(emu::Machine& machine,
+               std::shared_ptr<const rw::LinkedSystem> sys,
+               std::shared_ptr<const emu::Machine::SharedImage> image,
+               KernelConfig cfg, InstallInfo install)
+    : m_(machine),
+      shared_sys_(std::move(sys)),
+      shared_image_(std::move(image)),
+      sys_(shared_sys_.get()),
+      cfg_(cfg),
+      install_(install) {
+  init();
+}
+
 void Kernel::init() {
   const rw::LinkedSystem& sys = *sys_;
   // Trampoline CALLs transiently push 2 bytes on the task stack before the
@@ -118,7 +131,10 @@ void Kernel::init() {
         c.run_rd[f] = static_cast<uint8_t>((svc.run_regs >> (5 * f)) & 0x1F);
     }
   }
-  m_.load_flash(sys.flash);
+  if (shared_image_)
+    m_.adopt_image(shared_image_);
+  else
+    m_.load_flash(sys.flash);
   m_.set_service_handler(0, &Kernel::service_thunk, this);
 }
 

@@ -241,6 +241,15 @@ class Kernel {
   Kernel(emu::Machine& machine, rw::LinkedSystem&& sys, KernelConfig cfg = {},
          InstallInfo install = {});
 
+  // Fleet-install entry point: many nodes received byte-identical images,
+  // so the deserialized system and its pre-decoded flash image are built
+  // once and shared read-only across every installing kernel
+  // (Machine::adopt_image) instead of re-parsed and re-loaded per node.
+  // Behaviorally identical to the owning constructor for the same bytes.
+  Kernel(emu::Machine& machine, std::shared_ptr<const rw::LinkedSystem> sys,
+         std::shared_ptr<const emu::Machine::SharedImage> image,
+         KernelConfig cfg = {}, InstallInfo install = {});
+
   // Create a task running program `program_index`. Fails (returns nullopt)
   // if admission would leave some task below the minimum stack. Must be
   // called before start().
@@ -455,6 +464,10 @@ class Kernel {
 
   emu::Machine& m_;
   std::unique_ptr<rw::LinkedSystem> owned_sys_;  // set by the install ctor
+  // Set by the fleet-install ctor: shared ownership of the system and the
+  // pre-decoded image the machine adopts instead of a private load_flash.
+  std::shared_ptr<const rw::LinkedSystem> shared_sys_;
+  std::shared_ptr<const emu::Machine::SharedImage> shared_image_;
   const rw::LinkedSystem* sys_;
   KernelConfig cfg_;
   InstallInfo install_;

@@ -25,6 +25,12 @@ uint32_t crc32(std::span<const uint8_t> bytes) {
 
 std::vector<uint8_t> encode_frame(const Frame& f) {
   std::vector<uint8_t> out;
+  encode_frame_into(f, out);
+  return out;
+}
+
+void encode_frame_into(const Frame& f, std::vector<uint8_t>& out) {
+  out.clear();
   out.reserve(kFrameOverhead + f.payload.size());
   out.push_back(kFrameSync);
   out.push_back(static_cast<uint8_t>(f.type));
@@ -37,7 +43,6 @@ std::vector<uint8_t> encode_frame(const Frame& f) {
       crc16_ccitt(std::span<const uint8_t>(out).subspan(1, 5 + f.payload.size()));
   out.push_back(static_cast<uint8_t>(crc & 0xFF));
   out.push_back(static_cast<uint8_t>(crc >> 8));
-  return out;
 }
 
 std::optional<Frame> Deframer::next() {

@@ -48,6 +48,10 @@ uint32_t crc32(std::span<const uint8_t> bytes);
 
 // Serialize a frame into wire bytes (one radio packet).
 std::vector<uint8_t> encode_frame(const Frame& f);
+// Allocation-free variant for per-packet hot paths: `out` is cleared and
+// refilled, keeping its capacity, so a caller-owned scratch buffer makes
+// steady-state encoding allocation-free.
+void encode_frame_into(const Frame& f, std::vector<uint8_t>& out);
 
 // Streaming parser over the raw RX byte sequence.
 class Deframer {

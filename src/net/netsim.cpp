@@ -6,6 +6,7 @@
 #include <set>
 
 #include "emu/io_map.hpp"
+#include "host/parallel.hpp"
 
 namespace sensmart::net {
 
@@ -68,6 +69,12 @@ struct NetSim::Node {
   std::deque<NodeCrash> crash_plan;
   bool down = false;
   uint64_t up_at = 0;
+  // Start-of-quantum snapshot of "assembled image kept failing its CRC":
+  // the serial engine's base step ran before the node steps of the same
+  // quantum, so the base's abandon-reason classification must see node
+  // state as of the quantum start, not after this quantum's parallel step.
+  bool snap_checksum_fail = false;
+  std::vector<uint16_t> nack_scratch;  // missing-chunk list, reused
   NodeDissemStats stats;
 };
 
@@ -83,20 +90,26 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
   blob_crc_ = crc32(blob_);
 
   machines_.reserve(cfg_.nodes + 1);
+  txbufs_.resize(cfg_.nodes + 1);
+  encode_scratch_.resize(cfg_.nodes + 1);
   for (size_t i = 0; i <= cfg_.nodes; ++i) {
     machines_.push_back(std::make_unique<emu::Machine>());
     medium_.attach(&machines_.back()->dev());
     const size_t id = i;
+    // During the parallel phase a completion is buffered (the medium and
+    // the trace are shared state); it is replayed at the quantum barrier
+    // in machine-id order, which is exactly when and in what order the
+    // serial engine's per-machine sync loop would have fired it.
     machines_.back()->dev().set_tx_sink(
         [this, id](std::span<const uint8_t> pkt, uint64_t done) {
-          record(done, static_cast<uint8_t>(id), NetEventKind::TxFrame,
-                 pkt.size() > 1 ? pkt[1] : 0,
-                 static_cast<uint32_t>(pkt.size()));
-          if (id == 0)
-            base_->stats.bytes_tx += pkt.size();
-          else
-            nodes_[id - 1]->stats.bytes_tx += pkt.size();
-          medium_.broadcast(id, pkt, done);
+          if (phase_parallel_) {
+            TxBuf& tb = txbufs_[id];
+            tb.recs.push_back({static_cast<uint32_t>(tb.bytes.size()),
+                               static_cast<uint32_t>(pkt.size()), done});
+            tb.bytes.insert(tb.bytes.end(), pkt.begin(), pkt.end());
+            return;
+          }
+          deliver_tx(id, pkt, done);
         });
   }
 
@@ -196,9 +209,33 @@ void NetSim::record(uint64_t cycle, uint8_t node, NetEventKind kind,
     trace_.push_back({cycle, node, kind, a, b});
 }
 
+void NetSim::deliver_tx(size_t id, std::span<const uint8_t> pkt,
+                        uint64_t done) {
+  record(done, static_cast<uint8_t>(id), NetEventKind::TxFrame,
+         pkt.size() > 1 ? pkt[1] : 0, static_cast<uint32_t>(pkt.size()));
+  if (id == 0)
+    base_->stats.bytes_tx += pkt.size();
+  else
+    nodes_[id - 1]->stats.bytes_tx += pkt.size();
+  medium_.broadcast(id, pkt, done);
+}
+
+void NetSim::replay_tx(size_t id) {
+  TxBuf& tb = txbufs_[id];
+  for (const TxBuf::Rec& r : tb.recs)
+    deliver_tx(id,
+               std::span<const uint8_t>(tb.bytes.data() + r.off, r.len),
+               r.done);
+  tb.clear();
+}
+
 void NetSim::send_frame(size_t node_id, const Frame& f) {
   auto& dev = machines_[node_id]->dev();
-  const std::vector<uint8_t> bytes = encode_frame(f);
+  // Per-machine scratch: the encode buffer is written only by the owner
+  // of node_id (its shard, or the serial base step), so reuse is both
+  // allocation-free and race-free.
+  std::vector<uint8_t>& bytes = encode_scratch_[node_id];
+  encode_frame_into(f, bytes);
   for (uint8_t b : bytes) {
     uint8_t v = b;
     dev.io_access(emu::kRadioData, v, true);
@@ -223,11 +260,15 @@ void NetSim::drain_rx(size_t node_id, Deframer& d) {
   }
 }
 
-std::vector<uint8_t> NetSim::chunk_payload_of(uint16_t seq) const {
+void NetSim::send_data_frame(uint16_t seq) {
   const size_t cp = cfg_.proto.chunk_payload;
   const size_t begin = size_t(seq) * cp;
   const size_t end = std::min(begin + cp, blob_.size());
-  return std::vector<uint8_t>(blob_.begin() + begin, blob_.begin() + end);
+  data_scratch_.type = FrameType::Data;
+  data_scratch_.version = cfg_.proto.version;
+  data_scratch_.seq = seq;
+  data_scratch_.payload.assign(blob_.begin() + begin, blob_.begin() + end);
+  send_frame(0, data_scratch_);
 }
 
 void NetSim::note_node_alive(size_t node_id) {
@@ -299,15 +340,13 @@ void NetSim::step_base(uint64_t now) {
     ++base_->stats.retransmissions;
     record(now, 0, NetEventKind::BaseRetransmit, seq,
            static_cast<uint32_t>(base_->retransmit.size()));
-    send_frame(0, Frame{FrameType::Data, cfg_.proto.version, seq,
-                        chunk_payload_of(seq)});
+    send_data_frame(seq);
     return;
   }
   if (base_->cursor < total_chunks_) {
     const uint16_t seq = base_->cursor++;
     ++base_->stats.data_tx;
-    send_frame(0, Frame{FrameType::Data, cfg_.proto.version, seq,
-                        chunk_payload_of(seq)});
+    send_data_frame(seq);
     return;
   }
   // Idle with unacked nodes: re-probe with a Summary, backing off
@@ -333,17 +372,26 @@ void NetSim::step_base(uint64_t now) {
           continue;
         base_->abandoned[id] = true;
         ++base_->abandoned_count;
+        // Classify from the node's start-of-quantum snapshot: the serial
+        // engine's base step preceded this quantum's node steps, and the
+        // sharded engine's barrier order must reproduce its view.
+        const Node& n = *nodes_[id - 1];
+        NodeAbortReason reason = NodeAbortReason::TimedOut;
+        if (!base_->heard[id])
+          reason = NodeAbortReason::NeverHeard;
+        else if (n.snap_checksum_fail)
+          reason = NodeAbortReason::ChecksumFail;
         record(now, 0, NetEventKind::NodeAbandoned,
-               static_cast<uint32_t>(id),
-               static_cast<uint32_t>(abort_reason_of(*nodes_[id - 1])));
+               static_cast<uint32_t>(id), static_cast<uint32_t>(reason));
       }
     }
   }
 }
 
-void NetSim::node_send_nack(Node& n, uint64_t now) {
+void NetSim::node_send_nack(Node& n, uint64_t now, ShardCtx& sc) {
   const auto& st = machines_[n.id]->dev().image_store();
-  std::vector<uint16_t> missing;
+  std::vector<uint16_t>& missing = n.nack_scratch;
+  missing.clear();
   if (st.has_summary) {
     for (uint16_t seq = 0; seq < total_chunks_ && missing.size() < kMaxNackList;
          ++seq)
@@ -354,13 +402,14 @@ void NetSim::node_send_nack(Node& n, uint64_t now) {
   ++n.stats.nacks_sent;
   const uint32_t exp = std::min(n.nack_streak, cfg_.proto.backoff_cap_exp);
   n.stats.backoff_max_exp = std::max(n.stats.backoff_max_exp, exp);
-  record(now, static_cast<uint8_t>(n.id), NetEventKind::NackTx,
-         static_cast<uint32_t>(missing.size()), exp);
+  sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NackTx,
+            static_cast<uint32_t>(missing.size()), exp);
   n.next_nack_at = now + (cfg_.proto.nack_timeout << exp) + n.id * 3 * kByte;
   ++n.nack_streak;
 }
 
-void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
+void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
+                           ShardCtx& sc) {
   emu::ImageStore& st = machines_[n.id]->dev().image_store();
   ++n.stats.frames_rx;
   if (f.version != cfg_.proto.version) return;
@@ -380,26 +429,27 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
     if (payload.size() != expect) return;
     if (st.have[seq]) {
       ++n.stats.duplicate_chunks;
-      record(now, static_cast<uint8_t>(n.id), NetEventKind::DuplicateChunk,
-             seq, 0);
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::DuplicateChunk,
+                seq, 0);
       return;
     }
     std::copy(payload.begin(), payload.end(), st.image.begin() + seq * cp);
     st.have[seq] = 1;
     ++st.chunks_have;
     ++st.writes;
-    record(now, static_cast<uint8_t>(n.id), NetEventKind::ChunkStored, seq,
-           st.chunks_have);
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ChunkStored, seq,
+              st.chunks_have);
     progress();
     if (st.chunks_have != st.total_chunks) return;
 
     // Whole image assembled: activate only on a verified checksum.
     if (crc32(st.image) == st.image_crc) {
       st.verified = true;
+      ++sc.complete_delta;
       n.stats.complete = true;
       n.stats.completion_cycle = now;
-      record(now, static_cast<uint8_t>(n.id), NetEventKind::Complete, n.id,
-             st.image_crc & 0xFFFF);
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::Complete, n.id,
+                st.image_crc & 0xFFFF);
       send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
       ++n.stats.acks_sent;
       n.last_ack_at = now;
@@ -407,8 +457,8 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
       // Frame CRCs all passed yet the image does not verify (16-bit CRC
       // collision): discard everything and re-request; never activate.
       ++n.stats.checksum_failures;
-      record(now, static_cast<uint8_t>(n.id), NetEventKind::ChecksumFail,
-             n.id, 0);
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ChecksumFail,
+                n.id, 0);
       std::fill(st.have.begin(), st.have.end(), 0);
       st.chunks_have = 0;
       n.nack_streak = 0;
@@ -456,8 +506,8 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
         st.have.assign(info->total_chunks, 0);
         st.chunks_have = 0;
         ++st.writes;
-        record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryStored,
-               info->total_chunks, info->image_crc & 0xFFFF);
+        sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryStored,
+                  info->total_chunks, info->image_crc & 0xFFFF);
         st.has_summary = true;
         auto early = std::move(n.early);
         n.early.clear();
@@ -492,15 +542,15 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now) {
   }
 }
 
-void NetSim::step_node(size_t idx, uint64_t now) {
+void NetSim::step_node(size_t idx, uint64_t now, ShardCtx& sc) {
   Node& n = *nodes_[idx];
   drain_rx(n.id, n.deframer);
-  while (auto f = n.deframer.next()) on_node_frame(n, *f, now);
+  while (auto f = n.deframer.next()) on_node_frame(n, *f, now, sc);
   if (machines_[n.id]->dev().image_store().verified) return;
-  if (now >= n.next_nack_at) node_send_nack(n, now);
+  if (now >= n.next_nack_at) node_send_nack(n, now, sc);
 }
 
-void NetSim::node_lifecycle(size_t idx, uint64_t now) {
+void NetSim::node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc) {
   Node& n = *nodes_[idx];
   auto& dev = machines_[n.id]->dev();
   emu::ImageStore& st = dev.image_store();
@@ -519,8 +569,8 @@ void NetSim::node_lifecycle(size_t idx, uint64_t now) {
     n.nack_streak = 0;
     n.next_nack_at = now + cfg_.proto.nack_timeout / 2 + n.id * 3 * kByte;
     n.last_ack_at = 0;  // a completed node re-answers the next probe at once
-    record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeRebooted,
-           st.chunks_have, st.verified);
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeRebooted,
+              st.chunks_have, st.verified);
     return;
   }
 
@@ -529,18 +579,40 @@ void NetSim::node_lifecycle(size_t idx, uint64_t now) {
     const NodeCrash ev = n.crash_plan.front();
     n.crash_plan.pop_front();
     ++n.stats.crashes;
-    record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeCrashed,
-           st.chunks_have, ev.wipe_store);
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeCrashed,
+              st.chunks_have, ev.wipe_store);
     dev.reboot();  // power fails: every volatile device state dies now
-    if (ev.wipe_store) st.erase();
+    if (ev.wipe_store) {
+      if (st.verified) --sc.complete_delta;  // a cold crash wipes a completion
+      st.erase();
+    }
     n.deframer = Deframer{};
     n.early.clear();
     n.down = true;
     n.up_at = now + ev.down_bytes * kByte;
     // While down the node neither hears nor is heard: both link directions
     // are forced into an outage window (consumes no medium randomness).
-    medium_.add_outage({kAnyNode, n.id, now, n.up_at});
-    medium_.add_outage({n.id, kAnyNode, now, n.up_at});
+    // Buffered: the medium is shared state, and outages only gate future
+    // broadcasts, so applying them at the barrier is observation-identical.
+    sc.outages.push_back({kAnyNode, n.id, now, n.up_at});
+    sc.outages.push_back({n.id, kAnyNode, now, n.up_at});
+  }
+}
+
+// One shard's slice of a simulation quantum (the parallel phase): advance
+// the shard's devices to `t` (TX completions land in txbufs_), then run
+// each owned receiver's lifecycle + protocol step. Everything written here
+// is owned by this shard — node/device state of its own receivers, its
+// ShardCtx buffers, its machines' TX buffers — so shards never race.
+void NetSim::run_shard_quantum(ShardCtx& sc, uint64_t t) {
+  for (size_t id = sc.machine_begin; id < sc.machine_end; ++id)
+    machines_[id]->dev().sync(t);
+  for (size_t i = sc.node_begin; i < sc.node_end; ++i) {
+    Node& n = *nodes_[i];
+    const emu::ImageStore& st = machines_[n.id]->dev().image_store();
+    n.snap_checksum_fail = n.stats.checksum_failures > 0 && !st.verified;
+    node_lifecycle(i, t, sc);
+    if (!n.down) step_node(i, t, sc);
   }
 }
 
@@ -559,6 +631,26 @@ DisseminationResult NetSim::disseminate() {
   res.image_bytes = static_cast<uint32_t>(blob_.size());
   ran_ = true;
 
+  // Partition receivers into contiguous shards (DESIGN.md §9). Shard s
+  // owns receiver indices [s*N/S, (s+1)*N/S) and syncs their machines;
+  // shard 0 additionally syncs the base machine. Contiguity makes the
+  // barrier merge a concatenation in shard order = node-id order.
+  const unsigned requested = cfg_.shards == 0
+                                 ? host::effective_jobs(0, cfg_.nodes)
+                                 : cfg_.shards;
+  const unsigned S = static_cast<unsigned>(std::max<size_t>(
+      1, std::min<size_t>(requested, std::max<size_t>(cfg_.nodes, 1))));
+  shards_.assign(S, ShardCtx{});
+  for (unsigned s = 0; s < S; ++s) {
+    ShardCtx& sc = shards_[s];
+    sc.node_begin = cfg_.nodes * s / S;
+    sc.node_end = cfg_.nodes * (s + 1) / S;
+    sc.machine_begin = s == 0 ? 0 : sc.node_begin + 1;
+    sc.machine_end = sc.node_end + 1;
+  }
+  std::unique_ptr<host::WorkPool> pool;
+  if (S > 1) pool = std::make_unique<host::WorkPool>(S);
+
   uint64_t t = 0;
   // Termination: every node acknowledged, or every straggler abandoned
   // after its bounded retries, or the cycle budget exhausted.
@@ -568,16 +660,41 @@ DisseminationResult NetSim::disseminate() {
       res.budget_exhausted = true;
       break;
     }
-    // Deliver due packets first, then advance devices (completing
-    // transmissions hand packets to the medium with latency >= one byte
-    // time, so nothing broadcast in this quantum is consumable before the
-    // next — node stepping order cannot leak causality).
+    // Deliver due packets first (completing transmissions hand packets to
+    // the medium with latency >= one byte time, so nothing broadcast in
+    // this quantum is consumable before the next — shard stepping order
+    // cannot leak causality).
     medium_.flush(t);
-    for (auto& m : machines_) m->dev().sync(t);
+
+    // Parallel phase: each shard advances its devices and steps its
+    // receivers, with every cross-node effect buffered shard-locally.
+    phase_parallel_ = true;
+    if (pool) {
+      pool->dispatch([this, t](unsigned s) {
+        run_shard_quantum(shards_[s], t);
+      });
+    } else {
+      run_shard_quantum(shards_[0], t);
+    }
+    phase_parallel_ = false;
+
+    // Barrier merge, reproducing the serial engine's exact per-quantum
+    // order: (1) TX completions + their broadcasts in machine-id order
+    // (the medium's PRNG roll order), (2) the base's protocol step,
+    // (3) receiver trace events in node-id order, then the buffered
+    // outage windows (first consulted by next quantum's broadcasts).
+    for (size_t id = 0; id < machines_.size(); ++id) replay_tx(id);
     step_base(t);
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      node_lifecycle(i, t);
-      if (!nodes_[i]->down) step_node(i, t);
+    for (ShardCtx& sc : shards_) {
+      for (const NetTraceEvent& e : sc.events)
+        record(e.cycle, e.node, e.kind, e.a, e.b);
+      for (const LinkOutage& o : sc.outages) medium_.add_outage(o);
+      complete_count_ =
+          static_cast<size_t>(static_cast<int64_t>(complete_count_) +
+                              sc.complete_delta);
+      sc.events.clear();
+      sc.outages.clear();
+      sc.complete_delta = 0;
     }
   }
 
@@ -608,6 +725,8 @@ DisseminationResult NetSim::disseminate() {
   base_->stats.nodes_abandoned =
       static_cast<uint32_t>(base_->abandoned_count);
   res.base = base_->stats;
+  res.complete_count = complete_count_;
+  res.abandoned_count = base_->abandoned_count;
   res.trace_digest = trace_digest_;
   res.trace_events = trace_count_;
   return res;

@@ -88,6 +88,14 @@ struct NetConfig {
   uint64_t max_cycles = 4'000'000'000ULL;
   size_t trace_capacity = 1 << 16;  // stored events (digest covers all)
   NodeFaultPolicy node_faults;      // receiver crash/reboot schedule
+  // Worker threads for the intra-network bulk-synchronous step (DESIGN.md
+  // §9): receivers are partitioned into `shards` contiguous spans whose
+  // device sync + protocol steps run in parallel within each quantum, with
+  // all cross-node effects (TX broadcasts, trace events, outages) buffered
+  // and merged at a barrier in canonical order. The trace digest and every
+  // result byte are identical at any shard count; only wall time changes.
+  // 0 = auto (hardware concurrency), 1 = serial.
+  unsigned shards = 1;
 };
 
 // Why a receiver ended the run without a base-acknowledged install.
@@ -188,16 +196,13 @@ struct DisseminationResult {
   uint64_t trace_digest = 0;  // FNV-1a over every trace event
   size_t trace_events = 0;
 
-  size_t complete_nodes() const {
-    size_t n = 0;
-    for (const auto& s : nodes) n += s.complete;
-    return n;
-  }
-  size_t abandoned_nodes() const {
-    size_t n = 0;
-    for (const auto& s : nodes) n += s.abandoned;
-    return n;
-  }
+  // Maintained as counters on the underlying state transitions (image
+  // verified / verified store wiped / node abandoned or revived) instead
+  // of O(nodes) scans per poll.
+  size_t complete_count = 0;
+  size_t abandoned_count = 0;
+  size_t complete_nodes() const { return complete_count; }
+  size_t abandoned_nodes() const { return abandoned_count; }
 };
 
 class NetSim {
@@ -227,20 +232,59 @@ class NetSim {
   struct Node;
   struct Base;
 
+  // Per-shard output buffer of the parallel phase (DESIGN.md §9): every
+  // cross-node effect a receiver step produces — trace events, link-outage
+  // windows, verified-store transitions — lands here instead of in shared
+  // state, and is merged at the quantum barrier in shard order. Shards
+  // partition receivers contiguously, so shard order IS node-id order and
+  // the merged trace is byte-identical to the serial engine's.
+  struct ShardCtx {
+    size_t node_begin = 0, node_end = 0;        // receiver index range
+    size_t machine_begin = 0, machine_end = 0;  // machines this shard syncs
+    std::vector<NetTraceEvent> events;
+    std::vector<LinkOutage> outages;
+    int complete_delta = 0;  // net verified-store transitions this quantum
+    void record(uint64_t cycle, uint8_t node, NetEventKind kind, uint32_t a,
+                uint32_t b) {
+      events.push_back({cycle, node, kind, a, b});
+    }
+  };
+
+  // Per-machine TX completions buffered during the parallel phase (flat
+  // byte arena, reused across quanta) and replayed at the barrier in
+  // machine-id order — exactly the order the serial engine fires them
+  // from DeviceHub::sync, so the medium's PRNG rolls and the trace are
+  // reproduced byte for byte.
+  struct TxBuf {
+    struct Rec {
+      uint32_t off = 0, len = 0;
+      uint64_t done = 0;
+    };
+    std::vector<uint8_t> bytes;
+    std::vector<Rec> recs;
+    void clear() {
+      bytes.clear();
+      recs.clear();
+    }
+  };
+
   void record(uint64_t cycle, uint8_t node, NetEventKind kind, uint32_t a,
               uint32_t b);
   void send_frame(size_t node_id, const Frame& f);
+  void send_data_frame(uint16_t seq);
   void drain_rx(size_t node_id, Deframer& d);
   void plan_node_faults();
-  void node_lifecycle(size_t idx, uint64_t now);
+  void node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc);
   void note_node_alive(size_t node_id);
   NodeAbortReason abort_reason_of(const Node& n) const;
   void step_base(uint64_t now);
-  void step_node(size_t idx, uint64_t now);
+  void step_node(size_t idx, uint64_t now, ShardCtx& sc);
   void on_base_frame(const Frame& f, uint64_t now);
-  void on_node_frame(Node& n, const Frame& f, uint64_t now);
-  void node_send_nack(Node& n, uint64_t now);
-  std::vector<uint8_t> chunk_payload_of(uint16_t seq) const;
+  void on_node_frame(Node& n, const Frame& f, uint64_t now, ShardCtx& sc);
+  void node_send_nack(Node& n, uint64_t now, ShardCtx& sc);
+  void run_shard_quantum(ShardCtx& sc, uint64_t t);
+  void deliver_tx(size_t id, std::span<const uint8_t> pkt, uint64_t done);
+  void replay_tx(size_t id);
 
   NetConfig cfg_;
   std::vector<uint8_t> blob_;
@@ -251,6 +295,16 @@ class NetSim {
   std::vector<std::unique_ptr<emu::Machine>> machines_;  // [0] = base
   std::unique_ptr<Base> base_;
   std::vector<std::unique_ptr<Node>> nodes_;  // receiver i -> id i+1
+
+  // Sharded-engine state: shard spans + buffers, per-machine TX buffers,
+  // and per-machine frame-encode scratch (reused; no per-frame allocation).
+  std::vector<ShardCtx> shards_;
+  std::vector<TxBuf> txbufs_;
+  std::vector<std::vector<uint8_t>> encode_scratch_;
+  Frame data_scratch_;          // base Data frame, payload buffer reused
+  bool phase_parallel_ = false; // true only inside the parallel phase:
+                                // routes tx_sink completions into txbufs_
+  size_t complete_count_ = 0;   // verified stores (transition-maintained)
 
   std::vector<NetTraceEvent> trace_;
   uint64_t trace_digest_ = 0xcbf29ce484222325ULL;  // FNV-1a running state

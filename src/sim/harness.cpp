@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "net/image_codec.hpp"
@@ -67,6 +69,14 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
   if (spec.fault_policy) net.set_fault_policy(spec.fault_policy);
   out.dissemination = net.disseminate();
 
+  // Fleet-wide install dedup: every node whose verified bytes are
+  // byte-identical to the base's blob (the common case — the CRC oracle
+  // makes anything else a collision) shares one deserialized system and
+  // one pre-decoded flash image, adopted read-only by each machine,
+  // instead of a per-node re-parse plus a private flash + decode cache.
+  std::shared_ptr<const rw::LinkedSystem> fleet_sys;
+  std::shared_ptr<const emu::Machine::SharedImage> fleet_img;
+
   out.nodes.resize(spec.net.nodes);
   for (size_t i = 0; i < spec.net.nodes; ++i) {
     NodeRun& nr = out.nodes[i];
@@ -77,8 +87,21 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
     // Reconstruct the system from the node's verified bytes. The strict
     // decoder re-checks structure; a blob that verified by CRC but does
     // not parse is treated as not installed.
-    auto received = net::deserialize_system(net.node_blob(id));
-    if (!received) continue;
+    const bool identical = net.node_blob(id) == out.image_blob;
+    std::optional<rw::LinkedSystem> received;
+    if (identical && !fleet_sys) {
+      received = net::deserialize_system(out.image_blob);
+      if (received) {
+        fleet_sys = std::make_shared<const rw::LinkedSystem>(
+            std::move(*received));
+        fleet_img = emu::Machine::build_shared_image(fleet_sys->flash);
+        received.reset();
+      }
+    }
+    if (!(identical && fleet_sys)) {
+      received = net::deserialize_system(net.node_blob(id));
+      if (!received) continue;
+    }
 
     const net::NodeDissemStats& ds = out.dissemination.nodes[i];
     kern::InstallInfo info;
@@ -100,12 +123,21 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
     emu::Machine& m = net.node_machine(id);
     m.charge(out.dissemination.cycles);
     m.dev().flush_rx();
-    kern::Kernel k(m, std::move(*received), spec.kernel, info);
-    nr.install = k.install_info();
-    nr.installed = true;
-    if (spec.run_kernels)
-      nr.run = run_kernel_to_completion(m, k, k.system(), spec.run_cycles,
-                                        nullptr);
+    if (identical && fleet_sys) {
+      kern::Kernel k(m, fleet_sys, fleet_img, spec.kernel, info);
+      nr.install = k.install_info();
+      nr.installed = true;
+      if (spec.run_kernels)
+        nr.run = run_kernel_to_completion(m, k, k.system(), spec.run_cycles,
+                                          nullptr);
+    } else {
+      kern::Kernel k(m, std::move(*received), spec.kernel, info);
+      nr.install = k.install_info();
+      nr.installed = true;
+      if (spec.run_kernels)
+        nr.run = run_kernel_to_completion(m, k, k.system(), spec.run_cycles,
+                                          nullptr);
+    }
   }
   return out;
 }

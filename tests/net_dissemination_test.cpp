@@ -277,7 +277,9 @@ TEST(NetDeterminism, GoldenTraceDigests) {
 
 TEST(NetProperty, RandomProgramsDisseminateByteIdenticalOver32Seeds) {
   constexpr size_t kSeeds = 32;
-  const auto ok = host::sweep_collect<bool>(
+  // uint8_t, not bool: vector<bool> bit-packs slots into shared words,
+  // which races across sweep workers (sweep_collect static_asserts on it).
+  const auto ok = host::sweep_collect<uint8_t>(
       kSeeds, host::effective_jobs(4, kSeeds), [&](std::size_t i) {
         const auto blob =
             linked_blob({testlib::random_program(uint32_t(i) + 1)});

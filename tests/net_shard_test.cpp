@@ -1,0 +1,272 @@
+// Shard-count invariance suite for the sharded fleet engine (DESIGN.md §9).
+//
+// The contract under test: NetConfig::shards changes only wall-clock time.
+// For every shard count — including the degenerate 1 and counts above the
+// node count — a dissemination run must produce a byte-identical trace
+// (digest and event count), identical cycles, identical per-node stats,
+// and identical verified node blobs. The suite pins the golden 4-node
+// acceptance scenario, a fault-heavy crash/reboot fleet, the 32-seed
+// random-program property, and a net-chaos replay, each swept over
+// shards ∈ {1, 2, 4, 8}; plus unit coverage for the WorkPool barrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/treesearch.hpp"
+#include "chaos/chaos.hpp"
+#include "host/parallel.hpp"
+#include "net/image_codec.hpp"
+#include "net/netsim.hpp"
+#include "testlib/random_program.hpp"
+
+namespace sensmart {
+namespace {
+
+using assembler::Image;
+
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8};
+
+std::vector<Image> fig7_workload(uint16_t tree_nodes, int n_search) {
+  std::vector<Image> images;
+  images.push_back(apps::data_feed_program(6, 64));
+  for (int i = 0; i < n_search; ++i) {
+    apps::TreeSearchParams p;
+    p.nodes_per_tree = tree_nodes;
+    p.trees = 1;
+    p.searches = 32;
+    p.seed = static_cast<uint16_t>(0x3131 + 0x1D0B * i);
+    images.push_back(apps::tree_search_program(p));
+  }
+  return images;
+}
+
+std::vector<uint8_t> linked_blob(const std::vector<Image>& images) {
+  rw::Linker linker(rw::RewriteOptions{}, true);
+  for (const auto& img : images) linker.add(img);
+  return net::serialize_system(linker.link());
+}
+
+// Everything a run observably produces, flattened for equality checks
+// across shard counts (node blobs included: dedup/copy-on-write must not
+// perturb the verified bytes).
+struct RunFingerprint {
+  uint64_t digest = 0;
+  size_t events = 0;
+  uint64_t cycles = 0;
+  bool all_acked = false;
+  size_t complete = 0;
+  size_t abandoned = 0;
+  uint64_t base_frames_tx = 0;
+  uint64_t medium_dropped = 0;
+  std::vector<uint64_t> node_frames_rx;
+  std::vector<uint64_t> node_completion_cycle;
+  std::vector<uint32_t> node_crashes;
+  std::vector<std::vector<uint8_t>> blobs;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint run_config(net::NetConfig cfg, const std::vector<uint8_t>& blob,
+                          unsigned shards) {
+  cfg.shards = shards;
+  net::NetSim sim(cfg, blob);
+  const net::DisseminationResult r = sim.disseminate();
+  RunFingerprint fp;
+  fp.digest = r.trace_digest;
+  fp.events = r.trace_events;
+  fp.cycles = r.cycles;
+  fp.all_acked = r.all_acked;
+  fp.complete = r.complete_nodes();
+  fp.abandoned = r.abandoned_nodes();
+  fp.base_frames_tx = r.base.frames_tx;
+  fp.medium_dropped = r.medium.dropped;
+  for (const auto& n : r.nodes) {
+    fp.node_frames_rx.push_back(n.frames_rx);
+    fp.node_completion_cycle.push_back(n.completion_cycle);
+    fp.node_crashes.push_back(n.crashes);
+  }
+  for (size_t id = 1; id <= cfg.nodes; ++id)
+    fp.blobs.push_back(sim.node_blob(id));
+
+  // The counter-maintained complete/abandoned counts must always agree
+  // with an explicit scan of the per-node results (they replaced O(N)
+  // polling scans; any drift is a transition-bookkeeping bug).
+  size_t scan_complete = 0, scan_abandoned = 0;
+  for (const auto& n : r.nodes) {
+    if (n.complete) ++scan_complete;
+    if (n.abandoned) ++scan_abandoned;
+  }
+  EXPECT_EQ(fp.complete, scan_complete) << "shards=" << shards;
+  EXPECT_EQ(fp.abandoned, scan_abandoned) << "shards=" << shards;
+  return fp;
+}
+
+// --- Golden acceptance scenario at every shard count ------------------------
+
+TEST(NetShard, GoldenScenarioByteIdenticalAcrossShardCounts) {
+  const auto blob = linked_blob(fig7_workload(8, 2));
+  net::NetConfig cfg;
+  cfg.nodes = 4;
+  cfg.link.drop_pct = 10;
+  cfg.chaos_seed = 0x5EED;
+  cfg.max_cycles = 1'000'000'000ULL;
+
+  const RunFingerprint serial = run_config(cfg, blob, 1);
+  ASSERT_TRUE(serial.all_acked);
+  ASSERT_EQ(serial.complete, 4u);
+  for (const auto& b : serial.blobs) EXPECT_EQ(b, blob);
+
+  for (unsigned shards : kShardCounts) {
+    if (shards == 1) continue;
+    const RunFingerprint sharded = run_config(cfg, blob, shards);
+    EXPECT_EQ(sharded, serial) << "shards=" << shards;
+  }
+}
+
+TEST(NetShard, AutoShardCountMatchesSerial) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  net::NetConfig cfg;
+  cfg.nodes = 3;
+  cfg.link.drop_pct = 12;
+  cfg.link.dup_pct = 4;
+  cfg.link.reorder_pct = 4;
+  cfg.link.corrupt_pct = 4;
+  cfg.chaos_seed = 1;
+  cfg.max_cycles = 2'000'000'000ULL;
+
+  const RunFingerprint serial = run_config(cfg, blob, 1);
+  // This is the pinned golden-digest scenario (seed 1): the sharded engine
+  // must reproduce the historical serial digest, not merely self-agree.
+  EXPECT_EQ(serial.digest, 0x7697f85e0c51bdedULL);
+  EXPECT_EQ(run_config(cfg, blob, 0), serial);    // auto (hw concurrency)
+  EXPECT_EQ(run_config(cfg, blob, 64), serial);   // clamped to node count
+}
+
+// --- Fault-heavy fleet: crashes, wipes, abandons under sharding -------------
+
+TEST(NetShard, CrashRebootFleetByteIdenticalAcrossShardCounts) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  net::NetConfig cfg;
+  cfg.nodes = 6;
+  cfg.link.drop_pct = 10;
+  cfg.link.dup_pct = 3;
+  cfg.link.reorder_pct = 3;
+  cfg.link.corrupt_pct = 3;
+  cfg.chaos_seed = 0xF7EE7;
+  cfg.max_cycles = 2'000'000'000ULL;
+  cfg.node_faults.crash_pct = 80;
+  cfg.node_faults.max_crashes_per_node = 2;
+  cfg.node_faults.wipe_pct = 40;
+  cfg.node_faults.down_min_bytes = 64;
+  cfg.node_faults.down_max_bytes = 768;
+
+  const RunFingerprint serial = run_config(cfg, blob, 1);
+  uint32_t crashes = 0;
+  for (uint32_t c : serial.node_crashes) crashes += c;
+  EXPECT_GT(crashes, 0u);  // the fault dimension actually exercised
+
+  for (unsigned shards : kShardCounts) {
+    if (shards == 1) continue;
+    EXPECT_EQ(run_config(cfg, blob, shards), serial) << "shards=" << shards;
+  }
+}
+
+// --- Property: 32 random programs, serial vs sharded ------------------------
+
+TEST(NetShard, RandomProgramsShardInvariantOver32Seeds) {
+  constexpr size_t kSeeds = 32;
+  const auto ok = host::sweep_collect<uint8_t>(
+      kSeeds, host::effective_jobs(4, kSeeds), [&](std::size_t i) {
+        const auto blob =
+            linked_blob({testlib::random_program(uint32_t(i) + 1)});
+        net::NetConfig cfg;
+        cfg.nodes = 2;
+        cfg.link.drop_pct = 15;
+        cfg.link.dup_pct = 5;
+        cfg.link.reorder_pct = 5;
+        cfg.link.corrupt_pct = 5;
+        cfg.chaos_seed = 0xABCD + i;
+        cfg.max_cycles = 2'000'000'000ULL;
+        const RunFingerprint serial = run_config(cfg, blob, 1);
+        if (!serial.all_acked) return false;
+        for (const auto& b : serial.blobs)
+          if (b != blob) return false;
+        // 2 nodes: shards=2 splits them one per worker; 8 over-shards.
+        return run_config(cfg, blob, 2) == serial &&
+               run_config(cfg, blob, 8) == serial;
+      });
+  for (size_t i = 0; i < kSeeds; ++i) EXPECT_TRUE(ok[i]) << "seed " << i + 1;
+}
+
+// --- Net-chaos replay under sharding ----------------------------------------
+
+// run_net_chaos executes each seed twice (its own replay oracle); sweeping
+// it over shard counts additionally requires the full planned scenario —
+// seeded crashes, wipes, reboots, convergence — to fingerprint identically.
+TEST(NetShard, NetChaosReplayShardInvariant) {
+  for (uint64_t seed : {7ULL, 19ULL, 23ULL}) {
+    chaos::NetChaosOptions opts;
+    opts.seed = seed;
+    opts.shards = 1;
+    const chaos::NetChaosResult serial = chaos::run_net_chaos(opts);
+    EXPECT_TRUE(serial.ok()) << "seed " << seed << ": "
+                             << (serial.violations.empty()
+                                     ? ""
+                                     : serial.violations.front());
+    for (unsigned shards : kShardCounts) {
+      if (shards == 1) continue;
+      opts.shards = shards;
+      const chaos::NetChaosResult sharded = chaos::run_net_chaos(opts);
+      EXPECT_TRUE(sharded.ok()) << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(sharded.trace_digest, serial.trace_digest)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(sharded.cycles, serial.cycles);
+      EXPECT_EQ(sharded.trace_events, serial.trace_events);
+      EXPECT_EQ(sharded.crashes, serial.crashes);
+      EXPECT_EQ(sharded.reboots, serial.reboots);
+      EXPECT_EQ(sharded.store_writes, serial.store_writes);
+    }
+  }
+}
+
+// --- WorkPool: the barrier primitive under the engine ------------------------
+
+TEST(HostWorkPool, DispatchCoversEverySpanAcrossEpochs) {
+  host::WorkPool pool(4);
+  ASSERT_EQ(pool.workers(), 4u);
+  constexpr int kEpochs = 200;
+  std::vector<std::atomic<uint32_t>> hits(4);
+  for (auto& h : hits) h = 0;
+  for (int e = 0; e < kEpochs; ++e)
+    pool.dispatch([&](unsigned w) { hits[w].fetch_add(1); });
+  for (unsigned w = 0; w < 4; ++w)
+    EXPECT_EQ(hits[w].load(), uint32_t(kEpochs)) << "span " << w;
+}
+
+TEST(HostWorkPool, SingleWorkerRunsInline) {
+  host::WorkPool pool(1);
+  unsigned ran = 0;
+  pool.dispatch([&](unsigned w) {
+    EXPECT_EQ(w, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(HostWorkPool, WorkerExceptionRethrownAndPoolReusable) {
+  host::WorkPool pool(3);
+  EXPECT_THROW(pool.dispatch([](unsigned w) {
+                 if (w == 2) throw std::runtime_error("span failed");
+               }),
+               std::runtime_error);
+  // The pool must stay coherent after a failed epoch.
+  std::atomic<uint32_t> total{0};
+  pool.dispatch([&](unsigned) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+}  // namespace
+}  // namespace sensmart
