@@ -69,6 +69,8 @@ uint64_t peak_rss_kb() {
 }
 
 struct FleetCell {
+  const char* topo = "star";
+  net::TopologyKind kind = net::TopologyKind::Star;
   size_t nodes = 0;
   uint32_t drop_pct = 0;
   unsigned shards = 0;
@@ -79,11 +81,24 @@ struct FleetCell {
   double speedup = 1.0;  // serial wall / this wall, same (nodes, drop)
 };
 
+const char* topo_name(net::TopologyKind k) {
+  switch (k) {
+    case net::TopologyKind::Star: return "star";
+    case net::TopologyKind::Line: return "line";
+    case net::TopologyKind::Grid: return "grid";
+    case net::TopologyKind::Random: return "random";
+  }
+  return "?";
+}
+
 // One dissemination run, timed end to end (fleet construction included —
 // allocating 257 machines is part of what the lazy-image change pays for).
 FleetCell run_cell(const std::vector<uint8_t>& blob, size_t nodes,
-                   uint32_t drop_pct, unsigned shards) {
+                   uint32_t drop_pct, unsigned shards,
+                   net::TopologyKind kind = net::TopologyKind::Star) {
   FleetCell c;
+  c.kind = kind;
+  c.topo = topo_name(kind);
   c.nodes = nodes;
   c.drop_pct = drop_pct;
   c.shards = shards;
@@ -93,6 +108,7 @@ FleetCell run_cell(const std::vector<uint8_t>& blob, size_t nodes,
   cfg.chaos_seed = kChaosSeed;
   cfg.max_cycles = 64'000'000'000ULL;
   cfg.shards = shards;
+  cfg.topo.kind = kind;
   // At fleet scale, ack/probe collisions on the shared channel can push a
   // straggler past the default abandon bound even though it verified; the
   // bench requires full convergence, so the base never gives up.
@@ -107,29 +123,35 @@ FleetCell run_cell(const std::vector<uint8_t>& blob, size_t nodes,
   c.trace_digest = res.trace_digest;
   c.complete = res.complete_nodes();
   if (!res.all_acked) {
-    std::cerr << "fig_fleet: nodes=" << nodes << " drop=" << drop_pct
-              << "% shards=" << shards << " did not converge ("
-              << res.complete_nodes() << "/" << nodes << " complete)\n";
+    std::cerr << "fig_fleet: topo=" << c.topo << " nodes=" << nodes
+              << " drop=" << drop_pct << "% shards=" << shards
+              << " did not converge (" << res.complete_nodes() << "/"
+              << nodes << " complete)\n";
     std::exit(1);
   }
   return c;
 }
 
-// Run every shard count for one (nodes, drop) scenario and require the
-// deterministic surface to be invariant.
-std::vector<FleetCell> run_scenario(const std::vector<uint8_t>& blob,
-                                    size_t nodes, uint32_t drop_pct,
-                                    const std::vector<unsigned>& shard_list) {
+// Run every shard count for one (topology, nodes, drop) scenario and
+// require the deterministic surface to be invariant — for mesh scenarios
+// this includes the CSMA/collision schedule and all peer-served traffic,
+// whose cross-shard effects merge in canonical order at the quantum
+// barrier.
+std::vector<FleetCell> run_scenario(
+    const std::vector<uint8_t>& blob, size_t nodes, uint32_t drop_pct,
+    const std::vector<unsigned>& shard_list,
+    net::TopologyKind kind = net::TopologyKind::Star) {
   std::vector<FleetCell> cells;
   for (unsigned s : shard_list) {
-    cells.push_back(run_cell(blob, nodes, drop_pct, s));
+    cells.push_back(run_cell(blob, nodes, drop_pct, s, kind));
     FleetCell& c = cells.back();
     c.speedup = cells.front().wall_s / (c.wall_s > 0 ? c.wall_s : 1e-9);
     if (c.cycles != cells.front().cycles ||
         c.trace_digest != cells.front().trace_digest) {
-      std::cerr << "fig_fleet: DIVERGENCE at nodes=" << nodes
-                << " drop=" << drop_pct << "% shards=" << s << ": digest 0x"
-                << std::hex << c.trace_digest << " vs serial 0x"
+      std::cerr << "fig_fleet: DIVERGENCE at topo=" << c.topo
+                << " nodes=" << nodes << " drop=" << drop_pct
+                << "% shards=" << s << ": digest 0x" << std::hex
+                << c.trace_digest << " vs serial 0x"
                 << cells.front().trace_digest << std::dec << "\n";
       std::exit(1);
     }
@@ -210,7 +232,23 @@ bool is_gate_cell(const FleetCell& c) {
 uint64_t gate_cycles(const std::vector<FleetCell>& cells) {
   uint64_t t = 0;
   for (const auto& c : cells)
-    if (c.shards == 1 && is_gate_cell(c)) t += c.cycles;
+    if (c.shards == 1 && is_gate_cell(c) &&
+        c.kind == net::TopologyKind::Star)
+      t += c.cycles;
+  return t;
+}
+
+// The mesh gate scenario: one mid-size grid, always present so --gate can
+// compare like for like against the committed JSON.
+constexpr size_t kMeshGateNodes = 16;
+constexpr uint32_t kMeshGateDrop = 10;
+
+uint64_t mesh_gate_cycles(const std::vector<FleetCell>& cells) {
+  uint64_t t = 0;
+  for (const auto& c : cells)
+    if (c.shards == 1 && c.kind == net::TopologyKind::Grid &&
+        c.nodes == kMeshGateNodes && c.drop_pct == kMeshGateDrop)
+      t += c.cycles;
   return t;
 }
 
@@ -226,7 +264,8 @@ void emit_json(std::ostream& os, bool smoke, size_t image_bytes,
   os << "  \"cells\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {
     const FleetCell& c = cells[i];
-    os << "    {\"nodes\": " << c.nodes << ", \"drop_pct\": " << c.drop_pct
+    os << "    {\"topology\": \"" << c.topo << "\", \"nodes\": " << c.nodes
+       << ", \"drop_pct\": " << c.drop_pct
        << ", \"shards\": " << c.shards << ", \"wall_s\": "
        << sim::Table::num(c.wall_s, 3) << ", \"speedup\": "
        << sim::Table::num(c.speedup, 2) << ", \"cycles\": " << c.cycles
@@ -248,12 +287,13 @@ void emit_json(std::ostream& os, bool smoke, size_t image_bytes,
   // serial cycles over the gate matrix, which is shard-invariant.
   os << "  \"guest\": {\n";
   os << "    \"gate_cycles\": " << gate_cycles(cells) << ",\n";
+  os << "    \"mesh_gate_cycles\": " << mesh_gate_cycles(cells) << ",\n";
   os << "    \"total_serial_cycles\": " << sum_serial_cycles(cells) << "\n";
   os << "  }\n";
   os << "}\n";
 }
 
-uint64_t committed_gate_cycles(const std::string& path) {
+uint64_t committed_u64(const std::string& path, const std::string& name) {
   std::ifstream in(path);
   if (!in) return 0;
   std::ostringstream ss;
@@ -261,20 +301,31 @@ uint64_t committed_gate_cycles(const std::string& path) {
   const std::string text = ss.str();
   size_t at = text.find("\"guest\"");
   if (at == std::string::npos) return 0;
-  const std::string key = "\"gate_cycles\": ";
+  const std::string key = "\"" + name + "\": ";
   at = text.find(key, at);
   if (at == std::string::npos) return 0;
   return std::strtoull(text.c_str() + at + key.size(), nullptr, 10);
 }
 
-// CI regression gate: recompute the gate matrix serial and sharded; fail
-// on >2% summed-cycle drift against the committed BENCH_fleet.json or on
-// any serial-vs-sharded digest mismatch.
-int run_gate(const std::string& path) {
+bool check_drift(const char* what, uint64_t current, uint64_t committed) {
   constexpr double kTolerance = 0.02;
-  const uint64_t committed = committed_gate_cycles(path);
-  if (committed == 0) {
-    std::cerr << "fig_fleet: no committed gate_cycles in " << path << "\n";
+  const double drift = double(current) / double(committed) - 1.0;
+  std::cout << "fleet gate [" << what << "]: current " << current
+            << " vs committed " << committed << " ("
+            << sim::Table::num(100.0 * drift, 2)
+            << "% drift, tolerance ±2%)\n";
+  return drift <= kTolerance && drift >= -kTolerance;
+}
+
+// CI regression gate: recompute the gate matrix (star and mesh) serial
+// and sharded; fail on >2% summed-cycle drift against the committed
+// BENCH_fleet.json or on any serial-vs-sharded digest mismatch.
+int run_gate(const std::string& path) {
+  const uint64_t committed = committed_u64(path, "gate_cycles");
+  const uint64_t committed_mesh = committed_u64(path, "mesh_gate_cycles");
+  if (committed == 0 || committed_mesh == 0) {
+    std::cerr << "fig_fleet: no committed gate_cycles / mesh_gate_cycles in "
+              << path << "\n";
     return 2;
   }
   const auto blob = fig7_image_blob();
@@ -284,28 +335,34 @@ int run_gate(const std::string& path) {
       const auto cells = run_scenario(blob, n, d, {1, 4});  // enforces digest
       current += sum_serial_cycles(cells);
     }
-  const double drift = double(current) / double(committed) - 1.0;
-  std::cout << "fleet gate: current " << current << " vs committed "
-            << committed << " (" << sim::Table::num(100.0 * drift, 2)
-            << "% drift, tolerance ±2%)\n";
-  if (drift > kTolerance || drift < -kTolerance) {
+  const auto mesh = run_scenario(blob, kMeshGateNodes, kMeshGateDrop, {1, 4},
+                                 net::TopologyKind::Grid);
+  bool ok = check_drift("star", current, committed);
+  ok &= check_drift("mesh", sum_serial_cycles(mesh), committed_mesh);
+  if (!ok) {
     std::cerr << "fig_fleet: FAIL — fleet dissemination cost drifted beyond "
                  "2%; if the engine change is intentional, refresh "
                  "BENCH_fleet.json in the same commit\n";
     return 1;
   }
-  std::cout << "fleet gate: OK (digests serial == sharded)\n";
+  std::cout << "fleet gate: OK (digests serial == sharded, star and mesh)\n";
   return 0;
 }
 
-// Serial-vs-sharded diff for CI: one mid-size scenario at every shard
-// count; exits nonzero (inside run_scenario) on any divergence.
+// Serial-vs-sharded diff for CI: one mid-size star scenario and one mesh
+// grid (multi-hop, collisions, peer serving) at every shard count; exits
+// nonzero (inside run_scenario) on any divergence.
 int run_diff() {
   const auto blob = fig7_image_blob();
-  const auto cells =
-      run_scenario(blob, 16, 10, {kShardCounts, std::end(kShardCounts)});
-  std::cout << "fleet diff: nodes=16 drop=10% digest 0x" << std::hex
+  const std::vector<unsigned> all = {kShardCounts, std::end(kShardCounts)};
+  const auto cells = run_scenario(blob, 16, 10, all);
+  std::cout << "fleet diff: star nodes=16 drop=10% digest 0x" << std::hex
             << cells.front().trace_digest << std::dec
+            << " identical at shards {1, 2, 4, 8}\n";
+  const auto mesh =
+      run_scenario(blob, 24, 10, all, net::TopologyKind::Grid);
+  std::cout << "fleet diff: grid nodes=24 drop=10% digest 0x" << std::hex
+            << mesh.front().trace_digest << std::dec
             << " identical at shards {1, 2, 4, 8}\n";
   return 0;
 }
@@ -342,19 +399,30 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> shard_list(kShardCounts,
                                          std::end(kShardCounts));
 
-  // The gate scenarios are always present (they define gate_cycles); the
-  // full run adds the fleet-scale scenarios the speedup story is about.
-  std::vector<std::pair<size_t, uint32_t>> scenarios;
+  // The gate scenarios (star and mesh) are always present — they define
+  // gate_cycles / mesh_gate_cycles; the full run adds the fleet-scale
+  // scenarios the speedup story is about plus a large mesh grid.
+  struct Scenario {
+    net::TopologyKind kind;
+    size_t nodes;
+    uint32_t drop;
+  };
+  std::vector<Scenario> scenarios;
   for (size_t n : kGateNodes)
-    for (uint32_t d : kGateDrops) scenarios.emplace_back(n, d);
+    for (uint32_t d : kGateDrops)
+      scenarios.push_back({net::TopologyKind::Star, n, d});
+  scenarios.push_back(
+      {net::TopologyKind::Grid, kMeshGateNodes, kMeshGateDrop});
   if (!smoke) {
-    scenarios.emplace_back(64, 10);
-    scenarios.emplace_back(256, 10);
+    scenarios.push_back({net::TopologyKind::Star, 64, 10});
+    scenarios.push_back({net::TopologyKind::Star, 256, 10});
+    scenarios.push_back({net::TopologyKind::Grid, 64, 10});
   }
 
   std::vector<FleetCell> cells;
-  for (const auto& [n, d] : scenarios) {
-    const auto sc = run_scenario(blob, n, d, shard_list);
+  for (const auto& sc_spec : scenarios) {
+    const auto sc = run_scenario(blob, sc_spec.nodes, sc_spec.drop,
+                                 shard_list, sc_spec.kind);
     cells.insert(cells.end(), sc.begin(), sc.end());
   }
   const MemoryReport mem =
@@ -364,13 +432,13 @@ int main(int argc, char** argv) {
             << blob.size() << "-byte image, seed 0x" << std::hex << kChaosSeed
             << std::dec << ", host_threads="
             << std::thread::hardware_concurrency() << ")\n\n";
-  sim::Table t({"Nodes", "Drop%", "Shards", "Wall(s)", "Speedup", "Gcycles",
-                "Digest"},
+  sim::Table t({"Topo", "Nodes", "Drop%", "Shards", "Wall(s)", "Speedup",
+                "Gcycles", "Digest"},
                11);
   for (const FleetCell& c : cells) {
     std::ostringstream dg;
     dg << std::hex << (c.trace_digest >> 48);
-    t.row({sim::Table::num(uint64_t(c.nodes)),
+    t.row({c.topo, sim::Table::num(uint64_t(c.nodes)),
            sim::Table::num(uint64_t(c.drop_pct)),
            sim::Table::num(uint64_t(c.shards)),
            sim::Table::num(c.wall_s, 2), sim::Table::num(c.speedup, 2),

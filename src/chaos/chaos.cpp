@@ -235,6 +235,22 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
   cfg.node_faults.down_max_bytes =
       cfg.node_faults.down_min_bytes + 256 + r.below(768);
   cfg.node_faults.wipe_pct = r.below(51);
+  // Mesh dimension: roughly half the seeds run on a spatial topology
+  // (line/grid/random placement, DESIGN.md §10), adding CSMA collisions,
+  // duplicate suppression, peer chunk serving — and, through the seeded
+  // crash/reboot schedule above, parent churn and per-node link flaps
+  // (a node down takes all its links down). Both draws are unconditional
+  // so the planner stream stays aligned whichever way the roll goes.
+  const uint32_t mesh_roll = r.below(2);
+  const uint32_t mesh_kind = r.below(3);
+  if (mesh_roll) {
+    cfg.topo.kind = mesh_kind == 0   ? net::TopologyKind::Line
+                    : mesh_kind == 1 ? net::TopologyKind::Grid
+                                     : net::TopologyKind::Random;
+    // Mesh end-games ride on relayed acks through a contended channel;
+    // the convergence oracle requires the base to wait stragglers out.
+    cfg.proto.node_give_up_probes = 0;
+  }
 
   // The payload is an arbitrary seeded blob: dissemination is
   // content-agnostic, and the byte-equality oracle needs nothing more.

@@ -1,5 +1,7 @@
 #include "net/frame.hpp"
 
+#include <algorithm>
+
 namespace sensmart::net {
 
 uint16_t crc16_ccitt(std::span<const uint8_t> bytes) {
@@ -104,8 +106,18 @@ Frame make_summary(uint8_t version, const SummaryInfo& info) {
   return f;
 }
 
+Frame make_mesh_summary(uint8_t version, const SummaryInfo& info,
+                        uint16_t sender, uint16_t hop) {
+  Frame f = make_summary(version, info);
+  f.seq = hop;
+  f.payload.push_back(static_cast<uint8_t>(sender & 0xFF));
+  f.payload.push_back(static_cast<uint8_t>(sender >> 8));
+  return f;
+}
+
 std::optional<SummaryInfo> parse_summary(const Frame& f) {
-  if (f.type != FrameType::Summary || f.payload.size() != 11)
+  if (f.type != FrameType::Summary ||
+      (f.payload.size() != 11 && f.payload.size() != 13))
     return std::nullopt;
   SummaryInfo s;
   s.total_chunks = static_cast<uint16_t>(
@@ -116,6 +128,11 @@ std::optional<SummaryInfo> parse_summary(const Frame& f) {
     s.image_crc |= static_cast<uint32_t>(f.payload[6 + i]) << (8 * i);
   s.chunk_payload = f.payload[10];
   if (s.chunk_payload == 0 || s.chunk_payload > kMaxPayload) return std::nullopt;
+  if (f.payload.size() == 13) {
+    s.has_sender = true;
+    s.sender = static_cast<uint16_t>(
+        f.payload[11] | (static_cast<uint16_t>(f.payload[12]) << 8));
+  }
   return s;
 }
 
@@ -144,6 +161,55 @@ std::optional<std::vector<uint16_t>> parse_nack(const Frame& f) {
     out.push_back(static_cast<uint16_t>(
         f.payload[1 + 2 * i] |
         (static_cast<uint16_t>(f.payload[2 + 2 * i]) << 8)));
+  return out;
+}
+
+Frame make_mesh_nack(uint8_t version, uint16_t node_id,
+                     std::span<const uint16_t> missing, uint16_t target,
+                     uint16_t hop) {
+  Frame f = make_nack(version, node_id, missing);
+  f.payload.push_back(static_cast<uint8_t>(target & 0xFF));
+  f.payload.push_back(static_cast<uint8_t>(target >> 8));
+  f.payload.push_back(static_cast<uint8_t>(std::min<uint16_t>(hop, 0xFF)));
+  return f;
+}
+
+std::optional<MeshNack> parse_mesh_nack(const Frame& f) {
+  if (f.type != FrameType::Nack || f.payload.empty()) return std::nullopt;
+  const size_t n = f.payload[0];
+  if (n > kMaxNackList || f.payload.size() != 1 + 2 * n + 3)
+    return std::nullopt;
+  MeshNack out;
+  out.missing.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    out.missing.push_back(static_cast<uint16_t>(
+        f.payload[1 + 2 * i] |
+        (static_cast<uint16_t>(f.payload[2 + 2 * i]) << 8)));
+  const size_t at = 1 + 2 * n;
+  out.target = static_cast<uint16_t>(
+      f.payload[at] | (static_cast<uint16_t>(f.payload[at + 1]) << 8));
+  out.hop = f.payload[at + 2];
+  return out;
+}
+
+Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
+                    uint16_t hop) {
+  Frame f;
+  f.type = FrameType::Ack;
+  f.version = version;
+  f.seq = origin;
+  f.payload.push_back(static_cast<uint8_t>(relayer & 0xFF));
+  f.payload.push_back(static_cast<uint8_t>(relayer >> 8));
+  f.payload.push_back(static_cast<uint8_t>(std::min<uint16_t>(hop, 0xFF)));
+  return f;
+}
+
+std::optional<MeshAck> parse_mesh_ack(const Frame& f) {
+  if (f.type != FrameType::Ack || f.payload.size() != 3) return std::nullopt;
+  MeshAck out;
+  out.relayer = static_cast<uint16_t>(
+      f.payload[0] | (static_cast<uint16_t>(f.payload[1]) << 8));
+  out.hop = f.payload[2];
   return out;
 }
 

@@ -71,15 +71,36 @@ class Deframer {
 };
 
 // --- Typed payloads ---------------------------------------------------------
+//
+// Mesh extensions (DESIGN.md §10) reuse the same four frame types and the
+// same wire layout; a mesh variant is distinguished purely by payload
+// length, so the single-hop (star) encodings are byte-for-byte unchanged:
+//   Summary  star: 11-byte payload, seq = 0.
+//            mesh: 13-byte payload (sender id appended), seq = sender hop.
+//   Nack     star: [count][missing pairs...], seq = sender id.
+//            mesh: star payload + [target lo][target hi][sender hop]; the
+//            target is the parent the Nack asks to serve (0 = base,
+//            kNackAnyTarget = "anyone: re-announce the Summary").
+//   Ack      star: empty payload, seq = verified node id.
+//            mesh: [relayer lo][relayer hi][relayer hop], seq = origin —
+//            relayed hop-by-hop toward the base, origin preserved.
+//   Data     identical in both modes (any holder can serve a chunk).
 
 struct SummaryInfo {
   uint16_t total_chunks = 0;
   uint32_t image_bytes = 0;
   uint32_t image_crc = 0;
   uint8_t chunk_payload = 0;  // bytes per Data chunk (last may be short)
+  // Mesh only: the node that transmitted this Summary (relays rewrite it).
+  bool has_sender = false;
+  uint16_t sender = 0;
 };
 
 Frame make_summary(uint8_t version, const SummaryInfo& info);
+// Mesh Summary: same geometry payload plus the sender id; the sender's
+// hop count rides in the frame's seq field.
+Frame make_mesh_summary(uint8_t version, const SummaryInfo& info,
+                        uint16_t sender, uint16_t hop);
 std::optional<SummaryInfo> parse_summary(const Frame& f);
 
 // A Nack carries up to kMaxNackList missing chunk indices; an empty list
@@ -88,5 +109,35 @@ inline constexpr size_t kMaxNackList = 16;
 Frame make_nack(uint8_t version, uint16_t node_id,
                 std::span<const uint16_t> missing);
 std::optional<std::vector<uint16_t>> parse_nack(const Frame& f);
+
+// Mesh Nack target asking any neighbor to re-announce the Summary (used
+// when the sender knows no parent yet, e.g. right after a reboot). By
+// protocol no one answers it with Data — only with a Summary relay — so
+// it can never trigger a duplicate-serving storm.
+inline constexpr uint16_t kNackAnyTarget = 0xFFFF;
+
+struct MeshNack {
+  std::vector<uint16_t> missing;
+  uint16_t target = kNackAnyTarget;  // node asked to serve (0 = base)
+  uint16_t hop = 0;                  // sender's hop count
+};
+
+Frame make_mesh_nack(uint8_t version, uint16_t node_id,
+                     std::span<const uint16_t> missing, uint16_t target,
+                     uint16_t hop);
+std::optional<MeshNack> parse_mesh_nack(const Frame& f);
+
+// Mesh Ack: seq carries the origin (the node whose install is being
+// acknowledged, exactly as in star mode); the payload identifies the
+// relayer so receivers can tell downstream acks (to relay) from upstream
+// ones (to suppress).
+struct MeshAck {
+  uint16_t relayer = 0;
+  uint16_t hop = 0;  // relayer's hop count
+};
+
+Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
+                    uint16_t hop);
+std::optional<MeshAck> parse_mesh_ack(const Frame& f);
 
 }  // namespace sensmart::net

@@ -1,11 +1,16 @@
 #include "net/medium.hpp"
 
+#include <algorithm>
+
+#include "net/frame.hpp"
+
 namespace sensmart::net {
 
 using emu::DeviceHub;
 
 void Medium::enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
-                     bool corrupt) {
+                     bool corrupt, size_t from, uint64_t tx_start,
+                     uint64_t tx_done) {
   std::vector<uint8_t> bytes(packet.begin(), packet.end());
   if (corrupt) {
     // Flip 1..3 bits at seeded positions — enough to break the frame CRC
@@ -17,8 +22,9 @@ void Medium::enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
       bytes[bit >> 3] ^= static_cast<uint8_t>(1u << (bit & 7));
     }
   }
+  // tx_done is 0 for star-mode deliveries: no collision check at flush.
   pending_.emplace(std::make_pair(at, enqueue_seq_++),
-                   Delivery{to, std::move(bytes)});
+                   Delivery{to, std::move(bytes), from, tx_start, tx_done});
 }
 
 void Medium::add_partition(std::span<const size_t> a,
@@ -40,11 +46,49 @@ bool Medium::in_outage(size_t from, size_t to, uint64_t at) const {
   return false;
 }
 
+// Capture-model collision resolution: a delivery is destroyed at its
+// receiver iff the transmission log holds an audible transmission that
+// overlaps its airtime and either (a) came from the receiver itself
+// (half-duplex) or (b) completed first — with a (done, sender-id) total
+// order breaking exact ties. Purely a function of the deterministic
+// transmission schedule; consumes no randomness.
+bool Medium::collided(size_t from, size_t to, uint64_t tx_start,
+                      uint64_t tx_done) const {
+  for (const TxRec& r : txlog_) {
+    if (r.from == from) continue;  // own frames never overlap (serial radio)
+    if (r.start >= tx_done || tx_start >= r.done) continue;  // no overlap
+    if (r.from == to) return true;  // receiver was itself transmitting
+    if (!topo_.linked(r.from, to)) continue;  // inaudible at the receiver
+    if (r.done < tx_done || (r.done == tx_done && r.from < from))
+      return true;  // the competitor completes first and is captured
+  }
+  return false;
+}
+
 void Medium::flush(uint64_t now) {
   auto it = pending_.begin();
   while (it != pending_.end() && it->first.first <= now) {
-    devs_[it->second.to]->schedule_rx(it->second.bytes, it->first.first);
+    const Delivery& d = it->second;
+    if (d.tx_done != 0 && collided(d.from, d.to, d.tx_start, d.tx_done)) {
+      ++stats_.collisions;
+      if (observer_)
+        observer_(d.tx_done, FaultAction::Collision, d.from, d.to);
+      it = pending_.erase(it);
+      continue;
+    }
+    devs_[d.to]->schedule_rx(d.bytes, it->first.first);
     it = pending_.erase(it);
+  }
+  // Prune transmission-log entries far older than any delivery still in
+  // flight can overlap (worst case: a reorder-delayed copy of a maximum-
+  // length frame). Bounds the log; removal is purely time-based, so it
+  // never changes a collision verdict.
+  if (!txlog_.empty()) {
+    const uint64_t horizon = 64ull * (kMaxPayload + kFrameOverhead) *
+                             DeviceHub::kCyclesPerRadioByte;
+    const uint64_t cutoff = now > horizon ? now - horizon : 0;
+    std::erase_if(txlog_,
+                  [cutoff](const TxRec& r) { return r.done < cutoff; });
   }
 }
 
@@ -56,9 +100,22 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
 
   const uint64_t base_latency =
       uint64_t(params_.latency_bytes) * DeviceHub::kCyclesPerRadioByte;
+  const bool mesh = topo_.mesh;
+  const uint64_t air = packet.size() * DeviceHub::kCyclesPerRadioByte;
+  const uint64_t tx_start = done_cycle > air ? done_cycle - air : 0;
+
+  // With a mesh delivery the collision check runs at flush time; every
+  // enqueued copy (including duplicate/reordered ones: they model the
+  // same airtime) carries the transmission identity.
+  const uint64_t cid = mesh ? done_cycle : 0;
 
   for (size_t to = 0; to < n; ++to) {
     if (to == from) continue;
+    uint32_t quality = 100;
+    if (mesh) {
+      quality = topo_.link_quality(from, to);
+      if (quality == 0) continue;  // out of range: never offered, no rolls
+    }
     const uint64_t tx_index = link_tx_[from * n + to]++;
     ++stats_.packets_offered;
 
@@ -73,12 +130,15 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
 
     // Decide this delivery's fate: scripted policy if installed, else one
     // random roll per fault class in a fixed order (drop, dup, reorder,
-    // corrupt) so the consumed PRNG sequence is schedule-independent.
+    // corrupt) so the consumed PRNG sequence is schedule-independent. A
+    // mesh link's quality deficit folds into the single drop roll — the
+    // draw count per offered link is identical to the star medium's.
     FaultAction act = FaultAction::None;
     if (policy_) {
       act = policy_(from, to, tx_index, packet);
     } else {
-      const bool drop = prng_.percent(params_.drop_pct);
+      const bool drop =
+          prng_.percent(std::min(100u, params_.drop_pct + (100u - quality)));
       const bool dup = prng_.percent(params_.dup_pct);
       const bool reorder = prng_.percent(params_.reorder_pct);
       const bool corrupt = prng_.percent(params_.corrupt_pct);
@@ -100,13 +160,17 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
       case FaultAction::Outage:  // scripted policy declared the link down
         ++stats_.outage_drops;
         continue;
+      case FaultAction::Collision:  // scripted policy destroyed it outright
+        ++stats_.collisions;
+        continue;
       case FaultAction::Duplicate:
         ++stats_.duplicated;
-        enqueue(to, packet, done_cycle + base_latency, false);
+        enqueue(to, packet, done_cycle + base_latency, false, from, tx_start,
+                cid);
         enqueue(to, packet,
                 done_cycle + base_latency +
                     packet.size() * DeviceHub::kCyclesPerRadioByte,
-                false);
+                false, from, tx_start, cid);
         break;
       case FaultAction::Reorder: {
         // Push this packet past the next few transmissions: an extra
@@ -114,15 +178,18 @@ void Medium::broadcast(size_t from, std::span<const uint8_t> packet,
         ++stats_.reordered;
         const uint64_t extra = uint64_t(prng_.range(2, 6)) * packet.size() *
                                DeviceHub::kCyclesPerRadioByte;
-        enqueue(to, packet, done_cycle + base_latency + extra, false);
+        enqueue(to, packet, done_cycle + base_latency + extra, false, from,
+                tx_start, cid);
         break;
       }
       case FaultAction::Corrupt:
         ++stats_.corrupted;
-        enqueue(to, packet, done_cycle + base_latency, true);
+        enqueue(to, packet, done_cycle + base_latency, true, from, tx_start,
+                cid);
         break;
       case FaultAction::None:
-        enqueue(to, packet, done_cycle + base_latency, false);
+        enqueue(to, packet, done_cycle + base_latency, false, from, tx_start,
+                cid);
         break;
     }
     ++stats_.delivered;

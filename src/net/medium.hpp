@@ -20,6 +20,7 @@
 
 #include "chaos/prng.hpp"
 #include "emu/devices.hpp"
+#include "net/topology.hpp"
 
 namespace sensmart::net {
 
@@ -40,7 +41,10 @@ struct LinkParams {
 // means the link is down for this delivery (counted separately from
 // random drops).
 enum class FaultAction : uint8_t {
-  None, Drop, Duplicate, Reorder, Corrupt, Outage
+  None, Drop, Duplicate, Reorder, Corrupt, Outage,
+  // Mesh only (never produced by a scripted policy): the delivery was
+  // destroyed by a concurrent audible transmission (capture model).
+  Collision,
 };
 using FaultPolicy = std::function<FaultAction(
     size_t from, size_t to, uint64_t link_tx_index,
@@ -71,6 +75,8 @@ struct MediumStats {
   uint64_t corrupted = 0;
   uint64_t outage_drops = 0;  // deliveries suppressed by link-down windows
   uint64_t bytes_on_air = 0;  // sender-side airtime, bytes
+  uint64_t collisions = 0;    // mesh: deliveries destroyed by concurrent
+                              // audible transmissions (capture model)
 };
 
 class Medium {
@@ -86,6 +92,21 @@ class Medium {
 
   void set_fault_policy(FaultPolicy p) { policy_ = std::move(p); }
 
+  // Install a mesh topology (DESIGN.md §10). With a mesh topology a
+  // broadcast is offered only to the sender's in-range neighbors, each
+  // link's quality deficit (100 - quality) is folded into its single drop
+  // roll (the PRNG draw count per offered link is unchanged), and
+  // deliveries are subject to deterministic receiver-side collisions:
+  // when two audible transmissions overlap in airtime at a receiver, the
+  // one completing first is captured and the other destroyed (a node that
+  // was itself transmitting receives nothing — half-duplex). Collisions
+  // are resolved against the transmission log at flush time, consume no
+  // randomness, and depend only on the (deterministic) transmission
+  // schedule. Without a mesh topology behavior is byte-identical to the
+  // legacy single-hop medium.
+  void set_topology(Topology t) { topo_ = std::move(t); }
+  const Topology& topology() const { return topo_; }
+
   // Schedule a link-down window; may be called mid-simulation (windows in
   // the past simply never match).
   void add_outage(const LinkOutage& o) { outages_.push_back(o); }
@@ -96,10 +117,22 @@ class Medium {
   const std::vector<LinkOutage>& outages() const { return outages_; }
 
   // Broadcast a packet transmitted by `from`, whose last byte left the air
-  // at `done_cycle`, to every other attached node. Deliveries are buffered
+  // at `done_cycle`, to every other attached node (with a mesh topology:
+  // to the sender's in-range neighbors only). Deliveries are buffered
   // until flush().
   void broadcast(size_t from, std::span<const uint8_t> packet,
                  uint64_t done_cycle);
+
+  // Mesh only: register a transmission's airtime window [start, done) the
+  // moment it starts. The simulator calls this for every mesh frame it
+  // puts on the air (in its canonical barrier order), giving the
+  // collision check at flush time complete knowledge of overlapping
+  // transmissions — including ones that complete after the delivery being
+  // checked (half-duplex: a receiver mid-transmission hears nothing).
+  // No-op without a mesh topology.
+  void note_tx(size_t from, uint64_t start, uint64_t done) {
+    if (topo_.mesh) txlog_.push_back({from, start, done});
+  }
 
   // Hand every delivery whose start time is <= `now` to its destination
   // radio, in (time, enqueue-order) order. Called once per simulation
@@ -114,12 +147,16 @@ class Medium {
 
  private:
   void enqueue(size_t to, std::span<const uint8_t> packet, uint64_t at,
-               bool corrupt);
+               bool corrupt, size_t from = 0, uint64_t tx_start = 0,
+               uint64_t tx_done = 0);
 
   bool in_outage(size_t from, size_t to, uint64_t at) const;
+  bool collided(size_t from, size_t to, uint64_t tx_start,
+                uint64_t tx_done) const;
 
   LinkParams params_;
   chaos::Prng prng_;
+  Topology topo_;  // empty (mesh=false) for the legacy single-hop medium
   std::vector<LinkOutage> outages_;
   std::vector<emu::DeviceHub*> devs_;
   std::vector<uint64_t> link_tx_;  // per-link offered-packet counters
@@ -127,13 +164,30 @@ class Medium {
   Observer observer_;
   MediumStats stats_;
   // Buffered deliveries keyed by (start cycle, enqueue sequence) — the
-  // sequence keeps the drain order total and deterministic.
+  // sequence keeps the drain order total and deterministic. Mesh
+  // deliveries carry their transmission's identity and airtime window so
+  // the collision check at flush time can match them against the log.
   struct Delivery {
     size_t to;
     std::vector<uint8_t> bytes;
+    size_t from = 0;
+    uint64_t tx_start = 0;
+    uint64_t tx_done = 0;  // 0 = star-mode delivery, no collision check
   };
   std::map<std::pair<uint64_t, uint64_t>, Delivery> pending_;
   uint64_t enqueue_seq_ = 0;
+  // Mesh transmission log for collision resolution. Broadcasts reach the
+  // medium in a canonical deterministic order (the sharded engine replays
+  // TX completions at its quantum barrier in machine-id order), and every
+  // delivery is flushed at least one quantum after its transmission
+  // completed, so by the time a delivery is checked the log holds every
+  // transmission that completed at or before its own completion — exactly
+  // the competitors the capture rule consults.
+  struct TxRec {
+    size_t from;
+    uint64_t start, done;
+  };
+  std::vector<TxRec> txlog_;
 };
 
 }  // namespace sensmart::net

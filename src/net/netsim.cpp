@@ -18,6 +18,24 @@ constexpr size_t kMaxEarlyChunks = 4096;  // pre-summary chunk stash bound
 // PRNG stream tag for seeded node faults: a distinct stream from the
 // medium's, so enabling node faults never shifts the per-packet rolls.
 constexpr uint64_t kNodeFaultStream = 0x4E4F44454641ULL;  // "NODEFA"
+// Mesh: "no hop count known" / "no parent adopted" sentinels.
+constexpr uint16_t kNoHop = 0xFFFF;
+constexpr uint16_t kNoParent = 0xFFFF;
+// Carrier-sense guard after a heard transmission ends (turnaround slack).
+constexpr uint64_t kCsmaGuard = 2 * kByte;
+// Deterministic symmetry breaker for mesh timers: a per-(node, attempt)
+// phase offset in byte-times. In a fully deterministic simulation two
+// nodes whose backoffs hit the same cap would otherwise collide in the
+// exact same pattern forever; hashing the attempt number decorrelates the
+// phases without consuming the medium's PRNG stream (shard-invariant,
+// star traces untouched).
+uint64_t mesh_jitter(uint16_t id, uint64_t attempt) {
+  uint64_t z =
+      (uint64_t(id) << 32) ^ attempt ^ 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return (z >> 58) * kByte;  // 0..63 byte-times
+}
 }  // namespace
 
 const char* to_string(NodeAbortReason r) {
@@ -75,6 +93,25 @@ struct NetSim::Node {
   // state as of the quantum start, not after this quantum's parallel step.
   bool snap_checksum_fail = false;
   std::vector<uint16_t> nack_scratch;  // missing-chunk list, reused
+  // --- Mesh protocol state (DESIGN.md §10) — all volatile: it dies at a
+  // crash and is relearned after reboot from the Summary flood, while the
+  // chunk bitmap the node resumes from lives in the persistent store.
+  uint16_t hop = kNoHop;        // distance to the base (Summary flood)
+  uint16_t parent = kNoParent;  // upstream node Nacks are addressed to
+  std::map<uint16_t, uint16_t> nbr_hop;  // neighbor id -> last heard hop
+  uint32_t nacks_at_parent = 0;          // unanswered since last progress
+  bool ack_pending = false;              // own Ack queued for the next TX slot
+  uint64_t next_ack_at = 0;   // verified: next periodic re-ack cycle
+  uint32_t ack_streak = 0;    // consecutive re-acks -> exponential backoff
+  std::deque<uint16_t> ack_relay_q;      // downstream Ack origins to forward
+  std::map<uint16_t, uint64_t> ack_relayed_at;  // origin -> last relay cycle
+  std::deque<uint16_t> serve_q;     // chunk seqs queued to serve to peers
+  std::vector<uint8_t> serve_mark;  // seq queued? (dedup + Trickle suppress)
+  uint64_t next_serve_at = 0;       // serve pacing (serve_gap)
+  bool summary_relay_pending = false;
+  uint64_t summary_relay_at = 0;       // staggered send-not-before cycle
+  uint64_t last_summary_relay_at = 0;  // rate limit (summary_relay_min)
+  Frame serve_scratch;                 // peer-served Data frame, reused
   NodeDissemStats stats;
 };
 
@@ -88,6 +125,16 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
   const size_t cp = cfg_.proto.chunk_payload;
   total_chunks_ = static_cast<uint16_t>((blob_.size() + cp - 1) / cp);
   blob_crc_ = crc32(blob_);
+
+  // Spatial topology: node 0 (the base) plus every receiver get placed;
+  // the medium then offers broadcasts to in-range neighbors only and
+  // resolves capture-model collisions. Star leaves the legacy medium
+  // untouched (byte-identical traces).
+  mesh_ = cfg_.topo.mesh() && cfg_.nodes > 0;
+  if (mesh_)
+    medium_.set_topology(
+        build_topology(cfg_.topo, cfg_.nodes + 1, cfg_.chaos_seed));
+  air_busy_until_.assign(cfg_.nodes + 1, 0);
 
   machines_.reserve(cfg_.nodes + 1);
   txbufs_.resize(cfg_.nodes + 1);
@@ -122,6 +169,9 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
           case FaultAction::Reorder: kind = NetEventKind::MediumReorder; break;
           case FaultAction::Corrupt: kind = NetEventKind::MediumCorrupt; break;
           case FaultAction::Outage: kind = NetEventKind::MediumOutage; break;
+          case FaultAction::Collision:
+            kind = NetEventKind::MediumCollision;
+            break;
           case FaultAction::None: return;
         }
         record(cycle, kNodeMedium, kind, static_cast<uint32_t>(from),
@@ -260,7 +310,7 @@ void NetSim::drain_rx(size_t node_id, Deframer& d) {
   }
 }
 
-void NetSim::send_data_frame(uint16_t seq) {
+void NetSim::send_data_frame(uint16_t seq, uint64_t now) {
   const size_t cp = cfg_.proto.chunk_payload;
   const size_t begin = size_t(seq) * cp;
   const size_t end = std::min(begin + cp, blob_.size());
@@ -268,7 +318,45 @@ void NetSim::send_data_frame(uint16_t seq) {
   data_scratch_.version = cfg_.proto.version;
   data_scratch_.seq = seq;
   data_scratch_.payload.assign(blob_.begin() + begin, blob_.begin() + end);
-  send_frame(0, data_scratch_);
+  mesh_send(0, data_scratch_, now, nullptr);
+}
+
+// Register a just-started transmission with the collision log and the
+// carrier-sense air claims: the sender holds the air until `done`, every
+// in-range neighbor defers a guard interval past that. max() updates, so
+// the merge order of a quantum's notes is irrelevant.
+void NetSim::apply_tx_note(size_t from, uint64_t start, uint64_t done) {
+  medium_.note_tx(from, start, done);
+  air_busy_until_[from] = std::max(air_busy_until_[from], done);
+  for (uint16_t r : medium_.topology().neighbors[from])
+    air_busy_until_[r] = std::max(air_busy_until_[r], done + kCsmaGuard);
+}
+
+// Send a frame and (mesh only) note its exact airtime window. Callers
+// check the radio-idle bit first, so the transmission starts at `now` and
+// completes at now + length * byte-time — the device computes the same
+// completion cycle. During the parallel phase the note is buffered in the
+// shard context and merged at the barrier; the serial base step (sc ==
+// nullptr) applies it immediately.
+void NetSim::mesh_send(size_t id, const Frame& f, uint64_t now,
+                       ShardCtx* sc) {
+  send_frame(id, f);
+  if (!mesh_) return;
+  const uint64_t done =
+      now + (kFrameOverhead + f.payload.size()) * kByte;
+  if (sc)
+    sc->tx_notes.push_back({static_cast<uint16_t>(id), now, done});
+  else
+    apply_tx_note(id, now, done);
+}
+
+// Carrier sense: a mesh node transmits only when its radio is idle and no
+// heard neighbor transmission still holds the air.
+bool NetSim::mesh_can_tx(size_t id, uint64_t now) {
+  if (now < air_busy_until_[id]) return false;
+  uint8_t busy = 0;
+  machines_[id]->dev().io_access(emu::kRadioStatus, busy, false);
+  return (busy & 1) == 0;
 }
 
 void NetSim::note_node_alive(size_t node_id) {
@@ -286,6 +374,29 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
   if (f.version != cfg_.proto.version) return;
   switch (f.type) {
     case FrameType::Nack: {
+      if (mesh_) {
+        // Mesh Nacks are addressed: the base only serves ones targeting
+        // it (target 0). kNackAnyTarget asks for a Summary re-announce; a
+        // Nack overheard on its way to a peer parent still proves the
+        // sender alive (liveness is "what the base actually heard").
+        const auto mn = parse_mesh_nack(f);
+        if (!mn || f.seq == 0 || f.seq > cfg_.nodes) return;
+        ++base_->stats.nacks_rx;
+        note_node_alive(f.seq);
+        if (mn->target == 0) {
+          base_->probe_streak = 0;
+          if (mn->missing.empty()) {
+            base_->summary_pending = true;
+          } else {
+            for (uint16_t seq : mn->missing)
+              if (seq < total_chunks_) base_->retransmit.insert(seq);
+          }
+        } else if (mn->target == kNackAnyTarget) {
+          base_->probe_streak = 0;
+          base_->summary_pending = true;
+        }
+        return;
+      }
       const auto missing = parse_nack(f);
       if (!missing || f.seq == 0 || f.seq > cfg_.nodes) return;
       ++base_->stats.nacks_rx;
@@ -302,16 +413,36 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
     case FrameType::Ack: {
       if (f.seq == 0 || f.seq > cfg_.nodes) return;
       ++base_->stats.acks_rx;
-      base_->probe_streak = 0;
+      // Mesh: only a NEW completion resets the probe backoff — repeated
+      // re-acks of already-counted origins would otherwise keep the base
+      // probing at full rate, and every probe detonates a network-wide
+      // re-ack cascade.
+      if (!mesh_ || !base_->acked[f.seq]) base_->probe_streak = 0;
       note_node_alive(f.seq);
+      if (mesh_) {
+        // A relayed Ack proves the relayer alive too (seq carries the
+        // origin through the whole chain).
+        if (const auto ma = parse_mesh_ack(f))
+          if (ma->relayer >= 1 && ma->relayer <= cfg_.nodes)
+            note_node_alive(ma->relayer);
+      }
       if (!base_->acked[f.seq]) {
         base_->acked[f.seq] = true;
         ++base_->acked_count;
       }
       break;
     }
+    case FrameType::Summary: {
+      // Mesh: an overheard Summary relay names its sender — liveness.
+      if (!mesh_) break;
+      const auto info = parse_summary(f);
+      if (info && info->has_sender && info->sender >= 1 &&
+          info->sender <= cfg_.nodes)
+        note_node_alive(info->sender);
+      break;
+    }
     default:
-      break;  // the base ignores Summary/Data echoes from other nodes
+      break;  // the base ignores Data echoes from other nodes
   }
   (void)now;
 }
@@ -324,14 +455,21 @@ void NetSim::step_base(uint64_t now) {
   uint8_t busy = 0;
   machines_[0]->dev().io_access(emu::kRadioStatus, busy, false);
   if (busy & 1) return;  // one frame in the air at a time
+  if (mesh_ && now < air_busy_until_[0]) return;  // carrier sense
+
+  // The base's Summary: star announces bare geometry; mesh adds sender 0
+  // at hop 0, seeding the hop-count flood.
+  const SummaryInfo geom{total_chunks_, static_cast<uint32_t>(blob_.size()),
+                         blob_crc_, cfg_.proto.chunk_payload};
+  const auto summary_frame = [&] {
+    return mesh_ ? make_mesh_summary(cfg_.proto.version, geom, 0, 0)
+                 : make_summary(cfg_.proto.version, geom);
+  };
 
   if (base_->summary_pending) {
     base_->summary_pending = false;
     ++base_->stats.summaries_tx;
-    send_frame(0, make_summary(cfg_.proto.version,
-                               {total_chunks_,
-                                static_cast<uint32_t>(blob_.size()),
-                                blob_crc_, cfg_.proto.chunk_payload}));
+    mesh_send(0, summary_frame(), now, nullptr);
     return;
   }
   if (!base_->retransmit.empty()) {
@@ -340,13 +478,13 @@ void NetSim::step_base(uint64_t now) {
     ++base_->stats.retransmissions;
     record(now, 0, NetEventKind::BaseRetransmit, seq,
            static_cast<uint32_t>(base_->retransmit.size()));
-    send_data_frame(seq);
+    send_data_frame(seq, now);
     return;
   }
   if (base_->cursor < total_chunks_) {
     const uint16_t seq = base_->cursor++;
     ++base_->stats.data_tx;
-    send_data_frame(seq);
+    send_data_frame(seq, now);
     return;
   }
   // Idle with unacked nodes: re-probe with a Summary, backing off
@@ -354,10 +492,7 @@ void NetSim::step_base(uint64_t now) {
   if (now >= base_->next_probe_at) {
     ++base_->stats.summaries_tx;
     record(now, 0, NetEventKind::BaseProbe, base_->probe_streak, 0);
-    send_frame(0, make_summary(cfg_.proto.version,
-                               {total_chunks_,
-                                static_cast<uint32_t>(blob_.size()),
-                                blob_crc_, cfg_.proto.chunk_payload}));
+    mesh_send(0, summary_frame(), now, nullptr);
     const uint32_t exp =
         std::min(base_->probe_streak, cfg_.proto.backoff_cap_exp);
     base_->next_probe_at = now + (cfg_.proto.probe_interval << exp);
@@ -397,8 +532,26 @@ void NetSim::node_send_nack(Node& n, uint64_t now, ShardCtx& sc) {
          ++seq)
       if (!st.have[seq]) missing.push_back(seq);
   }
-  // No summary yet: an empty list asks the base to resend it.
-  send_frame(n.id, make_nack(cfg_.proto.version, n.id, missing));
+  if (mesh_) {
+    // Rotate away from a parent that stopped answering before asking
+    // again; Nacks are addressed to the (possibly new) parent. A node
+    // with no summary or no parent solicits with kNackAnyTarget — by
+    // protocol that is only ever answered with a Summary relay, never
+    // with Data, so it cannot start a duplicate-serving storm.
+    if (n.parent != kNoParent &&
+        n.nacks_at_parent >= cfg_.proto.parent_churn_nacks)
+      mesh_churn_parent(n, now, sc);
+    const uint16_t target =
+        (st.has_summary && n.parent != kNoParent) ? n.parent : kNackAnyTarget;
+    mesh_send(n.id,
+              make_mesh_nack(cfg_.proto.version, n.id, missing, target, n.hop),
+              now, &sc);
+    if (target != kNackAnyTarget) ++n.nacks_at_parent;
+    n.next_nack_at += mesh_jitter(n.id, n.stats.nacks_sent);
+  } else {
+    // No summary yet: an empty list asks the base to resend it.
+    send_frame(n.id, make_nack(cfg_.proto.version, n.id, missing));
+  }
   ++n.stats.nacks_sent;
   const uint32_t exp = std::min(n.nack_streak, cfg_.proto.backoff_cap_exp);
   n.stats.backoff_max_exp = std::max(n.stats.backoff_max_exp, exp);
@@ -406,6 +559,158 @@ void NetSim::node_send_nack(Node& n, uint64_t now, ShardCtx& sc) {
             static_cast<uint32_t>(missing.size()), exp);
   n.next_nack_at = now + (cfg_.proto.nack_timeout << exp) + n.id * 3 * kByte;
   ++n.nack_streak;
+}
+
+// A heard Summary teaches hop counts: remember the sender's hop, adopt it
+// as parent when that shortens our path to the base, and schedule our own
+// rate-limited re-flood so the announcement keeps propagating outward.
+void NetSim::mesh_note_summary(Node& n, uint16_t sender, uint16_t hop,
+                               uint64_t now, ShardCtx& sc) {
+  if (hop != kNoHop) n.nbr_hop[sender] = hop;
+  const uint32_t cand = uint32_t(hop) + 1;
+  if (cand < n.hop) {
+    n.hop = static_cast<uint16_t>(cand);
+    n.parent = sender;
+    n.nacks_at_parent = 0;
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ParentSelected,
+              sender, n.hop);
+    // Re-flood only on improvement: the announcement wave propagates once
+    // per learned hop count and then the network goes quiet. Lost nodes
+    // pull a re-announce with kNackAnyTarget instead of the base pushing
+    // one forever — a perpetual relay flood would otherwise saturate the
+    // channel and collide the very Acks the base is waiting for.
+    mesh_schedule_summary_relay(n, now);
+  }
+}
+
+void NetSim::mesh_schedule_summary_relay(Node& n, uint64_t now) {
+  if (n.summary_relay_pending) return;
+  if (n.last_summary_relay_at != 0 &&
+      now - n.last_summary_relay_at < cfg_.proto.summary_relay_min)
+    return;
+  n.summary_relay_pending = true;
+  // Stagger by node id so one flood wave does not detonate as one
+  // synchronized (and mutually colliding) volley of relays.
+  n.summary_relay_at = now + (2 + 3ull * n.id) * kByte +
+                       mesh_jitter(n.id, n.stats.summaries_relayed);
+}
+
+// Parent stopped answering: drop it from the neighbor table and adopt the
+// best remaining known neighbor (min hop, ties to the lowest id — the map
+// iterates ids in order). With no candidates the node falls back to
+// kNackAnyTarget rediscovery. The node's own hop count is NOT recomputed
+// here: it was learned from a real flood, and rebuilding it from stale
+// neighbor entries inflates the gradient the Ack relays steer by.
+void NetSim::mesh_churn_parent(Node& n, uint64_t now, ShardCtx& sc) {
+  if (n.parent != kNoParent) n.nbr_hop.erase(n.parent);
+  ++n.stats.parent_switches;
+  n.nacks_at_parent = 0;
+  uint16_t best = kNoParent;
+  uint16_t best_hop = kNoHop;
+  for (const auto& [id, h] : n.nbr_hop)
+    if (h < best_hop) {
+      best_hop = h;
+      best = id;
+    }
+  n.parent = best;
+  sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ParentSelected,
+            best, n.hop);
+}
+
+// One mesh transmission opportunity (the caller verified carrier sense +
+// radio idle). Priority: own Ack, then Ack relays (completion news keeps
+// the base from probing), then peer serves, then Summary relays. Returns
+// true if a frame went on the air.
+bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
+  emu::ImageStore& st = machines_[n.id]->dev().image_store();
+
+  if (n.ack_pending && st.verified) {
+    n.ack_pending = false;
+    mesh_send(n.id, make_mesh_ack(cfg_.proto.version, n.id, n.id, n.hop), now,
+              &sc);
+    ++n.stats.acks_sent;
+    n.last_ack_at = now;
+    // Periodic re-ack with exponential backoff: the origin is the retry
+    // driver for its whole relay chain (a relayer that lost its upstream
+    // slot gets another chance on the next re-ack). Overhearing our own
+    // Ack being relayed confirms the chain and pushes the timer out.
+    const uint32_t exp =
+        std::min(n.ack_streak, cfg_.proto.backoff_cap_exp);
+    n.next_ack_at = now + (cfg_.proto.ack_repeat_min << exp) +
+                    mesh_jitter(n.id, n.ack_streak);
+    ++n.ack_streak;
+    return true;
+  }
+
+  while (!n.ack_relay_q.empty()) {
+    const uint16_t origin = n.ack_relay_q.front();
+    n.ack_relay_q.pop_front();
+    // Re-check the per-origin rate limit at send time: an upstream relay
+    // overheard since enqueueing suppresses ours (Trickle-style).
+    const auto it = n.ack_relayed_at.find(origin);
+    if (it != n.ack_relayed_at.end() &&
+        now - it->second < cfg_.proto.ack_repeat_min)
+      continue;
+    n.ack_relayed_at[origin] = now;
+    mesh_send(n.id, make_mesh_ack(cfg_.proto.version, origin, n.id, n.hop),
+              now, &sc);
+    ++n.stats.acks_relayed;
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::AckRelayed,
+              origin, n.hop);
+    return true;
+  }
+
+  while (!n.serve_q.empty() && now >= n.next_serve_at) {
+    const uint16_t seq = n.serve_q.front();
+    n.serve_q.pop_front();
+    // Only chunks still marked are served: a Data frame for `seq` heard
+    // since the request unmarks it (another holder already answered), and
+    // only frame-CRC-verified chunks ever enter the store (st.have), so a
+    // peer can never propagate bytes it did not verify. Whole-image
+    // activation stays gated on the CRC-32 exactly as with base serving.
+    if (seq >= st.total_chunks || !st.have[seq] ||
+        seq >= n.serve_mark.size() || !n.serve_mark[seq])
+      continue;
+    n.serve_mark[seq] = 0;
+    const size_t cp = st.chunk_payload;
+    const size_t begin = size_t(seq) * cp;
+    const size_t end = std::min(begin + cp, size_t(st.image_bytes));
+    n.serve_scratch.type = FrameType::Data;
+    n.serve_scratch.version = st.image_version;
+    n.serve_scratch.seq = seq;
+    n.serve_scratch.payload.assign(st.image.begin() + begin,
+                                   st.image.begin() + end);
+    mesh_send(n.id, n.serve_scratch, now, &sc);
+    ++n.stats.chunks_served;
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ChunkServed, seq,
+              static_cast<uint32_t>(n.serve_q.size()));
+    n.next_serve_at = now +
+                      (kFrameOverhead + n.serve_scratch.payload.size()) *
+                          kByte +
+                      cfg_.proto.serve_gap;
+    return true;
+  }
+
+  if (n.summary_relay_pending && now >= n.summary_relay_at) {
+    if (!st.has_summary || n.hop == kNoHop) {
+      n.summary_relay_pending = false;  // nothing credible to announce
+      return false;
+    }
+    n.summary_relay_pending = false;
+    n.last_summary_relay_at = now;
+    mesh_send(n.id,
+              make_mesh_summary(
+                  cfg_.proto.version,
+                  {st.total_chunks, st.image_bytes, st.image_crc,
+                   st.chunk_payload},
+                  n.id, n.hop),
+              now, &sc);
+    ++n.stats.summaries_relayed;
+    sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryRelayed,
+              n.hop, 0);
+    return true;
+  }
+  return false;
 }
 
 void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
@@ -417,6 +722,7 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
   auto progress = [&] {
     // Useful traffic: reset the Nack backoff so the next timeout is short.
     n.nack_streak = 0;
+    n.nacks_at_parent = 0;  // mesh: the current parent is delivering
     n.next_nack_at = now + cfg_.proto.nack_timeout + n.id * 3 * kByte;
   };
 
@@ -450,9 +756,15 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       n.stats.completion_cycle = now;
       sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::Complete, n.id,
                 st.image_crc & 0xFFFF);
-      send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
-      ++n.stats.acks_sent;
-      n.last_ack_at = now;
+      if (mesh_) {
+        // Mesh transmissions are carrier-sensed: queue the Ack for the
+        // node's next clear TX slot instead of sending blind.
+        n.ack_pending = true;
+      } else {
+        send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
+        ++n.stats.acks_sent;
+        n.last_ack_at = now;
+      }
     } else {
       // Frame CRCs all passed yet the image does not verify (16-bit CRC
       // collision): discard everything and re-request; never activate.
@@ -471,13 +783,23 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       ++n.stats.summaries_rx;
       const auto info = parse_summary(f);
       if (!info) return;
+      if (mesh_ && info->has_sender)
+        mesh_note_summary(n, info->sender, f.seq, now, sc);
       if (st.verified) {
-        // Base is probing for a lost Ack — repeat it, rate-limited.
-        if (now - n.last_ack_at >= cfg_.proto.ack_repeat_min) {
-          send_frame(n.id,
-                     Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
-          ++n.stats.acks_sent;
-          n.last_ack_at = now;
+        // Base is probing for a lost Ack — repeat it, rate-limited. Mesh:
+        // only a probe arriving from upstream (closer to the base) earns a
+        // re-ack; lateral/downstream relays would only amplify traffic.
+        const bool upstream =
+            !mesh_ || !info->has_sender || f.seq < n.hop;
+        if (upstream && now - n.last_ack_at >= cfg_.proto.ack_repeat_min) {
+          if (mesh_) {
+            n.ack_pending = true;
+          } else {
+            send_frame(n.id,
+                       Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
+            ++n.stats.acks_sent;
+            n.last_ack_at = now;
+          }
         }
         return;
       }
@@ -489,6 +811,8 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
         // (e.g. a new version after a long outage): the stale partial
         // transfer is useless — erase and start over.
         st.erase();
+        n.serve_q.clear();
+        n.serve_mark.clear();
       }
       if (!st.has_summary) {
         // Sanity-check the announced geometry before allocating.
@@ -525,6 +849,9 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
     }
     case FrameType::Data: {
       ++n.stats.data_rx;
+      // Trickle suppression: a chunk just heard on the air is a chunk the
+      // neighborhood no longer needs from us — unmark any queued serve.
+      if (mesh_ && f.seq < n.serve_mark.size()) n.serve_mark[f.seq] = 0;
       if (st.verified) return;
       if (!st.has_summary) {
         // Stash pre-Summary chunks so a lost Summary doesn't waste the
@@ -537,8 +864,90 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       store_chunk(f.seq, f.payload);
       break;
     }
+    case FrameType::Nack: {
+      if (!mesh_) break;  // star receivers ignore overheard Nacks
+      const auto mn = parse_mesh_nack(f);
+      if (!mn) break;
+      if (mn->target == n.id && st.has_summary) {
+        // A child asked us to serve: queue every requested chunk we hold
+        // (CRC-verified by construction — only deframed, CRC-valid Data
+        // ever enters the store). serve_mark dedups requests from
+        // multiple children and implements Trickle suppression.
+        if (n.serve_mark.size() != st.total_chunks)
+          n.serve_mark.assign(st.total_chunks, 0);
+        bool lacking = false;
+        for (uint16_t seq : mn->missing) {
+          if (seq >= st.total_chunks) continue;
+          if (!st.have[seq]) {
+            lacking = true;
+            continue;
+          }
+          if (!n.serve_mark[seq]) {
+            n.serve_mark[seq] = 1;
+            n.serve_q.push_back(seq);
+          }
+        }
+        if (mn->missing.empty()) mesh_schedule_summary_relay(n, now);
+        if (lacking && !st.verified) {
+          // Demand-driven pull: a child wants chunks we do not hold yet —
+          // shorten our own next Nack so the pipeline keeps moving.
+          n.next_nack_at =
+              std::min<uint64_t>(n.next_nack_at, now + (2 + 4ull * n.id) * kByte);
+        }
+      } else if (mn->target == kNackAnyTarget) {
+        // A lost node (fresh boot, rebooted, or churned out of parents)
+        // wants the Summary re-announced. Only Summary relays answer —
+        // never Data — so the response is one rate-limited frame per
+        // neighbor, not a storm.
+        mesh_schedule_summary_relay(n, now);
+      }
+      break;
+    }
+    case FrameType::Ack: {
+      if (!mesh_) break;  // star receivers ignore overheard Acks
+      const auto ma = parse_mesh_ack(f);
+      if (!ma) break;
+      const uint16_t origin = f.seq;
+      if (origin == n.id) {
+        // Someone is relaying our own Ack: the chain is carrying it —
+        // drop any pending repeat and fall back to the slow lane.
+        n.ack_pending = false;
+        n.next_ack_at = std::max(
+            n.next_ack_at,
+            now + (cfg_.proto.ack_repeat_min << cfg_.proto.backoff_cap_exp));
+        break;
+      }
+      if (n.hop == kNoHop) break;
+      // Relays double as gradient maintenance: in the end-game no
+      // Summaries flow, so overheard relayer hops are the only thing
+      // keeping the hop counts (and thus the relay direction) fresh.
+      if (ma->hop < 0xFF) {
+        n.nbr_hop[ma->relayer] = ma->hop;
+        if (uint16_t(ma->hop) + 1 < n.hop)
+          n.hop = static_cast<uint16_t>(ma->hop + 1);
+        if (n.parent == kNoParent) n.parent = ma->relayer;
+      }
+      if (ma->hop > n.hop) {
+        // Heard from downstream: forward the origin's completion toward
+        // the base, rate-limited per origin and deduped against the queue.
+        const auto it = n.ack_relayed_at.find(origin);
+        const bool recently =
+            it != n.ack_relayed_at.end() &&
+            now - it->second < cfg_.proto.ack_repeat_min;
+        if (!recently &&
+            std::find(n.ack_relay_q.begin(), n.ack_relay_q.end(), origin) ==
+                n.ack_relay_q.end())
+          n.ack_relay_q.push_back(origin);
+      } else {
+        // An upstream node is already carrying this origin's Ack, or a
+        // sibling relayed it first toward the same parents — ours would
+        // be redundant; suppress via the rate limiter.
+        n.ack_relayed_at[origin] = now;
+      }
+      break;
+    }
     default:
-      break;  // receivers ignore overheard Nacks/Acks from peers
+      break;  // receivers ignore Data echoes of unknown versions etc.
   }
 }
 
@@ -546,6 +955,19 @@ void NetSim::step_node(size_t idx, uint64_t now, ShardCtx& sc) {
   Node& n = *nodes_[idx];
   drain_rx(n.id, n.deframer);
   while (auto f = n.deframer.next()) on_node_frame(n, *f, now, sc);
+  if (!mesh_) {
+    if (machines_[n.id]->dev().image_store().verified) return;
+    if (now >= n.next_nack_at) node_send_nack(n, now, sc);
+    return;
+  }
+  // Mesh: one carrier-sensed transmission opportunity per quantum.
+  // Verified nodes stay on the air as servers and relays — that is what
+  // flattens the per-node cost: the base serves hop-1 once, and every
+  // completed layer feeds the next.
+  if (machines_[n.id]->dev().image_store().verified && now >= n.next_ack_at)
+    n.ack_pending = true;
+  if (!mesh_can_tx(n.id, now)) return;
+  if (mesh_node_tx(n, now, sc)) return;
   if (machines_[n.id]->dev().image_store().verified) return;
   if (now >= n.next_nack_at) node_send_nack(n, now, sc);
 }
@@ -569,6 +991,25 @@ void NetSim::node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc) {
     n.nack_streak = 0;
     n.next_nack_at = now + cfg_.proto.nack_timeout / 2 + n.id * 3 * kByte;
     n.last_ack_at = 0;  // a completed node re-answers the next probe at once
+    // Mesh routing state is volatile: the node rejoins the flood from
+    // scratch (kNackAnyTarget solicits Summary relays) and resumes its
+    // transfer from the persisted chunk bitmap against whichever neighbor
+    // answers first.
+    n.hop = kNoHop;
+    n.parent = kNoParent;
+    n.nbr_hop.clear();
+    n.nacks_at_parent = 0;
+    n.ack_pending = false;
+    n.next_ack_at = 0;
+    n.ack_streak = 0;
+    n.ack_relay_q.clear();
+    n.ack_relayed_at.clear();
+    n.serve_q.clear();
+    n.serve_mark.clear();
+    n.next_serve_at = 0;
+    n.summary_relay_pending = false;
+    n.summary_relay_at = 0;
+    n.last_summary_relay_at = 0;
     sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeRebooted,
               st.chunks_have, st.verified);
     return;
@@ -635,9 +1076,13 @@ DisseminationResult NetSim::disseminate() {
   // owns receiver indices [s*N/S, (s+1)*N/S) and syncs their machines;
   // shard 0 additionally syncs the base machine. Contiguity makes the
   // barrier merge a concatenation in shard order = node-id order.
-  const unsigned requested = cfg_.shards == 0
-                                 ? host::effective_jobs(0, cfg_.nodes)
-                                 : cfg_.shards;
+  // Auto-sharding only pays off once each shard owns a meaningful slice:
+  // below kMinNodesPerShard receivers per shard the quantum barrier costs
+  // more than the parallel phase saves, so small fleets run serial.
+  const unsigned requested =
+      cfg_.shards == 0
+          ? host::effective_jobs(0, cfg_.nodes / kMinNodesPerShard)
+          : cfg_.shards;
   const unsigned S = static_cast<unsigned>(std::max<size_t>(
       1, std::min<size_t>(requested, std::max<size_t>(cfg_.nodes, 1))));
   shards_.assign(S, ShardCtx{});
@@ -684,6 +1129,17 @@ DisseminationResult NetSim::disseminate() {
     // (3) receiver trace events in node-id order, then the buffered
     // outage windows (first consulted by next quantum's broadcasts).
     for (size_t id = 0; id < machines_.size(); ++id) replay_tx(id);
+    if (mesh_) {
+      // Merge this quantum's transmission starts (collision log + carrier
+      // sense) before the base steps, so the base defers to node frames
+      // already on the air. Shard order = node-id order, and the updates
+      // are max()/append, so any shard count merges identically.
+      for (ShardCtx& sc : shards_) {
+        for (const ShardCtx::TxNote& tn : sc.tx_notes)
+          apply_tx_note(tn.from, tn.start, tn.done);
+        sc.tx_notes.clear();
+      }
+    }
     step_base(t);
     for (ShardCtx& sc : shards_) {
       for (const NetTraceEvent& e : sc.events)
@@ -712,6 +1168,7 @@ DisseminationResult NetSim::disseminate() {
     n.stats.rx_overruns = dev.rx_overruns();
     n.stats.complete = st.verified;  // a cold crash can wipe a completion
     n.stats.store_writes = st.writes;
+    if (mesh_) n.stats.hop = n.hop;
     n.stats.abandoned = base_->abandoned[n.id];
     if (res.aborted && !base_->acked[n.id]) {
       // Per-node abort reason instead of one global count: one Abort

@@ -27,6 +27,7 @@
 #include "emu/machine.hpp"
 #include "net/frame.hpp"
 #include "net/medium.hpp"
+#include "net/topology.hpp"
 
 namespace sensmart::net {
 
@@ -47,7 +48,21 @@ struct ProtocolParams {
   // 0 = never abandon. The default is large enough that short reboot
   // outages never get a node abandoned, yet a truly dead node bounds the
   // run. A frame from an abandoned node revives it.
+  //
+  // On a mesh the base only hears its radio neighbors directly (plus
+  // relayed Acks), so a distant node that is mid-transfer looks silent at
+  // the base; large mesh runs should set this to 0 and rely on max_cycles
+  // unless abandon classification is the point of the run.
   uint32_t node_give_up_probes = 12;
+
+  // --- Mesh parameters (NetConfig::topo; all ignored in star mode) ------
+  // Minimum spacing between one node's Summary re-floods (relays).
+  uint64_t summary_relay_min = 8 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+  // Spacing between consecutive peer-served Data chunks from one node.
+  uint64_t serve_gap = 2 * emu::DeviceHub::kCyclesPerRadioByte;
+  // Consecutive unanswered Nacks at one parent before rotating to the
+  // next-best known upstream neighbor (parent churn).
+  uint32_t parent_churn_nacks = 3;
 };
 
 // A scheduled receiver crash: fires the first time the node holds at least
@@ -94,9 +109,23 @@ struct NetConfig {
   // all cross-node effects (TX broadcasts, trace events, outages) buffered
   // and merged at a barrier in canonical order. The trace digest and every
   // result byte are identical at any shard count; only wall time changes.
-  // 0 = auto (hardware concurrency), 1 = serial.
+  // 0 = auto: one shard per kMinNodesPerShard receivers, capped at
+  // hardware concurrency — small fleets fall back to serial, because the
+  // per-quantum barrier costs more than stepping a handful of nodes
+  // (BENCH_fleet showed shards=8 ~13x slower than serial at 4 nodes).
+  // 1 = serial.
   unsigned shards = 1;
+  // Spatial topology (DESIGN.md §10). The default Star keeps the legacy
+  // single-hop network and is byte-identical to the pre-mesh simulator;
+  // any mesh kind enables multi-hop dissemination: hop-count parent
+  // selection, CSMA carrier sense with deterministic capture-model
+  // collisions, and peer-to-peer chunk serving.
+  TopologySpec topo;
 };
+
+// Auto-shard sizing floor: below this many receivers per shard the
+// bulk-synchronous barrier costs more than the parallel phase saves.
+inline constexpr size_t kMinNodesPerShard = 16;
 
 // Why a receiver ended the run without a base-acknowledged install.
 enum class NodeAbortReason : uint8_t {
@@ -134,6 +163,14 @@ enum class NetEventKind : uint8_t {
   NodeAbandoned,   // base gave up on a node: a = node id, b = reason
   MediumOutage,    // delivery suppressed by a link-down window:
                    // a = from, b = to
+  // Mesh events (appended: star traces never contain them, so the star
+  // digest stream is unchanged).
+  MediumCollision, // delivery destroyed by a concurrent transmission:
+                   // a = from, b = to
+  ParentSelected,  // a = parent id, b = hop count adopted
+  SummaryRelayed,  // a = relayer hop, b = 0
+  AckRelayed,      // a = origin node id, b = relayer hop
+  ChunkServed,     // peer-served Data: a = chunk seq, b = serve queue left
 };
 
 struct NetTraceEvent {
@@ -167,6 +204,12 @@ struct NodeDissemStats {
   uint64_t store_writes = 0;    // committed chunk writes (flash-wear proxy)
   bool abandoned = false;       // base gave up waiting for this node
   NodeAbortReason abort_reason = NodeAbortReason::None;
+  // Mesh (zero in star mode).
+  uint16_t hop = 0;                // final hop count (0xFFFF = never joined)
+  uint32_t parent_switches = 0;    // parent churn events
+  uint64_t chunks_served = 0;      // Data frames served to peers
+  uint64_t acks_relayed = 0;       // downstream Acks forwarded upstream
+  uint64_t summaries_relayed = 0;  // Summary floods forwarded
 };
 
 struct BaseDissemStats {
@@ -243,6 +286,16 @@ class NetSim {
     size_t machine_begin = 0, machine_end = 0;  // machines this shard syncs
     std::vector<NetTraceEvent> events;
     std::vector<LinkOutage> outages;
+    // Mesh transmissions this shard's receivers started this quantum,
+    // in node-id order; merged at the barrier into the medium's collision
+    // log and the carrier-sense air claims. Claims are max() updates and
+    // the collision verdict scans the whole log, so the merged result is
+    // independent of shard count.
+    struct TxNote {
+      uint16_t from = 0;
+      uint64_t start = 0, done = 0;
+    };
+    std::vector<TxNote> tx_notes;
     int complete_delta = 0;  // net verified-store transitions this quantum
     void record(uint64_t cycle, uint8_t node, NetEventKind kind, uint32_t a,
                 uint32_t b) {
@@ -271,7 +324,7 @@ class NetSim {
   void record(uint64_t cycle, uint8_t node, NetEventKind kind, uint32_t a,
               uint32_t b);
   void send_frame(size_t node_id, const Frame& f);
-  void send_data_frame(uint16_t seq);
+  void send_data_frame(uint16_t seq, uint64_t now);
   void drain_rx(size_t node_id, Deframer& d);
   void plan_node_faults();
   void node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc);
@@ -285,6 +338,16 @@ class NetSim {
   void run_shard_quantum(ShardCtx& sc, uint64_t t);
   void deliver_tx(size_t id, std::span<const uint8_t> pkt, uint64_t done);
   void replay_tx(size_t id);
+
+  // Mesh protocol (DESIGN.md §10); all no-ops / unreachable in star mode.
+  void apply_tx_note(size_t from, uint64_t start, uint64_t done);
+  void mesh_send(size_t id, const Frame& f, uint64_t now, ShardCtx* sc);
+  bool mesh_can_tx(size_t id, uint64_t now);
+  bool mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc);
+  void mesh_note_summary(Node& n, uint16_t sender, uint16_t hop, uint64_t now,
+                         ShardCtx& sc);
+  void mesh_schedule_summary_relay(Node& n, uint64_t now);
+  void mesh_churn_parent(Node& n, uint64_t now, ShardCtx& sc);
 
   NetConfig cfg_;
   std::vector<uint8_t> blob_;
@@ -302,6 +365,14 @@ class NetSim {
   std::vector<TxBuf> txbufs_;
   std::vector<std::vector<uint8_t>> encode_scratch_;
   Frame data_scratch_;          // base Data frame, payload buffer reused
+  // Mesh mode (NetConfig::topo names a spatial topology). Carrier sense:
+  // air_busy_until_[id] is the cycle until which node id defers its own
+  // transmissions — the max over heard neighbors' transmission ends (plus
+  // a short guard) and its own. Written only at the quantum barrier (and
+  // by the serial base step), read during the parallel phase, so shards
+  // share a consistent previous-quantum snapshot.
+  bool mesh_ = false;
+  std::vector<uint64_t> air_busy_until_;
   bool phase_parallel_ = false; // true only inside the parallel phase:
                                 // routes tx_sink completions into txbufs_
   size_t complete_count_ = 0;   // verified stores (transition-maintained)

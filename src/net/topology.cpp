@@ -1,0 +1,155 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chaos/prng.hpp"
+
+namespace sensmart::net {
+
+namespace {
+
+// PRNG stream tag for Random placement: distinct from the medium's and the
+// node-fault planner's streams.
+constexpr uint64_t kTopoStream = 0x544F504F4C4F47ULL;  // "TOPOLOG"
+
+int64_t dist2(const Topology& t, size_t a, size_t b) {
+  const int64_t dx = t.x[a] - t.x[b];
+  const int64_t dy = t.y[a] - t.y[b];
+  return dx * dx + dy * dy;
+}
+
+// Quality falloff: 100 within one spacing, linear in squared distance down
+// to the floor at the range edge, 0 beyond range. Pure integer math.
+uint8_t quality_at(int64_t d2, const TopologySpec& spec) {
+  const int64_t r2 = int64_t(spec.range_units) * spec.range_units;
+  if (d2 > r2) return 0;
+  const int64_t near2 = kUnitsPerSpacing * kUnitsPerSpacing;
+  const uint32_t floor_q = std::min<uint32_t>(spec.quality_floor_pct, 100);
+  if (d2 <= near2 || r2 <= near2) return 100;
+  const int64_t q =
+      100 - int64_t(100 - floor_q) * (d2 - near2) / (r2 - near2);
+  return static_cast<uint8_t>(std::max<int64_t>(q, 1));
+}
+
+void rebuild_links(Topology& t, const TopologySpec& spec) {
+  const size_t n = t.count;
+  t.quality.assign(n * n, 0);
+  t.neighbors.assign(n, {});
+  for (size_t a = 0; a < n; ++a)
+    for (size_t b = a + 1; b < n; ++b) {
+      const uint8_t q = quality_at(dist2(t, a, b), spec);
+      t.quality[a * n + b] = q;
+      t.quality[b * n + a] = q;  // symmetric links
+      if (q > 0) {
+        t.neighbors[a].push_back(static_cast<uint16_t>(b));
+        t.neighbors[b].push_back(static_cast<uint16_t>(a));
+      }
+    }
+  // push_back over ascending b/a already leaves each list sorted.
+}
+
+void rebuild_hops(Topology& t) {
+  t.hops.assign(t.count, kUnreachableHop);
+  t.hops[0] = 0;
+  std::vector<uint16_t> frontier{0};
+  while (!frontier.empty()) {
+    std::vector<uint16_t> next;
+    for (uint16_t u : frontier)
+      for (uint16_t v : t.neighbors[u])
+        if (t.hops[v] == kUnreachableHop) {
+          t.hops[v] = static_cast<uint16_t>(t.hops[u] + 1);
+          next.push_back(v);
+        }
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Star: return "star";
+    case TopologyKind::Line: return "line";
+    case TopologyKind::Grid: return "grid";
+    case TopologyKind::Random: return "random";
+  }
+  return "?";
+}
+
+Topology build_topology(const TopologySpec& spec, size_t count,
+                        uint64_t chaos_seed) {
+  Topology t;
+  t.count = count;
+  if (!spec.mesh() || count == 0) return t;  // Star: legacy single-hop path
+  t.mesh = true;
+  t.x.assign(count, 0);
+  t.y.assign(count, 0);
+
+  const auto side_nodes = [&] {
+    size_t w = 1;
+    while (w * w < count) ++w;
+    return w;
+  }();
+
+  switch (spec.kind) {
+    case TopologyKind::Star:
+      break;  // unreachable
+    case TopologyKind::Line:
+      for (size_t k = 0; k < count; ++k)
+        t.x[k] = int64_t(k) * kUnitsPerSpacing;
+      break;
+    case TopologyKind::Grid:
+      for (size_t k = 0; k < count; ++k) {
+        t.x[k] = int64_t(k % side_nodes) * kUnitsPerSpacing;
+        t.y[k] = int64_t(k / side_nodes) * kUnitsPerSpacing;
+      }
+      break;
+    case TopologyKind::Random: {
+      chaos::Prng r(chaos_seed ^ spec.seed ^ kTopoStream);
+      const int64_t side = int64_t(side_nodes) * kUnitsPerSpacing;
+      // Base at the center keeps the expected hop diameter ~sqrt(N)/2.
+      t.x[0] = side / 2;
+      t.y[0] = side / 2;
+      for (size_t k = 1; k < count; ++k) {
+        t.x[k] = r.below(static_cast<uint32_t>(side + 1));
+        t.y[k] = r.below(static_cast<uint32_t>(side + 1));
+      }
+      break;
+    }
+  }
+
+  rebuild_links(t, spec);
+  rebuild_hops(t);
+
+  // Deterministic connectivity fix-up (Random placement can strand nodes):
+  // move the lowest-id unreachable node one spacing beside its nearest
+  // reachable node and rebuild. Each pass connects at least one node, so
+  // this terminates in < count passes.
+  for (;;) {
+    size_t orphan = count;
+    for (size_t k = 0; k < count; ++k)
+      if (t.hops[k] == kUnreachableHop) {
+        orphan = k;
+        break;
+      }
+    if (orphan == count) break;
+    size_t anchor = 0;
+    int64_t best = -1;
+    for (size_t k = 0; k < count; ++k) {
+      if (t.hops[k] == kUnreachableHop) continue;
+      const int64_t d2 = dist2(t, orphan, k);
+      if (best < 0 || d2 < best) {
+        best = d2;
+        anchor = k;
+      }
+    }
+    t.x[orphan] = t.x[anchor] + kUnitsPerSpacing;
+    t.y[orphan] = t.y[anchor];
+    rebuild_links(t, spec);
+    rebuild_hops(t);
+  }
+  return t;
+}
+
+}  // namespace sensmart::net

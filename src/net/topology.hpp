@@ -1,0 +1,93 @@
+// Spatial network topologies for the multi-hop mesh simulator
+// (DESIGN.md §10).
+//
+// A Topology places the base (id 0) and every receiver on a plane and
+// derives, once, the per-link delivery quality matrix the Medium consults:
+// quality 0 means out of radio range (the packet is never offered),
+// 1..100 scales the link's effective loss. Placement uses fixed-point
+// integer coordinates (kUnitsPerSpacing units = one grid spacing) so every
+// distance comparison is exact integer arithmetic — a topology is a pure
+// function of (spec, node count, chaos seed) on every platform, which the
+// byte-identical trace-digest contract requires.
+//
+// Kinds:
+//   Star   — the legacy single-hop network: no topology is consulted at
+//            all, every node hears the base directly (byte-identical to
+//            the pre-mesh simulator).
+//   Line   — node k at (k, 0); only adjacent nodes are in range. The
+//            worst-case hop diameter (N hops) — a pipelining stress test.
+//   Grid   — row-major ceil(sqrt(count)) grid, base at the corner;
+//            default range links the 8-neighborhood (diagonals at reduced
+//            quality), hop diameter ~sqrt(N).
+//   Random — seeded uniform placement in a square, base at the center,
+//            with a deterministic connectivity fix-up: any node BFS-
+//            unreachable from the base is moved adjacent to its nearest
+//            reachable node (lowest id first), so a planned run can never
+//            start partitioned.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace sensmart::net {
+
+enum class TopologyKind : uint8_t { Star = 0, Line = 1, Grid = 2, Random = 3 };
+
+const char* to_string(TopologyKind k);
+
+// Fixed-point placement scale: one nominal grid spacing.
+inline constexpr int64_t kUnitsPerSpacing = 8;
+
+// A node with no BFS path to the base (never the case after the Random
+// fix-up, but kept representable for partially built topologies).
+inline constexpr uint16_t kUnreachableHop = 0xFFFF;
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Star;
+  // Link reach in placement units (kUnitsPerSpacing = one spacing). The
+  // default 12 (= 1.5 spacings) links a grid's 8-neighborhood but not
+  // nodes two spacings apart.
+  uint32_t range_units = 12;
+  // Delivery quality at the edge of range; quality is 100 within one
+  // spacing and falls off linearly in squared distance down to this
+  // floor. The medium folds (100 - quality) into the link's drop roll.
+  uint32_t quality_floor_pct = 70;
+  // Extra stream tag for Random placement so several topologies drawn
+  // from one chaos seed differ.
+  uint64_t seed = 0;
+
+  bool mesh() const { return kind != TopologyKind::Star; }
+};
+
+struct Topology {
+  bool mesh = false;
+  size_t count = 0;  // nodes including the base (id 0)
+  std::vector<int64_t> x, y;       // placement, fixed-point units
+  std::vector<uint8_t> quality;    // count*count; [from*count+to]; 0 = no link
+  std::vector<std::vector<uint16_t>> neighbors;  // in-range ids, ascending
+  std::vector<uint16_t> hops;      // BFS hop distance from the base
+
+  uint8_t link_quality(size_t from, size_t to) const {
+    return quality[from * count + to];
+  }
+  bool linked(size_t from, size_t to) const {
+    return from != to && quality[from * count + to] > 0;
+  }
+  uint16_t max_hops() const {
+    uint16_t m = 0;
+    for (uint16_t h : hops)
+      if (h != kUnreachableHop && h > m) m = h;
+    return m;
+  }
+};
+
+// Build the placement, quality matrix, neighbor lists and BFS hop counts
+// for `count` nodes (including the base). Random placement draws from a
+// dedicated PRNG stream derived from (chaos_seed, spec.seed), so building
+// a topology never perturbs the medium's or the fault planner's rolls.
+// For TopologyKind::Star the result has mesh=false and empty tables.
+Topology build_topology(const TopologySpec& spec, size_t count,
+                        uint64_t chaos_seed);
+
+}  // namespace sensmart::net

@@ -221,6 +221,68 @@ TEST(NetRecovery, AbortReasonsSurfaceThroughTheHarness) {
   EXPECT_EQ(nr.nodes[1].abort_reason, net::NodeAbortReason::None);
 }
 
+// --- Recovery on a mesh: peer resume and subtree abandonment ----------------
+
+TEST(NetRecovery, MeshRebootedNodeResumesFromPeerNotTheBase) {
+  // Line topology, three receivers: node 3 is two hops past the base's
+  // radio range and is fed by node 2's serves. It crashes mid-transfer
+  // with its store preserved; on reboot it must resume from the flash
+  // chunk bitmap and pull only the missed chunks — from whichever
+  // neighbor answers its Nacks (node 2), not from the base, which never
+  // retransmits a frame on node 3's behalf.
+  const auto blob = test_blob();
+  net::NetConfig cfg;
+  cfg.nodes = 3;
+  cfg.chaos_seed = 0x5EED;
+  cfg.max_cycles = 8'000'000'000ULL;
+  cfg.topo.kind = net::TopologyKind::Line;
+  cfg.proto.node_give_up_probes = 0;
+  const uint16_t half = static_cast<uint16_t>(chunks_of(blob) / 2);
+  cfg.node_faults.scripted = {{3, half, 4'000, false}};
+  net::NetSim sim(cfg, blob);
+  const auto r = sim.disseminate();
+
+  ASSERT_TRUE(r.all_acked);
+  EXPECT_EQ(r.complete_nodes(), 3u);
+  for (size_t id = 1; id <= 3; ++id)
+    EXPECT_EQ(sim.node_blob(id), blob) << "node " << id;
+  EXPECT_EQ(r.nodes[2].crashes, 1u);
+  EXPECT_EQ(r.nodes[2].reboots, 1u);
+  EXPECT_GT(r.nodes[2].resumed_chunks, 0u);  // flash bitmap survived
+  // The upstream peer (node 2) did the serving. The base repairs only
+  // the frames node 1 missed while half-duplex-deaf during its own
+  // serves — nowhere near the rebooted node's re-pulled half-image.
+  EXPECT_GT(r.nodes[1].chunks_served, 0u);
+  EXPECT_LT(r.base.retransmissions, uint64_t(half) / 2);
+}
+
+TEST(NetRecovery, MeshSubtreePartitionIsAbandonedWithStarClassification) {
+  // Node 1 is the only bridge between the base and node 2. It dies before
+  // its radio keys up and stays down; the whole subtree partitions. The
+  // base's abandon classification is unchanged from star mode: it never
+  // heard either node, so both are abandoned as NeverHeard — the relay
+  // machinery must not manufacture liveness for a partitioned subtree.
+  const auto blob = test_blob();
+  net::NetConfig cfg;
+  cfg.nodes = 2;
+  cfg.chaos_seed = 7;
+  cfg.max_cycles = 8'000'000'000ULL;
+  cfg.topo.kind = net::TopologyKind::Line;
+  cfg.proto.node_give_up_probes = 3;
+  cfg.node_faults.scripted = {{1, 0, 4'000'000'000ULL, false}};
+  net::NetSim sim(cfg, blob);
+  const auto r = sim.disseminate();
+
+  EXPECT_FALSE(r.all_acked);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_FALSE(r.budget_exhausted);  // the base gave up, not the clock
+  EXPECT_TRUE(r.nodes[0].abandoned);
+  EXPECT_EQ(r.nodes[0].abort_reason, net::NodeAbortReason::NeverHeard);
+  EXPECT_TRUE(r.nodes[1].abandoned);
+  EXPECT_EQ(r.nodes[1].abort_reason, net::NodeAbortReason::NeverHeard);
+  EXPECT_EQ(r.base.nodes_abandoned, 2u);
+}
+
 // --- Medium link-outage windows (FaultPolicy extension) ---------------------
 
 TEST(MediumOutage, WindowSuppressesDeliveriesBothWaysOfTime) {

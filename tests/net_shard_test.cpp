@@ -64,6 +64,9 @@ struct RunFingerprint {
   std::vector<uint64_t> node_frames_rx;
   std::vector<uint64_t> node_completion_cycle;
   std::vector<uint32_t> node_crashes;
+  std::vector<uint16_t> node_hops;
+  std::vector<uint64_t> node_chunks_served;
+  std::vector<uint32_t> node_parent_switches;
   std::vector<std::vector<uint8_t>> blobs;
 
   bool operator==(const RunFingerprint&) const = default;
@@ -87,6 +90,9 @@ RunFingerprint run_config(net::NetConfig cfg, const std::vector<uint8_t>& blob,
     fp.node_frames_rx.push_back(n.frames_rx);
     fp.node_completion_cycle.push_back(n.completion_cycle);
     fp.node_crashes.push_back(n.crashes);
+    fp.node_hops.push_back(n.hop);
+    fp.node_chunks_served.push_back(n.chunks_served);
+    fp.node_parent_switches.push_back(n.parent_switches);
   }
   for (size_t id = 1; id <= cfg.nodes; ++id)
     fp.blobs.push_back(sim.node_blob(id));
@@ -167,6 +173,43 @@ TEST(NetShard, CrashRebootFleetByteIdenticalAcrossShardCounts) {
   uint32_t crashes = 0;
   for (uint32_t c : serial.node_crashes) crashes += c;
   EXPECT_GT(crashes, 0u);  // the fault dimension actually exercised
+
+  for (unsigned shards : kShardCounts) {
+    if (shards == 1) continue;
+    EXPECT_EQ(run_config(cfg, blob, shards), serial) << "shards=" << shards;
+  }
+}
+
+// --- Mesh multi-hop scenario at every shard count ---------------------------
+
+// The mesh engine buffers cross-node effects (TX completions for the CSMA
+// and collision schedule, deliveries, peer serves) and merges them in
+// canonical order at the quantum barrier, so a multi-hop dissemination —
+// contention, duplicate suppression, relayed acks and all — must be
+// byte-identical at any shard count.
+TEST(NetShard, MeshGridByteIdenticalAcrossShardCounts) {
+  const auto blob = linked_blob(fig7_workload(8, 1));
+  net::NetConfig cfg;
+  cfg.nodes = 16;
+  cfg.link.drop_pct = 10;
+  cfg.chaos_seed = 0x5EED;
+  cfg.max_cycles = 8'000'000'000ULL;
+  cfg.topo.kind = net::TopologyKind::Grid;
+  cfg.proto.node_give_up_probes = 0;
+
+  const RunFingerprint serial = run_config(cfg, blob, 1);
+  ASSERT_TRUE(serial.all_acked);
+  ASSERT_EQ(serial.complete, 16u);
+  for (const auto& b : serial.blobs) EXPECT_EQ(b, blob);
+  // The run was genuinely multi-hop and peer-served: some node sits two or
+  // more hops from the base, and peers answered repair Nacks.
+  uint16_t max_hop = 0;
+  uint64_t served = 0;
+  for (uint16_t h : serial.node_hops)
+    if (h != 0xFFFF && h > max_hop) max_hop = h;
+  for (uint64_t c : serial.node_chunks_served) served += c;
+  EXPECT_GE(max_hop, 2u);
+  EXPECT_GT(served, 0u);
 
   for (unsigned shards : kShardCounts) {
     if (shards == 1) continue;
