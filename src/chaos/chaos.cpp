@@ -8,6 +8,7 @@
 
 #include "apps/treesearch.hpp"
 #include "chaos/adversarial.hpp"
+#include "chaos/hostile.hpp"
 #include "chaos/prng.hpp"
 #include "host/parallel.hpp"
 #include "net/netsim.hpp"
@@ -259,10 +260,44 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
   res.nodes = cfg.nodes;
   res.blob_bytes = static_cast<uint32_t>(blob.size());
 
+  // Adversarial dimension (DESIGN.md §11): ~1 in 4 seeds converts one
+  // receiver slot into a hostile node injecting seeded attack frames, with
+  // MAC authentication turned on so forgeries are survivable. The draws
+  // are unconditional (appended after every pre-existing draw) so honest
+  // seeds plan — and trace — exactly as before this dimension existed.
+  const uint32_t adv_roll = r.below(4);
+  const uint16_t adv_node = static_cast<uint16_t>(1 + r.below(cfg.nodes));
+  const uint32_t adv_intensity = 30 + r.below(51);  // 30..80% of TX slots
+  const uint64_t adv_seed = r.next();
+  const bool hostile = opts.force_adversary || adv_roll == 0;
+  if (hostile) {
+    cfg.proto.auth = true;
+    cfg.hostile_node = adv_node;
+    // The hostile node never completes, so the base must be allowed to
+    // give it up — even on a mesh, where honest seeds wait stragglers out.
+    if (mesh_roll) cfg.proto.node_give_up_probes = 24;
+    res.hostile = true;
+    res.hostile_node = adv_node;
+  }
+
   // --- Execute twice: the second run is the replay oracle ---------------------
+  bool first_run = true;
   auto one_run = [&] {
     net::NetSim sim(cfg, blob);
+    // A fresh attacker per run: its PRNG and replay corpus are part of the
+    // deterministic state the replay oracle compares.
+    HostileProfile hp;
+    hp.seed = adv_seed;
+    hp.node = adv_node;
+    hp.version = cfg.proto.version;
+    hp.nodes = cfg.nodes;
+    hp.chunk_payload = cfg.proto.chunk_payload;
+    hp.intensity_pct = adv_intensity;
+    HostileNode attacker(hp);
+    if (hostile) sim.set_hostile_model(&attacker);
     net::DisseminationResult d = sim.disseminate();
+    if (hostile && first_run) res.hostile_frames = attacker.frames_emitted();
+    first_run = false;
     // Blob equality is checked inside the closure (NetSim owns the
     // per-node stores), violations recorded on the shared result.
     for (size_t id = 1; id <= cfg.nodes; ++id) {
@@ -287,10 +322,12 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
     res.reboots += n.reboots;
     res.resumed_chunks += n.resumed_chunks;
     res.store_writes += n.store_writes;
+    res.auth_rejects += n.auth_rejects;
   }
+  res.frames_squelched = a.base.frames_squelched;
 
   // --- Oracles ----------------------------------------------------------------
-  if (!a.all_acked) {
+  if (!hostile && !a.all_acked) {
     std::ostringstream e;
     e << "dissemination did not converge ("
       << (a.budget_exhausted ? "budget exhausted" : "nodes abandoned") << ", "
@@ -300,6 +337,20 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
         e << ", " << to_string(n.abort_reason);
     e << ")";
     res.violations.push_back(e.str());
+  }
+  if (hostile) {
+    // Under attack the bar is survival, not full convergence: the hostile
+    // slot never completes, and an honest node may be cleanly abandoned.
+    // What must never happen: the run livelocking into the cycle budget
+    // (the attacker wins by denial forever) or a forged install (caught by
+    // the blob-equality check inside one_run, since the forged image can
+    // never equal the base blob).
+    if (a.budget_exhausted) {
+      std::ostringstream e;
+      e << "hostile run exhausted the cycle budget (" << a.complete_nodes()
+        << "/" << cfg.nodes << " complete — livelock under attack?)";
+      res.violations.push_back(e.str());
+    }
   }
   if (a.trace_digest != b.trace_digest || a.cycles != b.cycles ||
       a.trace_events != b.trace_events) {
@@ -315,15 +366,19 @@ std::string NetChaosResult::summary() const {
   std::ostringstream os;
   os << "net seed " << seed << ": " << nodes << " nodes, " << blob_bytes
      << " B, " << crashes << " crashes, " << reboots << " reboots, "
-     << resumed_chunks << " resumed, " << store_writes << " writes, "
-     << cycles << " cy, trace " << std::hex << trace_digest << std::dec
+     << resumed_chunks << " resumed, " << store_writes << " writes, ";
+  if (hostile)
+    os << "hostile @" << hostile_node << " (" << hostile_frames
+       << " injected, " << auth_rejects << " mac-rejects, " << frames_squelched
+       << " squelched), ";
+  os << cycles << " cy, trace " << std::hex << trace_digest << std::dec
      << (ok() ? " [ok]" : " [VIOLATION]");
   return os.str();
 }
 
 int soak_main(int argc, char** argv) {
   uint64_t seeds = 200, start = 1, max_cycles = 300'000'000ULL;
-  uint64_t net_seeds = 0;
+  uint64_t net_seeds = 0, adv_seeds = 0;
   bool single = false, net_single = false, verbose = false;
   uint64_t single_seed = 0, net_single_seed = 0;
   unsigned jobs_req = 1;
@@ -347,6 +402,8 @@ int soak_main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--net-seed") == 0) {
       net_single = true;
       net_single_seed = next_val("--net-seed");
+    } else if (std::strcmp(argv[i], "--adv-seeds") == 0) {
+      adv_seeds = next_val("--adv-seeds");
     } else if (std::strcmp(argv[i], "--max-cycles") == 0) {
       max_cycles = next_val("--max-cycles");
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -356,7 +413,7 @@ int soak_main(int argc, char** argv) {
     } else {
       std::cerr << "usage: chaos_soak [--seeds N] [--start S] "
                    "[--chaos-seed K] [--net-seeds N] [--net-seed K] "
-                   "[--max-cycles C] [--jobs N] [-v]\n";
+                   "[--adv-seeds N] [--max-cycles C] [--jobs N] [-v]\n";
       return 2;
     }
   }
@@ -508,8 +565,61 @@ int soak_main(int argc, char** argv) {
               << total_reboots << " reboots, " << total_resumed
               << " chunks resumed\n";
   }
-  return (failures == 0 && replay_mismatches == 0 && net_failures == 0) ? 0
-                                                                        : 1;
+
+  // Adversarial sweep: network seeds with the hostile dimension forced on
+  // (every run hosts an attacker; MAC authentication enabled). Same
+  // deterministic parallel-map shape as the honest sweeps.
+  uint64_t adv_failures = 0;
+  if (adv_seeds > 0) {
+    struct AdvOutcome {
+      uint64_t injected = 0, rejects = 0, squelched = 0;
+      bool violated = false;
+      std::string lines;
+    };
+    const unsigned adv_jobs =
+        host::effective_jobs(jobs_req, static_cast<std::size_t>(adv_seeds));
+    const std::vector<AdvOutcome> adv_outcomes =
+        host::sweep_collect<AdvOutcome>(
+            static_cast<std::size_t>(adv_seeds), adv_jobs,
+            [&](std::size_t i) {
+              NetChaosOptions o;
+              o.seed = start + i;
+              o.force_adversary = true;
+              const NetChaosResult res = run_net_chaos(o);
+              AdvOutcome out;
+              out.injected = res.hostile_frames;
+              out.rejects = res.auth_rejects;
+              out.squelched = res.frames_squelched;
+              std::ostringstream os;
+              if (!res.ok()) {
+                out.violated = true;
+                os << res.summary() << "\n";
+                for (const std::string& v : res.violations)
+                  os << "  " << v << "\n";
+              } else if (verbose) {
+                os << res.summary() << "\n";
+              }
+              out.lines = os.str();
+              return out;
+            });
+    uint64_t total_injected = 0, total_rejects = 0, total_squelched = 0;
+    for (const AdvOutcome& out : adv_outcomes) {
+      std::cout << out.lines;
+      if (out.violated) ++adv_failures;
+      total_injected += out.injected;
+      total_rejects += out.rejects;
+      total_squelched += out.squelched;
+    }
+    std::cout << "adv_soak: " << adv_seeds << " seeds (" << adv_jobs << " job"
+              << (adv_jobs == 1 ? "" : "s") << "), " << adv_failures
+              << " violating, " << total_injected << " frames injected, "
+              << total_rejects << " mac-rejects, " << total_squelched
+              << " squelched\n";
+  }
+  return (failures == 0 && replay_mismatches == 0 && net_failures == 0 &&
+          adv_failures == 0)
+             ? 0
+             : 1;
 }
 
 }  // namespace sensmart::chaos

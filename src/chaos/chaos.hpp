@@ -64,6 +64,10 @@ struct NetChaosOptions {
   // shards). Any value must reproduce the serial run byte-identically —
   // the replay oracle below enforces it when tests sweep shard counts.
   unsigned shards = 1;
+  // Force the adversarial dimension on (normally ~1 in 4 seeds draws a
+  // hostile node). Forcing does not shift the planner stream: the
+  // adversarial draws are unconditional, this only overrides the roll.
+  bool force_adversary = false;
 };
 
 struct NetChaosResult {
@@ -77,6 +81,13 @@ struct NetChaosResult {
   uint32_t reboots = 0;
   uint64_t resumed_chunks = 0;  // chunks restored from persistent stores
   uint64_t store_writes = 0;
+  // Adversarial dimension (DESIGN.md §11): this seed ran with a hostile
+  // node injecting raw attack frames, MAC authentication on.
+  bool hostile = false;
+  uint16_t hostile_node = 0;
+  uint64_t hostile_frames = 0;  // attack frames the hostile node injected
+  uint64_t auth_rejects = 0;    // forged images killed at the MAC gate
+  uint64_t frames_squelched = 0;  // liveness-flood frames the base ignored
 
   std::vector<std::string> violations;
   bool ok() const { return violations.empty(); }
@@ -89,7 +100,9 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts);
 
 // CLI driver shared by bench/chaos_soak: sweeps seeds or replays one.
 //   chaos_soak [--seeds N] [--start S] [--chaos-seed K] [--max-cycles C]
-//              [--net-seeds N] [--net-seed K] [--jobs N] [-v]
+//              [--net-seeds N] [--net-seed K] [--adv-seeds N] [--jobs N] [-v]
+// --adv-seeds sweeps N network seeds with the adversarial dimension forced
+// on (every seed hosts a hostile node; MAC authentication enabled).
 // Returns a process exit code (0 = all seeds clean).
 int soak_main(int argc, char** argv);
 

@@ -1,0 +1,241 @@
+#include "chaos/hostile.hpp"
+
+#include <algorithm>
+
+namespace sensmart::chaos {
+
+using net::Frame;
+using net::FrameType;
+using net::SummaryInfo;
+
+namespace {
+constexpr size_t kCorpusCap = 32;  // overheard frames kept for replay
+}
+
+HostileNode::HostileNode(const HostileProfile& p)
+    : p_(p), r_(p.seed ^ 0x484F5354494CULL) {  // "HOSTIL"
+  // Precompute the forged image once: seeded bytes, true CRC-32, random
+  // MAC (the attacker holds no key). Announcing the real CRC of its own
+  // bytes makes the forgery pass every integrity gate — with auth off the
+  // install succeeds, which is exactly the vulnerability the MAC closes.
+  forged_.resize(std::max<uint32_t>(p_.forged_bytes, 1));
+  for (auto& b : forged_) b = static_cast<uint8_t>(r_.below(256));
+  forged_crc_ = net::crc32(forged_);
+  const uint32_t cp = std::max<uint8_t>(p_.chunk_payload, 1);
+  forged_chunks_ = static_cast<uint16_t>((forged_.size() + cp - 1) / cp);
+  forged_mac_ = (uint64_t(r_.next()) << 32) ^ r_.next();
+}
+
+void HostileNode::observe(std::span<const uint8_t> bytes) {
+  for (uint8_t b : bytes) deframer_.push(b);
+  while (auto f = deframer_.next()) {
+    if (corpus_.size() < kCorpusCap) {
+      corpus_.push_back(std::move(*f));
+    } else {
+      corpus_[corpus_next_] = std::move(*f);
+      corpus_next_ = (corpus_next_ + 1) % kCorpusCap;
+    }
+  }
+}
+
+uint16_t HostileNode::spoofed_id() {
+  return static_cast<uint16_t>(1 + r_.below(std::max<uint16_t>(p_.nodes, 1)));
+}
+
+void HostileNode::emit_garbage(std::vector<uint8_t>& out) {
+  const uint32_t len = 1 + r_.below(64);
+  for (uint32_t i = 0; i < len; ++i)
+    out.push_back(static_cast<uint8_t>(r_.below(256)));
+  // Half the time, seed the stream with sync bytes so the deframer keeps
+  // finding plausible-looking frame starts inside the noise.
+  if (r_.percent(50))
+    for (size_t i = 0; i < out.size(); i += 7) out[i] = net::kFrameSync;
+}
+
+void HostileNode::emit_truncation(std::vector<uint8_t>& out) {
+  // A valid-looking header whose length byte promises more payload than
+  // follows: the victim's deframer waits, swallows the next frame's bytes
+  // into the phantom payload, fails the CRC and must resync.
+  out.push_back(net::kFrameSync);
+  out.push_back(static_cast<uint8_t>(1 + r_.below(4)));  // a real type
+  out.push_back(p_.version);
+  out.push_back(static_cast<uint8_t>(r_.below(256)));
+  out.push_back(0);
+  out.push_back(static_cast<uint8_t>(r_.below(net::kMaxPayload + 1)));
+  const uint32_t cut = r_.below(8);
+  for (uint32_t i = 0; i < cut; ++i)
+    out.push_back(static_cast<uint8_t>(r_.below(256)));
+}
+
+void HostileNode::emit_replay(std::vector<uint8_t>& out) {
+  if (corpus_.empty()) {
+    emit_garbage(out);
+    return;
+  }
+  Frame f = corpus_[r_.below(static_cast<uint32_t>(corpus_.size()))];
+  const uint32_t mode = r_.below(3);
+  if (mode == 0) {
+    // Pre-CRC mutation: flip bytes of the frame fields, then re-encode —
+    // the CRC is valid, so the mutation reaches the typed parsers.
+    switch (r_.below(4)) {
+      case 0: f.version ^= static_cast<uint8_t>(1 + r_.below(255)); break;
+      case 1: f.seq ^= static_cast<uint16_t>(1 + r_.below(0xFFFF)); break;
+      case 2:
+        if (!f.payload.empty())
+          f.payload[r_.below(static_cast<uint32_t>(f.payload.size()))] ^=
+              static_cast<uint8_t>(1 + r_.below(255));
+        break;
+      default:
+        f.payload.resize(r_.below(net::kMaxPayload + 1),
+                         static_cast<uint8_t>(r_.below(256)));
+        break;
+    }
+    out = net::encode_frame(f);
+    return;
+  }
+  out = net::encode_frame(f);
+  if (mode == 1 && !out.empty()) {
+    // Post-encode bit flip: a corrupted-on-air frame (CRC gate pressure).
+    const uint32_t at = r_.below(static_cast<uint32_t>(out.size()));
+    out[at] ^= static_cast<uint8_t>(1u << r_.below(8));
+  }
+  // mode == 2: verbatim stale replay (duplicate chunks, replayed Nacks).
+}
+
+void HostileNode::emit_forged_summary(std::vector<uint8_t>& out) {
+  SummaryInfo info;
+  Frame f;
+  switch (r_.below(4)) {
+    case 0: {
+      // The flagship forgery: a fully self-consistent announcement of the
+      // attacker's own image — true CRC, valid geometry, random MAC.
+      info = {forged_chunks_, static_cast<uint32_t>(forged_.size()),
+              forged_crc_, p_.chunk_payload};
+      info.has_mac = true;
+      info.image_mac = forged_mac_;
+      f = net::make_summary(p_.version, info);
+      break;
+    }
+    case 1: {
+      // Bogus version byte (cross-version replay pressure).
+      info = {forged_chunks_, static_cast<uint32_t>(forged_.size()),
+              forged_crc_, p_.chunk_payload};
+      f = net::make_summary(static_cast<uint8_t>(r_.below(256)), info);
+      break;
+    }
+    case 2: {
+      // Inconsistent geometry: chunk count that disagrees with the byte
+      // count, zero payload sizes, etc.
+      info = {static_cast<uint16_t>(r_.below(0x10000)), r_.next() ? r_.below(1u << 24) : 0,
+              r_.below(0xFFFFFFFFu), static_cast<uint8_t>(r_.below(64))};
+      f = net::make_summary(p_.version, info);
+      break;
+    }
+    default: {
+      // Huge image_bytes: a single-frame memory-exhaustion attempt.
+      info = {0xFFFF, 0xFFFFFFFFu, r_.below(0xFFFFFFFFu), p_.chunk_payload};
+      info.has_mac = true;
+      info.image_mac = forged_mac_;
+      f = net::make_summary(p_.version, info);
+      break;
+    }
+  }
+  // Mesh flavor half the time: spoofed sender claiming hop 0 (bait for
+  // the gradient — victims would adopt the attacker as parent).
+  if (r_.percent(50)) {
+    f.seq = 0;
+    const uint16_t sender = spoofed_id();
+    f.payload.push_back(static_cast<uint8_t>(sender & 0xFF));
+    f.payload.push_back(static_cast<uint8_t>(sender >> 8));
+  }
+  out = net::encode_frame(f);
+}
+
+void HostileNode::emit_forged_data(std::vector<uint8_t>& out) {
+  // Serve the forged image round-robin so a victim that accepted the
+  // forged Summary can actually assemble it (the install gate is the
+  // defense under test, not packet loss).
+  const uint16_t seq = next_forged_chunk_;
+  next_forged_chunk_ = static_cast<uint16_t>((next_forged_chunk_ + 1) %
+                                             std::max<uint16_t>(forged_chunks_, 1));
+  const size_t cp = std::max<uint8_t>(p_.chunk_payload, 1);
+  const size_t begin = size_t(seq) * cp;
+  const size_t end = std::min(begin + cp, forged_.size());
+  Frame f;
+  f.type = FrameType::Data;
+  f.version = p_.version;
+  f.seq = seq;
+  if (begin < end) f.payload.assign(forged_.begin() + begin, forged_.begin() + end);
+  out = net::encode_frame(f);
+}
+
+void HostileNode::emit_nack_flood(std::vector<uint8_t>& out) {
+  // Full Nack lists under the attacker's own or a spoofed id: liveness
+  // poisoning at the base plus retransmit-queue pressure.
+  uint16_t missing[net::kMaxNackList];
+  for (auto& m : missing) m = static_cast<uint16_t>(r_.below(0x10000));
+  const uint16_t id = r_.percent(50) ? p_.node : spoofed_id();
+  Frame f =
+      r_.percent(50)
+          ? net::make_nack(p_.version, id, missing)
+          : net::make_mesh_nack(p_.version, id, missing,
+                                r_.percent(50) ? 0 : net::kNackAnyTarget, 0);
+  out = net::encode_frame(f);
+}
+
+void HostileNode::emit_ack_spoof(std::vector<uint8_t>& out) {
+  // A forged completion claim for an honest node (or itself). Without the
+  // key the tag is random or absent — an authenticated base drops it; an
+  // unauthenticated base counts a completion that never happened.
+  const uint16_t victim = r_.percent(50) ? p_.node : spoofed_id();
+  Frame f;
+  switch (r_.below(3)) {
+    case 0: f = Frame{FrameType::Ack, p_.version, victim, {}}; break;
+    case 1:
+      f = net::make_auth_ack(p_.version, victim,
+                             (uint64_t(r_.next()) << 32) ^ r_.next());
+      break;
+    default:
+      f = net::make_mesh_ack(p_.version, victim, spoofed_id(), r_.below(4),
+                             (uint64_t(r_.next()) << 32) ^ r_.next());
+      break;
+  }
+  out = net::encode_frame(f);
+}
+
+bool HostileNode::emit(uint64_t now, bool air_clear,
+                       std::vector<uint8_t>& out) {
+  (void)now;
+  // Unconditional draws keep the stream layout fixed: whether one roll
+  // fires never shifts the meaning of the next (replay stability).
+  const bool active = r_.percent(p_.intensity_pct);
+  const uint32_t pick = r_.below(7);
+  if (!active) return false;
+  if (!air_clear && !p_.collide) return false;  // polite attacker variant
+  struct Choice {
+    bool enabled;
+    void (HostileNode::*fn)(std::vector<uint8_t>&);
+  };
+  const Choice menu[7] = {
+      {p_.garbage, &HostileNode::emit_garbage},
+      {p_.truncation, &HostileNode::emit_truncation},
+      {p_.replay, &HostileNode::emit_replay},
+      {p_.forge_summary, &HostileNode::emit_forged_summary},
+      {p_.forge_data, &HostileNode::emit_forged_data},
+      {p_.nack_flood, &HostileNode::emit_nack_flood},
+      {p_.ack_spoof, &HostileNode::emit_ack_spoof},
+  };
+  // Walk from the picked slot to the first enabled attack so narrowed
+  // profiles (single-vector tests) still emit every active opportunity.
+  for (uint32_t i = 0; i < 7; ++i) {
+    const Choice& c = menu[(pick + i) % 7];
+    if (!c.enabled) continue;
+    (this->*c.fn)(out);
+    if (out.empty()) return false;
+    ++emitted_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sensmart::chaos

@@ -34,6 +34,11 @@ struct ImageStore {
   uint8_t chunk_payload = 0;  // bytes per full chunk
   uint32_t image_bytes = 0;
   uint32_t image_crc = 0;     // announced whole-image CRC-32
+  // Authenticated dissemination (DESIGN.md §11): the announced keyed image
+  // MAC, persisted with the geometry so a rebooted node still verifies
+  // authenticity before activating a resumed transfer.
+  bool has_mac = false;
+  uint64_t image_mac = 0;
   bool verified = false;      // image[] complete and CRC-checked
   uint16_t chunks_have = 0;
   std::vector<uint8_t> have;  // per-chunk received flag (bitmap)

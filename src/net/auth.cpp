@@ -1,0 +1,75 @@
+#include "net/auth.hpp"
+
+namespace sensmart::net {
+
+namespace {
+
+inline uint64_t rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+inline void sipround(uint64_t& v0, uint64_t& v1, uint64_t& v2, uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+}  // namespace
+
+uint64_t siphash24(const AuthKey& key, std::span<const uint8_t> data) {
+  uint64_t v0 = key.k0 ^ 0x736F6D6570736575ULL;
+  uint64_t v1 = key.k1 ^ 0x646F72616E646F6DULL;
+  uint64_t v2 = key.k0 ^ 0x6C7967656E657261ULL;
+  uint64_t v3 = key.k1 ^ 0x7465646279746573ULL;
+
+  const size_t n = data.size();
+  const size_t full = n - (n % 8);
+  for (size_t i = 0; i < full; i += 8) {
+    uint64_t m = 0;
+    for (int b = 7; b >= 0; --b) m = (m << 8) | data[i + b];
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+  uint64_t last = uint64_t(n & 0xFF) << 56;
+  for (size_t i = n; i-- > full;)
+    last |= uint64_t(data[i]) << (8 * (i - full));
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xFF;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+uint64_t ack_tag(const AuthKey& key, uint8_t version, uint16_t origin,
+                 uint32_t image_crc) {
+  const uint8_t msg[8] = {
+      'A',
+      version,
+      static_cast<uint8_t>(origin & 0xFF),
+      static_cast<uint8_t>(origin >> 8),
+      static_cast<uint8_t>(image_crc & 0xFF),
+      static_cast<uint8_t>((image_crc >> 8) & 0xFF),
+      static_cast<uint8_t>((image_crc >> 16) & 0xFF),
+      static_cast<uint8_t>(image_crc >> 24),
+  };
+  return siphash24(key, msg);
+}
+
+}  // namespace sensmart::net

@@ -1,0 +1,50 @@
+// Image and frame authentication for the dissemination protocol
+// (DESIGN.md §11).
+//
+// Threat model: the radio medium is open — any node (or an attacker with a
+// transmitter) can inject arbitrary byte streams. CRC-16/CRC-32 gate
+// transfer *integrity* (random corruption) but are trivially forgeable:
+// an attacker serializes its own image, computes the matching CRCs, and
+// every integrity check passes. Authenticity therefore needs a keyed tag:
+// a SipHash-2-4 MAC over the image blob under a pre-shared 128-bit key,
+// carried in the Summary and verified before ImageStore install. An
+// attacker without the key can cost bandwidth (jam, flood, replay) but can
+// never get a forged image past the install gate, and — because Acks carry
+// their own MAC binding (origin, version, image CRC) — can never spoof a
+// completion the base would count.
+//
+// Key distribution is out of scope: the key is pre-shared (ProtocolParams)
+// exactly as in Deluge-style deployments with a factory-installed secret.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sensmart::net {
+
+// 128-bit pre-shared MAC key.
+struct AuthKey {
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+
+  bool operator==(const AuthKey&) const = default;
+};
+
+// The SipHash-2-4 reference test key 000102...0f, used by defaults and
+// tests; deployments configure their own via ProtocolParams.
+inline constexpr AuthKey kDefaultAuthKey{0x0706050403020100ULL,
+                                         0x0F0E0D0C0B0A0908ULL};
+
+// SipHash-2-4 (Aumasson & Bernstein): 64-bit keyed MAC. Matches the
+// reference vectors (see NetAuth.SipHashReferenceVectors).
+uint64_t siphash24(const AuthKey& key, std::span<const uint8_t> data);
+
+// Tag carried by an authenticated Ack: binds the acking node (origin), the
+// announced image version and the whole-image CRC to the key, so a
+// forged/spoofed Ack for another node never verifies at the base and a
+// captured Ack replayed later only re-states a truth. Relayers recompute
+// it (they hold the same pre-shared key), so relayer/hop stay mutable.
+uint64_t ack_tag(const AuthKey& key, uint8_t version, uint16_t origin,
+                 uint32_t image_crc);
+
+}  // namespace sensmart::net

@@ -103,6 +103,9 @@ Frame make_summary(uint8_t version, const SummaryInfo& info) {
   for (int i = 0; i < 4; ++i)
     p.push_back(static_cast<uint8_t>(info.image_crc >> (8 * i)));
   p.push_back(info.chunk_payload);
+  if (info.has_mac)
+    for (int i = 0; i < 8; ++i)
+      p.push_back(static_cast<uint8_t>(info.image_mac >> (8 * i)));
   return f;
 }
 
@@ -116,8 +119,11 @@ Frame make_mesh_summary(uint8_t version, const SummaryInfo& info,
 }
 
 std::optional<SummaryInfo> parse_summary(const Frame& f) {
+  // Four valid payload sizes: 11 geometry-only (star), 13 +sender (mesh),
+  // 19 +MAC (authenticated star), 21 +MAC +sender (authenticated mesh).
+  const size_t sz = f.payload.size();
   if (f.type != FrameType::Summary ||
-      (f.payload.size() != 11 && f.payload.size() != 13))
+      (sz != 11 && sz != 13 && sz != 19 && sz != 21))
     return std::nullopt;
   SummaryInfo s;
   s.total_chunks = static_cast<uint16_t>(
@@ -128,10 +134,17 @@ std::optional<SummaryInfo> parse_summary(const Frame& f) {
     s.image_crc |= static_cast<uint32_t>(f.payload[6 + i]) << (8 * i);
   s.chunk_payload = f.payload[10];
   if (s.chunk_payload == 0 || s.chunk_payload > kMaxPayload) return std::nullopt;
-  if (f.payload.size() == 13) {
+  size_t at = 11;
+  if (sz == 19 || sz == 21) {
+    s.has_mac = true;
+    for (int i = 0; i < 8; ++i)
+      s.image_mac |= static_cast<uint64_t>(f.payload[at + i]) << (8 * i);
+    at += 8;
+  }
+  if (sz == 13 || sz == 21) {
     s.has_sender = true;
     s.sender = static_cast<uint16_t>(
-        f.payload[11] | (static_cast<uint16_t>(f.payload[12]) << 8));
+        f.payload[at] | (static_cast<uint16_t>(f.payload[at + 1]) << 8));
   }
   return s;
 }
@@ -204,13 +217,47 @@ Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
   return f;
 }
 
+Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
+                    uint16_t hop, uint64_t tag) {
+  Frame f = make_mesh_ack(version, origin, relayer, hop);
+  for (int i = 0; i < 8; ++i)
+    f.payload.push_back(static_cast<uint8_t>(tag >> (8 * i)));
+  return f;
+}
+
 std::optional<MeshAck> parse_mesh_ack(const Frame& f) {
-  if (f.type != FrameType::Ack || f.payload.size() != 3) return std::nullopt;
+  const size_t sz = f.payload.size();
+  if (f.type != FrameType::Ack || (sz != 3 && sz != 11)) return std::nullopt;
   MeshAck out;
   out.relayer = static_cast<uint16_t>(
       f.payload[0] | (static_cast<uint16_t>(f.payload[1]) << 8));
   out.hop = f.payload[2];
+  if (sz == 11) {
+    out.has_tag = true;
+    for (int i = 0; i < 8; ++i)
+      out.tag |= static_cast<uint64_t>(f.payload[3 + i]) << (8 * i);
+  }
   return out;
+}
+
+Frame make_auth_ack(uint8_t version, uint16_t origin, uint64_t tag) {
+  Frame f;
+  f.type = FrameType::Ack;
+  f.version = version;
+  f.seq = origin;
+  for (int i = 0; i < 8; ++i)
+    f.payload.push_back(static_cast<uint8_t>(tag >> (8 * i)));
+  return f;
+}
+
+std::optional<uint64_t> ack_auth_tag(const Frame& f) {
+  const size_t sz = f.payload.size();
+  if (f.type != FrameType::Ack || (sz != 8 && sz != 11)) return std::nullopt;
+  const size_t at = sz == 8 ? 0 : 3;  // star: tag only; mesh: after relayer+hop
+  uint64_t tag = 0;
+  for (int i = 0; i < 8; ++i)
+    tag |= static_cast<uint64_t>(f.payload[at + i]) << (8 * i);
+  return tag;
 }
 
 }  // namespace sensmart::net

@@ -72,11 +72,14 @@ class Deframer {
 
 // --- Typed payloads ---------------------------------------------------------
 //
-// Mesh extensions (DESIGN.md §10) reuse the same four frame types and the
-// same wire layout; a mesh variant is distinguished purely by payload
-// length, so the single-hop (star) encodings are byte-for-byte unchanged:
+// Mesh extensions (DESIGN.md §10) and authentication (DESIGN.md §11) reuse
+// the same four frame types and the same wire layout; every variant is
+// distinguished purely by payload length, so the legacy single-hop (star)
+// unauthenticated encodings are byte-for-byte unchanged:
 //   Summary  star: 11-byte payload, seq = 0.
 //            mesh: 13-byte payload (sender id appended), seq = sender hop.
+//            auth: an 8-byte SipHash-2-4 image MAC inserted after the
+//            geometry (star 19, mesh 21 — the sender stays last).
 //   Nack     star: [count][missing pairs...], seq = sender id.
 //            mesh: star payload + [target lo][target hi][sender hop]; the
 //            target is the parent the Nack asks to serve (0 = base,
@@ -84,13 +87,18 @@ class Deframer {
 //   Ack      star: empty payload, seq = verified node id.
 //            mesh: [relayer lo][relayer hi][relayer hop], seq = origin —
 //            relayed hop-by-hop toward the base, origin preserved.
-//   Data     identical in both modes (any holder can serve a chunk).
+//            auth: an 8-byte keyed tag appended (star 8, mesh 11) binding
+//            (origin, version, image CRC) — see net/auth.hpp.
+//   Data     identical in all modes (any holder can serve a chunk).
 
 struct SummaryInfo {
   uint16_t total_chunks = 0;
   uint32_t image_bytes = 0;
   uint32_t image_crc = 0;
   uint8_t chunk_payload = 0;  // bytes per Data chunk (last may be short)
+  // Authenticated dissemination only: SipHash-2-4 MAC over the image blob.
+  bool has_mac = false;
+  uint64_t image_mac = 0;
   // Mesh only: the node that transmitted this Summary (relays rewrite it).
   bool has_sender = false;
   uint16_t sender = 0;
@@ -134,10 +142,21 @@ std::optional<MeshNack> parse_mesh_nack(const Frame& f);
 struct MeshAck {
   uint16_t relayer = 0;
   uint16_t hop = 0;  // relayer's hop count
+  // Authenticated runs only: keyed tag over (origin, version, image CRC).
+  bool has_tag = false;
+  uint64_t tag = 0;
 };
 
 Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
                     uint16_t hop);
+Frame make_mesh_ack(uint8_t version, uint16_t origin, uint16_t relayer,
+                    uint16_t hop, uint64_t tag);
 std::optional<MeshAck> parse_mesh_ack(const Frame& f);
+
+// Authenticated star Ack: empty legacy payload replaced by the 8-byte tag.
+Frame make_auth_ack(uint8_t version, uint16_t origin, uint64_t tag);
+// Extract the auth tag from either Ack variant (star 8 / mesh 11 payload);
+// nullopt if the frame carries none (legacy encodings).
+std::optional<uint64_t> ack_auth_tag(const Frame& f);
 
 }  // namespace sensmart::net

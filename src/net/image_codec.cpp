@@ -188,7 +188,10 @@ std::optional<rw::LinkedSystem> deserialize_system(
   o.body_scale = r.f64();
 
   const uint32_t flash_words = r.u32();
-  if (flash_words * 2 > r.remaining()) return std::nullopt;
+  // Overflow-proof form of `flash_words * 2 > remaining`: the multiply wraps
+  // in 32 bits for flash_words >= 2^31, letting a forged header pass the
+  // bounds check and command a multi-GB resize below.
+  if (flash_words > r.remaining() / 2) return std::nullopt;
   sys.flash.resize(flash_words);
   for (uint32_t i = 0; i < flash_words; ++i) sys.flash[i] = r.u16();
 

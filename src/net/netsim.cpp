@@ -1,9 +1,11 @@
 #include "net/netsim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "emu/io_map.hpp"
 #include "host/parallel.hpp"
@@ -44,6 +46,7 @@ const char* to_string(NodeAbortReason r) {
     case NodeAbortReason::NeverHeard: return "never-heard";
     case NodeAbortReason::TimedOut: return "timed-out";
     case NodeAbortReason::ChecksumFail: return "checksum-fail";
+    case NodeAbortReason::AuthFail: return "auth-fail";
   }
   return "?";
 }
@@ -68,6 +71,9 @@ struct NetSim::Base {
   std::vector<bool> abandoned;            // currently given up on
   std::vector<uint32_t> probes_unanswered;  // consecutive silent probes
   size_t abandoned_count = 0;
+  // Liveness-granting frames honored per claimed node id (quota gate —
+  // see ProtocolParams::node_liveness_quota). Unused while the quota is 0.
+  std::vector<uint32_t> liveness_used;
   BaseDissemStats stats;
 };
 
@@ -92,7 +98,18 @@ struct NetSim::Node {
   // quantum, so the base's abandon-reason classification must see node
   // state as of the quantum start, not after this quantum's parallel step.
   bool snap_checksum_fail = false;
+  bool snap_auth_fail = false;  // same snapshot for MAC rejections
   std::vector<uint16_t> nack_scratch;  // missing-chunk list, reused
+  // Anti-wedge guard (DESIGN.md §11): cycle of the last transfer progress
+  // (summary accepted or chunk stored). A conflicting Summary may only
+  // displace a live partial transfer after a full backed-off Nack period
+  // of stall — otherwise one forged announcement erases real progress.
+  uint64_t last_progress_at = 0;
+  // Rejected-image blacklist: (crc, mac) pairs whose assembled bytes
+  // failed MAC verification. Re-announcements of a known-bad image are
+  // ignored instead of being re-downloaded forever (bounded ring).
+  std::array<std::pair<uint32_t, uint64_t>, 8> reject_ring{};
+  size_t reject_count = 0;
   // --- Mesh protocol state (DESIGN.md §10) — all volatile: it dies at a
   // crash and is relearned after reboot from the Summary flood, while the
   // chunk bitmap the node resumes from lives in the persistent store.
@@ -103,7 +120,11 @@ struct NetSim::Node {
   bool ack_pending = false;              // own Ack queued for the next TX slot
   uint64_t next_ack_at = 0;   // verified: next periodic re-ack cycle
   uint32_t ack_streak = 0;    // consecutive re-acks -> exponential backoff
-  std::deque<uint16_t> ack_relay_q;      // downstream Ack origins to forward
+  // Downstream Ack origins to forward, with the origin's auth tag carried
+  // verbatim (0 and unused when auth is off) — a relayer forwards the tag
+  // it heard rather than minting one, so relaying needs no knowledge of
+  // the image the origin verified.
+  std::deque<std::pair<uint16_t, uint64_t>> ack_relay_q;
   std::map<uint16_t, uint64_t> ack_relayed_at;  // origin -> last relay cycle
   std::deque<uint16_t> serve_q;     // chunk seqs queued to serve to peers
   std::vector<uint8_t> serve_mark;  // seq queued? (dedup + Trickle suppress)
@@ -125,6 +146,15 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
   const size_t cp = cfg_.proto.chunk_payload;
   total_chunks_ = static_cast<uint16_t>((blob_.size() + cp - 1) / cp);
   blob_crc_ = crc32(blob_);
+  auth_ = cfg_.proto.auth;
+  if (auth_) blob_mac_ = siphash24(cfg_.proto.auth_key, blob_);
+  if (cfg_.hostile_node > cfg_.nodes) cfg_.hostile_node = 0;
+  // With a hostile node on the air an unlimited liveness budget livelocks
+  // the base (see ProtocolParams::node_liveness_quota); derive a bound
+  // honest traffic never reaches unless the caller pinned one.
+  liveness_quota_ = cfg_.proto.node_liveness_quota
+                        ? cfg_.proto.node_liveness_quota
+                        : (cfg_.hostile_node ? 64u + 8u * total_chunks_ : 0u);
 
   // Spatial topology: node 0 (the base) plus every receiver get placed;
   // the medium then offers broadcasts to in-range neighbors only and
@@ -183,6 +213,7 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
   base_->heard.assign(cfg_.nodes + 1, false);
   base_->abandoned.assign(cfg_.nodes + 1, false);
   base_->probes_unanswered.assign(cfg_.nodes + 1, 0);
+  base_->liveness_used.assign(cfg_.nodes + 1, 0);
 
   nodes_.reserve(cfg_.nodes);
   for (size_t i = 0; i < cfg_.nodes; ++i) {
@@ -370,6 +401,25 @@ void NetSim::note_node_alive(size_t node_id) {
   }
 }
 
+// Unauthenticated frames (Nacks, Summary relays) grant liveness — and thus
+// reset the per-node abandon counters — only while the claimed node's
+// budget lasts. A hostile flood impersonating live nodes then delays
+// abandonment by a bounded amount instead of forever; authenticated Acks
+// bypass this (they are checked against the keyed tag instead). Called
+// only from the serial base step, so record() is safe.
+bool NetSim::liveness_credit(size_t node_id, uint64_t now) {
+  if (liveness_quota_ == 0) return true;
+  uint32_t& used = base_->liveness_used[node_id];
+  if (used >= liveness_quota_) {
+    ++base_->stats.frames_squelched;
+    return false;
+  }
+  if (++used == liveness_quota_)
+    record(now, 0, NetEventKind::QuotaExceeded,
+           static_cast<uint32_t>(node_id), liveness_quota_);
+  return true;
+}
+
 void NetSim::on_base_frame(const Frame& f, uint64_t now) {
   if (f.version != cfg_.proto.version) return;
   switch (f.type) {
@@ -381,6 +431,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
         // sender alive (liveness is "what the base actually heard").
         const auto mn = parse_mesh_nack(f);
         if (!mn || f.seq == 0 || f.seq > cfg_.nodes) return;
+        if (!liveness_credit(f.seq, now)) return;
         ++base_->stats.nacks_rx;
         note_node_alive(f.seq);
         if (mn->target == 0) {
@@ -399,6 +450,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
       }
       const auto missing = parse_nack(f);
       if (!missing || f.seq == 0 || f.seq > cfg_.nodes) return;
+      if (!liveness_credit(f.seq, now)) return;
       ++base_->stats.nacks_rx;
       base_->probe_streak = 0;  // someone is alive and still needs data
       note_node_alive(f.seq);
@@ -412,6 +464,19 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
     }
     case FrameType::Ack: {
       if (f.seq == 0 || f.seq > cfg_.nodes) return;
+      if (auth_) {
+        // An Ack only counts if its keyed tag binds (origin, version,
+        // image CRC) under the pre-shared key: a spoofed completion for a
+        // node that never verified the image is dropped here, and a
+        // cross-image replay fails on the CRC binding.
+        const auto tag = ack_auth_tag(f);
+        if (!tag || *tag != ack_tag(cfg_.proto.auth_key, cfg_.proto.version,
+                                    f.seq, blob_crc_)) {
+          ++base_->stats.acks_rejected;
+          record(now, 0, NetEventKind::AckRejected, f.seq, 0);
+          return;
+        }
+      }
       ++base_->stats.acks_rx;
       // Mesh: only a NEW completion resets the probe backoff — repeated
       // re-acks of already-counted origins would otherwise keep the base
@@ -421,9 +486,12 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
       note_node_alive(f.seq);
       if (mesh_) {
         // A relayed Ack proves the relayer alive too (seq carries the
-        // origin through the whole chain).
+        // origin through the whole chain). The relayer field is outside
+        // the tag, so its liveness grant is quota-gated like any other
+        // unauthenticated claim.
         if (const auto ma = parse_mesh_ack(f))
-          if (ma->relayer >= 1 && ma->relayer <= cfg_.nodes)
+          if (ma->relayer >= 1 && ma->relayer <= cfg_.nodes &&
+              liveness_credit(ma->relayer, now))
             note_node_alive(ma->relayer);
       }
       if (!base_->acked[f.seq]) {
@@ -437,7 +505,7 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
       if (!mesh_) break;
       const auto info = parse_summary(f);
       if (info && info->has_sender && info->sender >= 1 &&
-          info->sender <= cfg_.nodes)
+          info->sender <= cfg_.nodes && liveness_credit(info->sender, now))
         note_node_alive(info->sender);
       break;
     }
@@ -458,9 +526,14 @@ void NetSim::step_base(uint64_t now) {
   if (mesh_ && now < air_busy_until_[0]) return;  // carrier sense
 
   // The base's Summary: star announces bare geometry; mesh adds sender 0
-  // at hop 0, seeding the hop-count flood.
-  const SummaryInfo geom{total_chunks_, static_cast<uint32_t>(blob_.size()),
-                         blob_crc_, cfg_.proto.chunk_payload};
+  // at hop 0, seeding the hop-count flood; authenticated runs carry the
+  // image MAC alongside the geometry.
+  SummaryInfo geom{total_chunks_, static_cast<uint32_t>(blob_.size()),
+                   blob_crc_, cfg_.proto.chunk_payload};
+  if (auth_) {
+    geom.has_mac = true;
+    geom.image_mac = blob_mac_;
+  }
   const auto summary_frame = [&] {
     return mesh_ ? make_mesh_summary(cfg_.proto.version, geom, 0, 0)
                  : make_summary(cfg_.proto.version, geom);
@@ -514,6 +587,8 @@ void NetSim::step_base(uint64_t now) {
         NodeAbortReason reason = NodeAbortReason::TimedOut;
         if (!base_->heard[id])
           reason = NodeAbortReason::NeverHeard;
+        else if (n.snap_auth_fail)
+          reason = NodeAbortReason::AuthFail;
         else if (n.snap_checksum_fail)
           reason = NodeAbortReason::ChecksumFail;
         record(now, 0, NetEventKind::NodeAbandoned,
@@ -528,8 +603,11 @@ void NetSim::node_send_nack(Node& n, uint64_t now, ShardCtx& sc) {
   std::vector<uint16_t>& missing = n.nack_scratch;
   missing.clear();
   if (st.has_summary) {
-    for (uint16_t seq = 0; seq < total_chunks_ && missing.size() < kMaxNackList;
-         ++seq)
+    // Bound by the store's OWN geometry, not the sim-global chunk count:
+    // a node assembling a (possibly forged) announcement with fewer chunks
+    // than the base's image would otherwise index st.have past its end.
+    for (uint16_t seq = 0;
+         seq < st.total_chunks && missing.size() < kMaxNackList; ++seq)
       if (!st.have[seq]) missing.push_back(seq);
   }
   if (mesh_) {
@@ -626,8 +704,13 @@ bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
 
   if (n.ack_pending && st.verified) {
     n.ack_pending = false;
-    mesh_send(n.id, make_mesh_ack(cfg_.proto.version, n.id, n.id, n.hop), now,
-              &sc);
+    mesh_send(n.id,
+              auth_ ? make_mesh_ack(cfg_.proto.version, n.id, n.id, n.hop,
+                                    ack_tag(cfg_.proto.auth_key,
+                                            cfg_.proto.version, n.id,
+                                            st.image_crc))
+                    : make_mesh_ack(cfg_.proto.version, n.id, n.id, n.hop),
+              now, &sc);
     ++n.stats.acks_sent;
     n.last_ack_at = now;
     // Periodic re-ack with exponential backoff: the origin is the retry
@@ -643,7 +726,7 @@ bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
   }
 
   while (!n.ack_relay_q.empty()) {
-    const uint16_t origin = n.ack_relay_q.front();
+    const auto [origin, tag] = n.ack_relay_q.front();
     n.ack_relay_q.pop_front();
     // Re-check the per-origin rate limit at send time: an upstream relay
     // overheard since enqueueing suppresses ours (Trickle-style).
@@ -652,7 +735,10 @@ bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
         now - it->second < cfg_.proto.ack_repeat_min)
       continue;
     n.ack_relayed_at[origin] = now;
-    mesh_send(n.id, make_mesh_ack(cfg_.proto.version, origin, n.id, n.hop),
+    mesh_send(n.id,
+              auth_ ? make_mesh_ack(cfg_.proto.version, origin, n.id, n.hop,
+                                    tag)
+                    : make_mesh_ack(cfg_.proto.version, origin, n.id, n.hop),
               now, &sc);
     ++n.stats.acks_relayed;
     sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::AckRelayed,
@@ -698,12 +784,13 @@ bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
     }
     n.summary_relay_pending = false;
     n.last_summary_relay_at = now;
-    mesh_send(n.id,
-              make_mesh_summary(
-                  cfg_.proto.version,
-                  {st.total_chunks, st.image_bytes, st.image_crc,
-                   st.chunk_payload},
-                  n.id, n.hop),
+    // Relays carry the announced MAC along with the geometry, so the
+    // authenticated Summary propagates hop by hop unmodified.
+    SummaryInfo rs{st.total_chunks, st.image_bytes, st.image_crc,
+                   st.chunk_payload};
+    rs.has_mac = st.has_mac;
+    rs.image_mac = st.image_mac;
+    mesh_send(n.id, make_mesh_summary(cfg_.proto.version, rs, n.id, n.hop),
               now, &sc);
     ++n.stats.summaries_relayed;
     sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::SummaryRelayed,
@@ -724,6 +811,20 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
     n.nack_streak = 0;
     n.nacks_at_parent = 0;  // mesh: the current parent is delivering
     n.next_nack_at = now + cfg_.proto.nack_timeout + n.id * 3 * kByte;
+    n.last_progress_at = now;
+  };
+
+  // Star-mode Ack: authenticated runs replace the empty legacy payload
+  // with the keyed tag the base verifies.
+  auto star_ack = [&] {
+    send_frame(n.id,
+               auth_ ? make_auth_ack(cfg_.proto.version, n.id,
+                                     ack_tag(cfg_.proto.auth_key,
+                                             cfg_.proto.version, n.id,
+                                             st.image_crc))
+                     : Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
+    ++n.stats.acks_sent;
+    n.last_ack_at = now;
   };
 
   auto store_chunk = [&](uint16_t seq, std::span<const uint8_t> payload) {
@@ -748,8 +849,29 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
     progress();
     if (st.chunks_have != st.total_chunks) return;
 
-    // Whole image assembled: activate only on a verified checksum.
+    // Whole image assembled: activate only on a verified checksum (and, in
+    // authenticated runs, a verified MAC — the CRC gates transfer
+    // integrity, the keyed tag gates authenticity).
     if (crc32(st.image) == st.image_crc) {
+      if (auth_ && (!st.has_mac || siphash24(cfg_.proto.auth_key, st.image) !=
+                                       st.image_mac)) {
+        // The bytes arrived intact but the announced MAC does not bind
+        // them under the pre-shared key: a forged image. Never activate;
+        // blacklist the (crc, mac) pair so its re-announcements are
+        // ignored instead of re-downloaded forever, erase, re-solicit.
+        ++n.stats.auth_rejects;
+        sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::AuthReject,
+                  n.id, st.image_crc & 0xFFFF);
+        n.reject_ring[n.reject_count % n.reject_ring.size()] = {st.image_crc,
+                                                                st.image_mac};
+        ++n.reject_count;
+        st.erase();
+        n.serve_q.clear();
+        n.serve_mark.clear();
+        n.nack_streak = 0;
+        n.next_nack_at = now + n.id * 3 * kByte;
+        return;
+      }
       st.verified = true;
       ++sc.complete_delta;
       n.stats.complete = true;
@@ -761,9 +883,7 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
         // node's next clear TX slot instead of sending blind.
         n.ack_pending = true;
       } else {
-        send_frame(n.id, Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
-        ++n.stats.acks_sent;
-        n.last_ack_at = now;
+        star_ack();
       }
     } else {
       // Frame CRCs all passed yet the image does not verify (16-bit CRC
@@ -783,8 +903,23 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       ++n.stats.summaries_rx;
       const auto info = parse_summary(f);
       if (!info) return;
-      if (mesh_ && info->has_sender)
+      if (mesh_ && info->has_sender) {
+        // The sender id is attacker-controlled: range-check it before it
+        // keys the neighbor-hop table.
+        if (info->sender > cfg_.nodes) return;
         mesh_note_summary(n, info->sender, f.seq, now, sc);
+      }
+      if (auth_) {
+        // Authenticated runs ignore announcements without a MAC (they
+        // could never pass the install gate, so downloading is pure
+        // waste) and any (crc, mac) pair already rejected by it.
+        if (!info->has_mac) return;
+        const size_t seen = std::min(n.reject_count, n.reject_ring.size());
+        for (size_t i = 0; i < seen; ++i)
+          if (n.reject_ring[i] ==
+              std::make_pair(info->image_crc, info->image_mac))
+            return;
+      }
       if (st.verified) {
         // Base is probing for a lost Ack — repeat it, rate-limited. Mesh:
         // only a probe arriving from upstream (closer to the base) earns a
@@ -795,36 +930,46 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
           if (mesh_) {
             n.ack_pending = true;
           } else {
-            send_frame(n.id,
-                       Frame{FrameType::Ack, cfg_.proto.version, n.id, {}});
-            ++n.stats.acks_sent;
-            n.last_ack_at = now;
+            star_ack();
           }
         }
         return;
       }
-      if (st.has_summary && (info->image_crc != st.image_crc ||
-                             info->total_chunks != st.total_chunks ||
-                             info->image_bytes != st.image_bytes ||
-                             info->chunk_payload != st.chunk_payload)) {
+      if (st.has_summary &&
+          (info->image_crc != st.image_crc ||
+           info->total_chunks != st.total_chunks ||
+           info->image_bytes != st.image_bytes ||
+           info->chunk_payload != st.chunk_payload ||
+           (auth_ && info->image_mac != st.image_mac))) {
         // A different image than the one the store holds progress for
         // (e.g. a new version after a long outage): the stale partial
-        // transfer is useless — erase and start over.
+        // transfer is useless — erase and start over. Anti-wedge guard:
+        // only displace the current transfer once it has made no progress
+        // for a full backed-off Nack period — a live transfer must not be
+        // erasable by a single conflicting (possibly forged) announcement.
+        const uint64_t stall = cfg_.proto.nack_timeout
+                               << (cfg_.proto.backoff_cap_exp + 1);
+        if (now - n.last_progress_at < stall) return;
         st.erase();
         n.serve_q.clear();
         n.serve_mark.clear();
       }
       if (!st.has_summary) {
-        // Sanity-check the announced geometry before allocating.
+        // Sanity-check the announced geometry before allocating: every
+        // field is attacker-controlled, and a single frame must never
+        // command an allocation beyond max_image_bytes.
         const size_t cp = info->chunk_payload;
         if (cp == 0 || cp > kMaxPayload || info->total_chunks == 0 ||
-            info->image_bytes == 0 || info->image_bytes > (32u << 20) ||
+            info->image_bytes == 0 ||
+            info->image_bytes > cfg_.proto.max_image_bytes ||
             (info->image_bytes + cp - 1) / cp != info->total_chunks)
           return;
         st.image_version = f.version;
         st.total_chunks = info->total_chunks;
         st.image_bytes = info->image_bytes;
         st.image_crc = info->image_crc;
+        st.has_mac = info->has_mac;
+        st.image_mac = info->image_mac;
         st.chunk_payload = info->chunk_payload;
         st.image.assign(info->image_bytes, 0);
         st.have.assign(info->total_chunks, 0);
@@ -908,6 +1053,20 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       const auto ma = parse_mesh_ack(f);
       if (!ma) break;
       const uint16_t origin = f.seq;
+      // Origin and relayer are attacker-controlled: range-check them
+      // before they key the neighbor or relay tables.
+      if (origin == 0 || origin > cfg_.nodes || ma->relayer > cfg_.nodes)
+        break;
+      if (auth_) {
+        // Verify the origin's tag before learning anything from the
+        // frame: a forged Ack must not poison the hop gradient or earn a
+        // relay slot. Verification needs the announced image CRC, so a
+        // node that holds no Summary yet ignores overheard Acks.
+        if (!st.has_summary || !ma->has_tag ||
+            ma->tag != ack_tag(cfg_.proto.auth_key, cfg_.proto.version,
+                               origin, st.image_crc))
+          break;
+      }
       if (origin == n.id) {
         // Someone is relaying our own Ack: the chain is carrying it —
         // drop any pending repeat and fall back to the slow lane.
@@ -935,9 +1094,10 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
             it != n.ack_relayed_at.end() &&
             now - it->second < cfg_.proto.ack_repeat_min;
         if (!recently &&
-            std::find(n.ack_relay_q.begin(), n.ack_relay_q.end(), origin) ==
+            std::find_if(n.ack_relay_q.begin(), n.ack_relay_q.end(),
+                         [&](const auto& e) { return e.first == origin; }) ==
                 n.ack_relay_q.end())
-          n.ack_relay_q.push_back(origin);
+          n.ack_relay_q.push_back({origin, ma->has_tag ? ma->tag : 0});
       } else {
         // An upstream node is already carrying this origin's Ack, or a
         // sibling relayed it first toward the same parents — ours would
@@ -951,8 +1111,54 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
   }
 }
 
+// The hostile node's quantum (DESIGN.md §11): no honest protocol runs.
+// Every overheard byte feeds the attached model, which then gets one raw
+// transmission opportunity — its bytes bypass the frame encoder entirely,
+// so arbitrary streams (garbage, truncations, length lies, forged frames,
+// replays) go on the air. The model and the scratch buffers are touched
+// only by this node's owning shard; in mesh mode the transmission is noted
+// for the collision log exactly like an honest one (a hostile frame can be
+// captured over, and collides, like any other).
+void NetSim::step_hostile(Node& n, uint64_t now, ShardCtx& sc) {
+  auto& dev = machines_[n.id]->dev();
+  for (;;) {
+    uint8_t avail = 0;
+    dev.io_access(emu::kRadioRxAvail, avail, false);
+    if (avail == 0) break;
+    hostile_rx_.clear();
+    for (uint8_t i = 0; i < avail; ++i) {
+      uint8_t b = 0;
+      dev.io_access(emu::kRadioRxData, b, false);
+      hostile_rx_.push_back(b);
+    }
+    if (hostile_) hostile_->observe(hostile_rx_);
+  }
+  if (!hostile_) return;
+  uint8_t busy = 0;
+  dev.io_access(emu::kRadioStatus, busy, false);
+  if (busy & 1) return;  // even the attacker's radio serializes frames
+  const bool air_clear = !mesh_ || now >= air_busy_until_[n.id];
+  hostile_tx_.clear();
+  if (!hostile_->emit(now, air_clear, hostile_tx_) || hostile_tx_.empty())
+    return;
+  if (hostile_tx_.size() > kMaxHostilePacket)
+    hostile_tx_.resize(kMaxHostilePacket);
+  for (uint8_t b : hostile_tx_) {
+    uint8_t v = b;
+    dev.io_access(emu::kRadioData, v, true);
+  }
+  uint8_t go = 1;
+  dev.io_access(emu::kRadioCtrl, go, true);
+  if (mesh_)
+    sc.tx_notes.push_back({n.id, now, now + hostile_tx_.size() * kByte});
+}
+
 void NetSim::step_node(size_t idx, uint64_t now, ShardCtx& sc) {
   Node& n = *nodes_[idx];
+  if (cfg_.hostile_node == n.id) {
+    step_hostile(n, now, sc);
+    return;
+  }
   drain_rx(n.id, n.deframer);
   while (auto f = n.deframer.next()) on_node_frame(n, *f, now, sc);
   if (!mesh_) {
@@ -1052,6 +1258,7 @@ void NetSim::run_shard_quantum(ShardCtx& sc, uint64_t t) {
     Node& n = *nodes_[i];
     const emu::ImageStore& st = machines_[n.id]->dev().image_store();
     n.snap_checksum_fail = n.stats.checksum_failures > 0 && !st.verified;
+    n.snap_auth_fail = n.stats.auth_rejects > 0 && !st.verified;
     node_lifecycle(i, t, sc);
     if (!n.down) step_node(i, t, sc);
   }
@@ -1060,6 +1267,7 @@ void NetSim::run_shard_quantum(ShardCtx& sc, uint64_t t) {
 NodeAbortReason NetSim::abort_reason_of(const Node& n) const {
   if (!base_->heard[n.id]) return NodeAbortReason::NeverHeard;
   const bool complete = machines_[n.id]->dev().image_store().verified;
+  if (n.stats.auth_rejects > 0 && !complete) return NodeAbortReason::AuthFail;
   if (n.stats.checksum_failures > 0 && !complete)
     return NodeAbortReason::ChecksumFail;
   return NodeAbortReason::TimedOut;

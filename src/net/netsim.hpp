@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "emu/machine.hpp"
+#include "net/auth.hpp"
 #include "net/frame.hpp"
 #include "net/medium.hpp"
 #include "net/topology.hpp"
@@ -63,6 +64,30 @@ struct ProtocolParams {
   // Consecutive unanswered Nacks at one parent before rotating to the
   // next-best known upstream neighbor (parent churn).
   uint32_t parent_churn_nacks = 3;
+
+  // --- Authentication + adversarial hardening (DESIGN.md §11) -----------
+  // MAC-authenticated dissemination: the Summary carries a SipHash-2-4 tag
+  // over the image blob under the pre-shared key, verified before install
+  // (CRC-32 still gates transfer integrity; the MAC gates authenticity),
+  // and Acks carry a keyed tag binding (origin, version, image CRC) so a
+  // spoofed completion never counts at the base. Off by default: the wire
+  // encodings and every golden digest of unauthenticated runs are
+  // byte-identical to the pre-auth protocol.
+  bool auth = false;
+  AuthKey auth_key = kDefaultAuthKey;
+  // Ceiling on the image size a Summary may command a node to allocate for
+  // reassembly; an announcement above it is ignored — one forged frame
+  // must never be able to exhaust a node's memory.
+  uint32_t max_image_bytes = 32u << 20;
+  // Base: per-node budget of liveness-granting frames (Nacks, Summary
+  // relays) honored before the base stops believing them — a hostile
+  // flood impersonating a live node would otherwise reset the per-node
+  // probe counters forever, so no straggler could ever be abandoned and
+  // the run would livelock. Authenticated Acks are always honored (they
+  // are unforgeable). 0 = unlimited; when a hostile node is configured
+  // NetSim derives a generous bound (64 + 8 * total_chunks) that honest
+  // traffic stays far below.
+  uint32_t node_liveness_quota = 0;
 };
 
 // A scheduled receiver crash: fires the first time the node holds at least
@@ -121,6 +146,12 @@ struct NetConfig {
   // selection, CSMA carrier sense with deterministic capture-model
   // collisions, and peer-to-peer chunk serving.
   TopologySpec topo;
+  // Adversarial dimension (DESIGN.md §11): receiver `hostile_node`
+  // (1-based; 0 = none) runs no honest protocol. Attach a HostileModel via
+  // NetSim::set_hostile_model to script its transmissions; with no model
+  // attached it is simply dead air. Its radio is a regular medium
+  // participant: range, loss, capture collisions all apply.
+  uint16_t hostile_node = 0;
 };
 
 // Auto-shard sizing floor: below this many receivers per shard the
@@ -133,6 +164,7 @@ enum class NodeAbortReason : uint8_t {
   NeverHeard,    // base never received a single frame from the node
   TimedOut,      // node was heard once but stopped answering probes
   ChecksumFail,  // node kept rejecting the assembled image (CRC mismatch)
+  AuthFail,      // node kept rejecting the assembled image (MAC mismatch)
 };
 
 const char* to_string(NodeAbortReason r);
@@ -171,6 +203,15 @@ enum class NetEventKind : uint8_t {
   SummaryRelayed,  // a = relayer hop, b = 0
   AckRelayed,      // a = origin node id, b = relayer hop
   ChunkServed,     // peer-served Data: a = chunk seq, b = serve queue left
+  // Authentication / adversarial events (appended: they never occur in
+  // unauthenticated runs without a hostile node, so every pre-auth golden
+  // digest stream is unchanged).
+  AuthReject,      // assembled image failed its MAC: a = node id,
+                   // b = announced CRC (low 16)
+  AckRejected,     // base dropped an Ack with a missing/invalid tag:
+                   // a = claimed origin, b = 0
+  QuotaExceeded,   // base stopped honoring liveness-granting frames from
+                   // a node: a = node id, b = quota
 };
 
 struct NetTraceEvent {
@@ -192,6 +233,7 @@ struct NodeDissemStats {
   uint64_t acks_sent = 0;
   uint64_t summaries_rx = 0;
   uint32_t checksum_failures = 0;  // whole-image CRC mismatches (reset+retry)
+  uint32_t auth_rejects = 0;       // assembled images failing their MAC
   uint32_t backoff_max_exp = 0;
   uint64_t bytes_tx = 0;
   uint64_t bytes_rx = 0;
@@ -221,6 +263,9 @@ struct BaseDissemStats {
   uint64_t acks_rx = 0;
   uint64_t bytes_tx = 0;
   uint32_t nodes_abandoned = 0;  // still abandoned at termination
+  // Adversarial accounting (always zero in honest unauthenticated runs).
+  uint64_t acks_rejected = 0;    // Acks dropped for a missing/invalid tag
+  uint64_t frames_squelched = 0; // liveness frames dropped over quota
 };
 
 struct DisseminationResult {
@@ -248,6 +293,33 @@ struct DisseminationResult {
   size_t abandoned_nodes() const { return abandoned_count; }
 };
 
+// A scripted hostile transmitter occupying the NetConfig::hostile_node
+// receiver slot (DESIGN.md §11): it sees every byte its radio hears and is
+// offered one raw transmission per quantum — raw bytes, not frames, so it
+// can put arbitrary streams on the air (garbage, truncations, length lies,
+// forged frames, replays). Implementations must be deterministic functions
+// of their seed and observations; the replay and shard-invariance oracles
+// then hold for adversarial runs exactly as for honest ones. The concrete
+// seeded attacker lives in chaos/hostile.hpp; tests also hand-script one
+// to inject exact byte sequences.
+class HostileModel {
+ public:
+  virtual ~HostileModel() = default;
+  // Bytes the hostile node's radio received since the last call.
+  virtual void observe(std::span<const uint8_t> bytes) = 0;
+  // One transmission opportunity at `now`. `air_clear` reports carrier
+  // sense (always true in star mode); a hostile node MAY transmit over a
+  // busy channel — that is what makes it collide. Fill `out` (capped at
+  // kMaxHostilePacket) and return true to transmit.
+  virtual bool emit(uint64_t now, bool air_clear,
+                    std::vector<uint8_t>& out) = 0;
+};
+
+// Upper bound on one hostile transmission: comfortably above the longest
+// legal frame (kFrameOverhead + kMaxPayload = 56) so length-lying attacks
+// fit, but bounded so one emit() cannot monopolize the air for a whole run.
+inline constexpr size_t kMaxHostilePacket = 96;
+
 class NetSim {
  public:
   NetSim(NetConfig cfg, std::vector<uint8_t> image_blob);
@@ -255,6 +327,9 @@ class NetSim {
 
   // Scripted faults for conformance tests; forwarded to the medium.
   void set_fault_policy(FaultPolicy p);
+  // Attach the transmitter model for NetConfig::hostile_node (not owned;
+  // must outlive disseminate()). No-op if no hostile node is configured.
+  void set_hostile_model(HostileModel* m) { hostile_ = m; }
 
   // Run the dissemination protocol to termination (all nodes verified and
   // acknowledged, or the cycle budget exhausted).
@@ -329,9 +404,13 @@ class NetSim {
   void plan_node_faults();
   void node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc);
   void note_node_alive(size_t node_id);
+  // Quota gate for unauthenticated liveness-granting frames claiming to be
+  // from `node_id` (DESIGN.md §11): true while the node's budget lasts.
+  bool liveness_credit(size_t node_id, uint64_t now);
   NodeAbortReason abort_reason_of(const Node& n) const;
   void step_base(uint64_t now);
   void step_node(size_t idx, uint64_t now, ShardCtx& sc);
+  void step_hostile(Node& n, uint64_t now, ShardCtx& sc);
   void on_base_frame(const Frame& f, uint64_t now);
   void on_node_frame(Node& n, const Frame& f, uint64_t now, ShardCtx& sc);
   void node_send_nack(Node& n, uint64_t now, ShardCtx& sc);
@@ -353,6 +432,19 @@ class NetSim {
   std::vector<uint8_t> blob_;
   uint16_t total_chunks_ = 0;
   uint32_t blob_crc_ = 0;
+  // Authentication (DESIGN.md §11): cached ProtocolParams::auth and the
+  // image MAC the base announces (computed once in the ctor).
+  bool auth_ = false;
+  uint64_t blob_mac_ = 0;
+  // Effective per-node liveness quota (0 = unlimited; see
+  // ProtocolParams::node_liveness_quota).
+  uint32_t liveness_quota_ = 0;
+  // Hostile node (NetConfig::hostile_node): model + raw-byte scratch
+  // buffers. Touched only by the hostile node's owning shard, so the
+  // parallel phase stays race-free.
+  HostileModel* hostile_ = nullptr;
+  std::vector<uint8_t> hostile_rx_;
+  std::vector<uint8_t> hostile_tx_;
 
   Medium medium_;
   std::vector<std::unique_ptr<emu::Machine>> machines_;  // [0] = base
