@@ -27,8 +27,18 @@
 // bytes are the only added cost), and no MAC-on cell may ever count a
 // forged install. The default matrix, JSON and --gate math are untouched.
 //
-//   fig_dissemination [--smoke] [--recovery] [--adversarial] [--jobs N]
-//                     [--json PATH] [--gate BENCH.json]
+// --rollout swaps the matrix for the staged-upgrade surface (DESIGN.md
+// §12): a fleet already running an old image is upgraded wave-by-wave to
+// the fig7 image behind the health gate, crossed with wave size, loss and
+// 0-2 seeded lemon trials against a failure budget of 1. Its gates are
+// intrinsic (no committed JSON): lemon-free cells must promote every node
+// to the byte-exact new image, one lemon must roll back exactly that node
+// while the rest confirm, and two lemons must trip the budget, halt the
+// rollout and leave every node byte-exact on the old image — no cell may
+// ever leave an unconfirmed trial active.
+//
+//   fig_dissemination [--smoke] [--recovery] [--adversarial] [--rollout]
+//                     [--jobs N] [--json PATH] [--gate [BENCH.json]]
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -496,6 +506,195 @@ int run_adversarial(const std::vector<uint8_t>& blob, unsigned jobs) {
   return 0;
 }
 
+// --- Staged-rollout surface (DESIGN.md §12) ---------------------------------
+// The fleet starts on an old image (slot A, Confirmed) and is upgraded
+// wave-by-wave to the fig7 image under authentication, crossed with wave
+// size, loss rate and seeded lemon count against a failure budget of 1.
+
+// The image the fleet runs before the upgrade: a smaller system so old and
+// new blobs are guaranteed distinct end-to-end.
+std::vector<uint8_t> old_image_blob() {
+  apps::TreeSearchParams p;
+  p.nodes_per_tree = 6;
+  p.trees = 1;
+  p.searches = 16;
+  p.seed = 0x0101;
+  rw::Linker linker;
+  linker.add(apps::tree_search_program(p));
+  return net::serialize_system(linker.link());
+}
+
+struct RolloutCell {
+  net::TopologyKind kind = net::TopologyKind::Star;
+  size_t nodes = 0;
+  uint32_t drop_pct = 0;
+  uint32_t wave_size = 0;
+  uint32_t lemons = 0;
+  net::RolloutResult res;
+  std::vector<std::string> failures;  // intrinsic gate violations
+
+  double radio_seconds() const {
+    return double(res.cycles) / double(emu::kClockHz);
+  }
+};
+
+RolloutCell run_rollout_cell(const std::vector<uint8_t>& new_blob,
+                             const std::vector<uint8_t>& old_blob,
+                             net::TopologyKind kind, size_t nodes,
+                             uint32_t drop_pct, uint32_t wave_size,
+                             uint32_t lemons) {
+  RolloutCell c;
+  c.kind = kind;
+  c.nodes = nodes;
+  c.drop_pct = drop_pct;
+  c.wave_size = wave_size;
+  c.lemons = lemons;
+  net::NetConfig cfg;
+  cfg.nodes = nodes;
+  cfg.link.drop_pct = drop_pct;
+  cfg.chaos_seed = kChaosSeed;
+  cfg.max_cycles = 8'000'000'000ULL;
+  cfg.proto.auth = true;  // control and health frames ride keyed tags
+  cfg.rollout.enabled = true;
+  cfg.rollout.wave_size = wave_size;
+  cfg.rollout.failure_budget = 1;
+  if (kind != net::TopologyKind::Star) {
+    cfg.topo.kind = kind;
+    cfg.proto.node_give_up_probes = 0;
+    cfg.shards = 0;
+    cfg.max_cycles = 64'000'000'000ULL;
+  }
+  // Seeded lemons: the first trips the supervision gate mid-probation, the
+  // second crash-loops. With budget 1, one is absorbed (rolled back alone),
+  // two halt the rollout and roll the whole fleet back.
+  const uint16_t lemon_a = kind == net::TopologyKind::Star ? 3 : 6;
+  const uint16_t lemon_b = kind == net::TopologyKind::Star ? 6 : 11;
+  net::NetSim sim(cfg, new_blob);
+  sim.set_initial_image(old_blob, 0);
+  if (lemons >= 1) {
+    net::TrialBehavior b;
+    b.kind = net::TrialBehavior::Kind::Runaway;
+    b.at_pct = 40;
+    b.quarantines = 1;
+    sim.set_trial_behavior(lemon_a, b);
+  }
+  if (lemons >= 2) {
+    net::TrialBehavior b;
+    b.kind = net::TrialBehavior::Kind::CrashBoot;
+    b.at_pct = 60;
+    b.down_bytes = 512;
+    sim.set_trial_behavior(lemon_b, b);
+  }
+  c.res = sim.rollout();
+
+  // Intrinsic gates, evaluated per cell while the fleet state is live.
+  auto fail = [&](const std::string& why) { c.failures.push_back(why); };
+  if (!c.res.dissem.all_acked) {
+    fail("dissemination did not converge");
+    return c;
+  }
+  auto active_is = [&](size_t id, const std::vector<uint8_t>& blob) {
+    const emu::ImageStore& st = sim.node_store(static_cast<uint16_t>(id));
+    const emu::ImageSlot& slot = st.slots[st.active_slot];
+    return slot.state == emu::SlotState::Confirmed && slot.image == blob;
+  };
+  for (size_t id = 1; id <= nodes; ++id)
+    if (c.res.nodes[id].trial_left_active)
+      fail("node " + std::to_string(id) + " left a trial active");
+  if (c.res.health_rejected > 0)
+    fail("honest health reports rejected at the MAC gate");
+  if (lemons == 0) {
+    if (!c.res.complete || c.res.confirmed != nodes)
+      fail("lemon-free cell did not promote the whole fleet");
+    for (size_t id = 1; id <= nodes; ++id)
+      if (!active_is(id, new_blob))
+        fail("node " + std::to_string(id) + " not on the new image");
+  } else if (lemons == 1) {
+    if (c.res.halted) fail("one lemon must fit the failure budget");
+    if (!active_is(lemon_a, old_blob))
+      fail("lemon node not rolled back to the old image");
+    for (size_t id = 1; id <= nodes; ++id)
+      if (id != lemon_a && !active_is(id, new_blob))
+        fail("node " + std::to_string(id) + " not on the new image");
+  } else {
+    if (!c.res.halted) fail("two lemons must exceed the failure budget");
+    for (size_t id = 1; id <= nodes; ++id)
+      if (!active_is(id, old_blob))
+        fail("node " + std::to_string(id) +
+             " not byte-exact on the old image after the halt");
+  }
+  return c;
+}
+
+int run_rollout_matrix(unsigned jobs) {
+  const auto new_blob = fig7_image_blob();
+  const auto old_blob = old_image_blob();
+  struct RollSpec {
+    net::TopologyKind kind;
+    size_t nodes;
+    uint32_t drop;
+    uint32_t wave;
+    uint32_t lemons;
+  };
+  std::vector<RollSpec> specs;
+  for (uint32_t wave : {2u, 4u})
+    for (uint32_t drop : {0u, 10u})
+      for (uint32_t lemons : {0u, 1u, 2u})
+        specs.push_back({net::TopologyKind::Star, 8, drop, wave, lemons});
+  for (uint32_t drop : {0u, 10u})
+    for (uint32_t lemons : {0u, 2u})
+      specs.push_back({net::TopologyKind::Grid, 16, drop, 4, lemons});
+
+  const auto cells = host::sweep_collect<RolloutCell>(
+      specs.size(), host::effective_jobs(jobs, specs.size()),
+      [&](std::size_t i) {
+        const RollSpec& s = specs[i];
+        return run_rollout_cell(new_blob, old_blob, s.kind, s.nodes, s.drop,
+                                s.wave, s.lemons);
+      });
+
+  std::cout << "Health-gated staged rollout (old " << old_blob.size()
+            << " B -> new " << new_blob.size()
+            << " B, MAC on, failure budget 1)\n\n";
+  sim::Table t({"Topo", "Nodes", "Drop%", "WaveSz", "Lemons", "Time(s)",
+                "Waves", "Conf", "RolledBk", "Gaveup", "Halted", "Gates"},
+               10);
+  bool ok = true;
+  for (const RolloutCell& c : cells) {
+    t.row({topo_name(c.kind), sim::Table::num(uint64_t(c.nodes)),
+           sim::Table::num(uint64_t(c.drop_pct)),
+           sim::Table::num(uint64_t(c.wave_size)),
+           sim::Table::num(uint64_t(c.lemons)),
+           sim::Table::num(c.radio_seconds(), 2),
+           sim::Table::num(uint64_t(c.res.waves)),
+           sim::Table::num(uint64_t(c.res.confirmed)),
+           sim::Table::num(uint64_t(c.res.rolled_back)),
+           sim::Table::num(uint64_t(c.res.gave_up)),
+           c.res.halted ? "yes" : "no", c.failures.empty() ? "ok" : "FAIL"});
+    for (const std::string& f : c.failures) {
+      std::cerr << "fig_dissemination: rollout cell " << topo_name(c.kind)
+                << " nodes=" << c.nodes << " drop=" << c.drop_pct
+                << "% wave=" << c.wave_size << " lemons=" << c.lemons << ": "
+                << f << "\n";
+      ok = false;
+    }
+  }
+  t.print();
+  std::cout
+      << "\nExpected shape: lemon-free cells promote every wave and end\n"
+         "complete; one lemon is absorbed by the budget (that node alone\n"
+         "rolls back to slot A while the rest confirm); two lemons exceed\n"
+         "the budget, halt the rollout and roll every upgraded node back —\n"
+         "the fleet ends byte-exact on the old image, never on a wedged\n"
+         "half-trial.\n";
+  if (!ok) {
+    std::cerr << "fig_dissemination: FAIL — rollout gates violated\n";
+    return 1;
+  }
+  std::cout << "rollout gates: OK\n";
+  return 0;
+}
+
 uint64_t total_cycles(const std::vector<Cell>& cells) {
   uint64_t t = 0;
   for (const auto& c : cells) t += c.res.cycles;
@@ -630,9 +829,11 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool recovery = false;
   bool adversarial = false;
+  bool rollout = false;
+  bool gate = false;
   unsigned jobs = 1;
   std::string json_path = "BENCH_dissemination.json";
-  std::string gate_path;
+  std::string gate_path = "BENCH_dissemination.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -640,20 +841,27 @@ int main(int argc, char** argv) {
       recovery = true;
     } else if (std::strcmp(argv[i], "--adversarial") == 0) {
       adversarial = true;
+    } else if (std::strcmp(argv[i], "--rollout") == 0) {
+      rollout = true;
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
-      gate_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      // The path operand is optional (defaults to the committed JSON), so
+      // `--rollout --gate` works without one: only consume the next arg if
+      // it exists and is not itself a flag.
+      gate = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') gate_path = argv[++i];
     } else {
       std::cerr << "usage: fig_dissemination [--smoke] [--recovery] "
-                   "[--adversarial] [--jobs N] [--json PATH] "
-                   "[--gate BENCH.json]\n";
+                   "[--adversarial] [--rollout] [--jobs N] [--json PATH] "
+                   "[--gate [BENCH.json]]\n";
       return 2;
     }
   }
-  if (!gate_path.empty()) return run_gate(gate_path, jobs);
+  if (rollout) return run_rollout_matrix(jobs);  // gates are intrinsic
+  if (gate) return run_gate(gate_path, jobs);
   if (recovery) return run_recovery(fig7_image_blob(), jobs);
   if (adversarial) return run_adversarial(fig7_image_blob(), jobs);
 

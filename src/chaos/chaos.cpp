@@ -280,7 +280,81 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
     res.hostile_node = adv_node;
   }
 
+  // Lemon-rollout dimension (DESIGN.md §12): ~1 in 3 honest seeds continues
+  // past dissemination into a staged wave-by-wave upgrade — the fleet
+  // starts on a seeded "old" image, and 1-2 seeded lemon trial behaviors
+  // (supervision runaway, crash mid-probation, long wedge) are planted so
+  // the health gate, automatic rollback, and the fleet-wide failure budget
+  // all get exercised under the same loss/crash schedule. Every draw is
+  // unconditional (appended after the adversarial draws), so all
+  // pre-existing seed plans — and their golden traces — are untouched.
+  const uint32_t ro_roll = r.below(3);
+  const uint32_t ro_wave = 1 + r.below(3);          // 1..3 nodes per wave
+  const uint32_t ro_budget = r.below(2);            // 0..1 tolerated failures
+  const uint64_t ro_probation = 1500 + r.below(3000);  // byte-times
+  const uint32_t ro_nlemons = 1 + r.below(2);
+  struct LemonPlan {
+    uint16_t node = 0;
+    uint32_t kind = 0;  // 0 runaway, 1 crash-boot, 2 wedge
+    uint32_t at_pct = 0;
+    uint32_t sev = 0;
+  };
+  LemonPlan lemon_plan[2];
+  for (LemonPlan& lp : lemon_plan) {
+    lp.node = static_cast<uint16_t>(1 + r.below(uint32_t(cfg.nodes)));
+    lp.kind = r.below(3);
+    lp.at_pct = 20 + r.below(60);
+    lp.sev = 1 + r.below(3);
+  }
+  std::vector<uint8_t> old_image(200 + r.below(400));
+  for (auto& b : old_image) b = static_cast<uint8_t>(r.next() & 0xFF);
+  const bool rollout = !hostile && ro_roll == 0;
+  if (rollout) {
+    cfg.rollout.enabled = true;
+    cfg.rollout.wave_size = ro_wave;
+    cfg.rollout.failure_budget = ro_budget;
+    cfg.rollout.probation_bytes = ro_probation;
+    // Control/health frames ride authenticated on rollout seeds, so the
+    // tag paths run under loss/duplication/corruption too.
+    cfg.proto.auth = true;
+    // A wiped store loses slot A — the very image the rollback oracle
+    // requires the fleet to fall back to — so wipes stay off here.
+    cfg.node_faults.wipe_pct = 0;
+    res.rollout = true;
+    res.rollout_lemons = ro_nlemons;
+  }
+  auto lemon_behavior = [](const LemonPlan& lp) {
+    net::TrialBehavior b;
+    b.at_pct = lp.at_pct;
+    switch (lp.kind) {
+      case 0:
+        b.kind = net::TrialBehavior::Kind::Runaway;
+        b.restarts = lp.sev;
+        b.quarantines = lp.sev;
+        b.watchdog_fires = lp.sev > 2 ? 1 : 0;
+        break;
+      case 1:
+        b.kind = net::TrialBehavior::Kind::CrashBoot;
+        b.down_bytes = 256 * lp.sev;
+        break;
+      default:
+        b.kind = net::TrialBehavior::Kind::Wedge;
+        b.wedge_bytes = 10'000 * lp.sev;
+        break;
+    }
+    return b;
+  };
+
   // --- Execute twice: the second run is the replay oracle ---------------------
+  // One run's observable surface, shared between the plain-dissemination
+  // and staged-rollout shapes of a seed.
+  struct RunView {
+    uint64_t digest = 0;
+    uint64_t cycles = 0;
+    size_t events = 0;
+    net::DisseminationResult dissem;
+    net::RolloutResult roll;  // valid only on rollout seeds
+  };
   bool first_run = true;
   auto one_run = [&] {
     net::NetSim sim(cfg, blob);
@@ -295,9 +369,24 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
     hp.intensity_pct = adv_intensity;
     HostileNode attacker(hp);
     if (hostile) sim.set_hostile_model(&attacker);
-    net::DisseminationResult d = sim.disseminate();
+    RunView v;
+    if (rollout) {
+      sim.set_initial_image(old_image, 0);
+      for (uint32_t i = 0; i < ro_nlemons; ++i)
+        sim.set_trial_behavior(lemon_plan[i].node,
+                               lemon_behavior(lemon_plan[i]));
+      v.roll = sim.rollout();
+      v.dissem = v.roll.dissem;
+      v.digest = v.roll.trace_digest;
+      v.cycles = v.roll.cycles;
+      v.events = v.roll.trace_events;
+    } else {
+      v.dissem = sim.disseminate();
+      v.digest = v.dissem.trace_digest;
+      v.cycles = v.dissem.cycles;
+      v.events = v.dissem.trace_events;
+    }
     if (hostile && first_run) res.hostile_frames = attacker.frames_emitted();
-    first_run = false;
     // Blob equality is checked inside the closure (NetSim owns the
     // per-node stores), violations recorded on the shared result.
     for (size_t id = 1; id <= cfg.nodes; ++id) {
@@ -309,33 +398,86 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
         res.violations.push_back(e.str());
       }
     }
-    return d;
+    if (rollout && first_run) {
+      // Rollout ground truth lives in the persistent stores: whatever the
+      // lemons did, a node must end with no trial active and byte-exactly
+      // on the old or the new image — never a forgery, never a
+      // half-written install — and the base's per-node verdict must match
+      // the bytes actually on flash.
+      for (size_t id = 1; id <= cfg.nodes; ++id) {
+        const emu::ImageStore& st = sim.node_store(id);
+        const emu::ImageSlot& act = st.slots[st.active_slot];
+        const net::NodeRolloutStats& ns = v.roll.nodes[id];
+        std::ostringstream e;
+        e << "rollout node " << id << ": ";
+        if (st.trial_active) {
+          e << "trial left active after termination";
+          res.violations.push_back(e.str());
+        } else if (act.image != old_image && act.image != blob) {
+          e << "active image is neither the old nor the new blob";
+          res.violations.push_back(e.str());
+        } else if (v.roll.halted) {
+          // On a halt every member — including ones confirmed before the
+          // budget blew — must have been rolled back to the old image.
+          if (ns.member && act.image != old_image) {
+            e << "fleet halted but this member kept the new image";
+            res.violations.push_back(e.str());
+          }
+        } else if (ns.confirmed && !ns.rolled_back && act.image != blob) {
+          e << "base counted it confirmed but flash holds the old image";
+          res.violations.push_back(e.str());
+        } else if (ns.rolled_back && !ns.confirmed && act.image != old_image) {
+          e << "base saw a rollback but flash holds the new image";
+          res.violations.push_back(e.str());
+        }
+      }
+    }
+    first_run = false;
+    return v;
   };
-  const net::DisseminationResult a = one_run();
-  const net::DisseminationResult b = one_run();
+  const RunView a = one_run();
+  const RunView b = one_run();
 
   res.cycles = a.cycles;
-  res.trace_digest = a.trace_digest;
-  res.trace_events = a.trace_events;
-  for (const auto& n : a.nodes) {
+  res.trace_digest = a.digest;
+  res.trace_events = a.events;
+  if (rollout) {
+    res.rollout_waves = a.roll.waves;
+    res.rollout_confirmed = a.roll.confirmed;
+    res.rollout_rolled_back = a.roll.rolled_back;
+    res.rollout_gave_up = a.roll.gave_up;
+    res.rollout_halted = a.roll.halted;
+  }
+  for (const auto& n : a.dissem.nodes) {
     res.crashes += n.crashes;
     res.reboots += n.reboots;
     res.resumed_chunks += n.resumed_chunks;
     res.store_writes += n.store_writes;
     res.auth_rejects += n.auth_rejects;
   }
-  res.frames_squelched = a.base.frames_squelched;
+  res.frames_squelched = a.dissem.base.frames_squelched;
 
   // --- Oracles ----------------------------------------------------------------
-  if (!hostile && !a.all_acked) {
+  if (!hostile && !a.dissem.all_acked) {
     std::ostringstream e;
     e << "dissemination did not converge ("
-      << (a.budget_exhausted ? "budget exhausted" : "nodes abandoned") << ", "
-      << a.complete_nodes() << "/" << cfg.nodes << " complete";
-    for (const auto& n : a.nodes)
+      << (a.dissem.budget_exhausted ? "budget exhausted" : "nodes abandoned")
+      << ", " << a.dissem.complete_nodes() << "/" << cfg.nodes << " complete";
+    for (const auto& n : a.dissem.nodes)
       if (n.abort_reason != net::NodeAbortReason::None)
         e << ", " << to_string(n.abort_reason);
     e << ")";
+    res.violations.push_back(e.str());
+  }
+  // Only meaningful when dissemination itself converged: rollout() skips
+  // the wave phase entirely on a failed transfer (reported just above), so
+  // budget_exhausted would double-count that failure as a phantom
+  // orchestrator livelock.
+  if (rollout && a.dissem.all_acked && a.roll.budget_exhausted) {
+    std::ostringstream e;
+    e << "rollout exhausted the cycle budget (" << a.roll.confirmed
+      << " confirmed, " << a.roll.rolled_back
+      << " rolled back — orchestrator livelock?)";
     res.violations.push_back(e.str());
   }
   if (hostile) {
@@ -345,18 +487,18 @@ NetChaosResult run_net_chaos(const NetChaosOptions& opts) {
     // (the attacker wins by denial forever) or a forged install (caught by
     // the blob-equality check inside one_run, since the forged image can
     // never equal the base blob).
-    if (a.budget_exhausted) {
+    if (a.dissem.budget_exhausted) {
       std::ostringstream e;
-      e << "hostile run exhausted the cycle budget (" << a.complete_nodes()
-        << "/" << cfg.nodes << " complete — livelock under attack?)";
+      e << "hostile run exhausted the cycle budget ("
+        << a.dissem.complete_nodes() << "/" << cfg.nodes
+        << " complete — livelock under attack?)";
       res.violations.push_back(e.str());
     }
   }
-  if (a.trace_digest != b.trace_digest || a.cycles != b.cycles ||
-      a.trace_events != b.trace_events) {
+  if (a.digest != b.digest || a.cycles != b.cycles || a.events != b.events) {
     std::ostringstream e;
-    e << "REPLAY MISMATCH: " << std::hex << a.trace_digest << " vs "
-      << b.trace_digest << std::dec;
+    e << "REPLAY MISMATCH: " << std::hex << a.digest << " vs " << b.digest
+      << std::dec;
     res.violations.push_back(e.str());
   }
   return res;
@@ -371,6 +513,11 @@ std::string NetChaosResult::summary() const {
     os << "hostile @" << hostile_node << " (" << hostile_frames
        << " injected, " << auth_rejects << " mac-rejects, " << frames_squelched
        << " squelched), ";
+  if (rollout)
+    os << "rollout (" << rollout_lemons << " lemons, " << rollout_waves
+       << " waves, " << rollout_confirmed << " confirmed, "
+       << rollout_rolled_back << " rolled back, " << rollout_gave_up
+       << " gave up" << (rollout_halted ? ", HALTED" : "") << "), ";
   os << cycles << " cy, trace " << std::hex << trace_digest << std::dec
      << (ok() ? " [ok]" : " [VIOLATION]");
   return os.str();
@@ -485,6 +632,9 @@ int soak_main(int argc, char** argv) {
           out.violated = true;
           os << res.summary() << "\n";
           for (const std::string& v : res.violations) os << "  " << v << "\n";
+          // The exact command that re-runs just this seed, for debugging.
+          os << "  replay: chaos_soak --chaos-seed " << o.seed
+             << " --max-cycles " << max_cycles << " -v\n";
         } else if (verbose) {
           os << res.summary() << "\n";
         }
@@ -545,6 +695,10 @@ int soak_main(int argc, char** argv) {
                 os << res.summary() << "\n";
                 for (const std::string& v : res.violations)
                   os << "  " << v << "\n";
+                // The exact single-seed re-run (same planner stream as
+                // sweep item i: seeds start at --start).
+                os << "  replay: chaos_soak --seeds 0 --net-seeds 1 --start "
+                   << o.seed << " -v\n";
               } else if (verbose) {
                 os << res.summary() << "\n";
               }
@@ -596,6 +750,8 @@ int soak_main(int argc, char** argv) {
                 os << res.summary() << "\n";
                 for (const std::string& v : res.violations)
                   os << "  " << v << "\n";
+                os << "  replay: chaos_soak --seeds 0 --adv-seeds 1 --start "
+                   << o.seed << " -v\n";
               } else if (verbose) {
                 os << res.summary() << "\n";
               }

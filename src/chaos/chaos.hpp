@@ -88,6 +88,16 @@ struct NetChaosResult {
   uint64_t hostile_frames = 0;  // attack frames the hostile node injected
   uint64_t auth_rejects = 0;    // forged images killed at the MAC gate
   uint64_t frames_squelched = 0;  // liveness-flood frames the base ignored
+  // Lemon-rollout dimension (DESIGN.md §12): this seed continued past
+  // dissemination into a health-gated staged rollout with 1-2 seeded lemon
+  // images (runaway / crash-boot / wedge trials), under authentication.
+  bool rollout = false;
+  uint32_t rollout_lemons = 0;
+  uint32_t rollout_waves = 0;
+  uint32_t rollout_confirmed = 0;
+  uint32_t rollout_rolled_back = 0;
+  uint32_t rollout_gave_up = 0;
+  bool rollout_halted = false;  // failure budget exceeded; fleet rolled back
 
   std::vector<std::string> violations;
   bool ok() const { return violations.empty(); }

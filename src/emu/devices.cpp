@@ -227,8 +227,34 @@ void DeviceHub::reboot() {
   t0_start_ = 0;
   halted_ = false;
   halt_code_ = 0;
+  // The kernel health mirror dies with the power rail — a rollout health
+  // report covers exactly one boot (DESIGN.md §12).
+  health_ = HealthCounters{};
   // image_store_, host_out_, radio_sent_, and the counters survive: the
-  // store is non-volatile, the rest are observer-side logs.
+  // store is non-volatile, the rest are observer-side logs. The store is
+  // round-tripped through the on-flash codec every power cycle so the
+  // format is exercised on the exact path a real bootloader reads it, then
+  // the bootloader's trial decision runs.
+  std::vector<uint8_t> page = serialize_image_store(image_store_);
+  ImageStore fresh;
+  if (deserialize_image_store(page, fresh)) {
+    image_store_ = std::move(fresh);
+  } else {
+    image_store_.erase();
+    store_reformatted_ = true;
+  }
+  last_boot_ = image_store_.on_power_up();
+}
+
+bool DeviceHub::load_flash_page(std::span<const uint8_t> page) {
+  ImageStore fresh;
+  if (deserialize_image_store(page, fresh)) {
+    image_store_ = std::move(fresh);
+    return true;
+  }
+  image_store_.erase();
+  store_reformatted_ = true;
+  return false;
 }
 
 uint64_t DeviceHub::schedule_rx(std::span<const uint8_t> bytes,

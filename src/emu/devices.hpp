@@ -22,11 +22,45 @@
 
 namespace sensmart::emu {
 
+// Lifecycle of one bootable image slot (DESIGN.md §12). A slot never holds
+// a partially written image: Staged/Confirmed slots always contain the full
+// byte-exact image their crc describes.
+enum class SlotState : uint8_t {
+  Empty = 0,      // no image
+  Staged = 1,     // full image present, not yet proven in service
+  Confirmed = 2,  // survived a probation window (or factory-installed)
+  Rejected = 3,   // trial tripped the health gate; kept only as evidence
+};
+
+// One of the two A/B bootable images.
+struct ImageSlot {
+  SlotState state = SlotState::Empty;
+  uint8_t version = 0;
+  uint32_t crc = 0;  // CRC-32 of bytes
+  std::vector<uint8_t> image;
+};
+
+// What the bootloader decided at power-up (consumed by the simulator for
+// trace events).
+enum class BootOutcome : uint8_t {
+  Normal = 0,        // booted the active slot, nothing special
+  TrialBoot = 1,     // the one sanctioned boot into a freshly staged trial
+  TrialRollback = 2, // rebooted mid-probation without confirming: fell back
+};
+
 // Modeled non-volatile external flash holding over-the-air dissemination
 // progress: the announced image geometry, the chunk bitmap, the partially
 // reassembled image, and whether the whole-image CRC has verified. It
 // survives DeviceHub::reboot(), so a crashed node resumes its transfer
 // from this record instead of re-requesting every chunk (DESIGN.md §8).
+//
+// It also carries the dual A/B bootable slots and the trial state machine
+// for staged rollout (DESIGN.md §12): the transfer area above reassembles
+// the candidate image; activation copies it into the inactive slot and
+// boots it as a *trial*. Exactly one boot into a trial is sanctioned
+// (trial_boot_pending); any further power-up before confirm_trial() rolls
+// back to the other slot automatically, so a crashing trial image can
+// never become the only bootable state.
 struct ImageStore {
   bool has_summary = false;   // geometry fields below are valid
   uint8_t image_version = 0;
@@ -45,7 +79,59 @@ struct ImageStore {
   std::vector<uint8_t> image;
   uint64_t writes = 0;        // committed chunk writes (flash-wear proxy)
 
+  // A/B slots + trial state machine (DESIGN.md §12).
+  ImageSlot slots[2];
+  uint8_t active_slot = 0;          // which slot the bootloader runs
+  bool trial_active = false;        // active slot is an unconfirmed trial
+  bool trial_boot_pending = false;  // the single sanctioned trial boot
+  // A boot-time auto-rollback happened and has not yet been acknowledged by
+  // the base; persisted so the report survives further power cycles.
+  bool rollback_report_pending = false;
+
   void erase() { *this = ImageStore{}; }
+
+  // Copy the verified transfer image into the inactive slot (Staged).
+  // Returns the slot index, or -1 if the transfer area is not verified.
+  int stage_inactive(uint8_t version);
+  // Point the bootloader at `slot` as a trial: the next power-up (and only
+  // that one) boots it; any later unconfirmed power-up rolls back.
+  void activate_trial(uint8_t slot);
+  // Probation passed: promote the trial slot to Confirmed.
+  void confirm_trial();
+  // Abandon the trial: mark its slot Rejected and fall back to the other
+  // slot. Safe to call whether or not the trial ever booted.
+  void rollback_trial();
+  // Fleet-wide halt: if the active slot is Confirmed with crc `crc`, demote
+  // it and fall back to the other slot (which must hold a bootable image).
+  // Returns true if a revert happened.
+  bool revert_active(uint32_t crc);
+  // Bootloader decision at power-up; mutates the trial flags.
+  BootOutcome on_power_up();
+};
+
+// Versioned on-flash codec for ImageStore (DESIGN.md §12). Format 2 is the
+// A/B layout; anything else — including the implicit pre-A/B single-slot
+// format 1 — is rejected by deserialize_image_store, and the caller
+// reformats the page instead of misparsing it.
+inline constexpr uint8_t kImageStoreFormat = 2;
+// Hard ceiling applied while decoding untrusted flash bytes, matching the
+// protocol-level image-size ceiling (32 MiB).
+inline constexpr uint32_t kMaxStoreImageBytes = 32u << 20;
+
+std::vector<uint8_t> serialize_image_store(const ImageStore& st);
+// Strict decode: format byte, bounds, cross-field consistency and a
+// trailing page CRC-32 all gate acceptance. On any failure `out` is left
+// untouched and false is returned.
+bool deserialize_image_store(std::span<const uint8_t> page, ImageStore& out);
+
+// Volatile health counters mirrored from the kernel's recovery machinery
+// (supervision restarts, quarantines, watchdog kills — DESIGN.md §8).
+// These feed the rollout health gate (§12): they are reset by reboot(), so
+// a report covers exactly the current boot.
+struct HealthCounters {
+  uint32_t restarts = 0;
+  uint32_t quarantines = 0;
+  uint32_t watchdog_fires = 0;
 };
 
 class DeviceHub {
@@ -140,6 +226,31 @@ class DeviceHub {
   ImageStore& image_store() { return image_store_; }
   const ImageStore& image_store() const { return image_store_; }
 
+  // Kernel health export (DESIGN.md §12): the supervisor mirrors every
+  // restart/quarantine/watchdog event here so the rollout health gate reads
+  // genuine kernel recovery stats. Volatile — cleared by reboot().
+  void health_add(uint32_t restarts, uint32_t quarantines,
+                  uint32_t watchdog_fires) {
+    health_.restarts += restarts;
+    health_.quarantines += quarantines;
+    health_.watchdog_fires += watchdog_fires;
+  }
+  const HealthCounters& health() const { return health_; }
+
+  // Replace the flash page with raw bytes (test / fault-injection surface).
+  // A page that fails the strict format-2 decode is rejected and the store
+  // reformatted to factory-empty; the sticky flag below reports it.
+  bool load_flash_page(std::span<const uint8_t> page);
+  // True once if the last reboot()/load_flash_page() had to reformat a
+  // corrupt or foreign-format page (consumed by the caller).
+  bool take_store_reformatted() {
+    const bool r = store_reformatted_;
+    store_reformatted_ = false;
+    return r;
+  }
+  // Bootloader decision made during the last reboot().
+  BootOutcome last_boot() const { return last_boot_; }
+
   // Node power-cycle: clear every volatile device state — staged/in-flight
   // TX, RX buffers and in-flight deliveries, timers, ADC conversion, sleep
   // latches — while preserving image_store() and the observer-side logs
@@ -147,6 +258,11 @@ class DeviceHub {
   // time and is NOT reset: a reboot costs time, not history. Deliveries
   // that land during the outage must be flushed again at power-up
   // (flush_rx()) — the radio was off.
+  //
+  // The image store survives via the on-flash codec: it is serialized and
+  // strictly re-decoded on every power cycle (modeling the real flash
+  // round-trip), and the bootloader's trial decision (on_power_up) is
+  // applied — see last_boot().
   void reboot();
 
  private:
@@ -197,6 +313,11 @@ class DeviceHub {
 
   // Non-volatile image store (survives reboot()).
   ImageStore image_store_;
+  bool store_reformatted_ = false;
+  BootOutcome last_boot_ = BootOutcome::Normal;
+
+  // Volatile kernel health mirror (cleared by reboot()).
+  HealthCounters health_;
 };
 
 }  // namespace sensmart::emu

@@ -1,0 +1,270 @@
+// A/B image slots, the trial state machine, and the versioned on-flash
+// codec for the persistent ImageStore (DESIGN.md §12).
+//
+// The codec is deliberately strict: every length is bounds-checked against
+// both the page size and hard ceilings, cross-field invariants are
+// re-verified, and a trailing page CRC-32 must match. Anything that fails —
+// including the implicit pre-A/B "format 1" single-slot layout, whose first
+// byte can never be 2 — is rejected wholesale so the caller reformats the
+// page instead of booting from a misparse.
+
+#include "emu/devices.hpp"
+
+#include <cstring>
+
+namespace sensmart::emu {
+
+namespace {
+
+// Same polynomial/reflection as net::crc32 so slot CRCs and announced
+// image CRCs compare directly (emu must not depend on net).
+uint32_t page_crc32(std::span<const uint8_t> bytes) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  return ~crc;
+}
+
+void put8(std::vector<uint8_t>& v, uint8_t x) { v.push_back(x); }
+void put16(std::vector<uint8_t>& v, uint16_t x) {
+  v.push_back(static_cast<uint8_t>(x & 0xFF));
+  v.push_back(static_cast<uint8_t>(x >> 8));
+}
+void put32(std::vector<uint8_t>& v, uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<uint8_t>(x >> (8 * i)));
+}
+void put64(std::vector<uint8_t>& v, uint64_t x) {
+  for (int i = 0; i < 8; ++i) v.push_back(static_cast<uint8_t>(x >> (8 * i)));
+}
+
+// Bounds-checked little-endian reads over the page.
+struct Reader {
+  std::span<const uint8_t> p;
+  size_t at = 0;
+  bool ok = true;
+
+  bool need(size_t n) {
+    if (!ok || p.size() - at < n) return ok = false;
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1)) return 0;
+    return p[at++];
+  }
+  uint16_t u16() {
+    if (!need(2)) return 0;
+    uint16_t x = static_cast<uint16_t>(p[at] | (p[at + 1] << 8));
+    at += 2;
+    return x;
+  }
+  uint32_t u32() {
+    if (!need(4)) return 0;
+    uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<uint32_t>(p[at + i]) << (8 * i);
+    at += 4;
+    return x;
+  }
+  uint64_t u64() {
+    if (!need(8)) return 0;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<uint64_t>(p[at + i]) << (8 * i);
+    at += 8;
+    return x;
+  }
+  bool bytes(std::vector<uint8_t>& out, size_t n) {
+    if (!need(n)) return false;
+    out.assign(p.begin() + static_cast<ptrdiff_t>(at),
+               p.begin() + static_cast<ptrdiff_t>(at + n));
+    at += n;
+    return true;
+  }
+};
+
+constexpr uint8_t kFlagHasSummary = 0x01;
+constexpr uint8_t kFlagHasMac = 0x02;
+constexpr uint8_t kFlagVerified = 0x04;
+constexpr uint8_t kFlagTrialActive = 0x08;
+constexpr uint8_t kFlagTrialBootPending = 0x10;
+constexpr uint8_t kFlagRollbackReport = 0x20;
+constexpr uint8_t kFlagsKnown = 0x3F;
+
+}  // namespace
+
+int ImageStore::stage_inactive(uint8_t version) {
+  if (!verified) return -1;
+  const uint8_t slot = active_slot ^ 1u;
+  ImageSlot& s = slots[slot];
+  s.state = SlotState::Staged;
+  s.version = version;
+  s.crc = image_crc;
+  s.image = image;
+  return slot;
+}
+
+void ImageStore::activate_trial(uint8_t slot) {
+  active_slot = slot & 1u;
+  trial_active = true;
+  trial_boot_pending = true;
+}
+
+void ImageStore::confirm_trial() {
+  if (!trial_active) return;
+  slots[active_slot].state = SlotState::Confirmed;
+  trial_active = false;
+  trial_boot_pending = false;
+}
+
+void ImageStore::rollback_trial() {
+  if (!trial_active) return;
+  slots[active_slot].state = SlotState::Rejected;
+  active_slot ^= 1u;
+  trial_active = false;
+  trial_boot_pending = false;
+}
+
+bool ImageStore::revert_active(uint32_t crc) {
+  if (trial_active) return false;  // use rollback_trial for trials
+  ImageSlot& act = slots[active_slot];
+  const ImageSlot& other = slots[active_slot ^ 1u];
+  if (act.state != SlotState::Confirmed || act.crc != crc) return false;
+  if (other.state != SlotState::Confirmed && other.state != SlotState::Staged)
+    return false;  // nothing bootable to fall back to
+  act.state = SlotState::Rejected;
+  active_slot ^= 1u;
+  return true;
+}
+
+BootOutcome ImageStore::on_power_up() {
+  if (!trial_active) return BootOutcome::Normal;
+  if (trial_boot_pending) {
+    // The single sanctioned boot into the trial image.
+    trial_boot_pending = false;
+    return BootOutcome::TrialBoot;
+  }
+  // Power died mid-probation without a confirm: the trial can not be
+  // trusted. Fall back and remember to tell the base.
+  rollback_trial();
+  rollback_report_pending = true;
+  return BootOutcome::TrialRollback;
+}
+
+std::vector<uint8_t> serialize_image_store(const ImageStore& st) {
+  std::vector<uint8_t> page;
+  page.reserve(64 + st.have.size() + st.image.size() + st.slots[0].image.size() +
+               st.slots[1].image.size());
+  put8(page, kImageStoreFormat);
+  uint8_t flags = 0;
+  if (st.has_summary) flags |= kFlagHasSummary;
+  if (st.has_mac) flags |= kFlagHasMac;
+  if (st.verified) flags |= kFlagVerified;
+  if (st.trial_active) flags |= kFlagTrialActive;
+  if (st.trial_boot_pending) flags |= kFlagTrialBootPending;
+  if (st.rollback_report_pending) flags |= kFlagRollbackReport;
+  put8(page, flags);
+  put8(page, st.image_version);
+  put8(page, st.chunk_payload);
+  put16(page, st.total_chunks);
+  put16(page, st.chunks_have);
+  put32(page, st.image_bytes);
+  put32(page, st.image_crc);
+  put64(page, st.image_mac);
+  put64(page, st.writes);
+  put8(page, st.active_slot);
+  put32(page, static_cast<uint32_t>(st.have.size()));
+  page.insert(page.end(), st.have.begin(), st.have.end());
+  put32(page, static_cast<uint32_t>(st.image.size()));
+  page.insert(page.end(), st.image.begin(), st.image.end());
+  for (const ImageSlot& s : st.slots) {
+    put8(page, static_cast<uint8_t>(s.state));
+    put8(page, s.version);
+    put32(page, s.crc);
+    put32(page, static_cast<uint32_t>(s.image.size()));
+    page.insert(page.end(), s.image.begin(), s.image.end());
+  }
+  put32(page, page_crc32(page));
+  return page;
+}
+
+bool deserialize_image_store(std::span<const uint8_t> page, ImageStore& out) {
+  // Page integrity first: trailing CRC-32 over everything before it.
+  if (page.size() < 4) return false;
+  const std::span<const uint8_t> body = page.first(page.size() - 4);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<uint32_t>(page[body.size() + i]) << (8 * i);
+  if (page_crc32(body) != stored) return false;
+
+  Reader r{body};
+  ImageStore st;
+  if (r.u8() != kImageStoreFormat) return false;
+  const uint8_t flags = r.u8();
+  if (!r.ok || (flags & ~kFlagsKnown) != 0) return false;
+  st.has_summary = (flags & kFlagHasSummary) != 0;
+  st.has_mac = (flags & kFlagHasMac) != 0;
+  st.verified = (flags & kFlagVerified) != 0;
+  st.trial_active = (flags & kFlagTrialActive) != 0;
+  st.trial_boot_pending = (flags & kFlagTrialBootPending) != 0;
+  st.rollback_report_pending = (flags & kFlagRollbackReport) != 0;
+  st.image_version = r.u8();
+  st.chunk_payload = r.u8();
+  st.total_chunks = r.u16();
+  st.chunks_have = r.u16();
+  st.image_bytes = r.u32();
+  st.image_crc = r.u32();
+  st.image_mac = r.u64();
+  st.writes = r.u64();
+  st.active_slot = r.u8();
+  const uint32_t have_len = r.u32();
+  if (!r.ok || have_len != st.total_chunks) return false;
+  if (!r.bytes(st.have, have_len)) return false;
+  for (uint8_t b : st.have)
+    if (b > 1) return false;
+  const uint32_t image_len = r.u32();
+  if (!r.ok || image_len > kMaxStoreImageBytes) return false;
+  if (!r.bytes(st.image, image_len)) return false;
+  for (ImageSlot& s : st.slots) {
+    const uint8_t state = r.u8();
+    if (!r.ok || state > static_cast<uint8_t>(SlotState::Rejected))
+      return false;
+    s.state = static_cast<SlotState>(state);
+    s.version = r.u8();
+    s.crc = r.u32();
+    const uint32_t len = r.u32();
+    if (!r.ok || len > kMaxStoreImageBytes) return false;
+    if (!r.bytes(s.image, len)) return false;
+    // A slot claiming to hold an image must hold one; an Empty slot must
+    // not smuggle bytes in.
+    if (s.state == SlotState::Empty && !s.image.empty()) return false;
+    if (s.state != SlotState::Empty && s.image.empty()) return false;
+  }
+  if (r.at != body.size()) return false;  // trailing garbage
+
+  // Cross-field transfer-area invariants.
+  if (!st.has_summary) {
+    if (st.total_chunks != 0 || st.chunks_have != 0 || st.image_bytes != 0 ||
+        st.verified || st.has_mac || !st.image.empty())
+      return false;
+  } else {
+    if (st.chunks_have > st.total_chunks) return false;
+    if (st.image.size() != st.image_bytes) return false;
+    uint32_t popcount = 0;
+    for (uint8_t b : st.have) popcount += b;
+    if (popcount != st.chunks_have) return false;
+    if (st.verified && st.chunks_have != st.total_chunks) return false;
+  }
+  // Trial-machine invariants: the trial flags must point at a Staged,
+  // populated active slot.
+  if (st.active_slot > 1) return false;
+  if (st.trial_boot_pending && !st.trial_active) return false;
+  if (st.trial_active &&
+      st.slots[st.active_slot].state != SlotState::Staged)
+    return false;
+
+  out = std::move(st);
+  return true;
+}
+
+}  // namespace sensmart::emu

@@ -21,6 +21,9 @@ void Kernel::restart_task(Task& t, KillReason why) {
   ++t.restart_streak;
   t.healthy_streak = 0;
   ++stats_.restarts;
+  // Mirror into the device health counters so the rollout health gate
+  // (DESIGN.md §12) reads genuine kernel recovery stats.
+  m_.dev().health_add(1, 0, 0);
 
   // Re-initialize the logical regions in place: heap and stack bytes are
   // zeroed exactly as layout_regions left them at first start. The region
@@ -59,6 +62,7 @@ void Kernel::restart_task(Task& t, KillReason why) {
 void Kernel::quarantine_task(Task& t) {
   t.quarantined = true;
   ++stats_.quarantines;
+  m_.dev().health_add(0, 1, 0);
   emit(EventKind::TaskQuarantined, t.id,
        uint16_t(std::min<uint32_t>(t.restarts, 0xFFFF)));
 }
@@ -83,6 +87,7 @@ bool Kernel::watchdog_check(uint32_t resume_pc) {
   if (cpu_now - t.wd_cpu_mark < cfg_.supervise.watchdog_cycles) return false;
   ++t.watchdog_fires;
   ++stats_.watchdog_fires;
+  m_.dev().health_add(0, 0, 1);
   emit(EventKind::WatchdogFired, t.id,
        uint16_t(std::min<uint32_t>(t.watchdog_fires, 0xFFFF)));
   kill_task(t, KillReason::Watchdog);

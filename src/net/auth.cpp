@@ -72,4 +72,32 @@ uint64_t ack_tag(const AuthKey& key, uint8_t version, uint16_t origin,
   return siphash24(key, msg);
 }
 
+uint64_t control_tag(const AuthKey& key, uint8_t version, uint8_t cmd,
+                     uint16_t target, uint16_t ctl_seq, uint32_t image_crc) {
+  const uint8_t msg[12] = {
+      'C',
+      version,
+      cmd,
+      static_cast<uint8_t>(target & 0xFF),
+      static_cast<uint8_t>(target >> 8),
+      static_cast<uint8_t>(ctl_seq & 0xFF),
+      static_cast<uint8_t>(ctl_seq >> 8),
+      0,
+      static_cast<uint8_t>(image_crc & 0xFF),
+      static_cast<uint8_t>((image_crc >> 8) & 0xFF),
+      static_cast<uint8_t>((image_crc >> 16) & 0xFF),
+      static_cast<uint8_t>(image_crc >> 24),
+  };
+  return siphash24(key, msg);
+}
+
+uint64_t health_tag(const AuthKey& key, uint8_t version, uint16_t origin,
+                    std::span<const uint8_t> core) {
+  uint8_t msg[4 + 12] = {'H', version, static_cast<uint8_t>(origin & 0xFF),
+                         static_cast<uint8_t>(origin >> 8)};
+  const size_t n = core.size() < 12 ? core.size() : 12;
+  for (size_t i = 0; i < n; ++i) msg[4 + i] = core[i];
+  return siphash24(key, std::span<const uint8_t>(msg, 4 + n));
+}
+
 }  // namespace sensmart::net

@@ -47,4 +47,20 @@ uint64_t siphash24(const AuthKey& key, std::span<const uint8_t> data);
 uint64_t ack_tag(const AuthKey& key, uint8_t version, uint16_t origin,
                  uint32_t image_crc);
 
+// Staged-rollout tags (DESIGN.md §12). Without them an attacker could
+// forge an ActivateTrial/Rollback to wedge the fleet, or spoof a clean
+// health report that promotes a lemon image past the gate.
+//
+// Control tag: binds (version, command, target node, the base-minted
+// control sequence number, image CRC). The monotone ctl_seq makes replays
+// of captured controls stale at the node.
+uint64_t control_tag(const AuthKey& key, uint8_t version, uint8_t cmd,
+                     uint16_t target, uint16_t ctl_seq, uint32_t image_crc);
+// Health tag: binds (version, origin) plus the 12 core payload bytes
+// (flags, recovery counters, active image CRC, slot) — see
+// net::health_core. Mesh relayer/hop stay outside the tag, exactly like
+// relayed Acks.
+uint64_t health_tag(const AuthKey& key, uint8_t version, uint16_t origin,
+                    std::span<const uint8_t> core);
+
 }  // namespace sensmart::net

@@ -80,7 +80,7 @@ std::optional<Frame> Deframer::next() {
     f.payload.assign(body.begin() + 5, body.end());
     buf_.erase(buf_.begin(), buf_.begin() + total);
     if (rawtype < uint8_t(FrameType::Summary) ||
-        rawtype > uint8_t(FrameType::Ack)) {
+        rawtype > uint8_t(FrameType::Control)) {
       // CRC-valid but unknown type (future protocol revision): skip it.
       ++crc_errors_;
       continue;
@@ -258,6 +258,118 @@ std::optional<uint64_t> ack_auth_tag(const Frame& f) {
   for (int i = 0; i < 8; ++i)
     tag |= static_cast<uint64_t>(f.payload[at + i]) << (8 * i);
   return tag;
+}
+
+Frame make_control(uint8_t version, uint16_t target, const ControlInfo& info) {
+  Frame f;
+  f.type = FrameType::Control;
+  f.version = version;
+  f.seq = target;
+  auto& p = f.payload;
+  p.push_back(static_cast<uint8_t>(info.cmd));
+  p.push_back(static_cast<uint8_t>(info.ctl_seq & 0xFF));
+  p.push_back(static_cast<uint8_t>(info.ctl_seq >> 8));
+  for (int i = 0; i < 4; ++i)
+    p.push_back(static_cast<uint8_t>(info.image_crc >> (8 * i)));
+  if (info.has_tag)
+    for (int i = 0; i < 8; ++i)
+      p.push_back(static_cast<uint8_t>(info.tag >> (8 * i)));
+  return f;
+}
+
+std::optional<ControlInfo> parse_control(const Frame& f) {
+  const size_t sz = f.payload.size();
+  if (f.type != FrameType::Control || (sz != 7 && sz != 15))
+    return std::nullopt;
+  ControlInfo c;
+  const uint8_t cmd = f.payload[0];
+  if (cmd < uint8_t(ControlCmd::ActivateTrial) ||
+      cmd > uint8_t(ControlCmd::Rollback))
+    return std::nullopt;
+  c.cmd = static_cast<ControlCmd>(cmd);
+  c.ctl_seq = static_cast<uint16_t>(
+      f.payload[1] | (static_cast<uint16_t>(f.payload[2]) << 8));
+  for (int i = 0; i < 4; ++i)
+    c.image_crc |= static_cast<uint32_t>(f.payload[3 + i]) << (8 * i);
+  if (sz == 15) {
+    c.has_tag = true;
+    for (int i = 0; i < 8; ++i)
+      c.tag |= static_cast<uint64_t>(f.payload[7 + i]) << (8 * i);
+  }
+  return c;
+}
+
+std::array<uint8_t, 12> health_core(const HealthReport& hr) {
+  std::array<uint8_t, 12> core{};
+  core[0] = hr.flags;
+  core[1] = static_cast<uint8_t>(hr.restarts & 0xFF);
+  core[2] = static_cast<uint8_t>(hr.restarts >> 8);
+  core[3] = static_cast<uint8_t>(hr.quarantines & 0xFF);
+  core[4] = static_cast<uint8_t>(hr.quarantines >> 8);
+  core[5] = static_cast<uint8_t>(hr.watchdog_fires & 0xFF);
+  core[6] = static_cast<uint8_t>(hr.watchdog_fires >> 8);
+  for (int i = 0; i < 4; ++i)
+    core[7 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(hr.image_crc >> (8 * i));
+  core[11] = hr.active_slot;
+  return core;
+}
+
+Frame make_health(uint8_t version, uint16_t origin, const HealthReport& hr) {
+  Frame f;
+  f.type = FrameType::Ack;
+  f.version = version;
+  f.seq = origin;
+  const auto core = health_core(hr);
+  f.payload.assign(core.begin(), core.end());
+  if (hr.has_tag)
+    for (int i = 0; i < 8; ++i)
+      f.payload.push_back(static_cast<uint8_t>(hr.tag >> (8 * i)));
+  if (hr.has_relayer) {
+    f.payload.push_back(static_cast<uint8_t>(hr.relayer & 0xFF));
+    f.payload.push_back(static_cast<uint8_t>(hr.relayer >> 8));
+    f.payload.push_back(static_cast<uint8_t>(std::min<uint16_t>(hr.hop, 0xFF)));
+  }
+  return f;
+}
+
+std::optional<HealthReport> parse_health(const Frame& f) {
+  // Four valid sizes: 12 core (star), 15 +relayer (mesh), 20 +tag
+  // (authenticated star), 23 +tag +relayer (authenticated mesh).
+  const size_t sz = f.payload.size();
+  if (f.type != FrameType::Ack ||
+      (sz != 12 && sz != 15 && sz != 20 && sz != 23))
+    return std::nullopt;
+  HealthReport hr;
+  hr.flags = f.payload[0];
+  const uint8_t known = kHealthTrialClean | kHealthConfirmed |
+                        kHealthRolledBack | kHealthBootInterrupted |
+                        kHealthGateFailed;
+  if ((hr.flags & ~known) != 0) return std::nullopt;
+  hr.restarts = static_cast<uint16_t>(
+      f.payload[1] | (static_cast<uint16_t>(f.payload[2]) << 8));
+  hr.quarantines = static_cast<uint16_t>(
+      f.payload[3] | (static_cast<uint16_t>(f.payload[4]) << 8));
+  hr.watchdog_fires = static_cast<uint16_t>(
+      f.payload[5] | (static_cast<uint16_t>(f.payload[6]) << 8));
+  for (int i = 0; i < 4; ++i)
+    hr.image_crc |= static_cast<uint32_t>(f.payload[7 + i]) << (8 * i);
+  hr.active_slot = f.payload[11];
+  if (hr.active_slot > 1) return std::nullopt;
+  size_t at = 12;
+  if (sz == 20 || sz == 23) {
+    hr.has_tag = true;
+    for (int i = 0; i < 8; ++i)
+      hr.tag |= static_cast<uint64_t>(f.payload[at + i]) << (8 * i);
+    at += 8;
+  }
+  if (sz == 15 || sz == 23) {
+    hr.has_relayer = true;
+    hr.relayer = static_cast<uint16_t>(
+        f.payload[at] | (static_cast<uint16_t>(f.payload[at + 1]) << 8));
+    hr.hop = f.payload[at + 2];
+  }
+  return hr;
 }
 
 }  // namespace sensmart::net

@@ -15,6 +15,7 @@
 // next parseable frame — corruption is detected, never delivered.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -32,6 +33,7 @@ enum class FrameType : uint8_t {
   Data = 2,     // one chunk of the image blob
   Nack = 3,     // receiver -> base: list of missing chunk indices
   Ack = 4,      // receiver -> base: whole image received and verified
+  Control = 5,  // base -> node: staged-rollout command (DESIGN.md §12)
 };
 
 struct Frame {
@@ -158,5 +160,66 @@ Frame make_auth_ack(uint8_t version, uint16_t origin, uint64_t tag);
 // Extract the auth tag from either Ack variant (star 8 / mesh 11 payload);
 // nullopt if the frame carries none (legacy encodings).
 std::optional<uint64_t> ack_auth_tag(const Frame& f);
+
+// --- Staged rollout (DESIGN.md §12) -----------------------------------------
+//
+// Two additions ride the existing wire format:
+//   Control  base -> node command, its own frame type (5); seq = target id.
+//            payload: [cmd][ctl_seq lo][ctl_seq hi][image_crc x4] = 7 bytes;
+//            authenticated runs append an 8-byte keyed tag (15). In mesh
+//            mode Controls are flood-relayed verbatim (tag included), so
+//            the encoding is topology-independent.
+//   Health   node -> base report, an Ack-type frame discriminated (like
+//            every other variant) purely by payload length; seq = origin.
+//            payload: [flags][restarts x2][quarantines x2][watchdog x2]
+//            [image_crc x4][active_slot] = 12 bytes; mesh appends
+//            [relayer x2][hop] (15); auth inserts the 8-byte tag after the
+//            12-byte core (star 20, mesh 23). All four sizes are disjoint
+//            from the legacy Ack set {0, 3, 8, 11}, so legacy parsing is
+//            byte-for-byte unchanged.
+
+enum class ControlCmd : uint8_t {
+  ActivateTrial = 1,  // stage the verified transfer image and boot it
+  ConfirmTrial = 2,   // probation passed: promote the trial slot
+  Rollback = 3,       // fall back to the previous image (also acks failures)
+};
+
+struct ControlInfo {
+  ControlCmd cmd = ControlCmd::ActivateTrial;
+  uint16_t ctl_seq = 0;    // base-minted, strictly increasing per send
+  uint32_t image_crc = 0;  // the rollout image this command is about
+  bool has_tag = false;
+  uint64_t tag = 0;
+};
+
+Frame make_control(uint8_t version, uint16_t target, const ControlInfo& info);
+std::optional<ControlInfo> parse_control(const Frame& f);
+
+// Health-report flags (bitmask).
+inline constexpr uint8_t kHealthTrialClean = 0x01;     // probation passed
+inline constexpr uint8_t kHealthConfirmed = 0x02;      // trial promoted
+inline constexpr uint8_t kHealthRolledBack = 0x04;     // back on old image
+inline constexpr uint8_t kHealthBootInterrupted = 0x08; // reboot mid-trial
+inline constexpr uint8_t kHealthGateFailed = 0x10;     // quarantine/watchdog
+
+struct HealthReport {
+  uint8_t flags = 0;
+  uint16_t restarts = 0;
+  uint16_t quarantines = 0;
+  uint16_t watchdog_fires = 0;
+  uint32_t image_crc = 0;  // CRC of the active slot's image
+  uint8_t active_slot = 0;
+  // Mesh relaying (outside the auth tag, exactly like mesh Acks).
+  bool has_relayer = false;
+  uint16_t relayer = 0;
+  uint16_t hop = 0;
+  bool has_tag = false;
+  uint64_t tag = 0;
+};
+
+Frame make_health(uint8_t version, uint16_t origin, const HealthReport& hr);
+std::optional<HealthReport> parse_health(const Frame& f);
+// The 12 tag-covered core bytes of a health payload (for keyed tags).
+std::array<uint8_t, 12> health_core(const HealthReport& hr);
 
 }  // namespace sensmart::net

@@ -133,7 +133,73 @@ struct NetSim::Node {
   uint64_t summary_relay_at = 0;       // staggered send-not-before cycle
   uint64_t last_summary_relay_at = 0;  // rate limit (summary_relay_min)
   Frame serve_scratch;                 // peer-served Data frame, reused
+  // --- Staged-rollout state (DESIGN.md §12) — volatile, like everything
+  // else here: what the trial did to the flash lives in the persistent
+  // ImageStore (slot states, trial flags, rollback_report_pending), and
+  // the power-up path rebuilds the report from there.
+  bool trial_pending = false;   // activation reboot in progress
+  bool trial_running = false;   // probation window open
+  uint64_t probation_end = 0;
+  uint64_t behavior_at = 0;     // when the scripted trial behavior fires
+  bool behavior_fired = false;
+  uint8_t health_flags = 0;     // flags of the report being (re)sent
+  bool health_pending = false;
+  uint32_t health_sends_left = 0;  // remaining sends of the current report
+  uint64_t next_health_at = 0;
+  uint32_t health_streak = 0;      // consecutive sends -> backoff
+  uint16_t last_ctl_seq = 0;       // newest command acted on (replay guard)
+  uint16_t last_ctl_relayed = 0;   // mesh flood dedup
+  // Activation reboots are deliberate (not power faults): the mesh
+  // gradient is carried across them so a freshly upgraded node can still
+  // report its health without waiting for a Summary re-flood.
+  uint16_t saved_hop = kNoHop;
+  uint16_t saved_parent = kNoParent;
+  std::deque<std::pair<uint16_t, ControlInfo>> ctl_relay_q;  // (target, cmd)
+  std::deque<std::pair<uint16_t, HealthReport>> health_relay_q;  // (origin, …)
+  std::map<uint16_t, uint64_t> health_relayed_at;  // origin -> last relay
   NodeDissemStats stats;
+};
+
+// Base-side rollout orchestrator state (DESIGN.md §12). Owned by the
+// serial base step — never touched during the parallel phase — so it
+// needs no sharding discipline beyond living behind the barrier.
+struct NetSim::Rollout {
+  // Per-member state machine. Activating -> (clean report) AwaitConfirm ->
+  // (confirmed report) Confirmed; any failure report lands in Failed; a
+  // silent node becomes GivenUp after bounded command retries. The
+  // fleet-wide rollback phase drives upgraded members RollingBack ->
+  // RolledBack.
+  enum class M : uint8_t {
+    Idle,
+    Activating,
+    AwaitConfirm,
+    Confirmed,
+    Failed,
+    GivenUp,
+    RollingBack,
+    RolledBack,
+  };
+  enum class Phase : uint8_t { Waves, RollbackAll, Done };
+
+  Phase phase = Phase::Waves;
+  std::vector<uint16_t> members;  // dissemination-complete nodes, id order
+  size_t next_member = 0;         // first member of the next wave
+  size_t wave_begin = 0, wave_end = 0;
+  uint32_t wave_index = 0;
+  bool wave_open = false;
+  std::vector<M> state;           // by node id
+  std::vector<uint32_t> tries;    // command sends toward the current goal
+  std::vector<uint64_t> next_cmd_at;
+  std::vector<bool> ack_rollback;  // failure report awaiting its Rollback ack
+  uint16_t ctl_seq = 0;            // strictly increasing per Control sent
+  uint32_t failures = 0;
+  uint32_t confirmed = 0;
+  uint32_t rolled_back = 0;
+  uint32_t gave_up = 0;
+  uint32_t waves_promoted = 0;
+  bool halted = false;
+  uint64_t health_rejected = 0;
+  std::vector<NodeRolloutStats> nstats;  // by node id
 };
 
 NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
@@ -224,6 +290,8 @@ NetSim::NetSim(NetConfig cfg, std::vector<uint8_t> image_blob)
     n->next_nack_at = cfg_.proto.nack_timeout + n->id * 3 * kByte;
     nodes_.push_back(std::move(n));
   }
+
+  behaviors_.assign(cfg_.nodes + 1, TrialBehavior{});
 
   if (cfg_.node_faults.any()) plan_node_faults();
 }
@@ -464,6 +532,16 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
     }
     case FrameType::Ack: {
       if (f.seq == 0 || f.seq > cfg_.nodes) return;
+      if (rollout_phase_) {
+        // Health reports ride Ack-type frames at payload sizes disjoint
+        // from every legacy Ack encoding; anything that parses as one is
+        // one. Outside the rollout phase they fall through to the legacy
+        // path (and, authenticated, its rejection accounting) unchanged.
+        if (const auto hr = parse_health(f)) {
+          on_base_health(f.seq, *hr, now);
+          return;
+        }
+      }
       if (auth_) {
         // An Ack only counts if its keyed tag binds (origin, version,
         // image CRC) under the pre-shared key: a spoofed completion for a
@@ -518,6 +596,10 @@ void NetSim::on_base_frame(const Frame& f, uint64_t now) {
 void NetSim::step_base(uint64_t now) {
   drain_rx(0, base_->deframer);
   while (auto f = base_->deframer.next()) on_base_frame(*f, now);
+  if (rollout_phase_) {
+    step_base_rollout(now);
+    return;
+  }
   if (base_->acked_count + base_->abandoned_count >= cfg_.nodes) return;
 
   uint8_t busy = 0;
@@ -701,6 +783,41 @@ void NetSim::mesh_churn_parent(Node& n, uint64_t now, ShardCtx& sc) {
 // true if a frame went on the air.
 bool NetSim::mesh_node_tx(Node& n, uint64_t now, ShardCtx& sc) {
   emu::ImageStore& st = machines_[n.id]->dev().image_store();
+
+  if (rollout_phase_) {
+    // Rollout traffic first: it is the critical path of this phase (the
+    // legacy queues below are essentially drained by now).
+    if (n.health_pending && now >= n.next_health_at) {
+      node_send_health(n, now, sc);
+      return true;
+    }
+    if (!n.ctl_relay_q.empty()) {
+      const auto [target, ci] = n.ctl_relay_q.front();
+      n.ctl_relay_q.pop_front();
+      mesh_send(n.id, make_control(cfg_.proto.version, target, ci), now, &sc);
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ControlRelayed,
+                ci.ctl_seq, static_cast<uint32_t>(ci.cmd));
+      return true;
+    }
+    while (!n.health_relay_q.empty()) {
+      auto [origin, hr] = n.health_relay_q.front();
+      n.health_relay_q.pop_front();
+      // Re-check the per-origin rate limit at send time (an upstream
+      // relay overheard since enqueueing suppresses ours).
+      const auto it = n.health_relayed_at.find(origin);
+      if (it != n.health_relayed_at.end() &&
+          now - it->second < cfg_.proto.ack_repeat_min)
+        continue;
+      n.health_relayed_at[origin] = now;
+      hr.has_relayer = true;
+      hr.relayer = n.id;
+      hr.hop = n.hop < 0xFF ? n.hop : 0xFF;
+      mesh_send(n.id, make_health(cfg_.proto.version, origin, hr), now, &sc);
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::HealthRelayed,
+                origin, hr.hop);
+      return true;
+    }
+  }
 
   if (n.ack_pending && st.verified) {
     n.ack_pending = false;
@@ -1049,6 +1166,40 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       break;
     }
     case FrameType::Ack: {
+      if (rollout_phase_) {
+        // Mesh: health reports are relayed upstream exactly like mesh
+        // Acks — the origin's payload core and tag are carried verbatim,
+        // only the relayer/hop fields (outside the tag) are rewritten.
+        if (const auto hr = parse_health(f)) {
+          const uint16_t origin = f.seq;
+          if (!mesh_ || origin == 0 || origin > cfg_.nodes) break;
+          if (origin == n.id) break;  // our own report echoing back
+          if (auth_ &&
+              (!hr->has_tag ||
+               hr->tag != health_tag(cfg_.proto.auth_key, cfg_.proto.version,
+                                     origin, health_core(*hr))))
+            break;
+          if (!hr->has_relayer) break;
+          if (hr->hop > n.hop) {
+            // Heard from downstream (or from a node that lost its hop —
+            // relayed hops are clamped to 255 < kNoHop): carry it toward
+            // the base, rate-limited per origin.
+            const auto it = n.health_relayed_at.find(origin);
+            const bool recently = it != n.health_relayed_at.end() &&
+                                  now - it->second < cfg_.proto.ack_repeat_min;
+            if (!recently &&
+                std::find_if(n.health_relay_q.begin(), n.health_relay_q.end(),
+                             [&](const auto& e) {
+                               return e.first == origin;
+                             }) == n.health_relay_q.end())
+              n.health_relay_q.push_back({origin, *hr});
+          } else {
+            // An upstream node already carries it; suppress ours.
+            n.health_relayed_at[origin] = now;
+          }
+          break;
+        }
+      }
       if (!mesh_) break;  // star receivers ignore overheard Acks
       const auto ma = parse_mesh_ack(f);
       if (!ma) break;
@@ -1106,6 +1257,31 @@ void NetSim::on_node_frame(Node& n, const Frame& f, uint64_t now,
       }
       break;
     }
+    case FrameType::Control: {
+      if (!rollout_phase_) break;  // ignored outside a rollout
+      const auto ci = parse_control(f);
+      if (!ci) break;
+      const uint16_t target = f.seq;
+      if (auth_) {
+        // Verify before acting OR relaying: a forged/bitflipped Control
+        // must neither reboot a node nor earn a flood slot.
+        if (!ci->has_tag ||
+            ci->tag != control_tag(cfg_.proto.auth_key, cfg_.proto.version,
+                                   static_cast<uint8_t>(ci->cmd), target,
+                                   ci->ctl_seq, ci->image_crc))
+          break;
+      }
+      if (mesh_ && target != n.id && ci->ctl_seq > n.last_ctl_relayed) {
+        // Flood relay (verbatim, tag included), once per ctl_seq.
+        n.last_ctl_relayed = ci->ctl_seq;
+        n.ctl_relay_q.push_back({target, *ci});
+      }
+      if (target != n.id) break;
+      if (ci->ctl_seq <= n.last_ctl_seq) break;  // stale replay
+      n.last_ctl_seq = ci->ctl_seq;
+      on_node_control(n, target, *ci, now, sc);
+      break;
+    }
     default:
       break;  // receivers ignore Data echoes of unknown versions etc.
   }
@@ -1161,7 +1337,15 @@ void NetSim::step_node(size_t idx, uint64_t now, ShardCtx& sc) {
   }
   drain_rx(n.id, n.deframer);
   while (auto f = n.deframer.next()) on_node_frame(n, *f, now, sc);
+  if (n.down) return;  // a Control-commanded activation reboot fired
+  if (rollout_phase_) {
+    step_node_rollout(n, now, sc);
+    if (n.down) return;  // a scripted trial behavior took the node down
+  }
   if (!mesh_) {
+    // During the rollout phase the transfer machinery quiesces: health
+    // reports (sent by step_node_rollout) and Controls own the air.
+    if (rollout_phase_) return;
     if (machines_[n.id]->dev().image_store().verified) return;
     if (now >= n.next_nack_at) node_send_nack(n, now, sc);
     return;
@@ -1170,10 +1354,12 @@ void NetSim::step_node(size_t idx, uint64_t now, ShardCtx& sc) {
   // Verified nodes stay on the air as servers and relays — that is what
   // flattens the per-node cost: the base serves hop-1 once, and every
   // completed layer feeds the next.
-  if (machines_[n.id]->dev().image_store().verified && now >= n.next_ack_at)
+  if (!rollout_phase_ &&
+      machines_[n.id]->dev().image_store().verified && now >= n.next_ack_at)
     n.ack_pending = true;
   if (!mesh_can_tx(n.id, now)) return;
   if (mesh_node_tx(n, now, sc)) return;
+  if (rollout_phase_) return;  // no Nack-driven transfer during the rollout
   if (machines_[n.id]->dev().image_store().verified) return;
   if (now >= n.next_nack_at) node_send_nack(n, now, sc);
 }
@@ -1218,6 +1404,47 @@ void NetSim::node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc) {
     n.last_summary_relay_at = 0;
     sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeRebooted,
               st.chunks_have, st.verified);
+    if (rollout_phase_) {
+      // Rollout volatile state died with the power rail; the persisted
+      // slot machine (trial flags, rollback_report_pending) decides what
+      // this boot means.
+      n.trial_running = false;
+      n.behavior_fired = false;
+      n.health_pending = false;
+      n.health_flags = 0;
+      n.health_streak = 0;
+      n.health_sends_left = 0;
+      n.next_health_at = 0;
+      n.last_ctl_seq = 0;
+      n.last_ctl_relayed = 0;
+      n.ctl_relay_q.clear();
+      n.health_relay_q.clear();
+      n.health_relayed_at.clear();
+      if (n.trial_pending && st.trial_active) {
+        // The sanctioned trial boot: probation opens now.
+        n.trial_pending = false;
+        n.trial_running = true;
+        n.probation_end = now + cfg_.rollout.probation_bytes * kByte;
+        const TrialBehavior& b = behaviors_[n.id];
+        n.behavior_at =
+            now + cfg_.rollout.probation_bytes * b.at_pct / 100 * kByte;
+        if (mesh_) {
+          // Deliberate fast reboot, not a power fault: the mesh gradient
+          // is carried across it so the health report can flow at once.
+          n.hop = n.saved_hop;
+          n.parent = n.saved_parent;
+        }
+      } else {
+        n.trial_pending = false;
+        if (st.rollback_report_pending) {
+          // The store auto-rolled-back at power-up (trial interrupted by
+          // a reboot); the volatile failure report died with it — rebuild
+          // and resend until the base acks with a Rollback command.
+          node_queue_health(n, kHealthRolledBack | kHealthBootInterrupted,
+                            cfg_.rollout.report_retries, now);
+        }
+      }
+    }
     return;
   }
 
@@ -1229,6 +1456,15 @@ void NetSim::node_lifecycle(size_t idx, uint64_t now, ShardCtx& sc) {
     sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeCrashed,
               st.chunks_have, ev.wipe_store);
     dev.reboot();  // power fails: every volatile device state dies now
+    if (rollout_phase_) {
+      if (dev.take_store_reformatted())
+        sc.record(now, static_cast<uint8_t>(n.id),
+                  NetEventKind::StoreReformatted, n.id, 0);
+      if (dev.last_boot() == emu::BootOutcome::TrialRollback)
+        sc.record(now, static_cast<uint8_t>(n.id),
+                  NetEventKind::TrialRolledBack, n.id,
+                  static_cast<uint32_t>(RollbackWhy::BootInterrupted));
+    }
     if (ev.wipe_store) {
       if (st.verified) --sc.complete_delta;  // a cold crash wipes a completion
       st.erase();
@@ -1273,20 +1509,15 @@ NodeAbortReason NetSim::abort_reason_of(const Node& n) const {
   return NodeAbortReason::TimedOut;
 }
 
-DisseminationResult NetSim::disseminate() {
-  DisseminationResult res;
-  res.total_chunks = total_chunks_;
-  res.image_crc = blob_crc_;
-  res.image_bytes = static_cast<uint32_t>(blob_.size());
+// Partition receivers into contiguous shards (DESIGN.md §9). Shard s
+// owns receiver indices [s*N/S, (s+1)*N/S) and syncs their machines;
+// shard 0 additionally syncs the base machine. Contiguity makes the
+// barrier merge a concatenation in shard order = node-id order.
+// Auto-sharding only pays off once each shard owns a meaningful slice:
+// below kMinNodesPerShard receivers per shard the quantum barrier costs
+// more than the parallel phase saves, so small fleets run serial.
+void NetSim::setup_engine() {
   ran_ = true;
-
-  // Partition receivers into contiguous shards (DESIGN.md §9). Shard s
-  // owns receiver indices [s*N/S, (s+1)*N/S) and syncs their machines;
-  // shard 0 additionally syncs the base machine. Contiguity makes the
-  // barrier merge a concatenation in shard order = node-id order.
-  // Auto-sharding only pays off once each shard owns a meaningful slice:
-  // below kMinNodesPerShard receivers per shard the quantum barrier costs
-  // more than the parallel phase saves, so small fleets run serial.
   const unsigned requested =
       cfg_.shards == 0
           ? host::effective_jobs(0, cfg_.nodes / kMinNodesPerShard)
@@ -1301,33 +1532,38 @@ DisseminationResult NetSim::disseminate() {
     sc.machine_begin = s == 0 ? 0 : sc.node_begin + 1;
     sc.machine_end = sc.node_end + 1;
   }
-  std::unique_ptr<host::WorkPool> pool;
-  if (S > 1) pool = std::make_unique<host::WorkPool>(S);
+  if (S > 1) pool_ = std::make_unique<host::WorkPool>(S);
+}
 
-  uint64_t t = 0;
-  // Termination: every node acknowledged, or every straggler abandoned
-  // after its bounded retries, or the cycle budget exhausted.
-  while (base_->acked_count + base_->abandoned_count < cfg_.nodes) {
-    t += kByte;
-    if (t > cfg_.max_cycles) {
-      res.budget_exhausted = true;
-      break;
-    }
+bool NetSim::loop_done() const {
+  // Rollout phase: the orchestrator reached its terminal state.
+  // Dissemination: every node acknowledged, or every straggler abandoned
+  // after its bounded retries.
+  if (rollout_phase_) return ro_->phase == Rollout::Phase::Done;
+  return base_->acked_count + base_->abandoned_count >= cfg_.nodes;
+}
+
+// The bulk-synchronous quantum loop shared by disseminate() and rollout().
+// Returns false when max_cycles ran out before the phase terminated.
+bool NetSim::run_loop() {
+  while (!loop_done()) {
+    t_ += kByte;
+    if (t_ > cfg_.max_cycles) return false;
     // Deliver due packets first (completing transmissions hand packets to
     // the medium with latency >= one byte time, so nothing broadcast in
     // this quantum is consumable before the next — shard stepping order
     // cannot leak causality).
-    medium_.flush(t);
+    medium_.flush(t_);
 
     // Parallel phase: each shard advances its devices and steps its
     // receivers, with every cross-node effect buffered shard-locally.
     phase_parallel_ = true;
-    if (pool) {
-      pool->dispatch([this, t](unsigned s) {
-        run_shard_quantum(shards_[s], t);
+    if (pool_) {
+      pool_->dispatch([this](unsigned s) {
+        run_shard_quantum(shards_[s], t_);
       });
     } else {
-      run_shard_quantum(shards_[0], t);
+      run_shard_quantum(shards_[0], t_);
     }
     phase_parallel_ = false;
 
@@ -1348,7 +1584,7 @@ DisseminationResult NetSim::disseminate() {
         sc.tx_notes.clear();
       }
     }
-    step_base(t);
+    step_base(t_);
     for (ShardCtx& sc : shards_) {
       for (const NetTraceEvent& e : sc.events)
         record(e.cycle, e.node, e.kind, e.a, e.b);
@@ -1361,10 +1597,26 @@ DisseminationResult NetSim::disseminate() {
       sc.complete_delta = 0;
     }
   }
+  return true;
+}
 
+DisseminationResult NetSim::disseminate() {
+  DisseminationResult res;
+  setup_engine();
+  const bool within_budget = run_loop();
+  finish_dissem(res, !within_budget);
+  return res;
+}
+
+void NetSim::finish_dissem(DisseminationResult& res, bool budget_exhausted) {
+  res.total_chunks = total_chunks_;
+  res.image_crc = blob_crc_;
+  res.image_bytes = static_cast<uint32_t>(blob_.size());
+  res.budget_exhausted = budget_exhausted;
   res.all_acked = base_->acked_count == cfg_.nodes;
   res.aborted = !res.all_acked;
-  res.cycles = t;
+  res.cycles = t_;
+  const uint64_t t = t_;
   res.medium = medium_.stats();
   res.nodes.resize(nodes_.size());
   for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -1394,7 +1646,541 @@ DisseminationResult NetSim::disseminate() {
   res.abandoned_count = base_->abandoned_count;
   res.trace_digest = trace_digest_;
   res.trace_events = trace_count_;
-  return res;
+}
+
+// --- Staged rollout (DESIGN.md §12) -----------------------------------------
+
+void NetSim::set_initial_image(std::vector<uint8_t> blob, uint8_t version) {
+  initial_blob_ = std::move(blob);
+  initial_crc_ = crc32(initial_blob_);
+  initial_version_ = version;
+  for (size_t id = 1; id <= cfg_.nodes; ++id) {
+    emu::ImageStore& st = machines_[id]->dev().image_store();
+    st.slots[0].state = emu::SlotState::Confirmed;
+    st.slots[0].version = version;
+    st.slots[0].crc = initial_crc_;
+    st.slots[0].image = initial_blob_;
+    st.active_slot = 0;
+    st.trial_active = false;
+    st.trial_boot_pending = false;
+  }
+}
+
+void NetSim::set_trial_behavior(uint16_t node, const TrialBehavior& b) {
+  if (node >= 1 && node <= cfg_.nodes) behaviors_[node] = b;
+}
+
+const emu::ImageStore& NetSim::node_store(size_t node) const {
+  return machines_.at(node)->dev().image_store();
+}
+
+RolloutResult NetSim::rollout() {
+  RolloutResult rr;
+  setup_engine();
+  const bool dissem_ok = run_loop();
+  finish_dissem(rr.dissem, !dissem_ok);
+  if (dissem_ok) {
+    begin_rollout(t_);
+    rollout_phase_ = true;
+    const bool rollout_ok = run_loop();
+    rollout_phase_ = false;
+    rr.budget_exhausted = !rollout_ok;
+  } else {
+    rr.budget_exhausted = true;
+  }
+  finish_rollout(rr);
+  return rr;
+}
+
+void NetSim::begin_rollout(uint64_t now) {
+  (void)now;
+  ro_ = std::make_unique<Rollout>();
+  ro_->state.assign(cfg_.nodes + 1, Rollout::M::Idle);
+  ro_->tries.assign(cfg_.nodes + 1, 0);
+  ro_->next_cmd_at.assign(cfg_.nodes + 1, 0);
+  ro_->ack_rollback.assign(cfg_.nodes + 1, false);
+  ro_->nstats.assign(cfg_.nodes + 1, NodeRolloutStats{});
+  // Only dissemination-complete nodes are upgrade candidates (they hold a
+  // verified copy of the new image); abandoned stragglers and the hostile
+  // node stay on their current image.
+  for (uint16_t id = 1; id <= cfg_.nodes; ++id) {
+    if (cfg_.hostile_node == id) continue;
+    if (!node_complete(id)) continue;
+    ro_->members.push_back(id);
+    ro_->nstats[id].member = true;
+  }
+}
+
+void NetSim::enter_rollback_all(uint64_t now) {
+  Rollout& ro = *ro_;
+  ro.phase = Rollout::Phase::RollbackAll;
+  ro.halted = true;
+  ro.wave_open = false;
+  record(now, 0, NetEventKind::RolloutHalted, ro.failures,
+         cfg_.rollout.failure_budget);
+  for (uint16_t id : ro.members) {
+    switch (ro.state[id]) {
+      case Rollout::M::Confirmed:
+      case Rollout::M::Activating:
+      case Rollout::M::AwaitConfirm:
+      case Rollout::M::GivenUp:  // second chance: it may be back by now
+        ro.state[id] = Rollout::M::RollingBack;
+        ro.tries[id] = 0;
+        ro.next_cmd_at[id] = now;
+        break;
+      default:
+        break;  // Idle never upgraded; Failed is already back on old
+    }
+  }
+}
+
+void NetSim::base_send_control(uint16_t target, ControlCmd cmd, uint64_t now) {
+  ControlInfo ci;
+  ci.cmd = cmd;
+  ci.ctl_seq = ++ro_->ctl_seq;
+  ci.image_crc = blob_crc_;
+  if (auth_) {
+    ci.has_tag = true;
+    ci.tag = control_tag(cfg_.proto.auth_key, cfg_.proto.version,
+                         static_cast<uint8_t>(cmd), target, ci.ctl_seq,
+                         ci.image_crc);
+  }
+  mesh_send(0, make_control(cfg_.proto.version, target, ci), now, nullptr);
+  record(now, 0, NetEventKind::ControlTx, static_cast<uint32_t>(cmd), target);
+}
+
+void NetSim::step_base_rollout(uint64_t now) {
+  Rollout& ro = *ro_;
+  if (ro.phase == Rollout::Phase::Done) return;
+
+  if (ro.phase == Rollout::Phase::Waves) {
+    if (ro.failures > cfg_.rollout.failure_budget) {
+      // Budget exceeded — halt immediately (even mid-wave) and drive every
+      // upgraded member back to the previous image.
+      enter_rollback_all(now);
+    } else {
+      if (ro.wave_open) {
+        bool done = true;
+        bool clean = true;
+        for (size_t i = ro.wave_begin; i < ro.wave_end; ++i) {
+          const Rollout::M s = ro.state[ro.members[i]];
+          if (s == Rollout::M::Activating || s == Rollout::M::AwaitConfirm)
+            done = false;
+          if (s != Rollout::M::Confirmed) clean = false;
+        }
+        if (done) {
+          ro.wave_open = false;
+          if (clean) ++ro.waves_promoted;
+        }
+      }
+      if (!ro.wave_open) {
+        if (ro.next_member >= ro.members.size()) {
+          ro.phase = Rollout::Phase::Done;
+          record(now, 0, NetEventKind::RolloutDone, ro.confirmed,
+                 ro.rolled_back);
+          return;
+        }
+        // The health gate is the wave promoter: the next wave only opens
+        // once every member of the previous one reached a terminal state.
+        ro.wave_begin = ro.next_member;
+        ro.wave_end = std::min(ro.wave_begin + size_t(cfg_.rollout.wave_size),
+                               ro.members.size());
+        ro.next_member = ro.wave_end;
+        ro.wave_open = true;
+        record(now, 0, NetEventKind::RolloutWave, ro.wave_index,
+               static_cast<uint32_t>(ro.wave_end - ro.wave_begin));
+        ++ro.wave_index;
+        for (size_t i = ro.wave_begin; i < ro.wave_end; ++i) {
+          const uint16_t id = ro.members[i];
+          ro.state[id] = Rollout::M::Activating;
+          ro.tries[id] = 0;
+          ro.next_cmd_at[id] = now;
+        }
+      }
+    }
+  }
+
+  if (ro.phase == Rollout::Phase::RollbackAll) {
+    bool settled = true;
+    for (uint16_t id : ro.members) {
+      if (ro.state[id] == Rollout::M::RollingBack) settled = false;
+      if (ro.ack_rollback[id]) settled = false;  // pending report acks
+    }
+    if (settled) {
+      ro.phase = Rollout::Phase::Done;
+      record(now, 0, NetEventKind::RolloutDone, ro.confirmed, ro.rolled_back);
+      return;
+    }
+  }
+
+  uint8_t busy = 0;
+  machines_[0]->dev().io_access(emu::kRadioStatus, busy, false);
+  if (busy & 1) return;  // one frame in the air at a time
+  if (mesh_ && now < air_busy_until_[0]) return;  // carrier sense
+
+  // Failure-report acks first: a Rollback in reply silences the reporting
+  // node's retry stream (and is idempotent at the node).
+  for (uint16_t id : ro.members) {
+    if (!ro.ack_rollback[id]) continue;
+    ro.ack_rollback[id] = false;
+    base_send_control(id, ControlCmd::Rollback, now);
+    return;
+  }
+
+  // One due command per quantum. Waves address only the open wave;
+  // the fleet-wide rollback addresses every member.
+  if (ro.phase == Rollout::Phase::Waves && !ro.wave_open) return;
+  const size_t begin = ro.phase == Rollout::Phase::Waves ? ro.wave_begin : 0;
+  const size_t end =
+      ro.phase == Rollout::Phase::Waves ? ro.wave_end : ro.members.size();
+  size_t best = SIZE_MAX;
+  for (size_t i = begin; i < end; ++i) {
+    const uint16_t id = ro.members[i];
+    const Rollout::M s = ro.state[id];
+    const bool wants = s == Rollout::M::Activating ||
+                       s == Rollout::M::AwaitConfirm ||
+                       s == Rollout::M::RollingBack;
+    if (!wants || now < ro.next_cmd_at[id]) continue;
+    if (ro.tries[id] >= cfg_.rollout.give_up_tries) {
+      // Bounded retries: a silent node must not stall its wave (or the
+      // fleet rollback) forever. In the wave phase a give-up counts
+      // against the failure budget — "unreachable mid-upgrade" is as bad
+      // as a failed trial.
+      ro.state[id] = Rollout::M::GivenUp;
+      ro.nstats[id].given_up = true;
+      if (ro.phase == Rollout::Phase::Waves) {
+        ++ro.failures;
+        ++ro.gave_up;
+      }
+      record(now, 0, NetEventKind::RolloutGiveUp, id, ro.tries[id]);
+      continue;
+    }
+    if (best == SIZE_MAX ||
+        ro.next_cmd_at[id] < ro.next_cmd_at[ro.members[best]])
+      best = i;
+  }
+  if (best == SIZE_MAX) return;
+  const uint16_t id = ro.members[best];
+  ControlCmd cmd = ControlCmd::ActivateTrial;
+  if (ro.state[id] == Rollout::M::AwaitConfirm) cmd = ControlCmd::ConfirmTrial;
+  if (ro.state[id] == Rollout::M::RollingBack) cmd = ControlCmd::Rollback;
+  base_send_control(id, cmd, now);
+  const uint32_t exp = std::min(ro.tries[id], cfg_.proto.backoff_cap_exp);
+  ro.next_cmd_at[id] = now + (cfg_.rollout.control_interval << exp);
+  ++ro.tries[id];
+}
+
+void NetSim::on_base_health(uint16_t origin, const HealthReport& hr,
+                            uint64_t now) {
+  Rollout& ro = *ro_;
+  if (auth_) {
+    // The tag covers the 12 core bytes under (version, origin): a forged
+    // "trial clean" for a lemon, or a spoofed failure meant to burn the
+    // budget, dies here. Relayer/hop are outside the tag, like mesh Acks.
+    if (!hr.has_tag ||
+        hr.tag != health_tag(cfg_.proto.auth_key, cfg_.proto.version, origin,
+                             health_core(hr))) {
+      ++ro.health_rejected;
+      record(now, 0, NetEventKind::AckRejected, origin, 1);
+      return;
+    }
+  }
+  note_node_alive(origin);
+  record(now, 0, NetEventKind::HealthRx, origin, hr.flags);
+  Rollout::M& s = ro.state[origin];
+  NodeRolloutStats& ns = ro.nstats[origin];
+  ++ns.reports_rx;
+
+  if (hr.flags & kHealthConfirmed) {
+    if (s == Rollout::M::Activating || s == Rollout::M::AwaitConfirm) {
+      s = Rollout::M::Confirmed;
+      ++ro.confirmed;
+      ns.confirmed = true;
+      record(now, 0, NetEventKind::NodeConfirmed, origin,
+             ro.wave_index == 0 ? 0 : ro.wave_index - 1);
+    }
+    return;
+  }
+  if (hr.flags & kHealthRolledBack) {
+    switch (s) {
+      case Rollout::M::Activating:
+      case Rollout::M::AwaitConfirm:
+        s = Rollout::M::Failed;
+        ++ro.failures;
+        ns.rolled_back = true;
+        ro.ack_rollback[origin] = true;
+        break;
+      case Rollout::M::GivenUp:
+        // The node came back with the bad news; its give-up already
+        // counted against the budget — don't double-charge.
+        s = Rollout::M::Failed;
+        ns.rolled_back = true;
+        ro.ack_rollback[origin] = true;
+        break;
+      case Rollout::M::RollingBack:
+        s = Rollout::M::RolledBack;
+        ++ro.rolled_back;
+        ns.rolled_back = true;
+        break;
+      default:
+        // Duplicates in terminal states get no re-ack: re-acking every
+        // repeat would ping-pong Rollback/report forever.
+        break;
+    }
+    return;
+  }
+  if (hr.flags & kHealthTrialClean) {
+    if (s == Rollout::M::Activating) {
+      // The health gate: restarts are reported (and visible in the trace)
+      // but only supervision quarantines and watchdog kills fail a trial.
+      if (hr.quarantines == 0 && hr.watchdog_fires == 0) {
+        s = Rollout::M::AwaitConfirm;
+        ro.tries[origin] = 0;
+        ro.next_cmd_at[origin] = now;
+      } else {
+        s = Rollout::M::Failed;
+        ++ro.failures;
+        ns.rolled_back = true;
+        ro.ack_rollback[origin] = true;  // command the rollback
+      }
+    } else if (s == Rollout::M::GivenUp) {
+      // A clean report from a node we already gave up on: too late to
+      // promote — roll it back so no trial outlives the run.
+      s = Rollout::M::Failed;
+      ns.rolled_back = true;
+      ro.ack_rollback[origin] = true;
+    }
+    return;
+  }
+}
+
+void NetSim::on_node_control(Node& n, uint16_t target, const ControlInfo& ci,
+                             uint64_t now, ShardCtx& sc) {
+  (void)target;
+  auto& dev = machines_[n.id]->dev();
+  emu::ImageStore& st = dev.image_store();
+  switch (ci.cmd) {
+    case ControlCmd::ActivateTrial: {
+      if (n.trial_pending || st.trial_active) break;  // already trialing
+      const emu::ImageSlot& act = st.slots[st.active_slot];
+      const emu::ImageSlot& other = st.slots[st.active_slot ^ 1];
+      if (act.state == emu::SlotState::Confirmed && act.crc == ci.image_crc) {
+        // Already upgraded and confirmed — the base lost our report.
+        node_queue_health(n, kHealthConfirmed, 2, now);
+        break;
+      }
+      if ((act.crc == ci.image_crc && act.state == emu::SlotState::Rejected) ||
+          (other.crc == ci.image_crc &&
+           other.state == emu::SlotState::Rejected)) {
+        // A slot already holds this image marked Rejected: never boot a
+        // known-bad image again; restate the rollback instead.
+        node_queue_health(n, kHealthRolledBack, 2, now);
+        break;
+      }
+      if (!st.verified || st.image_crc != ci.image_crc) break;  // not held
+      const int slot = st.stage_inactive(cfg_.proto.version);
+      if (slot < 0) break;
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::ImageStaged,
+                static_cast<uint32_t>(slot), st.image_crc & 0xFFFF);
+      st.activate_trial(static_cast<uint8_t>(slot));
+      sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::TrialActivated,
+                static_cast<uint32_t>(slot), ci.image_crc & 0xFFFF);
+      // Deliberate reboot into the trial slot: on_power_up consumes the
+      // one sanctioned trial boot; any later reboot before ConfirmTrial
+      // auto-rolls-back.
+      n.saved_hop = n.hop;
+      n.saved_parent = n.parent;
+      n.trial_pending = true;
+      dev.reboot();
+      n.deframer = Deframer{};
+      n.early.clear();
+      n.down = true;
+      n.up_at = now + cfg_.rollout.reboot_bytes * kByte;
+      sc.outages.push_back({kAnyNode, n.id, now, n.up_at});
+      sc.outages.push_back({n.id, kAnyNode, now, n.up_at});
+      break;
+    }
+    case ControlCmd::ConfirmTrial: {
+      if (st.trial_active && !n.trial_running && !n.trial_pending &&
+          (n.health_flags & kHealthTrialClean)) {
+        // Probation passed and the base agreed: promote the trial slot.
+        st.confirm_trial();
+        node_queue_health(n, kHealthConfirmed, 2, now);
+      } else if (!st.trial_active &&
+                 st.slots[st.active_slot].state == emu::SlotState::Confirmed &&
+                 st.slots[st.active_slot].crc == ci.image_crc) {
+        node_queue_health(n, kHealthConfirmed, 2, now);  // duplicate confirm
+      }
+      break;
+    }
+    case ControlCmd::Rollback: {
+      bool did = false;
+      if (st.trial_active) {
+        st.rollback_trial();
+        did = true;
+      } else {
+        did = st.revert_active(ci.image_crc);
+      }
+      if (did)
+        sc.record(now, static_cast<uint8_t>(n.id),
+                  NetEventKind::TrialRolledBack, n.id,
+                  static_cast<uint32_t>(RollbackWhy::Commanded));
+      n.trial_running = false;
+      st.rollback_report_pending = false;  // doubles as the failure ack
+      node_queue_health(n, kHealthRolledBack, 2, now);
+      break;
+    }
+  }
+}
+
+void NetSim::step_node_rollout(Node& n, uint64_t now, ShardCtx& sc) {
+  auto& dev = machines_[n.id]->dev();
+  emu::ImageStore& st = dev.image_store();
+  if (n.trial_running) {
+    const TrialBehavior& b = behaviors_[n.id];
+    if (!n.behavior_fired && now >= n.behavior_at) {
+      n.behavior_fired = true;
+      // The scripted trial "runs": its kernel recovery stats land in the
+      // device health counters exactly where the supervisor mirrors the
+      // real ones (DeviceHub::health_add).
+      dev.health_add(b.restarts, b.quarantines, b.watchdog_fires);
+      switch (b.kind) {
+        case TrialBehavior::Kind::Runaway:
+          if (b.quarantines > 0 || b.watchdog_fires > 0) {
+            // On-node gate: the node needs no base round-trip to know its
+            // trial is toxic — roll back at once and report the failure.
+            st.rollback_trial();
+            sc.record(now, static_cast<uint8_t>(n.id),
+                      NetEventKind::TrialRolledBack, n.id,
+                      static_cast<uint32_t>(RollbackWhy::GateFailed));
+            n.trial_running = false;
+            node_queue_health(n, kHealthRolledBack | kHealthGateFailed,
+                              cfg_.rollout.report_retries, now);
+          }
+          break;
+        case TrialBehavior::Kind::CrashBoot:
+        case TrialBehavior::Kind::Wedge: {
+          // The trial takes the node down mid-probation; on_power_up (in
+          // dev.reboot) detects the interrupted trial and auto-rolls-back,
+          // leaving rollback_report_pending for the comeback report.
+          const uint64_t down_bytes = b.kind == TrialBehavior::Kind::Wedge
+                                          ? b.wedge_bytes
+                                          : b.down_bytes;
+          ++n.stats.crashes;
+          sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::NodeCrashed,
+                    st.chunks_have, 0);
+          dev.reboot();
+          if (dev.last_boot() == emu::BootOutcome::TrialRollback)
+            sc.record(now, static_cast<uint8_t>(n.id),
+                      NetEventKind::TrialRolledBack, n.id,
+                      static_cast<uint32_t>(RollbackWhy::BootInterrupted));
+          n.trial_running = false;
+          n.deframer = Deframer{};
+          n.early.clear();
+          n.down = true;
+          n.up_at = now + down_bytes * kByte;
+          sc.outages.push_back({kAnyNode, n.id, now, n.up_at});
+          sc.outages.push_back({n.id, kAnyNode, now, n.up_at});
+          return;
+        }
+        default:
+          break;  // Healthy: counters recorded, nothing else fires
+      }
+    }
+    if (n.trial_running && now >= n.probation_end) {
+      // Probation survived. Report the gate inputs; the slot stays a
+      // Staged trial until the base's ConfirmTrial promotes it.
+      n.trial_running = false;
+      node_queue_health(n, kHealthTrialClean, cfg_.rollout.report_retries,
+                        now);
+    }
+  }
+  // Star mode transmits directly (mirroring Nacks — no carrier sense);
+  // mesh reports ride mesh_node_tx's prioritized TX slot instead.
+  if (!mesh_ && n.health_pending && now >= n.next_health_at)
+    node_send_health(n, now, sc);
+}
+
+void NetSim::node_queue_health(Node& n, uint8_t flags, uint32_t sends,
+                               uint64_t now) {
+  n.health_flags = flags;
+  n.health_pending = sends > 0;
+  n.health_sends_left = sends;
+  n.health_streak = 0;
+  // Stagger by node id (like first Nacks) so wave members answering the
+  // same command don't collide in one synchronized volley.
+  n.next_health_at = now + n.id * 3 * kByte;
+}
+
+void NetSim::node_send_health(Node& n, uint64_t now, ShardCtx& sc) {
+  auto& dev = machines_[n.id]->dev();
+  const emu::ImageStore& st = dev.image_store();
+  const emu::HealthCounters& h = dev.health();
+  const auto clamp16 = [](uint32_t v) {
+    return static_cast<uint16_t>(v > 0xFFFF ? 0xFFFF : v);
+  };
+  HealthReport hr;
+  hr.flags = n.health_flags;
+  hr.restarts = clamp16(h.restarts);
+  hr.quarantines = clamp16(h.quarantines);
+  hr.watchdog_fires = clamp16(h.watchdog_fires);
+  hr.image_crc = st.slots[st.active_slot].crc;
+  hr.active_slot = st.active_slot;
+  if (auth_) {
+    hr.has_tag = true;
+    hr.tag = health_tag(cfg_.proto.auth_key, cfg_.proto.version, n.id,
+                        health_core(hr));
+  }
+  if (mesh_) {
+    hr.has_relayer = true;
+    hr.relayer = n.id;
+    // A node that lost its gradient reports hop 255 (< kNoHop): neighbors
+    // that kept theirs treat it as downstream and relay it toward the
+    // base, so even a gradient-less node's report gets through.
+    hr.hop = n.hop < 0xFF ? n.hop : 0xFF;
+  }
+  mesh_send(n.id, make_health(cfg_.proto.version, n.id, hr), now, &sc);
+  sc.record(now, static_cast<uint8_t>(n.id), NetEventKind::HealthTx, hr.flags,
+            n.health_streak);
+  const uint32_t exp = std::min(n.health_streak, cfg_.proto.backoff_cap_exp);
+  n.next_health_at = now + (cfg_.proto.ack_repeat_min << exp) +
+                     (mesh_ ? mesh_jitter(n.id, n.health_streak) : 0);
+  ++n.health_streak;
+  if (n.health_sends_left > 0) --n.health_sends_left;
+  if (n.health_sends_left == 0) n.health_pending = false;
+}
+
+void NetSim::finish_rollout(RolloutResult& rr) {
+  rr.cycles = t_;
+  rr.trace_digest = trace_digest_;
+  rr.trace_events = trace_count_;
+  if (ro_) {
+    rr.waves = ro_->wave_index;
+    rr.waves_promoted = ro_->waves_promoted;
+    rr.failures = ro_->failures;
+    rr.confirmed = ro_->confirmed;
+    rr.rolled_back = ro_->rolled_back;
+    rr.gave_up = ro_->gave_up;
+    rr.health_rejected = ro_->health_rejected;
+    rr.halted = ro_->halted;
+    rr.complete = ro_->phase == Rollout::Phase::Done && !ro_->halted &&
+                  !rr.budget_exhausted &&
+                  ro_->confirmed == ro_->members.size();
+  }
+  rr.nodes.assign(cfg_.nodes + 1, NodeRolloutStats{});
+  for (size_t id = 1; id <= cfg_.nodes; ++id) {
+    NodeRolloutStats ns = ro_ ? ro_->nstats[id] : NodeRolloutStats{};
+    // Ground truth from the persistent store, not base bookkeeping.
+    const emu::ImageStore& st = machines_[id]->dev().image_store();
+    ns.final_slot = st.active_slot;
+    ns.final_state = st.slots[st.active_slot].state;
+    ns.final_crc = st.slots[st.active_slot].crc;
+    ns.trial_left_active = st.trial_active;
+    for (const emu::ImageSlot& s : st.slots)
+      if (s.state != emu::SlotState::Empty && s.crc == blob_crc_)
+        ns.activated = true;
+    rr.nodes[id] = ns;
+  }
 }
 
 const std::vector<uint8_t>& NetSim::node_blob(size_t node) const {

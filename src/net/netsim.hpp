@@ -30,6 +30,10 @@
 #include "net/medium.hpp"
 #include "net/topology.hpp"
 
+namespace sensmart::host {
+class WorkPool;  // src/host/parallel.hpp; owned via unique_ptr only
+}
+
 namespace sensmart::net {
 
 struct ProtocolParams {
@@ -120,6 +124,47 @@ struct NodeFaultPolicy {
   bool any() const { return !scripted.empty() || crash_pct > 0; }
 };
 
+// Staged rollout (DESIGN.md §12): after dissemination completes, the base
+// upgrades the fleet wave-by-wave. Each wave's nodes stage the verified
+// transfer image into their inactive A/B slot, reboot into it as a trial,
+// and run a probation window; only a health report with zero supervision
+// quarantines / watchdog kills earns the ConfirmTrial that promotes the
+// slot. Failures (gate trips, reboots mid-probation, silent nodes) count
+// against a fleet-wide budget; exceeding it halts the rollout and rolls
+// every upgraded node back.
+struct RolloutParams {
+  bool enabled = false;
+  uint32_t wave_size = 4;        // nodes upgraded per wave
+  uint64_t probation_bytes = 3000;  // trial probation window (byte-times)
+  uint32_t failure_budget = 1;   // trial failures tolerated fleet-wide
+  // Base: spacing between command retries to one node; doubles per
+  // unanswered send, capped at ProtocolParams::backoff_cap_exp.
+  uint64_t control_interval = 16 * 40 * emu::DeviceHub::kCyclesPerRadioByte;
+  uint32_t give_up_tries = 12;   // unanswered commands before giving up
+  uint64_t reboot_bytes = 64;    // activation reboot outage (byte-times)
+  uint32_t report_retries = 12;  // node: self-initiated health-report sends
+};
+
+// Scripted behavior of one node's trial image during probation (the chaos
+// harness's lemon-image dimension; the sim::run_rollout harness derives it
+// from genuinely executing the image on a supervised kernel).
+struct TrialBehavior {
+  enum class Kind : uint8_t {
+    Healthy = 0,   // runs clean (counters below still reported)
+    Runaway,       // trips supervision: quarantine/watchdog counters fire
+    CrashBoot,     // node reboots mid-probation (power fault / crash loop)
+    Wedge,         // node goes dark for a long window (hung image)
+  };
+  Kind kind = Kind::Healthy;
+  uint32_t at_pct = 50;  // when in the probation window the event fires
+  // Kernel recovery stats the trial produces (mirrored into DeviceHub).
+  uint32_t restarts = 0;
+  uint32_t quarantines = 0;
+  uint32_t watchdog_fires = 0;
+  uint64_t down_bytes = 512;     // CrashBoot outage (byte-times)
+  uint64_t wedge_bytes = 20000;  // Wedge outage (byte-times)
+};
+
 struct NetConfig {
   size_t nodes = 4;  // receivers; the base station is extra (node id 0)
   LinkParams link;
@@ -152,6 +197,9 @@ struct NetConfig {
   // attached it is simply dead air. Its radio is a regular medium
   // participant: range, loss, capture collisions all apply.
   uint16_t hostile_node = 0;
+  // Staged rollout (DESIGN.md §12); ignored by disseminate(), used by
+  // NetSim::rollout(). enabled=false keeps every legacy path byte-identical.
+  RolloutParams rollout;
 };
 
 // Auto-shard sizing floor: below this many receivers per shard the
@@ -212,6 +260,37 @@ enum class NetEventKind : uint8_t {
                    // a = claimed origin, b = 0
   QuotaExceeded,   // base stopped honoring liveness-granting frames from
                    // a node: a = node id, b = quota
+  // Staged-rollout events (appended: they only occur inside
+  // NetSim::rollout(), so every dissemination golden digest is unchanged).
+  StoreReformatted, // persisted store blob failed validation at boot and
+                    // was reformatted: a = node id
+  ImageStaged,      // transfer image copied into the inactive slot:
+                    // a = slot index, b = image CRC (low 16)
+  TrialActivated,   // node reboots into the staged slot as a trial:
+                    // a = slot index, b = image CRC (low 16)
+  ControlTx,        // base command sent: a = ControlCmd, b = target node
+  ControlRelayed,   // mesh flood relay of a Control: a = ctl_seq, b = cmd
+  HealthTx,         // node health report sent: a = flags, b = send streak
+  HealthRx,         // base accepted a health report: a = origin, b = flags
+  HealthRelayed,    // mesh relay of a health report: a = origin,
+                    // b = relayer hop
+  NodeConfirmed,    // base promoted a node's trial: a = node, b = wave
+  TrialRolledBack,  // node fell back to its previous slot: a = node,
+                    // b = RollbackWhy
+  RolloutWave,      // base opened a wave: a = wave index, b = wave size
+  RolloutGiveUp,    // base stopped commanding a silent node: a = node,
+                    // b = tries
+  RolloutHalted,    // failure budget exceeded; fleet-wide rollback begins:
+                    // a = failures, b = budget
+  RolloutDone,      // orchestrator reached its terminal state:
+                    // a = confirmed count, b = rolled-back count
+};
+
+// Why a node's trial slot was rejected (TrialRolledBack's `b`).
+enum class RollbackWhy : uint8_t {
+  GateFailed = 1,       // supervision counters tripped the health gate
+  BootInterrupted = 2,  // rebooted mid-probation without confirming
+  Commanded = 3,        // base ordered the rollback
 };
 
 struct NetTraceEvent {
@@ -293,6 +372,40 @@ struct DisseminationResult {
   size_t abandoned_nodes() const { return abandoned_count; }
 };
 
+// Per-node outcome of a staged rollout. `final_*` fields are ground truth
+// read from the node's persistent ImageStore after the run; the booleans
+// are the base station's bookkeeping.
+struct NodeRolloutStats {
+  bool member = false;      // dissemination-complete, scheduled into a wave
+  bool activated = false;   // the rollout image ever occupied a slot
+  bool confirmed = false;   // base promoted its trial
+  bool rolled_back = false; // ended (or passed through) a rollback
+  bool given_up = false;    // base stopped commanding it (silent node)
+  uint32_t reports_rx = 0;  // health reports the base accepted from it
+  uint8_t final_slot = 0;
+  emu::SlotState final_state = emu::SlotState::Empty;
+  uint32_t final_crc = 0;
+  bool trial_left_active = false;  // a trial survived past termination (bug)
+};
+
+struct RolloutResult {
+  DisseminationResult dissem;  // the transfer phase that preceded the waves
+  bool complete = false;       // every wave promoted, no halt, within budget
+  bool halted = false;         // failure budget exceeded; fleet rolled back
+  bool budget_exhausted = false;
+  uint32_t waves = 0;
+  uint32_t waves_promoted = 0;  // waves that ended with zero failures
+  uint32_t failures = 0;        // gate trips + interrupted trials + give-ups
+  uint32_t confirmed = 0;
+  uint32_t rolled_back = 0;
+  uint32_t gave_up = 0;
+  uint64_t health_rejected = 0;  // health reports dropped for a bad tag
+  uint64_t cycles = 0;           // total simulated time (transfer + rollout)
+  uint64_t trace_digest = 0;     // FNV-1a over the whole run's events
+  size_t trace_events = 0;
+  std::vector<NodeRolloutStats> nodes;  // indexed by node id; [0] unused
+};
+
 // A scripted hostile transmitter occupying the NetConfig::hostile_node
 // receiver slot (DESIGN.md §11): it sees every byte its radio hears and is
 // offered one raw transmission per quantum — raw bytes, not frames, so it
@@ -334,6 +447,23 @@ class NetSim {
   // Run the dissemination protocol to termination (all nodes verified and
   // acknowledged, or the cycle budget exhausted).
   DisseminationResult disseminate();
+
+  // --- Staged rollout (DESIGN.md §12) ----------------------------------------
+  // Disseminate, then upgrade the fleet wave-by-wave with health-gated
+  // trials and automatic rollback (NetConfig::rollout). One call runs both
+  // phases on one timeline; the dissemination half of the result is exactly
+  // what disseminate() would have produced. Same determinism contract: the
+  // whole RolloutResult is a pure function of (image bytes, NetConfig,
+  // initial image, trial behaviors), byte-identical at any shard count.
+  RolloutResult rollout();
+  // Pre-load every receiver's slot A with the currently-deployed image
+  // (Confirmed, active) — the image the fleet falls back to. Call before
+  // rollout().
+  void set_initial_image(std::vector<uint8_t> blob, uint8_t version);
+  // Script how `node`'s trial behaves during probation (default: Healthy).
+  void set_trial_behavior(uint16_t node, const TrialBehavior& b);
+  // A node's persistent image store (slot state ground truth for oracles).
+  const emu::ImageStore& node_store(size_t node) const;
 
   // --- Post-dissemination access ---------------------------------------------
   // Receiver `node` is 1-based (matching trace ids). A node's verified
@@ -428,6 +558,27 @@ class NetSim {
   void mesh_schedule_summary_relay(Node& n, uint64_t now);
   void mesh_churn_parent(Node& n, uint64_t now, ShardCtx& sc);
 
+  // Engine core shared by disseminate() and rollout(): shard setup, the
+  // bulk-synchronous quantum loop (returns false when max_cycles ran out),
+  // and dissemination result assembly.
+  void setup_engine();
+  bool run_loop();
+  bool loop_done() const;
+  void finish_dissem(DisseminationResult& res, bool budget_exhausted);
+
+  // Staged rollout (DESIGN.md §12); only reachable from rollout().
+  void begin_rollout(uint64_t now);
+  void enter_rollback_all(uint64_t now);
+  void step_base_rollout(uint64_t now);
+  void base_send_control(uint16_t target, ControlCmd cmd, uint64_t now);
+  void on_base_health(uint16_t origin, const HealthReport& hr, uint64_t now);
+  void on_node_control(Node& n, uint16_t target, const ControlInfo& ci,
+                       uint64_t now, ShardCtx& sc);
+  void step_node_rollout(Node& n, uint64_t now, ShardCtx& sc);
+  void node_queue_health(Node& n, uint8_t flags, uint32_t sends, uint64_t now);
+  void node_send_health(Node& n, uint64_t now, ShardCtx& sc);
+  void finish_rollout(RolloutResult& rr);
+
   NetConfig cfg_;
   std::vector<uint8_t> blob_;
   uint16_t total_chunks_ = 0;
@@ -468,6 +619,21 @@ class NetSim {
   bool phase_parallel_ = false; // true only inside the parallel phase:
                                 // routes tx_sink completions into txbufs_
   size_t complete_count_ = 0;   // verified stores (transition-maintained)
+
+  // Engine state shared by disseminate()/rollout(): simulated time and the
+  // worker pool for the parallel phase (lazily built by setup_engine).
+  uint64_t t_ = 0;
+  std::unique_ptr<host::WorkPool> pool_;
+  // Staged rollout: orchestrator state (base-owned, touched only in the
+  // serial step), scripted trial behaviors (read-only during the parallel
+  // phase), and the fleet's currently-deployed image.
+  struct Rollout;
+  std::unique_ptr<Rollout> ro_;
+  bool rollout_phase_ = false;
+  std::vector<TrialBehavior> behaviors_;  // by node id; [0] unused
+  std::vector<uint8_t> initial_blob_;
+  uint32_t initial_crc_ = 0;
+  uint8_t initial_version_ = 0;
 
   std::vector<NetTraceEvent> trace_;
   uint64_t trace_digest_ = 0xcbf29ce484222325ULL;  // FNV-1a running state

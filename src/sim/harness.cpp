@@ -142,6 +142,49 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
   return out;
 }
 
+RolloutRun run_rollout(const std::vector<assembler::Image>& images,
+                       const RolloutRunSpec& spec) {
+  RolloutRun out;
+
+  auto link_blob = [&](const std::vector<assembler::Image>& imgs) {
+    rw::Linker linker(spec.rewrite, spec.merge_trampolines);
+    for (const auto& img : imgs) linker.add(img);
+    return linker.link();
+  };
+  rw::LinkedSystem new_sys = link_blob(images);
+  out.new_blob = net::serialize_system(new_sys);
+  out.old_blob = net::serialize_system(link_blob(spec.old_images));
+
+  // Characterize the new image by running it for real on a supervised
+  // scratch kernel: the supervisor mirrors its recovery actions into the
+  // DeviceHub health counters — the same path a deployed node reports
+  // through — and those counters decide the fleet-wide trial behavior.
+  {
+    emu::Machine m;
+    kern::Kernel k(m, new_sys, spec.kernel);
+    SystemRun probe =
+        run_kernel_to_completion(m, k, new_sys, spec.probe_cycles, nullptr);
+    const emu::HealthCounters& h = m.dev().health();
+    out.probed.restarts = h.restarts;
+    out.probed.quarantines = h.quarantines;
+    out.probed.watchdog_fires = h.watchdog_fires;
+    if (h.quarantines > 0 || h.watchdog_fires > 0)
+      out.probed.kind = net::TrialBehavior::Kind::Runaway;
+    else if (probe.stop == emu::StopReason::Running)
+      out.probed.kind = net::TrialBehavior::Kind::Wedge;  // never finished
+    else
+      out.probed.kind = net::TrialBehavior::Kind::Healthy;
+  }
+
+  net::NetSim sim(spec.net, out.new_blob);
+  sim.set_initial_image(out.old_blob, spec.old_version);
+  for (uint16_t id = 1; id <= spec.net.nodes; ++id)
+    sim.set_trial_behavior(id, out.probed);
+  for (const auto& [id, b] : spec.lemons) sim.set_trial_behavior(id, b);
+  out.result = sim.rollout();
+  return out;
+}
+
 SystemRun run_tkernel(const assembler::Image& image, uint64_t max_cycles) {
   RunSpec spec;
   spec.kernel = kern::tkernel_config();

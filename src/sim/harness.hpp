@@ -110,6 +110,45 @@ NetworkRun run_network(const std::vector<assembler::Image>& images,
                        const NetworkRunSpec& spec);
 
 // ---------------------------------------------------------------------------
+// Staged rollout: a fleet running an old image is upgraded wave-by-wave to
+// a new one behind the health gate (DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+struct RolloutRunSpec {
+  rw::RewriteOptions rewrite;
+  bool merge_trampolines = true;
+  kern::KernelConfig kernel;  // supervision config the probe runs under
+  net::NetConfig net;         // net.rollout.* pick waves / gate / budget
+  // Applications the fleet is already running (slot A before the upgrade).
+  std::vector<assembler::Image> old_images;
+  uint8_t old_version = 0;
+  uint64_t probe_cycles = 40'000'000;  // characterization budget
+  // Per-node behavior overrides — the chaos harness's lemon images. Nodes
+  // without an entry inherit the probed behavior of the new image.
+  std::vector<std::pair<uint16_t, net::TrialBehavior>> lemons;
+};
+
+struct RolloutRun {
+  std::vector<uint8_t> old_blob;  // serialized old system (initial image)
+  std::vector<uint8_t> new_blob;  // serialized new system (disseminated)
+  net::TrialBehavior probed;      // measured behavior of the new image
+  net::RolloutResult result;
+};
+
+// The full staged-upgrade pipeline. The new applications are naturalized
+// and serialized exactly as in run_network; the *trial behavior* every node
+// exhibits during probation is not scripted but measured, by installing the
+// new system into a scratch supervised kernel and running it: supervision
+// quarantines or watchdog kills recorded by the kernel (mirrored into
+// DeviceHub health counters) make it a Runaway lemon, an image still
+// running at the probe budget becomes a Wedge, anything else runs Healthy
+// with its restart count reported. Then the fleet — seeded onto the old
+// image via NetSim::set_initial_image — is disseminated to and upgraded
+// wave-by-wave with NetSim::rollout().
+RolloutRun run_rollout(const std::vector<assembler::Image>& images,
+                       const RolloutRunSpec& spec);
+
+// ---------------------------------------------------------------------------
 // Fixed-width table printer for the bench binaries.
 // ---------------------------------------------------------------------------
 class Table {
